@@ -1,0 +1,53 @@
+# structix — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race cover bench fuzz examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every fuzz target (seed corpora always run as
+# part of `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzMaintenance -fuzztime=20s ./internal/oneindex/
+	$(GO) test -fuzz=FuzzMaintenance -fuzztime=20s ./internal/akindex/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/xmlload/
+	$(GO) test -fuzz=FuzzLoaderMultiDoc -fuzztime=10s ./internal/xmlload/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/auction
+	$(GO) run ./examples/movies
+	$(GO) run ./examples/akdemo
+	$(GO) run ./examples/summaries
+	$(GO) run ./examples/server
+	$(GO) run ./examples/adaptive
+
+# Regenerate the paper's evaluation at a laptop-friendly scale; see
+# EXPERIMENTS.md for the -scale trade-off.
+experiments:
+	$(GO) run ./cmd/xsibench -exp all -scale 16
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,158 @@
+package structix
+
+import (
+	"sync"
+
+	"structix/internal/graph"
+)
+
+// ConcurrentOneIndex serializes access to a OneIndex (and its underlying
+// graph) behind a readers-writer lock: any number of concurrent queries,
+// one maintenance operation at a time. The paper's availability argument
+// for incremental maintenance (§7.1: "the index is essentially unusable
+// during the reconstruction, while our split/merge algorithm always
+// responds quickly") is what this wrapper operationalizes — updates hold
+// the write lock for microseconds, not for a full reconstruction.
+//
+// The wrapped index and graph must not be touched directly while the
+// wrapper is in use.
+type ConcurrentOneIndex struct {
+	mu  sync.RWMutex
+	idx *OneIndex
+}
+
+// NewConcurrentOneIndex wraps an index for concurrent use.
+func NewConcurrentOneIndex(idx *OneIndex) *ConcurrentOneIndex {
+	return &ConcurrentOneIndex{idx: idx}
+}
+
+// InsertEdge inserts a dedge under the write lock.
+func (c *ConcurrentOneIndex) InsertEdge(u, v NodeID, kind EdgeKind) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.InsertEdge(u, v, kind)
+}
+
+// DeleteEdge deletes a dedge under the write lock.
+func (c *ConcurrentOneIndex) DeleteEdge(u, v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.DeleteEdge(u, v)
+}
+
+// AddSubgraph grafts a subgraph under the write lock.
+func (c *ConcurrentOneIndex) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.AddSubgraph(sg)
+}
+
+// DeleteSubgraph removes a subtree under the write lock.
+func (c *ConcurrentOneIndex) DeleteSubgraph(root NodeID, skipIDRef bool) (*Subgraph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.DeleteSubgraph(root, skipIDRef)
+}
+
+// InsertNode adds a node under the write lock.
+func (c *ConcurrentOneIndex) InsertNode(label graph.LabelID, parent NodeID, kind EdgeKind) (NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.InsertNode(label, parent, kind)
+}
+
+// DeleteNode removes a node under the write lock.
+func (c *ConcurrentOneIndex) DeleteNode(v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.DeleteNode(v)
+}
+
+// Eval evaluates a path expression under the read lock.
+func (c *ConcurrentOneIndex) Eval(p *Path) []NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return EvalOneIndex(p, c.idx)
+}
+
+// Count estimates a result size under the read lock.
+func (c *ConcurrentOneIndex) Count(p *Path) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CountOneIndex(p, c.idx)
+}
+
+// Size returns the number of inodes under the read lock.
+func (c *ConcurrentOneIndex) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Size()
+}
+
+// View runs fn with shared (read-locked) access to the index. fn must not
+// mutate the index or its graph.
+func (c *ConcurrentOneIndex) View(fn func(*OneIndex)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(c.idx)
+}
+
+// Update runs fn with exclusive (write-locked) access.
+func (c *ConcurrentOneIndex) Update(fn func(*OneIndex) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.idx)
+}
+
+// ConcurrentAkIndex is the A(k)-family counterpart of ConcurrentOneIndex.
+type ConcurrentAkIndex struct {
+	mu  sync.RWMutex
+	idx *AkIndex
+}
+
+// NewConcurrentAkIndex wraps an A(k) family for concurrent use.
+func NewConcurrentAkIndex(idx *AkIndex) *ConcurrentAkIndex {
+	return &ConcurrentAkIndex{idx: idx}
+}
+
+// InsertEdge inserts a dedge under the write lock.
+func (c *ConcurrentAkIndex) InsertEdge(u, v NodeID, kind EdgeKind) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.InsertEdge(u, v, kind)
+}
+
+// DeleteEdge deletes a dedge under the write lock.
+func (c *ConcurrentAkIndex) DeleteEdge(u, v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.DeleteEdge(u, v)
+}
+
+// Eval evaluates with validation under the read lock.
+func (c *ConcurrentAkIndex) Eval(p *Path) []NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return EvalAkValidated(p, c.idx)
+}
+
+// Size returns the A(k) inode count under the read lock.
+func (c *ConcurrentAkIndex) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Size()
+}
+
+// View runs fn with shared access; fn must not mutate.
+func (c *ConcurrentAkIndex) View(fn func(*AkIndex)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(c.idx)
+}
+
+// Update runs fn with exclusive access.
+func (c *ConcurrentAkIndex) Update(fn func(*AkIndex) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.idx)
+}

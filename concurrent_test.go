@@ -1,0 +1,121 @@
+package structix_test
+
+import (
+	"sync"
+	"testing"
+
+	"structix"
+)
+
+// Concurrent readers and a writer hammer the same index; run with -race.
+func TestConcurrentOneIndex(t *testing.T) {
+	g := structix.GenerateXMark(structix.DefaultXMark(512, 1, 6))
+	pool := poolEdges(g, 6)
+	if len(pool) == 0 {
+		t.Skip("no pool edges at this scale")
+	}
+	c := structix.NewConcurrentOneIndex(structix.BuildOneIndex(g))
+	queries := []*structix.Path{
+		structix.MustParsePath("//person/name"),
+		structix.MustParsePath("/site/open_auctions/open_auction"),
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := queries[(r+i)%len(queries)]
+				_ = c.Eval(p)
+				_ = c.Count(p)
+				_ = c.Size()
+				c.View(func(x *structix.OneIndex) { _ = x.NumIEdges() })
+			}
+		}(r)
+	}
+	for i := 0; i < 100; i++ {
+		e := pool[i%len(pool)]
+		if err := c.InsertEdge(e[0], e[1], structix.IDRef); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := c.DeleteEdge(e[0], e[1]); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	if err := c.Update(func(x *structix.OneIndex) error { return x.Validate() }); err != nil {
+		t.Errorf("index invalid after concurrent run: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentAkIndex(t *testing.T) {
+	g := structix.GenerateIMDB(structix.DefaultIMDB(512, 6))
+	pool := poolEdges(g, 7)
+	if len(pool) == 0 {
+		t.Skip("no pool edges at this scale")
+	}
+	c := structix.NewConcurrentAkIndex(structix.BuildAkIndex(g, 2))
+	p := structix.MustParsePath("//movie/actorref/person")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.Eval(p)
+				_ = c.Size()
+				c.View(func(x *structix.AkIndex) { _ = x.SizeAt(0) })
+			}
+		}()
+	}
+	for i := 0; i < 60; i++ {
+		e := pool[i%len(pool)]
+		if err := c.InsertEdge(e[0], e[1], structix.IDRef); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := c.DeleteEdge(e[0], e[1]); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	if err := c.Update(func(x *structix.AkIndex) error { return x.Validate() }); err != nil {
+		t.Errorf("family invalid after concurrent run: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// poolEdges removes 20% of IDREF edges and returns them (absent from g).
+func poolEdges(g *structix.Graph, seed int64) [][2]structix.NodeID {
+	before := g.EdgeList(structix.IDRef)
+	structix.MixedUpdateScript(g, 0.2, 0, seed)
+	present := make(map[[2]structix.NodeID]bool)
+	for _, e := range g.EdgeList(structix.IDRef) {
+		present[e] = true
+	}
+	var pool [][2]structix.NodeID
+	for _, e := range before {
+		if !present[e] {
+			pool = append(pool, e)
+		}
+	}
+	return pool
+}

@@ -1,0 +1,3 @@
+module structix
+
+go 1.22

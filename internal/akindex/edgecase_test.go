@@ -1,0 +1,110 @@
+package akindex
+
+import (
+	"testing"
+
+	"structix/internal/graph"
+)
+
+func akShapes(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+
+	single := graph.New()
+	single.AddRoot()
+	out["single-node"] = single
+
+	star := graph.New()
+	r := star.AddRoot()
+	for i := 0; i < 10; i++ {
+		v := star.AddNode("leaf")
+		if err := star.AddEdge(r, v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out["star"] = star
+
+	chain := graph.New()
+	cur := chain.AddRoot()
+	for i := 0; i < 15; i++ {
+		v := chain.AddNode("link")
+		if err := chain.AddEdge(cur, v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+		cur = v
+	}
+	out["chain"] = chain
+
+	// Cycle wheel: root feeding a same-label directed cycle — index
+	// self-cycles at every level ≥1.
+	wheel := graph.New()
+	wr := wheel.AddRoot()
+	var ring []graph.NodeID
+	for i := 0; i < 6; i++ {
+		v := wheel.AddNode("spoke")
+		if err := wheel.AddEdge(wr, v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+		ring = append(ring, v)
+	}
+	for i := range ring {
+		if err := wheel.AddEdge(ring[i], ring[(i+1)%len(ring)], graph.IDRef); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out["cycle-wheel"] = wheel
+	return out
+}
+
+// Every shape, every k ∈ {1, 2, 5}: build, churn every edge, stay the
+// minimum family throughout (Theorem 2 has no acyclicity condition).
+func TestAkShapesBuildAndChurn(t *testing.T) {
+	for name, g0 := range akShapes(t) {
+		for _, k := range []int{1, 2, 5} {
+			t.Run(name, func(t *testing.T) {
+				g := g0.Clone()
+				x := Build(g, k)
+				mustValid(t, x)
+				mustMinimum(t, x, "fresh build")
+				for i, e := range g.EdgeListAll() {
+					kind, _ := g.EdgeKindOf(e[0], e[1])
+					if err := x.DeleteEdge(e[0], e[1]); err != nil {
+						t.Fatalf("edge %d delete: %v", i, err)
+					}
+					if err := x.InsertEdge(e[0], e[1], kind); err != nil {
+						t.Fatalf("edge %d insert: %v", i, err)
+					}
+					if !x.IsMinimum() {
+						t.Fatalf("k=%d edge %d: family not minimum", k, i)
+					}
+				}
+				mustValid(t, x)
+			})
+		}
+	}
+}
+
+// Chains longer than k exercise the level-k truncation boundary: nodes
+// deeper than k collapse into shared inodes.
+func TestAkChainTruncation(t *testing.T) {
+	g := graph.New()
+	cur := g.AddRoot()
+	const depth = 10
+	for i := 0; i < depth; i++ {
+		v := g.AddNode("link")
+		if err := g.AddEdge(cur, v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+		cur = v
+	}
+	for _, k := range []int{1, 2, 3, 9, 10} {
+		x := Build(g, k)
+		// A(k) distinguishes the first k chain positions; the rest merge:
+		// expected inodes = ROOT class + min(depth, k+1) link classes...
+		// precisely: positions 1..k are distinct, positions >k share one.
+		want := 1 + min(depth, k+1)
+		if x.Size() != want {
+			t.Errorf("k=%d: %d inodes, want %d", k, x.Size(), want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package akindex
+
+import (
+	"testing"
+
+	"structix/internal/graph"
+)
+
+// FuzzMaintenance interprets bytes as an update script over a small graph
+// and checks that the maintained family is the minimum A(0..k) after every
+// operation (Theorem 2), for k = 1 + (first byte mod 4).
+func FuzzMaintenance(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{3, 10, 200, 30, 40, 250, 60, 70, 80})
+	f.Add([]byte{2, 255, 254, 253, 0, 1, 255})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) < 1 {
+			return
+		}
+		k := 1 + int(script[0])%4
+		script = script[1:]
+		if len(script) > 48 {
+			script = script[:48]
+		}
+		g := graph.New()
+		r := g.AddRoot()
+		labels := []string{"a", "b", "c"}
+		nodes := []graph.NodeID{r}
+		for i := 0; i < 8; i++ {
+			v := g.AddNode(labels[i%len(labels)])
+			if err := g.AddEdge(nodes[i%len(nodes)], v, graph.Tree); err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, v)
+		}
+		x := Build(g, k)
+		for i := 0; i+2 < len(script); i += 3 {
+			u := nodes[int(script[i])%len(nodes)]
+			v := nodes[int(script[i+1])%len(nodes)]
+			if u == v || v == r || !g.Alive(u) || !g.Alive(v) {
+				continue
+			}
+			var err error
+			if script[i+2]%2 == 0 {
+				err = x.InsertEdge(u, v, graph.IDRef)
+				if err == graph.ErrEdgeExists {
+					err = nil
+				}
+			} else {
+				err = x.DeleteEdge(u, v)
+				if err == graph.ErrNoEdge {
+					err = nil
+				}
+			}
+			if err != nil {
+				t.Fatalf("op %d: %v", i/3, err)
+			}
+			if err := x.Validate(); err != nil {
+				t.Fatalf("op %d: invalid family: %v", i/3, err)
+			}
+			if !x.IsMinimum() {
+				t.Fatalf("op %d: family not minimum (Theorem 2)", i/3)
+			}
+		}
+	})
+}

@@ -1,0 +1,486 @@
+// Package akindex implements the A(k)-index — the k-bisimulation structural
+// index of Kaushik et al. — together with the paper's split/merge
+// incremental maintenance (Yi et al., SIGMOD 2004, §6).
+//
+// Following §6, the index maintains the whole family A(0), A(1), …, A(k)
+// at once, organized as a refinement tree: each A(i)-index inode links to
+// the A(i+1)-index inodes it contains. Dnode extents are stored only at
+// level k; the extent of a lower-level inode is the union over its
+// refinement-tree descendants. Two kinds of index edges are kept:
+//
+//   - intra-iedges within the A(k)-index (used for query evaluation), and
+//   - inter-iedges across adjacent levels: an inter-iedge I⁽ⁱ⁾→J⁽ⁱ⁺¹⁾
+//     exists iff some dedge leads from the extent of I⁽ⁱ⁾ to the extent of
+//     J⁽ⁱ⁺¹⁾. These carry exactly the index-parent information the
+//     maintenance algorithm needs for its split and merge decisions.
+//
+// Both kinds carry a count of underlying dedges so they can be maintained
+// exactly as extents change.
+//
+// The maintenance entry points InsertEdge and DeleteEdge implement Figure 7
+// and keep the family the unique minimum set of A(i)-indexes for any data
+// graph, cyclic or not (Theorem 2). AddSubgraph and DeleteSubgraph extend
+// the same machinery to batched subtree updates.
+package akindex
+
+import (
+	"fmt"
+	"sort"
+
+	"structix/internal/graph"
+	"structix/internal/partition"
+)
+
+// INodeID identifies an inode at any level of the refinement tree. IDs are
+// reused after inodes die, but an id is never live for two inodes at once.
+type INodeID int32
+
+// NoINode marks "no inode": dead dnodes, and the tree parent of level-0
+// inodes.
+const NoINode INodeID = -1
+
+type anode struct {
+	level  int32
+	label  graph.LabelID
+	parent INodeID                   // refinement-tree parent; NoINode at level 0
+	child  map[INodeID]struct{}      // refinement-tree children; nil at level k
+	extent map[graph.NodeID]struct{} // dnode extent; nil below level k
+
+	// Inter-iedges. predB counts dedges whose source lies in the keyed
+	// level-(l−1) inode and whose sink lies in this (level-l) inode; succB
+	// is the mirror on the source side, keyed by level-(l+1) inodes.
+	predB map[INodeID]int32 // nil at level 0
+	succB map[INodeID]int32 // nil at level k
+
+	// Intra-iedges within the A(k)-index (level k only).
+	intraSucc map[INodeID]int32
+	intraPred map[INodeID]int32
+}
+
+// Index is an A(k)-index family A(0..k) over a data graph. It is not safe
+// for concurrent use.
+type Index struct {
+	g       *graph.Graph
+	k       int
+	inodeOf []INodeID // dnode -> level-k inode
+	nodes   []*anode  // arena; nil when free
+	freeIDs []INodeID
+	numLive []int // live inode count per level 0..k
+
+	// Stats accumulates maintenance instrumentation.
+	Stats Stats
+
+	mark []uint8 // scratch marking array over dnodes
+}
+
+// Stats counts maintenance work across all levels.
+type Stats struct {
+	Splits            int
+	Merges            int
+	UpdatesNoChange   int
+	UpdatesMaintained int
+}
+
+// Build constructs the minimum A(0..k) family for g from scratch using the
+// level-by-level construction of Kaushik et al. (§2: O(km)).
+func Build(g *graph.Graph, k int) *Index {
+	if k < 1 {
+		panic("akindex: k must be ≥ 1")
+	}
+	return FromLevels(g, partition.KBisimLevels(g, k))
+}
+
+// FromLevels constructs an Index over g from the given level partitions
+// (levels[i] is the A(i) partition; len(levels) = k+1). The partitions are
+// trusted to form a valid family: level 0 the label partition, each level a
+// refinement of the previous and stable with respect to it. Build and the
+// persistence loader satisfy this by construction; Validate checks it.
+func FromLevels(g *graph.Graph, levels []*partition.Partition) *Index {
+	k := len(levels) - 1
+	if k < 1 {
+		panic("akindex: need at least levels 0 and 1")
+	}
+	x := &Index{
+		g:       g,
+		k:       k,
+		inodeOf: make([]INodeID, g.MaxNodeID()),
+		numLive: make([]int, k+1),
+		mark:    make([]uint8, g.MaxNodeID()),
+	}
+	for i := range x.inodeOf {
+		x.inodeOf[i] = NoINode
+	}
+	// One inode per block per level, linked into the refinement tree.
+	blockTo := make([]map[int32]INodeID, k+1)
+	for l := 0; l <= k; l++ {
+		blockTo[l] = make(map[int32]INodeID)
+	}
+	g.EachNode(func(v graph.NodeID) {
+		var parent INodeID = NoINode
+		for l := 0; l <= k; l++ {
+			b := levels[l].Block(v)
+			id, ok := blockTo[l][b]
+			if !ok {
+				id = x.newANode(int32(l), g.Label(v), parent)
+				blockTo[l][b] = id
+			}
+			parent = id
+		}
+		// After the loop, parent is v's level-k inode.
+		x.nodes[parent].extent[v] = struct{}{}
+		x.inodeOf[v] = parent
+	})
+	g.EachEdge(func(u, w graph.NodeID, _ graph.EdgeKind) {
+		x.addEdgeCounts(u, w, 1)
+	})
+	return x
+}
+
+// Graph returns the underlying data graph.
+func (x *Index) Graph() *graph.Graph { return x.g }
+
+// K returns the locality parameter k.
+func (x *Index) K() int { return x.k }
+
+// SizeAt returns the number of inodes in the A(l)-index.
+func (x *Index) SizeAt(l int) int { return x.numLive[l] }
+
+// Size returns the number of inodes in the A(k)-index (the level queries
+// run against).
+func (x *Index) Size() int { return x.numLive[x.k] }
+
+// INodeOf returns the level-k inode containing dnode v.
+func (x *Index) INodeOf(v graph.NodeID) INodeID { return x.inodeOf[v] }
+
+// LevelINodeOf returns the level-l inode containing dnode v, by walking the
+// refinement tree up from level k.
+func (x *Index) LevelINodeOf(v graph.NodeID, l int) INodeID {
+	id := x.inodeOf[v]
+	for cur := x.k; cur > l; cur-- {
+		id = x.nodes[id].parent
+	}
+	return id
+}
+
+// path fills dst[0..k] with v's inode at each level.
+func (x *Index) path(v graph.NodeID, dst []INodeID) {
+	id := x.inodeOf[v]
+	for l := x.k; l >= 0; l-- {
+		dst[l] = id
+		id = x.nodes[id].parent
+	}
+}
+
+// Label returns the shared label of the dnodes under inode I.
+func (x *Index) Label(I INodeID) graph.LabelID { return x.nodes[I].label }
+
+// Level returns the level of inode I.
+func (x *Index) Level(I INodeID) int { return int(x.nodes[I].level) }
+
+// Parent returns I's refinement-tree parent (NoINode at level 0).
+func (x *Index) Parent(I INodeID) INodeID { return x.nodes[I].parent }
+
+// Children returns I's refinement-tree children, sorted.
+func (x *Index) Children(I INodeID) []INodeID {
+	out := make([]INodeID, 0, len(x.nodes[I].child))
+	for c := range x.nodes[I].child {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Extent returns the dnode extent of I (descendant extents for levels <k),
+// sorted.
+func (x *Index) Extent(I INodeID) []graph.NodeID {
+	var out []graph.NodeID
+	x.eachExtentDnode(I, func(v graph.NodeID) { out = append(out, v) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExtentSize returns |extent(I)| including refinement-tree descendants.
+func (x *Index) ExtentSize(I INodeID) int {
+	n := 0
+	x.eachExtentDnode(I, func(graph.NodeID) { n++ })
+	return n
+}
+
+func (x *Index) eachExtentDnode(I INodeID, fn func(v graph.NodeID)) {
+	n := x.nodes[I]
+	if int(n.level) == x.k {
+		for v := range n.extent {
+			fn(v)
+		}
+		return
+	}
+	for c := range n.child {
+		x.eachExtentDnode(c, fn)
+	}
+}
+
+// EachINodeAt calls fn for every live inode at level l, in increasing id
+// order.
+func (x *Index) EachINodeAt(l int, fn func(I INodeID)) {
+	for i, n := range x.nodes {
+		if n != nil && int(n.level) == l {
+			fn(INodeID(i))
+		}
+	}
+}
+
+// IntraSucc returns the A(k) intra-iedge successors of a level-k inode,
+// sorted.
+func (x *Index) IntraSucc(I INodeID) []INodeID {
+	return sortedKeys(x.nodes[I].intraSucc)
+}
+
+// IntraPred returns the A(k) intra-iedge predecessors of a level-k inode,
+// sorted.
+func (x *Index) IntraPred(I INodeID) []INodeID {
+	return sortedKeys(x.nodes[I].intraPred)
+}
+
+// InterSucc returns the inter-iedge successors (level l+1) of a level-l
+// inode, sorted.
+func (x *Index) InterSucc(I INodeID) []INodeID {
+	return sortedKeys(x.nodes[I].succB)
+}
+
+// InterPred returns the inter-iedge predecessors (level l−1) of a level-l
+// inode, sorted. These are I's index parents in the A(l−1)-index.
+func (x *Index) InterPred(I INodeID) []INodeID {
+	return sortedKeys(x.nodes[I].predB)
+}
+
+// IntraSuccAt returns the intra-iedge successors of inode I *within its
+// own level* l < k — the "optional" §6 structure that speeds up evaluation
+// of expressions shorter than k. Nothing extra is stored: a level-l
+// intra-iedge I→J exists iff I has an inter-iedge into some refinement-
+// tree child of J, so the set is derived from the maintained inter-iedges
+// by mapping each successor to its parent. For level-k inodes this equals
+// IntraSucc.
+func (x *Index) IntraSuccAt(I INodeID) []INodeID {
+	n := x.nodes[I]
+	if int(n.level) == x.k {
+		return x.IntraSucc(I)
+	}
+	seen := make(map[INodeID]struct{}, len(n.succB))
+	out := make([]INodeID, 0, len(n.succB))
+	for child := range n.succB {
+		p := x.nodes[child].parent
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(m map[INodeID]int32) []INodeID {
+	out := make([]INodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ToPartition exports the A(l)-index's dnode partition.
+func (x *Index) ToPartition(l int) *partition.Partition {
+	p := partition.NewPartition(graph.NodeID(len(x.inodeOf)))
+	remap := make(map[INodeID]int32)
+	next := int32(0)
+	for v, id := range x.inodeOf {
+		if id == NoINode {
+			continue
+		}
+		lid := x.LevelINodeOf(graph.NodeID(v), l)
+		b, ok := remap[lid]
+		if !ok {
+			b = next
+			next++
+			remap[lid] = b
+		}
+		p.SetBlock(graph.NodeID(v), b)
+	}
+	p.SetNumBlocks(int(next))
+	return p
+}
+
+// ---- structure manipulation ----
+
+func (x *Index) newANode(level int32, label graph.LabelID, parent INodeID) INodeID {
+	n := &anode{level: level, label: label, parent: parent}
+	if int(level) == x.k {
+		n.extent = make(map[graph.NodeID]struct{})
+		n.intraSucc = make(map[INodeID]int32)
+		n.intraPred = make(map[INodeID]int32)
+	} else {
+		n.child = make(map[INodeID]struct{})
+		n.succB = make(map[INodeID]int32)
+	}
+	if level > 0 {
+		n.predB = make(map[INodeID]int32)
+	}
+	var id INodeID
+	if ln := len(x.freeIDs); ln > 0 {
+		id = x.freeIDs[ln-1]
+		x.freeIDs = x.freeIDs[:ln-1]
+		x.nodes[id] = n
+	} else {
+		id = INodeID(len(x.nodes))
+		x.nodes = append(x.nodes, n)
+	}
+	if parent != NoINode {
+		x.nodes[parent].child[id] = struct{}{}
+	}
+	x.numLive[level]++
+	return id
+}
+
+// freeANode unlinks an emptied inode from its parent and releases its id.
+func (x *Index) freeANode(id INodeID) {
+	n := x.nodes[id]
+	if len(n.extent) != 0 || len(n.child) != 0 {
+		panic("akindex: freeing non-empty inode")
+	}
+	if len(n.predB) != 0 || len(n.succB) != 0 || len(n.intraSucc) != 0 || len(n.intraPred) != 0 {
+		panic("akindex: freeing inode with live iedges")
+	}
+	if n.parent != NoINode {
+		delete(x.nodes[n.parent].child, id)
+	}
+	x.nodes[id] = nil
+	x.freeIDs = append(x.freeIDs, id)
+	x.numLive[n.level]--
+}
+
+func (x *Index) addBoundaryCount(src, dst INodeID, delta int32) {
+	s := x.nodes[src].succB
+	s[dst] += delta
+	switch {
+	case s[dst] == 0:
+		delete(s, dst)
+	case s[dst] < 0:
+		panic("akindex: negative inter-iedge count")
+	}
+	p := x.nodes[dst].predB
+	p[src] += delta
+	if p[src] == 0 {
+		delete(p, src)
+	}
+}
+
+func (x *Index) addIntraCount(src, dst INodeID, delta int32) {
+	s := x.nodes[src].intraSucc
+	s[dst] += delta
+	switch {
+	case s[dst] == 0:
+		delete(s, dst)
+	case s[dst] < 0:
+		panic("akindex: negative intra-iedge count")
+	}
+	p := x.nodes[dst].intraPred
+	p[src] += delta
+	if p[src] == 0 {
+		delete(p, src)
+	}
+}
+
+// addEdgeCounts registers the dedge (u, w) in every boundary count and the
+// intra-k counts, with the given sign.
+func (x *Index) addEdgeCounts(u, w graph.NodeID, delta int32) {
+	pu := make([]INodeID, x.k+1)
+	pw := make([]INodeID, x.k+1)
+	x.path(u, pu)
+	x.path(w, pw)
+	for b := 0; b < x.k; b++ {
+		x.addBoundaryCount(pu[b], pw[b+1], delta)
+	}
+	x.addIntraCount(pu[x.k], pw[x.k], delta)
+}
+
+// reassignPath moves dnode w from its current inode path to newPath
+// (level-indexed, 0..k), updating extents, the dnode→inode map, and every
+// affected inter-/intra-iedge count by scanning w's incident dedges.
+// Refinement-tree links of the inodes themselves are the caller's business.
+func (x *Index) reassignPath(w graph.NodeID, newPath []INodeID) {
+	old := make([]INodeID, x.k+1)
+	x.path(w, old)
+	changedLo := -1
+	for l := 0; l <= x.k; l++ {
+		if old[l] != newPath[l] {
+			changedLo = l
+			break
+		}
+	}
+	if changedLo < 0 {
+		return
+	}
+	scratch := make([]INodeID, x.k+1)
+	x.g.EachPred(w, func(p graph.NodeID, _ graph.EdgeKind) {
+		x.path(p, scratch)
+		for b := 0; b < x.k; b++ {
+			if old[b+1] != newPath[b+1] {
+				x.addBoundaryCount(scratch[b], old[b+1], -1)
+				x.addBoundaryCount(scratch[b], newPath[b+1], 1)
+			}
+		}
+		if old[x.k] != newPath[x.k] {
+			x.addIntraCount(scratch[x.k], old[x.k], -1)
+			x.addIntraCount(scratch[x.k], newPath[x.k], 1)
+		}
+	})
+	x.g.EachSucc(w, func(s graph.NodeID, _ graph.EdgeKind) {
+		x.path(s, scratch)
+		for b := 0; b < x.k; b++ {
+			if old[b] != newPath[b] {
+				x.addBoundaryCount(old[b], scratch[b+1], -1)
+				x.addBoundaryCount(newPath[b], scratch[b+1], 1)
+			}
+		}
+		if old[x.k] != newPath[x.k] {
+			x.addIntraCount(old[x.k], scratch[x.k], -1)
+			x.addIntraCount(newPath[x.k], scratch[x.k], 1)
+		}
+	})
+	if old[x.k] != newPath[x.k] {
+		delete(x.nodes[old[x.k]].extent, w)
+		x.nodes[newPath[x.k]].extent[w] = struct{}{}
+		x.inodeOf[w] = newPath[x.k]
+	}
+}
+
+// growScratch extends NodeID-indexed arrays after the graph has grown.
+func (x *Index) growScratch() {
+	n := int(x.g.MaxNodeID())
+	for len(x.inodeOf) < n {
+		x.inodeOf = append(x.inodeOf, NoINode)
+	}
+	for len(x.mark) < n {
+		x.mark = append(x.mark, 0)
+	}
+}
+
+// predBKey returns a canonical key of (label, index parents in A(l−1)) for
+// a level-l inode: the merge-eligibility criterion of §6.
+func (x *Index) predBKey(I INodeID) string {
+	preds := x.InterPred(I)
+	b := make([]byte, 0, 4*len(preds)+4)
+	b = appendInt32(b, int32(x.nodes[I].label))
+	for _, p := range preds {
+		b = appendInt32(b, int32(p))
+	}
+	return string(b)
+}
+
+func appendInt32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (x *Index) String() string {
+	return fmt.Sprintf("A(%d)-index{%d inodes at level k over %d dnodes}",
+		x.k, x.Size(), x.g.NumNodes())
+}

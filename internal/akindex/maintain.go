@@ -1,0 +1,477 @@
+package akindex
+
+import (
+	"sort"
+
+	"structix/internal/graph"
+)
+
+// InsertEdge adds the dedge u→v and incrementally maintains the whole
+// A(0..k) family with the split/merge algorithm of Figure 7. The family
+// remains the unique minimum set of A(i)-indexes (Theorem 2).
+func (x *Index) InsertEdge(u, v graph.NodeID, kind graph.EdgeKind) error {
+	// Find the largest i such that v ∈ Succ(I⁽ⁱ⁾[u]) *before* the edge is
+	// added: the A(i+1)-index — and everything below — is unaffected.
+	i := x.largestStableLevel(u, v, graph.InvalidNode)
+	if err := x.g.AddEdge(u, v, kind); err != nil {
+		return err
+	}
+	x.noteInsert(u, v, i)
+	return nil
+}
+
+// NoteEdgeInserted maintains the family for a dedge u→v that the caller
+// has already added to the shared data graph (multi-index setups). The
+// stable-level computation excludes the new edge itself.
+func (x *Index) NoteEdgeInserted(u, v graph.NodeID, kind graph.EdgeKind) {
+	_ = kind // edge kinds do not influence the partitions
+	x.noteInsert(u, v, x.largestStableLevel(u, v, u))
+}
+
+func (x *Index) noteInsert(u, v graph.NodeID, i int) {
+	x.addEdgeCounts(u, v, 1)
+	if i >= x.k-1 {
+		// Split and merge ranges (i+2..k) are empty: only iedge counts
+		// change.
+		x.Stats.UpdatesNoChange++
+		return
+	}
+	x.Stats.UpdatesMaintained++
+	x.splitPhase(v, i)
+	x.mergePhase(v, i)
+}
+
+// DeleteEdge removes the dedge u→v and incrementally maintains the family
+// (the deletion variant of Figure 7).
+func (x *Index) DeleteEdge(u, v graph.NodeID) error {
+	if err := x.g.DeleteEdge(u, v); err != nil {
+		return err
+	}
+	x.NoteEdgeDeleted(u, v)
+	return nil
+}
+
+// NoteEdgeDeleted maintains the family for a dedge u→v that the caller has
+// already removed from the shared data graph.
+func (x *Index) NoteEdgeDeleted(u, v graph.NodeID) {
+	x.addEdgeCounts(u, v, -1)
+	// After the deletion, the largest i with v ∈ Succ(I⁽ⁱ⁾[u]) bounds the
+	// unaffected prefix of the family exactly as for insertion.
+	i := x.largestStableLevel(u, v, graph.InvalidNode)
+	if i >= x.k-1 {
+		x.Stats.UpdatesNoChange++
+		return
+	}
+	x.Stats.UpdatesMaintained++
+	x.splitPhase(v, i)
+	x.mergePhase(v, i)
+}
+
+// largestStableLevel returns the largest level l such that v currently has
+// a parent in the extent of I⁽ˡ⁾[u], or −1 if it has none at any level
+// (equivalently: −1 when no parent of v shares even u's label class).
+// A parent equal to exclude is skipped — used to discount an edge that has
+// already been added to the graph but not yet to the index.
+func (x *Index) largestStableLevel(u, v, exclude graph.NodeID) int {
+	pu := make([]INodeID, x.k+1)
+	pp := make([]INodeID, x.k+1)
+	x.path(u, pu)
+	best := -1
+	x.g.EachPred(v, func(p graph.NodeID, _ graph.EdgeKind) {
+		if best == x.k || p == exclude {
+			return
+		}
+		x.path(p, pp)
+		// Paths converge upward: find the highest level where they agree.
+		for l := x.k; l > best; l-- {
+			if pp[l] == pu[l] {
+				best = l
+				return
+			}
+		}
+	})
+	return best
+}
+
+// ---- split phase ----
+
+// akCompound is a compound block at one level: the inodes a former
+// A(level)-inode has been split into.
+type akCompound struct {
+	level int
+	ids   []INodeID
+}
+
+type akSplitCtx struct {
+	x        *Index
+	byLevel  [][]*akCompound // queue buckets indexed by level 0..k-1
+	memberOf map[INodeID]*akCompound
+}
+
+// splitPhase performs the initial singleton splits of v at levels i+2..k
+// and propagates splits level by level until every A(l) is stable with
+// respect to A(l−1) again.
+func (x *Index) splitPhase(v graph.NodeID, i int) {
+	ctx := &akSplitCtx{
+		x:        x,
+		byLevel:  make([][]*akCompound, x.k),
+		memberOf: make(map[INodeID]*akCompound),
+	}
+	old := make([]INodeID, x.k+1)
+	x.path(v, old)
+	// single[l]: I⁽ˡ⁾[v] already contains only v.
+	single := make([]bool, x.k+1)
+	single[x.k] = len(x.nodes[old[x.k]].extent) == 1
+	for l := x.k - 1; l >= 0; l-- {
+		single[l] = single[l+1] && len(x.nodes[old[l]].child) == 1
+	}
+	newPath := append([]INodeID(nil), old...)
+	hi := -1 // highest level where a hat was created
+	for l := i + 2; l <= x.k; l++ {
+		if single[l] {
+			break // all higher levels are singletons too
+		}
+		newPath[l] = x.newANode(int32(l), x.g.Label(v), newPath[l-1])
+		hi = l
+		x.Stats.Splits++
+	}
+	if hi >= 0 {
+		// Fix counts before touching tree links: reassignPath derives v's
+		// old path from the (still unmodified) parent pointers.
+		x.reassignPath(v, newPath)
+		if hi < x.k {
+			// Levels above hi were already v-only; re-hang that subchain
+			// under the new hat chain.
+			sub := old[hi+1]
+			delete(x.nodes[old[hi]].child, sub)
+			x.nodes[sub].parent = newPath[hi]
+			x.nodes[newPath[hi]].child[sub] = struct{}{}
+		}
+		for l := i + 2; l <= hi && l <= x.k-1; l++ {
+			ctx.push(&akCompound{level: l, ids: []INodeID{newPath[l], old[l]}})
+		}
+	}
+	ctx.run()
+}
+
+func (c *akSplitCtx) push(cb *akCompound) {
+	c.byLevel[cb.level] = append(c.byLevel[cb.level], cb)
+	for _, id := range cb.ids {
+		c.memberOf[id] = cb
+	}
+}
+
+func (c *akSplitCtx) popLowest() *akCompound {
+	for l := range c.byLevel {
+		if n := len(c.byLevel[l]); n > 0 {
+			cb := c.byLevel[l][n-1]
+			c.byLevel[l] = c.byLevel[l][:n-1]
+			for _, id := range cb.ids {
+				delete(c.memberOf, id)
+			}
+			return cb
+		}
+	}
+	return nil
+}
+
+func (c *akSplitCtx) run() {
+	for {
+		cb := c.popLowest()
+		if cb == nil {
+			return
+		}
+		c.step(cb)
+	}
+}
+
+// step processes one compound block at level j: pick its smallest member I,
+// re-queue the rest if ≥2 remain, and three-way split the inodes of levels
+// j+1..k by Succ(I) and Succ(𝓘−{I}) via the refinement tree (§6).
+func (c *akSplitCtx) step(cb *akCompound) {
+	x := c.x
+	sizes := make(map[INodeID]int, len(cb.ids))
+	for _, id := range cb.ids {
+		sizes[id] = x.ExtentSize(id)
+	}
+	sort.Slice(cb.ids, func(a, b int) bool {
+		if sizes[cb.ids[a]] != sizes[cb.ids[b]] {
+			return sizes[cb.ids[a]] < sizes[cb.ids[b]]
+		}
+		return cb.ids[a] < cb.ids[b]
+	})
+	small := cb.ids[0]
+	rest := cb.ids[1:]
+	if len(cb.ids) >= 3 {
+		c.push(&akCompound{level: cb.level, ids: append([]INodeID(nil), rest...)})
+	}
+	s1 := x.markExtentSucc([]INodeID{small}, 1)
+	s2 := x.markExtentSucc(rest, 2)
+	c.threeWay(cb.level, s1)
+	for _, w := range s1 {
+		x.mark[w] &^= 1
+	}
+	for _, w := range s2 {
+		x.mark[w] &^= 2
+	}
+}
+
+// markExtentSucc marks the dnode successors of the (descendant) extents of
+// ids with the given bit, returning the newly marked dnodes.
+func (x *Index) markExtentSucc(ids []INodeID, bit uint8) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range ids {
+		x.eachExtentDnode(id, func(u graph.NodeID) {
+			x.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
+				if x.mark[w]&bit == 0 {
+					x.mark[w] |= bit
+					out = append(out, w)
+				}
+			})
+		})
+	}
+	return out
+}
+
+// threeWay splits, at every level l ∈ j+1..k simultaneously, each inode
+// containing a dnode of s1 = Succ(I) into its Succ(I)∩Succ(rest),
+// Succ(I)−Succ(rest) and remainder parts. The split is carried out by
+// walking each hit dnode's refinement-tree path and moving it onto a chain
+// of per-(original-inode, category) "hat" siblings, exactly as described in
+// §6. Inodes missed by s1 stay whole (they are stable with respect to the
+// compound's union).
+func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
+	x := c.x
+	type hatKey struct {
+		orig INodeID
+		cat  uint8
+	}
+	hats := make(map[hatKey]INodeID)
+	// Per-level records of original inodes that lost dnodes, with the hats
+	// carved out of them.
+	type origRec struct {
+		orig INodeID
+		hats []INodeID
+	}
+	recIdx := make(map[INodeID]int)
+	recs := make([][]*origRec, x.k+1) // by level
+
+	oldPath := make([]INodeID, x.k+1)
+	newPath := make([]INodeID, x.k+1)
+	for _, w := range s1 {
+		var cat uint8 = 1
+		if x.mark[w]&2 != 0 {
+			cat = 2
+		}
+		x.path(w, oldPath)
+		copy(newPath, oldPath)
+		for l := j + 1; l <= x.k; l++ {
+			key := hatKey{orig: oldPath[l], cat: cat}
+			h, ok := hats[key]
+			if !ok {
+				h = x.newANode(int32(l), x.nodes[oldPath[l]].label, newPath[l-1])
+				hats[key] = h
+				ri, seen := recIdx[oldPath[l]]
+				if !seen {
+					ri = len(recs[l])
+					recIdx[oldPath[l]] = ri
+					recs[l] = append(recs[l], &origRec{orig: oldPath[l]})
+				}
+				recs[l][ri].hats = append(recs[l][ri].hats, h)
+			}
+			newPath[l] = h
+		}
+		x.reassignPath(w, newPath)
+	}
+
+	// Cleanup: drop originals that were fully drained, level k first so
+	// that higher-level child sets empty out.
+	dead := make(map[INodeID]bool)
+	for l := x.k; l > j; l-- {
+		for _, r := range recs[l] {
+			n := x.nodes[r.orig]
+			if (int(n.level) == x.k && len(n.extent) == 0) ||
+				(int(n.level) < x.k && len(n.child) == 0) {
+				x.freeANode(r.orig)
+				dead[r.orig] = true
+			}
+		}
+	}
+
+	// Compound bookkeeping for levels j+1..k−1 and split accounting.
+	for l := j + 1; l <= x.k; l++ {
+		for _, r := range recs[l] {
+			parts := append([]INodeID(nil), r.hats...)
+			if !dead[r.orig] {
+				parts = append(parts, r.orig)
+			}
+			x.Stats.Splits += len(parts) - 1
+			if l == x.k {
+				continue // level-k splits never seed compound blocks
+			}
+			if cb, ok := c.memberOf[r.orig]; ok {
+				// Replace r.orig in its queued compound with the parts.
+				keep := cb.ids[:0]
+				for _, id := range cb.ids {
+					if id != r.orig {
+						keep = append(keep, id)
+					}
+				}
+				cb.ids = append(keep, parts...)
+				delete(c.memberOf, r.orig)
+				for _, id := range parts {
+					c.memberOf[id] = cb
+				}
+			} else if len(parts) >= 2 {
+				c.push(&akCompound{level: l, ids: parts})
+			}
+		}
+	}
+}
+
+// ---- merge phase ----
+
+// mergePhase attempts, for each affected level j = i+2..k, to merge
+// I⁽ʲ⁾[v] with a refinement-tree sibling that has the same index parents in
+// the A(j−1)-index, then cascades merges through inter-iedge successors
+// level by level.
+func (x *Index) mergePhase(v graph.NodeID, i int) {
+	byLevel := make([][]INodeID, x.k) // queue buckets for levels 1..k-1
+	push := func(l int, id INodeID) {
+		byLevel[l] = append(byLevel[l], id)
+	}
+	for j := i + 2; j <= x.k; j++ {
+		pj := x.LevelINodeOf(v, j)
+		cand := x.findSiblingCandidate(pj)
+		if cand != NoINode {
+			m := x.mergeANodes(pj, cand)
+			if j <= x.k-1 {
+				push(j, m)
+			}
+		}
+		x.drainMerges(byLevel, push)
+	}
+}
+
+func (x *Index) drainMerges(byLevel [][]INodeID, push func(int, INodeID)) {
+	for {
+		var cur INodeID = NoINode
+		for l := range byLevel {
+			if n := len(byLevel[l]); n > 0 {
+				cur = byLevel[l][n-1]
+				byLevel[l] = byLevel[l][:n-1]
+				break
+			}
+		}
+		if cur == NoINode {
+			return
+		}
+		if x.nodes[cur] == nil {
+			continue // absorbed by a later merge while queued
+		}
+		x.mergeAmongSuccessors(cur, push)
+	}
+}
+
+// mergeAmongSuccessors groups the inter-iedge successors of a freshly
+// merged level-l inode by (refinement-tree parent, label, index parents in
+// A(l)) and merges each group.
+func (x *Index) mergeAmongSuccessors(i INodeID, push func(int, INodeID)) {
+	l := int(x.nodes[i].level)
+	type gkey struct {
+		parent INodeID
+		key    string
+	}
+	groups := make(map[gkey][]INodeID)
+	var order []gkey
+	for _, j := range x.InterSucc(i) {
+		k := gkey{parent: x.nodes[j].parent, key: x.predBKey(j)}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], j)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].parent != order[b].parent {
+			return order[a].parent < order[b].parent
+		}
+		return order[a].key < order[b].key
+	})
+	for _, k := range order {
+		class := groups[k]
+		if len(class) < 2 {
+			continue
+		}
+		m := class[0]
+		for _, j := range class[1:] {
+			m = x.mergeANodes(m, j)
+		}
+		if l+1 <= x.k-1 {
+			push(l+1, m)
+		}
+	}
+}
+
+// findSiblingCandidate returns a refinement-tree sibling of I with the same
+// label and the same index parents in the level above, or NoINode.
+func (x *Index) findSiblingCandidate(i INodeID) INodeID {
+	parent := x.nodes[i].parent
+	if parent == NoINode {
+		return NoINode
+	}
+	key := x.predBKey(i)
+	for _, c := range x.Children(parent) {
+		if c != i && x.predBKey(c) == key {
+			return c
+		}
+	}
+	return NoINode
+}
+
+// mergeANodes unions two same-level inodes that share a label, a
+// refinement-tree parent and an index-parent set, returning the survivor.
+// At level k the smaller extent is moved; below level k only tree links and
+// iedge counts are spliced — no dnode is touched.
+func (x *Index) mergeANodes(a, b INodeID) INodeID {
+	na, nb := x.nodes[a], x.nodes[b]
+	if na.level != nb.level || na.label != nb.label || na.parent != nb.parent {
+		panic("akindex: merging incompatible inodes")
+	}
+	l := int(na.level)
+	if l == x.k {
+		if len(na.extent) < len(nb.extent) {
+			a, b = b, a
+			na, nb = nb, na
+		}
+		members := make([]graph.NodeID, 0, len(nb.extent))
+		for w := range nb.extent {
+			members = append(members, w)
+		}
+		newPath := make([]INodeID, x.k+1)
+		for _, w := range members {
+			x.path(w, newPath)
+			newPath[x.k] = a
+			x.reassignPath(w, newPath)
+		}
+		x.freeANode(b)
+	} else {
+		for _, c := range x.Children(b) {
+			x.nodes[c].parent = a
+			na.child[c] = struct{}{}
+			delete(nb.child, c)
+		}
+		for _, src := range x.InterPred(b) {
+			cnt := nb.predB[src]
+			x.addBoundaryCount(src, b, -cnt)
+			x.addBoundaryCount(src, a, cnt)
+		}
+		for _, dst := range x.InterSucc(b) {
+			cnt := nb.succB[dst]
+			x.addBoundaryCount(b, dst, -cnt)
+			x.addBoundaryCount(a, dst, cnt)
+		}
+		x.freeANode(b)
+	}
+	x.Stats.Merges++
+	return a
+}

@@ -1,0 +1,111 @@
+package akindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+)
+
+func TestAkInsertNodeMerges(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := Build(g, 3)
+	size := x.Size()
+	v, err := x.InsertNode(g.Labels().Intern("b"), ids["1"], graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	mustMinimum(t, x, "bisimilar node insertion")
+	if x.Size() != size {
+		t.Errorf("Size = %d, want %d", x.Size(), size)
+	}
+	if x.INodeOf(v) != x.INodeOf(ids["3"]) {
+		t.Errorf("new node did not merge into {3,4}")
+	}
+}
+
+func TestAkInsertNodeNewLabel(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := Build(g, 2)
+	if _, err := x.InsertNode(g.Labels().Intern("fresh"), ids["5"], graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	mustMinimum(t, x, "new-label node insertion")
+}
+
+func TestAkInsertNodeDetached(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	x := Build(g, 2)
+	v1, err := x.InsertNode(g.Labels().Intern("isl"), graph.InvalidNode, graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := x.InsertNode(g.Labels().Intern("isl"), graph.InvalidNode, graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	mustMinimum(t, x, "detached insertion")
+	if x.INodeOf(v1) != x.INodeOf(v2) {
+		t.Errorf("detached same-label nodes should share inodes")
+	}
+	if _, err := x.InsertNode(0, graph.NodeID(9999), graph.Tree); err == nil {
+		t.Errorf("dead parent accepted")
+	}
+}
+
+func TestAkDeleteNode(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := Build(g, 3)
+	if err := x.DeleteNode(ids["8"]); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	mustMinimum(t, x, "leaf deletion")
+	if err := x.DeleteNode(ids["5"]); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	mustMinimum(t, x, "internal deletion")
+	if err := x.DeleteNode(ids["5"]); err == nil {
+		t.Errorf("double deletion accepted")
+	}
+}
+
+func TestAkNodeChurn(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		g := gtest.RandomCyclic(rng, 40, 25)
+		x := Build(g, k)
+		nodes := g.Nodes()
+		var added []graph.NodeID
+		for step := 0; step < 50; step++ {
+			if rng.Intn(2) == 0 || len(added) == 0 {
+				parent := nodes[rng.Intn(len(nodes))]
+				if !g.Alive(parent) {
+					continue
+				}
+				v, err := x.InsertNode(g.Labels().Intern("w"), parent, graph.Tree)
+				if err != nil {
+					t.Fatal(err)
+				}
+				added = append(added, v)
+			} else {
+				i := rng.Intn(len(added))
+				v := added[i]
+				added[i] = added[len(added)-1]
+				added = added[:len(added)-1]
+				if err := x.DeleteNode(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !x.IsMinimum() {
+				t.Fatalf("k=%d step %d: family not minimum after node churn", k, step)
+			}
+		}
+		mustValid(t, x)
+	}
+}

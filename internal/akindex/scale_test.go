@@ -1,0 +1,50 @@
+package akindex
+
+import (
+	"testing"
+
+	"structix/internal/datagen"
+	"structix/internal/graph"
+	"structix/internal/workload"
+)
+
+// Theorem 2 at benchmark scale: hundreds of updates on cyclic XMark and
+// IMDB instances, exact minimum-family checks at checkpoints. Skipped
+// under -short.
+func TestTheorem2AtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"XMark", datagen.XMark(datagen.DefaultXMark(64, 1, 5))},
+		{"IMDB", datagen.IMDB(datagen.DefaultIMDB(64, 5))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			ops := workload.MixedScript(g, 0.2, 250, 5)
+			x := Build(g, 3)
+			for i, op := range ops {
+				var err error
+				if op.Insert {
+					err = x.InsertEdge(op.U, op.V, graph.IDRef)
+				} else {
+					err = x.DeleteEdge(op.U, op.V)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (i+1)%100 == 0 {
+					if err := x.Validate(); err != nil {
+						t.Fatalf("update %d: %v", i+1, err)
+					}
+					if !x.IsMinimum() {
+						t.Fatalf("update %d: family not minimum", i+1)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package akindex
+
+import (
+	"fmt"
+
+	"structix/internal/graph"
+	"structix/internal/partition"
+)
+
+// Validate checks every structural invariant of the A(0..k) family: the
+// refinement tree is consistent (parent/child mirror, levels and labels
+// agree, level-0 roots, extents only at level k), the level-k extents
+// partition exactly the live dnodes, all inter- and intra-iedge counts
+// equal the number of underlying dedges, every level partition refines the
+// previous one and is stable with respect to it, and A(0) is exactly the
+// label partition. O(k·graph + index); for tests and debugging.
+func (x *Index) Validate() error {
+	if err := x.validateTree(); err != nil {
+		return err
+	}
+	if err := x.validateCounts(); err != nil {
+		return err
+	}
+	parts := make([]*partition.Partition, x.k+1)
+	for l := 0; l <= x.k; l++ {
+		parts[l] = x.ToPartition(l)
+	}
+	if !partition.Equal(parts[0], partition.ByLabel(x.g)) {
+		return fmt.Errorf("A(0) is not the label partition")
+	}
+	for l := 1; l <= x.k; l++ {
+		if !partition.IsRefinementOf(parts[l], parts[l-1]) {
+			return fmt.Errorf("A(%d) does not refine A(%d)", l, l-1)
+		}
+		if !partition.IsStableWrt(x.g, parts[l], parts[l-1]) {
+			return fmt.Errorf("A(%d) is not stable wrt A(%d)", l, l-1)
+		}
+	}
+	return nil
+}
+
+func (x *Index) validateTree() error {
+	live := make([]int, x.k+1)
+	for i, n := range x.nodes {
+		if n == nil {
+			continue
+		}
+		id := INodeID(i)
+		l := int(n.level)
+		live[l]++
+		if l < 0 || l > x.k {
+			return fmt.Errorf("inode %d has level %d", i, l)
+		}
+		if l == 0 {
+			if n.parent != NoINode {
+				return fmt.Errorf("level-0 inode %d has a parent", i)
+			}
+		} else {
+			p := x.nodes[n.parent]
+			if p == nil {
+				return fmt.Errorf("inode %d has dead parent %d", i, n.parent)
+			}
+			if int(p.level) != l-1 {
+				return fmt.Errorf("inode %d (level %d) has parent at level %d", i, l, p.level)
+			}
+			if p.label != n.label {
+				return fmt.Errorf("inode %d label differs from its tree parent", i)
+			}
+			if _, ok := p.child[id]; !ok {
+				return fmt.Errorf("inode %d missing from parent's child set", i)
+			}
+		}
+		if l == x.k {
+			if n.child != nil {
+				return fmt.Errorf("level-k inode %d has a child set", i)
+			}
+			if len(n.extent) == 0 {
+				return fmt.Errorf("level-k inode %d has empty extent", i)
+			}
+			for v := range n.extent {
+				if !x.g.Alive(v) {
+					return fmt.Errorf("inode %d holds dead dnode %d", i, v)
+				}
+				if x.g.Label(v) != n.label {
+					return fmt.Errorf("inode %d not label-pure (dnode %d)", i, v)
+				}
+				if x.inodeOf[v] != id {
+					return fmt.Errorf("inodeOf[%d] = %d, extent says %d", v, x.inodeOf[v], i)
+				}
+			}
+		} else {
+			if n.extent != nil {
+				return fmt.Errorf("inode %d below level k has an extent", i)
+			}
+			if len(n.child) == 0 {
+				return fmt.Errorf("inode %d (level %d) has no children", i, l)
+			}
+			for c := range n.child {
+				cn := x.nodes[c]
+				if cn == nil || cn.parent != id {
+					return fmt.Errorf("inode %d child %d link broken", i, c)
+				}
+			}
+		}
+	}
+	for l := 0; l <= x.k; l++ {
+		if live[l] != x.numLive[l] {
+			return fmt.Errorf("level %d live counter %d != actual %d", l, x.numLive[l], live[l])
+		}
+	}
+	// Every live dnode is in exactly one extent.
+	covered := 0
+	var bad graph.NodeID = -1
+	x.g.EachNode(func(v graph.NodeID) {
+		id := x.inodeOf[v]
+		if id == NoINode || x.nodes[id] == nil {
+			if bad < 0 {
+				bad = v
+			}
+			return
+		}
+		if _, ok := x.nodes[id].extent[v]; ok {
+			covered++
+		} else if bad < 0 {
+			bad = v
+		}
+	})
+	if bad >= 0 {
+		return fmt.Errorf("dnode %d not properly indexed", bad)
+	}
+	if covered != x.g.NumNodes() {
+		return fmt.Errorf("extents cover %d dnodes, graph has %d", covered, x.g.NumNodes())
+	}
+	return nil
+}
+
+func (x *Index) validateCounts() error {
+	// Recompute every boundary and intra count from the data edges.
+	wantB := make(map[[2]INodeID]int32)
+	wantI := make(map[[2]INodeID]int32)
+	pu := make([]INodeID, x.k+1)
+	pw := make([]INodeID, x.k+1)
+	var err error
+	x.g.EachEdge(func(u, w graph.NodeID, _ graph.EdgeKind) {
+		if err != nil {
+			return
+		}
+		x.path(u, pu)
+		x.path(w, pw)
+		for b := 0; b < x.k; b++ {
+			wantB[[2]INodeID{pu[b], pw[b+1]}]++
+		}
+		wantI[[2]INodeID{pu[x.k], pw[x.k]}]++
+	})
+	if err != nil {
+		return err
+	}
+	gotB, gotI := 0, 0
+	for i, n := range x.nodes {
+		if n == nil {
+			continue
+		}
+		for dst, c := range n.succB {
+			if c <= 0 {
+				return fmt.Errorf("inter-iedge %d->%d non-positive count", i, dst)
+			}
+			if wantB[[2]INodeID{INodeID(i), dst}] != c {
+				return fmt.Errorf("inter-iedge %d->%d count %d, want %d",
+					i, dst, c, wantB[[2]INodeID{INodeID(i), dst}])
+			}
+			if x.nodes[dst].predB[INodeID(i)] != c {
+				return fmt.Errorf("inter-iedge %d->%d asymmetric", i, dst)
+			}
+			gotB++
+		}
+		for dst, c := range n.intraSucc {
+			if c <= 0 {
+				return fmt.Errorf("intra-iedge %d->%d non-positive count", i, dst)
+			}
+			if wantI[[2]INodeID{INodeID(i), dst}] != c {
+				return fmt.Errorf("intra-iedge %d->%d count %d, want %d",
+					i, dst, c, wantI[[2]INodeID{INodeID(i), dst}])
+			}
+			if x.nodes[dst].intraPred[INodeID(i)] != c {
+				return fmt.Errorf("intra-iedge %d->%d asymmetric", i, dst)
+			}
+			gotI++
+		}
+	}
+	if gotB != len(wantB) {
+		return fmt.Errorf("index has %d inter-iedges, graph induces %d", gotB, len(wantB))
+	}
+	if gotI != len(wantI) {
+		return fmt.Errorf("index has %d intra-iedges, graph induces %d", gotI, len(wantI))
+	}
+	return nil
+}
+
+// IsMinimal reports whether the family is minimal in the sense of
+// Definition 6: at every level l ≥ 1, no two inodes have the same label and
+// the same index parents in A(l−1).
+func (x *Index) IsMinimal() bool {
+	for l := 1; l <= x.k; l++ {
+		seen := make(map[string]bool, x.numLive[l])
+		dup := false
+		x.EachINodeAt(l, func(i INodeID) {
+			k := x.predBKey(i)
+			if seen[k] {
+				dup = true
+			}
+			seen[k] = true
+		})
+		if dup {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimum reports whether every level partition equals the from-scratch
+// minimum A(l)-index (the guarantee of Theorem 2). Expensive; for tests
+// and experiments.
+func (x *Index) IsMinimum() bool {
+	want := partition.KBisimLevels(x.g, x.k)
+	for l := 0; l <= x.k; l++ {
+		if !partition.Equal(x.ToPartition(l), want[l]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimumSize returns the number of inodes in the minimum A(k)-index of
+// the current graph, by from-scratch construction.
+func (x *Index) MinimumSize() int {
+	return partition.KBisimLevels(x.g, x.k)[x.k].NumBlocks()
+}
+
+// Quality returns the paper's quality metric for the A(k) level:
+// #inodes / #inodes-in-minimum − 1.
+func (x *Index) Quality() float64 {
+	min := x.MinimumSize()
+	if min == 0 {
+		return 0
+	}
+	return float64(x.Size())/float64(min) - 1
+}
+
+// Storage reports the index's space usage in the paper's 4-byte units
+// (Table 3): every dnode reference, inode, and pointer costs one unit.
+//
+// A stand-alone A(k)-index pays for its inodes, the dnode extents, the
+// dnode→inode hash table, and the intra-iedges (2 units each: forward and
+// reverse adjacency). Maintaining the full A(0..k) family adds the
+// refinement-tree inodes below level k, one parent pointer per inode above
+// level 0, and the inter-iedges (2 units each).
+type Storage struct {
+	StandaloneUnits int // stand-alone A(k)
+	FullUnits       int // A(0..k) with refinement tree and inter-iedges
+}
+
+// Overhead returns the relative extra storage of the full family over a
+// stand-alone A(k)-index.
+func (s Storage) Overhead() float64 {
+	if s.StandaloneUnits == 0 {
+		return 0
+	}
+	return float64(s.FullUnits-s.StandaloneUnits) / float64(s.StandaloneUnits)
+}
+
+// MeasureStorage computes the storage report for the current index state.
+func (x *Index) MeasureStorage() Storage {
+	n := x.g.NumNodes()
+	intra, inter, below, parents := 0, 0, 0, 0
+	for _, nd := range x.nodes {
+		if nd == nil {
+			continue
+		}
+		intra += len(nd.intraSucc)
+		inter += len(nd.succB)
+		if int(nd.level) < x.k {
+			below++
+		}
+		if nd.level > 0 {
+			parents++
+		}
+	}
+	standalone := x.numLive[x.k] + // inode records
+		n + // extent entries
+		n + // dnode→inode map
+		2*intra // intra-iedges, both directions
+	full := standalone +
+		below + // refinement-tree inodes below level k
+		parents + // parent pointers (tree edges)
+		2*inter // inter-iedges, both directions
+	return Storage{StandaloneUnits: standalone, FullUnits: full}
+}

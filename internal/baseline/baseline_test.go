@@ -1,0 +1,273 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+	"structix/internal/partition"
+)
+
+func minimum(g *graph.Graph) *partition.Partition {
+	return partition.CoarsestStable(g, partition.ByLabel(g))
+}
+
+// Reconstruction must recover the minimum 1-index from any valid 1-index,
+// including propagate-degraded ones on cyclic graphs with index self-loops.
+func TestReconstructRecoversMinimum(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		if seed%2 == 0 {
+			g = gtest.RandomCyclic(rng, 60, 50)
+		} else {
+			g = gtest.RandomDAG(rng, 60, 30)
+		}
+		x := oneindex.Build(g)
+		// Degrade the index with split-only updates.
+		for step := 0; step < 60; step++ {
+			u, v, ok := gtest.RandomNonEdge(rng, g)
+			if !ok {
+				continue
+			}
+			if err := x.InsertEdgeSplitOnly(u, v, graph.IDRef); err != nil {
+				t.Fatal(err)
+			}
+			if step%3 == 0 {
+				if err := x.DeleteEdgeSplitOnly(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := x.Validate(); err != nil {
+			t.Fatalf("seed %d: degraded index invalid: %v", seed, err)
+		}
+		y := ReconstructOneIndex(x)
+		if err := y.Validate(); err != nil {
+			t.Fatalf("seed %d: reconstructed index invalid: %v", seed, err)
+		}
+		if !partition.Equal(y.ToPartition(), minimum(g)) {
+			t.Errorf("seed %d: reconstruction did not recover the minimum (got %d, min %d)",
+				seed, y.Size(), minimum(g).NumBlocks())
+		}
+	}
+}
+
+// Reconstruction on the Figure 4 cyclic graph: the index graph of the
+// minimal-but-not-minimum index has a shape whose own bisimulation merges
+// the two a-inodes, recovering the minimum.
+func TestReconstructFig4(t *testing.T) {
+	g, ids := gtest.Fig4()
+	x := oneindex.Build(g)
+	// Force the minimal-not-minimum state: delete and re-insert 1→2.
+	if err := x.DeleteEdge(ids["1"], ids["2"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.InsertEdge(ids["1"], ids["2"], graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	if x.Size() != 3 {
+		t.Fatalf("setup: expected the 3-inode minimal index, got %d", x.Size())
+	}
+	y := ReconstructOneIndex(x)
+	if y.Size() != 2 {
+		t.Errorf("reconstruction got %d inodes, want minimum 2", y.Size())
+	}
+}
+
+func TestPropagateWithReconstructionTrigger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gtest.RandomCyclic(rng, 80, 60)
+	p := NewPropagate(oneindex.Build(g), DefaultReconstructThreshold)
+	for step := 0; step < 300; step++ {
+		u, v, ok := gtest.RandomNonEdge(rng, g)
+		if !ok {
+			continue
+		}
+		if err := p.InsertEdge(u, v, graph.IDRef); err != nil {
+			t.Fatal(err)
+		}
+		if step%2 == 0 {
+			if err := p.DeleteEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p.X.Validate(); err != nil {
+		t.Fatalf("index invalid after propagate+reconstruction: %v", err)
+	}
+	// The 5% trigger must have kept the size within ~5% of minimum plus the
+	// growth of one inter-reconstruction window; be generous.
+	min := minimum(g).NumBlocks()
+	if float64(p.X.Size()) > 1.30*float64(min) {
+		t.Errorf("Size = %d vs minimum %d: trigger not limiting growth", p.X.Size(), min)
+	}
+	if p.Reconstructions == 0 {
+		t.Logf("note: no reconstruction was triggered on this seed")
+	}
+}
+
+func TestPropagateSubgraphOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gtest.RandomDAG(rng, 50, 20)
+	// Grow a subtree to churn.
+	sub := g.AddNode("sub")
+	if err := g.AddEdge(g.Root(), sub, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c := g.AddNode("leaf")
+		if err := g.AddEdge(sub, c, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewPropagate(oneindex.Build(g), 0)
+	sg, err := p.DeleteSubgraph(sub, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := p.AddSubgraph(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != sg.NumNodes() {
+		t.Errorf("AddSubgraph returned %d ids, want %d", len(ids), sg.NumNodes())
+	}
+	if err := p.X.Validate(); err != nil {
+		t.Fatalf("index invalid: %v", err)
+	}
+	if !partition.IsRefinementOf(p.X.ToPartition(), minimum(g)) {
+		t.Errorf("propagate index not a refinement of the minimum")
+	}
+}
+
+// The simple A(k) algorithm must keep the index *valid* — a refinement of
+// the minimum A(k) — while (generally) growing it.
+func TestSimpleAkStaysValid(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(k) * 17))
+		g := gtest.RandomCyclic(rng, 60, 40)
+		s := NewSimpleAk(g, k, 0)
+		var inserted [][2]graph.NodeID
+		for step := 0; step < 80; step++ {
+			if rng.Intn(2) == 0 || len(inserted) == 0 {
+				u, v, ok := gtest.RandomNonEdge(rng, g)
+				if !ok {
+					continue
+				}
+				if err := s.InsertEdge(u, v, graph.IDRef); err != nil {
+					t.Fatal(err)
+				}
+				inserted = append(inserted, [2]graph.NodeID{u, v})
+			} else {
+				i := rng.Intn(len(inserted))
+				e := inserted[i]
+				inserted[i] = inserted[len(inserted)-1]
+				inserted = inserted[:len(inserted)-1]
+				if err := s.DeleteEdge(e[0], e[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if step%10 == 0 {
+				min := partition.KBisimLevels(g, k)[k]
+				if !partition.IsRefinementOf(s.ToPartition(), min) {
+					t.Fatalf("k=%d step %d: simple index is not a refinement of the minimum A(k)", k, step)
+				}
+			}
+		}
+		if q := s.Quality(); q < 0 {
+			t.Errorf("k=%d: negative quality %v", k, q)
+		}
+		if s.SignatureOps == 0 {
+			t.Errorf("k=%d: signature computation never ran", k)
+		}
+	}
+}
+
+// The simple algorithm never merges: quality must be monotonically
+// non-decreasing within an insert-only run (no reconstruction).
+func TestSimpleAkGrowsWithoutMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gtest.RandomCyclic(rng, 80, 30)
+	s := NewSimpleAk(g, 2, 0)
+	prevSize := s.Size()
+	grew := false
+	for step := 0; step < 120; step++ {
+		u, v, ok := gtest.RandomNonEdge(rng, g)
+		if !ok {
+			continue
+		}
+		if err := s.InsertEdge(u, v, graph.IDRef); err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() < prevSize {
+			t.Fatalf("step %d: size shrank from %d to %d without reconstruction", step, prevSize, s.Size())
+		}
+		if s.Size() > prevSize {
+			grew = true
+		}
+		prevSize = s.Size()
+	}
+	if !grew {
+		t.Errorf("index never grew over 120 inserts — unexpected for the simple algorithm")
+	}
+}
+
+func TestSimpleAkReconstructionTrigger(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := gtest.RandomCyclic(rng, 80, 30)
+	s := NewSimpleAk(g, 2, DefaultReconstructThreshold)
+	for step := 0; step < 200; step++ {
+		u, v, ok := gtest.RandomNonEdge(rng, g)
+		if !ok {
+			continue
+		}
+		if err := s.InsertEdge(u, v, graph.IDRef); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Reconstructions == 0 {
+		t.Errorf("expected at least one reconstruction over 200 inserts")
+	}
+	min := partition.KBisimLevels(g, 2)[2]
+	if !partition.IsRefinementOf(s.ToPartition(), min) {
+		t.Errorf("index invalid after reconstructions")
+	}
+}
+
+// Signature recomputation is exponential in the depth (no memoization):
+// on a layered graph where every node has two parents, sig(w, d) costs
+// ~2^d recursive expansions (the exponential-in-k behaviour of Table 2).
+func TestSimpleAkSignatureCostExponential(t *testing.T) {
+	g := graph.New()
+	const depth = 8
+	layers := make([][]graph.NodeID, depth+1)
+	layers[0] = []graph.NodeID{g.AddNode("l0"), g.AddNode("l0")}
+	for d := 1; d <= depth; d++ {
+		for i := 0; i < 2; i++ {
+			v := g.AddNode("l")
+			for _, p := range layers[d-1] {
+				if err := g.AddEdge(p, v, graph.Tree); err != nil {
+					t.Fatal(err)
+				}
+			}
+			layers[d] = append(layers[d], v)
+		}
+	}
+	s := NewSimpleAk(g, 1, 0)
+	w := layers[depth][0]
+	var ops []int
+	for _, d := range []int{2, 4, 6, 8} {
+		s.SignatureOps = 0
+		s.signature(w, d)
+		ops = append(ops, s.SignatureOps)
+	}
+	for i := 1; i < len(ops); i++ {
+		// Each +2 in depth must at least triple the work (true growth is 4×).
+		if ops[i] < 3*ops[i-1] {
+			t.Fatalf("signature ops %v do not grow exponentially with depth", ops)
+		}
+	}
+}

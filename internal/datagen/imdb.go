@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"structix/internal/graph"
+)
+
+// IMDBConfig scales the movie database. The paper's IMDB extract has
+// 272,567 dnodes, 285,221 dedges and 12,654 IDREF edges; each movie costs
+// ~9 dnodes and each person ~6.
+type IMDBConfig struct {
+	Movies  int
+	Persons int
+
+	// Communities is the number of clusters movies and people are assigned
+	// to. IDREF targets are drawn from the entity's own community with
+	// probability Locality — the paper's observation that "related persons
+	// are likely to get involved in related movies", which creates the
+	// short cycles that make Figure 4-style minimal-but-not-minimum cases
+	// likelier than in XMark.
+	Communities int
+	Locality    float64
+
+	Seed int64
+}
+
+// DefaultIMDB returns a configuration tracking the paper's extract at
+// roughly 1/scale of its size.
+func DefaultIMDB(scale int, seed int64) IMDBConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return IMDBConfig{
+		Movies:      15000 / scale,
+		Persons:     22000 / scale,
+		Communities: 400/scale + 1,
+		Locality:    0.9,
+		Seed:        seed,
+	}
+}
+
+var genres = []string{"drama", "comedy", "action", "documentary"}
+
+// IMDB generates a movie/person data graph with clustered IDREF cycles
+// (movie → actorref/directorref → person → filmographyref → movie).
+func IMDB(cfg IMDBConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+	b := &builder{g: g, rng: rng}
+	root := g.AddRoot()
+	db := b.child(root, "imdb")
+
+	nc := cfg.Communities
+	if nc < 1 {
+		nc = 1
+	}
+	moviesByCom := make([][]graph.NodeID, nc)
+	personsByCom := make([][]graph.NodeID, nc)
+
+	moviesNode := b.child(db, "movies")
+	movies := make([]graph.NodeID, cfg.Movies)
+	movieCom := make([]int, cfg.Movies)
+	for i := range movies {
+		m := b.child(moviesNode, "movie")
+		movies[i] = m
+		com := rng.Intn(nc)
+		movieCom[i] = com
+		moviesByCom[com] = append(moviesByCom[com], m)
+		b.leaf(m, "title", fmt.Sprintf("movie%d", i))
+		b.leaf(m, "year", fmt.Sprintf("%d", 1950+rng.Intn(55)))
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			b.leaf(m, "genre", genres[rng.Intn(len(genres))])
+		}
+		if rng.Intn(2) == 0 {
+			b.leaf(m, "rating", "7.5")
+		}
+	}
+
+	peopleNode := b.child(db, "people")
+	persons := make([]graph.NodeID, cfg.Persons)
+	personCom := make([]int, cfg.Persons)
+	for i := range persons {
+		p := b.child(peopleNode, "person")
+		persons[i] = p
+		com := rng.Intn(nc)
+		personCom[i] = com
+		personsByCom[com] = append(personsByCom[com], p)
+		b.leaf(p, "name", fmt.Sprintf("person%d", i))
+		if rng.Intn(3) != 0 {
+			b.leaf(p, "birthyear", fmt.Sprintf("%d", 1920+rng.Intn(70)))
+		}
+	}
+
+	pickPerson := func(com int) graph.NodeID {
+		if rng.Float64() < cfg.Locality && len(personsByCom[com]) > 0 {
+			return personsByCom[com][rng.Intn(len(personsByCom[com]))]
+		}
+		return persons[rng.Intn(len(persons))]
+	}
+	pickMovie := func(com int) graph.NodeID {
+		if rng.Float64() < cfg.Locality && len(moviesByCom[com]) > 0 {
+			return moviesByCom[com][rng.Intn(len(moviesByCom[com]))]
+		}
+		return movies[rng.Intn(len(movies))]
+	}
+
+	// Movie → person references.
+	if len(persons) > 0 {
+		for i, m := range movies {
+			for j := 0; j < rng.Intn(3); j++ {
+				ar := b.child(m, "actorref")
+				b.idref(ar, pickPerson(movieCom[i]))
+			}
+			if rng.Intn(3) == 0 {
+				dr := b.child(m, "directorref")
+				b.idref(dr, pickPerson(movieCom[i]))
+			}
+		}
+	}
+	// Person → movie references: closes the short cycles within a
+	// community.
+	if len(movies) > 0 {
+		for i, p := range persons {
+			for j := 0; j < rng.Intn(2); j++ {
+				fr := b.child(p, "filmographyref")
+				b.idref(fr, pickMovie(personCom[i]))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,256 @@
+// Package datagen synthesizes benchmark data graphs shaped like the two
+// datasets of the paper's evaluation (§7): the XMark auction database with
+// a tunable *cyclicity* knob, and an IMDB-like movie database whose IDREF
+// edges are clustered into communities.
+//
+// The real XMark generator and the authors' IMDB crawl are unavailable
+// here; these generators reproduce the structural properties the
+// maintenance algorithms are sensitive to — label vocabulary, fan-out,
+// irregularity (optional sub-elements), and most importantly the IDREF
+// cycle structure — at a configurable scale. See DESIGN.md for the
+// substitution rationale.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"structix/internal/graph"
+)
+
+// XMarkConfig scales the auction database. Entity counts multiply the
+// per-entity subtree sizes; the node total is roughly 32×Items + 17×Persons
+// + 16×OpenAuctions + 12×ClosedAuctions + 5×Categories.
+type XMarkConfig struct {
+	Items          int
+	Persons        int
+	OpenAuctions   int
+	ClosedAuctions int
+	Categories     int
+
+	// Cyclicity is the fraction of person→open_auction "watch" edges kept,
+	// the knob of §7: XMark(1) is the full cyclic database, XMark(0) is
+	// acyclic.
+	Cyclicity float64
+
+	Seed int64
+}
+
+// DefaultXMark returns a configuration whose node/edge/IDREF proportions
+// track the paper's 11.7MB XMark instance (167,865 dnodes, 198,612 dedges,
+// 30,747 IDREF edges) at roughly 1/scale of its size. scale=1 approximates
+// the paper's instance; scale=8 is comfortable for unit tests.
+func DefaultXMark(scale int, cyclicity float64, seed int64) XMarkConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return XMarkConfig{
+		Items:          2175 / scale * 4, // spread across 6 regions
+		Persons:        10200 / scale,
+		OpenAuctions:   1200 / scale * 4,
+		ClosedAuctions: 3900 / scale,
+		Categories:     1000 / scale,
+		Cyclicity:      cyclicity,
+		Seed:           seed,
+	}
+}
+
+var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// XMark generates an auction-site data graph.
+func XMark(cfg XMarkConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+	b := &builder{g: g, rng: rng}
+	root := g.AddRoot()
+	site := b.child(root, "site")
+
+	// Categories first: items and profiles reference them.
+	categories := b.child(site, "categories")
+	cats := make([]graph.NodeID, cfg.Categories)
+	for i := range cats {
+		c := b.child(categories, "category")
+		b.leaf(c, "name", fmt.Sprintf("category%d", i))
+		d := b.child(c, "description")
+		b.leaf(d, "text", lorem(rng))
+		cats[i] = c
+	}
+
+	// Items, spread over the six regions.
+	regionsNode := b.child(site, "regions")
+	regionNodes := make([]graph.NodeID, len(regions))
+	for i, r := range regions {
+		regionNodes[i] = b.child(regionsNode, r)
+	}
+	items := make([]graph.NodeID, cfg.Items)
+	for i := range items {
+		it := b.child(regionNodes[rng.Intn(len(regionNodes))], "item")
+		items[i] = it
+		b.leaf(it, "location", "loc")
+		b.leaf(it, "quantity", "1")
+		b.leaf(it, "name", fmt.Sprintf("item%d", i))
+		b.leaf(it, "payment", "Cash")
+		desc := b.child(it, "description")
+		// Irregular description depth: text, or a parlist of listitems.
+		if rng.Intn(3) == 0 {
+			pl := b.child(desc, "parlist")
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				li := b.child(pl, "listitem")
+				b.leaf(li, "text", lorem(rng))
+			}
+		} else {
+			b.leaf(desc, "text", lorem(rng))
+		}
+		if len(cats) > 0 {
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				inCat := b.child(it, "incategory")
+				b.idref(inCat, cats[rng.Intn(len(cats))])
+			}
+		}
+		if rng.Intn(4) == 0 {
+			mb := b.child(it, "mailbox")
+			m := b.child(mb, "mail")
+			b.leaf(m, "from", "a")
+			b.leaf(m, "to", "b")
+			b.leaf(m, "date", "01/01/2004")
+			b.leaf(m, "text", lorem(rng))
+		}
+	}
+
+	// Persons; their watches reference open auctions (added below once the
+	// auctions exist).
+	people := b.child(site, "people")
+	persons := make([]graph.NodeID, cfg.Persons)
+	watchesOf := make([]graph.NodeID, cfg.Persons) // lazily created "watches"
+	for i := range persons {
+		p := b.child(people, "person")
+		persons[i] = p
+		b.leaf(p, "name", fmt.Sprintf("person%d", i))
+		b.leaf(p, "emailaddress", fmt.Sprintf("p%d@x", i))
+		if rng.Intn(2) == 0 {
+			b.leaf(p, "phone", "555")
+		}
+		if rng.Intn(2) == 0 {
+			ad := b.child(p, "address")
+			b.leaf(ad, "street", "s")
+			b.leaf(ad, "city", "c")
+			b.leaf(ad, "country", "US")
+			b.leaf(ad, "zipcode", "0")
+		}
+		if rng.Intn(3) != 0 {
+			prof := b.child(p, "profile")
+			if len(cats) > 0 {
+				for j := 0; j < rng.Intn(3); j++ {
+					in := b.child(prof, "interest")
+					b.idref(in, cats[rng.Intn(len(cats))])
+				}
+			}
+			b.leaf(prof, "education", "degree")
+			b.leaf(prof, "age", "30")
+		}
+		watchesOf[i] = graph.InvalidNode
+	}
+
+	// Open auctions: the hub of the cyclic structure.
+	openA := b.child(site, "open_auctions")
+	auctions := make([]graph.NodeID, cfg.OpenAuctions)
+	for i := range auctions {
+		a := b.child(openA, "open_auction")
+		auctions[i] = a
+		b.leaf(a, "initial", "10")
+		if rng.Intn(2) == 0 {
+			b.leaf(a, "reserve", "20")
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			bd := b.child(a, "bidder")
+			b.leaf(bd, "date", "02/02/2004")
+			b.leaf(bd, "increase", "1")
+			if len(persons) > 0 {
+				pr := b.child(bd, "personref")
+				b.idref(pr, persons[rng.Intn(len(persons))])
+			}
+		}
+		b.leaf(a, "current", "15")
+		if len(items) > 0 {
+			ir := b.child(a, "itemref")
+			b.idref(ir, items[rng.Intn(len(items))])
+		}
+		if len(persons) > 0 {
+			sl := b.child(a, "seller")
+			b.idref(sl, persons[rng.Intn(len(persons))])
+		}
+		an := b.child(a, "annotation")
+		b.leaf(an, "description", lorem(rng))
+	}
+
+	// Closed auctions.
+	closedA := b.child(site, "closed_auctions")
+	for i := 0; i < cfg.ClosedAuctions; i++ {
+		a := b.child(closedA, "closed_auction")
+		if len(persons) > 0 {
+			sl := b.child(a, "seller")
+			b.idref(sl, persons[rng.Intn(len(persons))])
+			by := b.child(a, "buyer")
+			b.idref(by, persons[rng.Intn(len(persons))])
+		}
+		if len(items) > 0 {
+			ir := b.child(a, "itemref")
+			b.idref(ir, items[rng.Intn(len(items))])
+		}
+		b.leaf(a, "price", "42")
+		b.leaf(a, "date", "03/03/2004")
+	}
+
+	// Person→auction "watch" edges: the source of cycles
+	// (person → open_auction → bidder/personref → person). The cyclicity
+	// knob keeps this fraction of the candidate edges.
+	if len(auctions) > 0 {
+		for i, p := range persons {
+			nWatch := rng.Intn(4)
+			for j := 0; j < nWatch; j++ {
+				if rng.Float64() >= cfg.Cyclicity {
+					continue
+				}
+				if watchesOf[i] == graph.InvalidNode {
+					watchesOf[i] = b.child(p, "watches")
+				}
+				w := b.child(watchesOf[i], "watch")
+				b.idref(w, auctions[rng.Intn(len(auctions))])
+			}
+		}
+	}
+	return g
+}
+
+// builder provides the small construction vocabulary shared by the
+// generators.
+type builder struct {
+	g   *graph.Graph
+	rng *rand.Rand
+}
+
+func (b *builder) child(parent graph.NodeID, label string) graph.NodeID {
+	v := b.g.AddNode(label)
+	if err := b.g.AddEdge(parent, v, graph.Tree); err != nil {
+		panic("datagen: " + err.Error())
+	}
+	return v
+}
+
+func (b *builder) leaf(parent graph.NodeID, label, value string) graph.NodeID {
+	v := b.child(parent, label)
+	b.g.SetValue(v, value)
+	return v
+}
+
+func (b *builder) idref(from, to graph.NodeID) {
+	if err := b.g.AddEdge(from, to, graph.IDRef); err != nil && err != graph.ErrEdgeExists {
+		panic("datagen: " + err.Error())
+	}
+}
+
+var words = []string{"gold", "silk", "rare", "fine", "old", "new", "big", "small"}
+
+func lorem(rng *rand.Rand) string {
+	return words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+}

@@ -1,0 +1,193 @@
+// Package dataguide implements the strong DataGuide of Goldman and Widom
+// (VLDB 1997) — the first structural summary for semistructured data, and
+// the point of comparison the paper's related work opens with (§2).
+//
+// A strong DataGuide is the determinized view of the data graph: each
+// guide state is a *target set* — the exact set of dnodes reachable from
+// the root by some label path — and every distinct target set appears
+// exactly once. Label-path queries from the root evaluate exactly (no
+// false positives) by following guide edges.
+//
+// Unlike the 1-index, whose size is bounded by the data graph, the strong
+// DataGuide of a cyclic (or even acyclic non-tree) graph can be
+// exponentially large — the reason bisimulation-based indexes superseded
+// it. Build therefore takes a state budget and fails loudly when the
+// subset construction exceeds it. On tree-shaped data the DataGuide and
+// the minimum 1-index coincide.
+package dataguide
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"structix/internal/graph"
+	"structix/internal/query"
+)
+
+// ErrTooLarge is returned when the subset construction exceeds the state
+// budget.
+var ErrTooLarge = errors.New("dataguide: state budget exceeded (subset construction blow-up)")
+
+// StateID identifies a guide state.
+type StateID int32
+
+type state struct {
+	targets []graph.NodeID // sorted target set
+	out     map[graph.LabelID]StateID
+}
+
+// Guide is a strong DataGuide over a data graph.
+type Guide struct {
+	g      *graph.Graph
+	states []state
+	root   StateID
+}
+
+// Build constructs the strong DataGuide by subset construction, visiting
+// at most maxStates target sets (≤ 0 means a default of 1<<16).
+func Build(g *graph.Graph, maxStates int) (*Guide, error) {
+	if g.Root() == graph.InvalidNode {
+		return nil, fmt.Errorf("dataguide: graph has no root")
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	d := &Guide{g: g}
+	byKey := make(map[string]StateID)
+	intern := func(targets []graph.NodeID) (StateID, bool) {
+		key := targetKey(targets)
+		if id, ok := byKey[key]; ok {
+			return id, false
+		}
+		id := StateID(len(d.states))
+		d.states = append(d.states, state{
+			targets: targets,
+			out:     make(map[graph.LabelID]StateID),
+		})
+		byKey[key] = id
+		return id, true
+	}
+	rootID, _ := intern([]graph.NodeID{g.Root()})
+	d.root = rootID
+	worklist := []StateID{rootID}
+	for len(worklist) > 0 {
+		sid := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		// Group the successors of the target set by label.
+		byLabel := make(map[graph.LabelID]map[graph.NodeID]bool)
+		for _, u := range d.states[sid].targets {
+			g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
+				l := g.Label(w)
+				if byLabel[l] == nil {
+					byLabel[l] = make(map[graph.NodeID]bool)
+				}
+				byLabel[l][w] = true
+			})
+		}
+		labels := make([]graph.LabelID, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		for _, l := range labels {
+			set := byLabel[l]
+			targets := make([]graph.NodeID, 0, len(set))
+			for w := range set {
+				targets = append(targets, w)
+			}
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			tid, fresh := intern(targets)
+			d.states[sid].out[l] = tid
+			if fresh {
+				if len(d.states) > maxStates {
+					return nil, ErrTooLarge
+				}
+				worklist = append(worklist, tid)
+			}
+		}
+	}
+	return d, nil
+}
+
+func targetKey(targets []graph.NodeID) string {
+	b := make([]byte, 0, 4*len(targets))
+	for _, v := range targets {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// Size returns the number of guide states.
+func (d *Guide) Size() int { return len(d.states) }
+
+// Targets returns the (sorted) target set of a state.
+func (d *Guide) Targets(s StateID) []graph.NodeID {
+	return append([]graph.NodeID(nil), d.states[s].targets...)
+}
+
+// Eval evaluates a path expression over the guide. For label paths from
+// the root — with or without descendant steps and wildcards — the strong
+// DataGuide is exact: the result equals direct evaluation on the data
+// graph.
+func (d *Guide) Eval(p *query.Path) []graph.NodeID {
+	frontier := map[StateID]bool{d.root: true}
+	for _, st := range p.Steps() {
+		if st.Descendant {
+			frontier = d.closure(frontier)
+		}
+		next := make(map[StateID]bool)
+		for sid := range frontier {
+			for l, t := range d.states[sid].out {
+				if st.Label == "*" || d.g.Labels().Name(l) == st.Label {
+					next[t] = true
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	for sid := range frontier {
+		for _, v := range d.states[sid].targets {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Guide) closure(frontier map[StateID]bool) map[StateID]bool {
+	seen := make(map[StateID]bool, len(frontier))
+	var stack []StateID
+	for sid := range frontier {
+		seen[sid] = true
+		stack = append(stack, sid)
+	}
+	for len(stack) > 0 {
+		sid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range d.states[sid].out {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// NumEdges returns the number of guide edges.
+func (d *Guide) NumEdges() int {
+	n := 0
+	for i := range d.states {
+		n += len(d.states[i].out)
+	}
+	return n
+}

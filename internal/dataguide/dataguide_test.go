@@ -1,0 +1,159 @@
+package dataguide
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+	"structix/internal/query"
+)
+
+func TestBuildRejectsRootless(t *testing.T) {
+	if _, err := Build(graph.New(), 0); err == nil {
+		t.Errorf("rootless graph accepted")
+	}
+}
+
+// On tree-shaped data the strong DataGuide coincides with the minimum
+// 1-index: each node's unique incoming label path is its equivalence
+// class in both.
+func TestTreeGuideEqualsOneIndex(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomDAG(rng, 60, 0) // spanning tree only
+		d, err := Build(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := oneindex.Build(g)
+		if d.Size() != x.Size() {
+			t.Errorf("seed %d: guide %d states, 1-index %d inodes (should match on trees)",
+				seed, d.Size(), x.Size())
+		}
+	}
+}
+
+// The guide evaluates path expressions exactly.
+func TestGuideEvalExact(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomDAG(rng, 40, 10)
+		d, err := Build(g, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 20; q++ {
+			expr := randomExpr(rng)
+			p := query.MustParse(expr)
+			direct := query.EvalGraph(p, g)
+			viaGuide := d.Eval(p)
+			if len(direct) != len(viaGuide) {
+				t.Fatalf("seed %d %q: direct %v != guide %v", seed, expr, direct, viaGuide)
+			}
+			for i := range direct {
+				if direct[i] != viaGuide[i] {
+					t.Fatalf("seed %d %q: direct %v != guide %v", seed, expr, direct, viaGuide)
+				}
+			}
+		}
+	}
+}
+
+func randomExpr(rng *rand.Rand) string {
+	labels := []string{"a", "b", "c", "d", "*"}
+	n := 1 + rng.Intn(3)
+	expr := ""
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			expr += "//"
+		} else {
+			expr += "/"
+		}
+		expr += labels[rng.Intn(len(labels))]
+	}
+	return expr
+}
+
+// Non-tree sharing makes the guide bigger than the 1-index on some graphs:
+// the classic diamond where one node is reachable by two different paths.
+func TestGuideCanExceedOneIndex(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d1 := g.AddNode("d")
+	d2 := g.AddNode("d")
+	for _, e := range [][2]graph.NodeID{{r, a}, {r, b}, {a, c}, {b, c}, {c, d1}, {a, d2}} {
+		if err := g.AddEdge(e[0], e[1], graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	guide, err := Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guide.NumEdges() == 0 {
+		t.Fatal("no guide edges")
+	}
+	// Targets of /a must be {a}.
+	res := guide.Eval(query.MustParse("/a"))
+	if len(res) != 1 || res[0] != a {
+		t.Errorf("Eval(/a) = %v", res)
+	}
+}
+
+// The state budget must stop exponential subset constructions.
+func TestBudget(t *testing.T) {
+	// Layered DAG with two labels per layer and random inter-layer edges:
+	// each of the 2^l label strings of length l can reach a distinct
+	// subset of layer l, so the number of target sets grows exponentially
+	// — the classic DataGuide blow-up the 1-index was invented to avoid.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.New()
+	r := g.AddRoot()
+	labels := []string{"a", "b"}
+	prev := []graph.NodeID{r}
+	for l := 0; l < 8; l++ {
+		var layer []graph.NodeID
+		for i := 0; i < 8; i++ {
+			layer = append(layer, g.AddNode(labels[i%2]))
+		}
+		for _, u := range prev {
+			deg := 0
+			for _, v := range layer {
+				if rng.Intn(2) == 0 {
+					_ = g.AddEdge(u, v, graph.Tree)
+					deg++
+				}
+			}
+			if deg == 0 {
+				_ = g.AddEdge(u, layer[rng.Intn(len(layer))], graph.Tree)
+			}
+		}
+		prev = layer
+	}
+	if _, err := Build(g, 20); err != ErrTooLarge {
+		t.Errorf("expected ErrTooLarge with tiny budget, got %v", err)
+	}
+	if _, err := Build(g, 1<<20); err != nil {
+		t.Errorf("generous budget failed: %v", err)
+	}
+}
+
+func TestTargetsAccessor(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	d, err := Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Eval(query.MustParse("/a"))
+	if len(res) != 1 || res[0] != ids["1"] {
+		t.Fatalf("Eval(/a) = %v", res)
+	}
+	if got := d.Targets(0); len(got) != 1 || got[0] != g.Root() {
+		t.Errorf("root state targets = %v", got)
+	}
+}

@@ -1,0 +1,358 @@
+// Package dkindex implements the D(k)-index of Qun, Lim and Ong
+// (SIGMOD 2003) — the adaptive structural summary that assigns each part
+// of the data a *different* local-similarity requirement k, spending index
+// size only where the query workload needs long paths — together with
+// incremental maintenance.
+//
+// The paper this repository reproduces left "efficient incremental
+// maintenance for the D(k)-index" open (its §2 quotes [8] calling it
+// future work, and its own §8 conjectures the split/merge ideas extend to
+// other partition-based summaries). This package realizes that conjecture
+// by a reduction rather than a new algorithm:
+//
+//   - per-label targets plus the D(k) *k-stability constraint*
+//     (k(u) ≥ k(v)−1 across every edge u→v, so that a class required to
+//     distinguish paths of length k has parents distinguishing k−1)
+//     yield a per-node requirement req(v) by backward propagation;
+//   - the maintained A(0..kmax) family of package akindex contains, at
+//     every moment, the minimum A(i) partition for every i (Theorem 2);
+//   - the D(k)-index is then the *cut* of the refinement tree at level
+//     req(v) for each node v: class(v) = I^(req(v))[v].
+//
+// Because the family under the cut is kept minimum by split/merge
+// maintenance and the requirements depend only on the graph and the
+// targets, the cut is identical to what a from-scratch D(k) construction
+// over the updated data produces — incremental maintenance for free, with
+// the same guarantee the paper proves for A(k). The price is carrying the
+// family up to kmax; Table 3's accounting shows that overhead is modest.
+//
+// Queries evaluate on the materialized cut graph and validate candidates
+// against the data (package query's Validator), exactly like the
+// A(k)-index for expressions longer than its k.
+package dkindex
+
+import (
+	"fmt"
+	"sort"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/query"
+)
+
+// Config configures a D(k)-index.
+type Config struct {
+	// Targets assigns the required path-memory per label: a label with
+	// target t keeps classes distinguishing incoming paths of length t.
+	// Labels absent from the map default to DefaultK.
+	Targets map[string]int
+	// DefaultK applies to unlisted labels (typically 1).
+	DefaultK int
+	// KMax caps requirements and sets the depth of the maintained family;
+	// 0 derives it from the largest target.
+	KMax int
+}
+
+// Index is a D(k)-index maintained as a cut over an A(0..kmax) family.
+type Index struct {
+	ak  *akindex.Index
+	cfg Config
+
+	// req[v] is the node's current requirement level; recomputed lazily
+	// after updates (the propagation is O(kmax·m)).
+	req   []int
+	stale bool
+
+	// materialized cut view: class representative (the level-req inode id)
+	// per node, class list, and class adjacency. Rebuilt when stale.
+	viewStale bool
+	classes   []akindex.INodeID
+	classIdx  map[akindex.INodeID]int32
+	succ      [][]int32
+	labels    []graph.LabelID
+	extents   [][]graph.NodeID
+}
+
+// Build constructs a D(k)-index over g.
+func Build(g *graph.Graph, cfg Config) (*Index, error) {
+	if cfg.DefaultK < 0 {
+		return nil, fmt.Errorf("dkindex: negative DefaultK")
+	}
+	kmax := cfg.KMax
+	for _, t := range cfg.Targets {
+		if t < 0 {
+			return nil, fmt.Errorf("dkindex: negative target")
+		}
+		if t > kmax {
+			kmax = t
+		}
+	}
+	if cfg.DefaultK > kmax {
+		kmax = cfg.DefaultK
+	}
+	if kmax < 1 {
+		kmax = 1
+	}
+	cfg.KMax = kmax
+	x := &Index{ak: akindex.Build(g, kmax), cfg: cfg, stale: true, viewStale: true}
+	return x, nil
+}
+
+// Graph returns the underlying data graph.
+func (x *Index) Graph() *graph.Graph { return x.ak.Graph() }
+
+// Family returns the maintained A(0..kmax) family backing the cut.
+func (x *Index) Family() *akindex.Index { return x.ak }
+
+// KMax returns the family depth.
+func (x *Index) KMax() int { return x.cfg.KMax }
+
+// InsertEdge adds a dedge and maintains the index.
+func (x *Index) InsertEdge(u, v graph.NodeID, kind graph.EdgeKind) error {
+	if err := x.ak.InsertEdge(u, v, kind); err != nil {
+		return err
+	}
+	x.invalidate()
+	return nil
+}
+
+// DeleteEdge removes a dedge and maintains the index.
+func (x *Index) DeleteEdge(u, v graph.NodeID) error {
+	if err := x.ak.DeleteEdge(u, v); err != nil {
+		return err
+	}
+	x.invalidate()
+	return nil
+}
+
+// InsertNode adds a labeled node under parent and maintains the index.
+func (x *Index) InsertNode(label graph.LabelID, parent graph.NodeID, kind graph.EdgeKind) (graph.NodeID, error) {
+	v, err := x.ak.InsertNode(label, parent, kind)
+	if err != nil {
+		return v, err
+	}
+	x.invalidate()
+	return v, nil
+}
+
+// DeleteNode removes a node and maintains the index.
+func (x *Index) DeleteNode(v graph.NodeID) error {
+	if err := x.ak.DeleteNode(v); err != nil {
+		return err
+	}
+	x.invalidate()
+	return nil
+}
+
+func (x *Index) invalidate() {
+	x.stale = true
+	x.viewStale = true
+}
+
+// Requirement returns req(v): the cut level of node v, after refreshing
+// the propagation if needed.
+func (x *Index) Requirement(v graph.NodeID) int {
+	x.refreshReq()
+	return x.req[v]
+}
+
+// ClassOf returns the D(k) class of v: its refinement-tree ancestor at the
+// cut level.
+func (x *Index) ClassOf(v graph.NodeID) akindex.INodeID {
+	x.refreshReq()
+	return x.ak.LevelINodeOf(v, x.req[v])
+}
+
+// refreshReq recomputes per-node requirements: label targets, then the
+// k-stability constraint req(u) ≥ req(v)−1 propagated backward over edges
+// to a fixpoint.
+func (x *Index) refreshReq() {
+	if !x.stale {
+		return
+	}
+	g := x.Graph()
+	n := int(g.MaxNodeID())
+	if cap(x.req) < n {
+		x.req = make([]int, n)
+	}
+	x.req = x.req[:n]
+	var queue []graph.NodeID
+	g.EachNode(func(v graph.NodeID) {
+		t, ok := x.cfg.Targets[g.LabelName(v)]
+		if !ok {
+			t = x.cfg.DefaultK
+		}
+		if t > x.cfg.KMax {
+			t = x.cfg.KMax
+		}
+		x.req[v] = t
+		queue = append(queue, v)
+	})
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		need := x.req[v] - 1
+		if need <= 0 {
+			continue
+		}
+		g.EachPred(v, func(u graph.NodeID, _ graph.EdgeKind) {
+			if x.req[u] < need {
+				x.req[u] = need
+				queue = append(queue, u)
+			}
+		})
+	}
+	x.stale = false
+}
+
+// refreshView materializes the cut graph: one class per distinct cut inode
+// with label, extent, and successor adjacency (one edge scan).
+func (x *Index) refreshView() {
+	if !x.viewStale {
+		return
+	}
+	x.refreshReq()
+	g := x.Graph()
+	x.classes = x.classes[:0]
+	x.classIdx = make(map[akindex.INodeID]int32)
+	x.labels = x.labels[:0]
+	x.extents = x.extents[:0]
+	classOf := make(map[graph.NodeID]int32, g.NumNodes())
+	g.EachNode(func(v graph.NodeID) {
+		id := x.ak.LevelINodeOf(v, x.req[v])
+		ci, ok := x.classIdx[id]
+		if !ok {
+			ci = int32(len(x.classes))
+			x.classIdx[id] = ci
+			x.classes = append(x.classes, id)
+			x.labels = append(x.labels, g.Label(v))
+			x.extents = append(x.extents, nil)
+		}
+		classOf[v] = ci
+		x.extents[ci] = append(x.extents[ci], v)
+	})
+	x.succ = make([][]int32, len(x.classes))
+	seen := make(map[int64]bool)
+	g.EachEdge(func(u, v graph.NodeID, _ graph.EdgeKind) {
+		cu, cv := classOf[u], classOf[v]
+		key := int64(cu)<<32 | int64(cv)
+		if !seen[key] {
+			seen[key] = true
+			x.succ[cu] = append(x.succ[cu], cv)
+		}
+	})
+	for _, ext := range x.extents {
+		sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+	}
+	x.viewStale = false
+}
+
+// Size returns the number of D(k) classes.
+func (x *Index) Size() int {
+	x.refreshView()
+	return len(x.classes)
+}
+
+// Classes returns the cut inode ids, one per class.
+func (x *Index) Classes() []akindex.INodeID {
+	x.refreshView()
+	return append([]akindex.INodeID(nil), x.classes...)
+}
+
+// Extent returns the dnodes of the class containing v.
+func (x *Index) Extent(v graph.NodeID) []graph.NodeID {
+	x.refreshView()
+	ci := x.classIdx[x.ClassOf(v)]
+	return append([]graph.NodeID(nil), x.extents[ci]...)
+}
+
+// Eval evaluates a path expression on the cut graph and validates every
+// candidate against the data graph, returning the exact result.
+func (x *Index) Eval(p *query.Path) []graph.NodeID {
+	candidates := x.EvalRaw(p)
+	if len(candidates) == 0 {
+		return candidates
+	}
+	va := query.NewValidator(p, x.Graph())
+	out := candidates[:0]
+	for _, v := range candidates {
+		if va.Matches(v) {
+			out = append(out, v)
+		}
+	}
+	if p.HasPredicates() {
+		out = filterPredicates(p, x.Graph(), out)
+	}
+	return out
+}
+
+// EvalRaw evaluates on the cut graph without validation: a safe superset.
+func (x *Index) EvalRaw(p *query.Path) []graph.NodeID {
+	x.refreshView()
+	g := x.Graph()
+	if g.Root() == graph.InvalidNode {
+		return nil
+	}
+	rootClass := x.classIdx[x.ClassOf(g.Root())]
+	frontier := map[int32]bool{rootClass: true}
+	for _, st := range p.Skeleton().Steps() {
+		if st.Descendant {
+			frontier = x.closure(frontier)
+		}
+		next := make(map[int32]bool)
+		for ci := range frontier {
+			for _, cj := range x.succ[ci] {
+				if st.Label == "*" || g.Labels().Name(x.labels[cj]) == st.Label {
+					next[cj] = true
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	var out []graph.NodeID
+	for ci := range frontier {
+		out = append(out, x.extents[ci]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (x *Index) closure(frontier map[int32]bool) map[int32]bool {
+	seen := make(map[int32]bool, len(frontier))
+	var stack []int32
+	for ci := range frontier {
+		seen[ci] = true
+		stack = append(stack, ci)
+	}
+	for len(stack) > 0 {
+		ci := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, cj := range x.succ[ci] {
+			if !seen[cj] {
+				seen[cj] = true
+				stack = append(stack, cj)
+			}
+		}
+	}
+	return seen
+}
+
+// filterPredicates applies the expression's predicates per candidate via
+// direct data-graph evaluation of the full expression.
+func filterPredicates(p *query.Path, g *graph.Graph, candidates []graph.NodeID) []graph.NodeID {
+	exact := query.EvalGraph(p, g)
+	in := make(map[graph.NodeID]bool, len(exact))
+	for _, v := range exact {
+		in[v] = true
+	}
+	out := candidates[:0]
+	for _, v := range candidates {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package dkindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/akindex"
+	"structix/internal/datagen"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/query"
+)
+
+func mustBuild(t *testing.T, g *graph.Graph, cfg Config) *Index {
+	t.Helper()
+	x, err := Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestBuildValidatesConfig(t *testing.T) {
+	g := graph.New()
+	g.AddRoot()
+	if _, err := Build(g, Config{DefaultK: -1}); err == nil {
+		t.Errorf("negative DefaultK accepted")
+	}
+	if _, err := Build(g, Config{Targets: map[string]int{"a": -2}}); err == nil {
+		t.Errorf("negative target accepted")
+	}
+	x := mustBuild(t, g, Config{})
+	if x.KMax() < 1 {
+		t.Errorf("KMax = %d", x.KMax())
+	}
+}
+
+// The k-stability constraint: across every edge u→v, req(u) ≥ req(v)−1.
+func TestRequirementConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gtest.RandomCyclic(rng, 60, 40)
+	x := mustBuild(t, g, Config{
+		Targets:  map[string]int{"a": 4, "b": 2},
+		DefaultK: 1,
+	})
+	violated := false
+	g.EachEdge(func(u, v graph.NodeID, _ graph.EdgeKind) {
+		if x.Requirement(u) < x.Requirement(v)-1 {
+			violated = true
+		}
+	})
+	if violated {
+		t.Errorf("k-stability constraint violated")
+	}
+	// Targets are respected (as minimums, capped at KMax).
+	g.EachNode(func(v graph.NodeID) {
+		want := 1
+		switch g.LabelName(v) {
+		case "a":
+			want = 4
+		case "b":
+			want = 2
+		}
+		if x.Requirement(v) < want {
+			t.Errorf("node %d (%s): req %d below target %d", v, g.LabelName(v), x.Requirement(v), want)
+		}
+	})
+}
+
+// The D(k) size interpolates: uniform targets t reproduce exactly the
+// minimum A(t)-index.
+func TestUniformTargetsEqualAk(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gtest.RandomCyclic(rng, 80, 50)
+	for _, k := range []int{1, 2, 3} {
+		x := mustBuild(t, g.Clone(), Config{DefaultK: k, KMax: k})
+		ak := akindex.Build(g.Clone(), k)
+		if x.Size() != ak.Size() {
+			t.Errorf("uniform D(%d) has %d classes, A(%d) has %d", k, x.Size(), k, ak.Size())
+		}
+	}
+}
+
+// Mixed targets land strictly between the uniform extremes on data where
+// the hot label needs more context.
+func TestAdaptiveSizeBetweenExtremes(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(128, 1, 3))
+	low := mustBuild(t, g.Clone(), Config{DefaultK: 1, KMax: 4}).Size()
+	high := mustBuild(t, g.Clone(), Config{DefaultK: 4, KMax: 4}).Size()
+	mixed := mustBuild(t, g.Clone(), Config{
+		Targets:  map[string]int{"item": 4, "open_auction": 4},
+		DefaultK: 1,
+		KMax:     4,
+	}).Size()
+	if !(low <= mixed && mixed <= high) {
+		t.Errorf("sizes not interpolating: low=%d mixed=%d high=%d", low, mixed, high)
+	}
+	if mixed == low || mixed == high {
+		t.Logf("note: mixed D(k) size coincides with an extreme (low=%d mixed=%d high=%d)", low, mixed, high)
+	}
+}
+
+// Eval must be exact (validated) and EvalRaw safe on random graphs.
+func TestEvalExactAndSafe(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 50, 30)
+		x := mustBuild(t, g, Config{
+			Targets:  map[string]int{"a": 3},
+			DefaultK: 1,
+		})
+		for q := 0; q < 15; q++ {
+			expr := randomExpr(rng)
+			p := query.MustParse(expr)
+			direct := query.EvalGraph(p, g)
+			raw := x.EvalRaw(p)
+			set := make(map[graph.NodeID]bool, len(raw))
+			for _, v := range raw {
+				set[v] = true
+			}
+			for _, v := range direct {
+				if !set[v] {
+					t.Fatalf("seed %d %s: raw D(k) missed %d (unsafe)", seed, expr, v)
+				}
+			}
+			got := x.Eval(p)
+			if len(got) != len(direct) {
+				t.Fatalf("seed %d %s: Eval %v != direct %v", seed, expr, got, direct)
+			}
+			for i := range got {
+				if got[i] != direct[i] {
+					t.Fatalf("seed %d %s: Eval %v != direct %v", seed, expr, got, direct)
+				}
+			}
+		}
+	}
+}
+
+func randomExpr(rng *rand.Rand) string {
+	labels := []string{"a", "b", "c", "d", "*"}
+	n := 1 + rng.Intn(4)
+	expr := ""
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			expr += "//"
+		} else {
+			expr += "/"
+		}
+		expr += labels[rng.Intn(len(labels))]
+	}
+	return expr
+}
+
+// Incremental maintenance: after arbitrary update sequences the view must
+// equal a from-scratch D(k) build over the current graph.
+func TestMaintainedEqualsRebuilt(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed + 9))
+		g := gtest.RandomCyclic(rng, 50, 35)
+		cfg := Config{Targets: map[string]int{"a": 3, "c": 2}, DefaultK: 1}
+		x := mustBuild(t, g, cfg)
+		var inserted [][2]graph.NodeID
+		for step := 0; step < 60; step++ {
+			if rng.Intn(2) == 0 || len(inserted) == 0 {
+				u, v, ok := gtest.RandomNonEdge(rng, g)
+				if !ok {
+					continue
+				}
+				if err := x.InsertEdge(u, v, graph.IDRef); err != nil {
+					t.Fatal(err)
+				}
+				inserted = append(inserted, [2]graph.NodeID{u, v})
+			} else {
+				i := rng.Intn(len(inserted))
+				e := inserted[i]
+				inserted[i] = inserted[len(inserted)-1]
+				inserted = inserted[:len(inserted)-1]
+				if err := x.DeleteEdge(e[0], e[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if step%15 != 0 {
+				continue
+			}
+			fresh := mustBuild(t, g.Clone(), cfg)
+			if x.Size() != fresh.Size() {
+				t.Fatalf("seed %d step %d: maintained view %d classes, rebuilt %d",
+					seed, step, x.Size(), fresh.Size())
+			}
+			// Same classes: nodes co-classed identically.
+			g.EachNode(func(v graph.NodeID) {
+				g.EachNode(func(w graph.NodeID) {
+					a := x.ClassOf(v) == x.ClassOf(w)
+					b := fresh.ClassOf(v) == fresh.ClassOf(w)
+					if a != b {
+						t.Fatalf("seed %d step %d: nodes %d,%d co-classed %v vs %v",
+							seed, step, v, w, a, b)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestNodeOpsMaintained(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := mustBuild(t, g, Config{DefaultK: 2})
+	v, err := x.InsertNode(g.Labels().Intern("b"), ids["1"], graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.ClassOf(v) != x.ClassOf(ids["3"]) {
+		t.Errorf("new bisimilar node not co-classed with {3,4}")
+	}
+	if err := x.DeleteNode(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Family().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtentAndClasses(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := mustBuild(t, g, Config{DefaultK: 2})
+	ext := x.Extent(ids["3"])
+	if len(ext) != 2 || ext[0] != ids["3"] || ext[1] != ids["4"] {
+		t.Errorf("Extent(3) = %v", ext)
+	}
+	if len(x.Classes()) != x.Size() {
+		t.Errorf("Classes/Size mismatch")
+	}
+}

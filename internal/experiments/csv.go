@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteQualityCSV emits quality curves as CSV (one row per sample, one
+// column per series) for external plotting: the format used to redraw
+// Figures 9, 10, 12 and 13.
+func WriteQualityCSV(w io.Writer, series ...QualitySeries) error {
+	if len(series) == 0 {
+		return nil
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"updates"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := len(series[0].Points)
+	for _, s := range series[1:] {
+		if len(s.Points) != n {
+			return fmt.Errorf("experiments: series %q has %d samples, expected %d", s.Name, len(s.Points), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprint(series[0].Points[i].Updates)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.6f", s.Points[i].Quality))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

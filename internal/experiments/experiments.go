@@ -1,0 +1,87 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (§7). Each Run* function executes one experiment on a supplied
+// data graph and returns structured results; the Report* helpers print them
+// in the paper's layout. cmd/xsibench is the command-line front end, and
+// the repository-root bench_test.go exposes the same inner loops as Go
+// benchmarks.
+//
+// Absolute milliseconds will differ from the paper (Go on today's hardware
+// vs. JDK 1.4 on a 2.4GHz Xeon); the comparisons that carry the paper's
+// conclusions — who wins, by what factor, and how curves trend — are the
+// reproduction targets. See EXPERIMENTS.md.
+package experiments
+
+import (
+	"time"
+
+	"structix/internal/datagen"
+	"structix/internal/graph"
+)
+
+// Dataset names a benchmark data graph plus how to build it.
+type Dataset struct {
+	Name      string
+	Cyclicity float64 // XMark only; NaN-free: ignored for IMDB
+	IsIMDB    bool
+}
+
+// StandardDatasets lists the five datasets of Figures 9-11: IMDB and
+// XMark at cyclicities 1, 0.5, 0.2, 0.
+func StandardDatasets() []Dataset {
+	return []Dataset{
+		{Name: "IMDB", IsIMDB: true},
+		{Name: "XMark(1)", Cyclicity: 1},
+		{Name: "XMark(0.5)", Cyclicity: 0.5},
+		{Name: "XMark(0.2)", Cyclicity: 0.2},
+		{Name: "XMark(0)", Cyclicity: 0},
+	}
+}
+
+// Build materializes the dataset at the given reduction scale (1 ≈ the
+// paper's sizes, larger = smaller graphs).
+func (d Dataset) Build(scale int, seed int64) *graph.Graph {
+	if d.IsIMDB {
+		return datagen.IMDB(datagen.DefaultIMDB(scale, seed))
+	}
+	return datagen.XMark(datagen.DefaultXMark(scale, d.Cyclicity, seed))
+}
+
+// QualityPoint is one sample of the paper's quality metric
+// (#inodes/#minimum − 1) after a number of updates.
+type QualityPoint struct {
+	Updates int
+	Quality float64
+}
+
+// QualitySeries is a named quality curve (one line of Figures 9/10/12/13).
+type QualitySeries struct {
+	Name   string
+	Points []QualityPoint
+}
+
+// Max returns the worst quality in the series.
+func (s QualitySeries) Max() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.Quality > m {
+			m = p.Quality
+		}
+	}
+	return m
+}
+
+// Final returns the last sample (0 if empty).
+func (s QualitySeries) Final() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Quality
+}
+
+// perUpdate converts a total duration into a per-update average.
+func perUpdate(total time.Duration, updates int) time.Duration {
+	if updates == 0 {
+		return 0
+	}
+	return total / time.Duration(updates)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenMixedCSV produces the deterministic fig10-style CSV for the
+// acyclic XMark at a fixed tiny scale: quality depends only on index
+// sizes, which are canonical (coarsest refinements), so the curve is a
+// stable regression anchor for the whole maintenance+workload pipeline.
+func goldenMixedCSV(t *testing.T) []byte {
+	t.Helper()
+	d := Dataset{Name: "XMark(0)", Cyclicity: 0}
+	g := d.Build(256, 12)
+	cfg := MixedConfig{Pairs: 100, RemoveFrac: 0.2, SampleEvery: 20, Threshold: 0.05, Seed: 12}
+	r := RunMixed(d.Name, g, cfg)
+	var buf bytes.Buffer
+	if err := WriteQualityCSV(&buf, r.SplitMerge, r.Propagate); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenFig10CSV(t *testing.T) {
+	got := goldenMixedCSV(t)
+	path := filepath.Join("testdata", "fig10_xmark0_golden.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated")
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("quality curve drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// The golden run must itself be reproducible within a process.
+func TestGoldenReproducible(t *testing.T) {
+	a := goldenMixedCSV(t)
+	b := goldenMixedCSV(t)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed runs diverge:\n%s\nvs\n%s", a, b)
+	}
+}

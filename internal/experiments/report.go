@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// ReportMixed prints one dataset's Figure 9/10 quality curves.
+func ReportMixed(w io.Writer, r MixedResult) {
+	fmt.Fprintf(w, "== 1-index quality over mixed edge insertions and deletions — %s (Figures 9/10)\n", r.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "updates\t%s\t%s\n", r.SplitMerge.Name, r.Propagate.Name)
+	for i := range r.SplitMerge.Points {
+		p1 := r.SplitMerge.Points[i]
+		p2 := r.Propagate.Points[i]
+		fmt.Fprintf(tw, "%d\t%.2f%%\t%.2f%%\n", p1.Updates, 100*p1.Quality, 100*p2.Quality)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "reconstructions: split/merge %d, propagate %d\n\n",
+		r.SplitMergeReconstructions, r.PropagateReconstructions)
+}
+
+// ReportTimes prints the Figure 11 running-time comparison across datasets.
+func ReportTimes(w io.Writer, rs []MixedResult) {
+	fmt.Fprintln(w, "== Average running times of 1-index algorithms per update (Figure 11)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tsplit/merge\tsplit/merge+recon\tpropagate\tpropagate+recon")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\n", r.Dataset,
+			r.SplitMergeTime, r.SplitMergeTimeRecon, r.PropagateTime, r.PropagateTimeRecon)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// ReportSubgraph prints the Figure 12 curves and timings.
+func ReportSubgraph(w io.Writer, r SubgraphResult) {
+	fmt.Fprintf(w, "== 1-index quality over subgraph additions — %s (Figure 12)\n", r.Dataset)
+	fmt.Fprintf(w, "%d subgraphs re-added, avg %.1f dnodes each\n", r.Subgraphs, r.AvgNodes)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "added\tsplit/merge\tpropagate\treconstruction")
+	for i := range r.SplitMerge.Points {
+		fmt.Fprintf(tw, "%d\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			r.SplitMerge.Points[i].Updates,
+			100*r.SplitMerge.Points[i].Quality,
+			100*r.Propagate.Points[i].Quality,
+			100*r.Reconstruction.Points[i].Quality)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "avg time per subgraph: split/merge %v, propagate %v, reconstruction %v\n\n",
+		r.SplitMergeTime, r.PropagateTime, r.ReconstructionTime)
+}
+
+// ReportAkQuality prints the Figure 13 curves for one dataset.
+func ReportAkQuality(w io.Writer, rs []AkResult) {
+	if len(rs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "== A(k)-index quality of the simple algorithm, no reconstruction — %s (Figure 13)\n", rs[0].Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "updates")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "\tsimple k=%d\tsplit/merge k=%d", r.K, r.K)
+	}
+	fmt.Fprintln(tw)
+	for i := range rs[0].SimpleNoRecon.Points {
+		fmt.Fprintf(tw, "%d", rs[0].SimpleNoRecon.Points[i].Updates)
+		for _, r := range rs {
+			fmt.Fprintf(tw, "\t%.2f%%\t%.2f%%",
+				100*r.SimpleNoRecon.Points[i].Quality,
+				100*r.SplitMergeQuality.Points[i].Quality)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// ReportTable1 prints Table 1: average updates between reconstructions for
+// the simple algorithm with the 5% trigger.
+func ReportTable1(w io.Writer, byDataset map[string][]AkResult) {
+	fmt.Fprintln(w, "== Avg #updates between consecutive reconstructions, simple algorithm (Table 1)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "dataset")
+	first := firstRow(byDataset)
+	for _, r := range first {
+		fmt.Fprintf(tw, "\tA(%d)", r.K)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range sortedNames(byDataset) {
+		fmt.Fprint(tw, name)
+		for _, r := range byDataset[name] {
+			fmt.Fprintf(tw, "\t%.1f", r.UpdatesPerReconstruction)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// ReportTable2 prints Table 2: per-update running times.
+func ReportTable2(w io.Writer, byDataset map[string][]AkResult) {
+	fmt.Fprintln(w, "== Average running time per update of A(k) algorithms (Table 2)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "algorithm (dataset)")
+	first := firstRow(byDataset)
+	for _, r := range first {
+		fmt.Fprintf(tw, "\tk=%d", r.K)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range sortedNames(byDataset) {
+		fmt.Fprintf(tw, "split/merge (%s)", name)
+		for _, r := range byDataset[name] {
+			fmt.Fprintf(tw, "\t%v", r.SplitMergeTime)
+		}
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "simple+reconstruction (%s)", name)
+		for _, r := range byDataset[name] {
+			fmt.Fprintf(tw, "\t%v", r.SimpleWithReconTime)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// ReportTable3 prints Table 3: storage requirements.
+func ReportTable3(w io.Writer, byDataset map[string][]StorageResult) {
+	fmt.Fprintln(w, "== Storage requirement of the split/merge A(k) structures, 4-byte units (Table 3)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "row (dataset)")
+	var ks []int
+	for _, rs := range byDataset {
+		for _, r := range rs {
+			ks = append(ks, r.K)
+		}
+		break
+	}
+	for _, k := range ks {
+		fmt.Fprintf(tw, "\tk=%d", k)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range sortedStorageNames(byDataset) {
+		fmt.Fprintf(tw, "stand-alone A(k) (%s)", name)
+		for _, r := range byDataset[name] {
+			fmt.Fprintf(tw, "\t%d", r.Storage.StandaloneUnits)
+		}
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "A(0) to A(k) (%s)", name)
+		for _, r := range byDataset[name] {
+			fmt.Fprintf(tw, "\t%d", r.Storage.FullUnits)
+		}
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "additional storage (%s)", name)
+		for _, r := range byDataset[name] {
+			fmt.Fprintf(tw, "\t%.1f%%", 100*r.Storage.Overhead())
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func firstRow(m map[string][]AkResult) []AkResult {
+	for _, name := range sortedNames(m) {
+		return m[name]
+	}
+	return nil
+}
+
+func sortedNames(m map[string][]AkResult) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStorageNames(m map[string][]StorageResult) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

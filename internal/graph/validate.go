@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Validate checks the graph's internal invariants: successor/predecessor
+// lists mirror each other, edge kinds agree on both endpoints, counters
+// match, no parallel edges or self-loops exist, the root (if set) is alive
+// and has no incoming edges, and no edge touches a deleted node. It returns
+// the first violation found.
+func (g *Graph) Validate() error {
+	nEdges, nIDRef := 0, 0
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if !n.alive {
+			if len(n.succ) != 0 || len(n.pred) != 0 {
+				return fmt.Errorf("deleted node %d still has incident edges", i)
+			}
+			continue
+		}
+		seen := make(map[NodeID]bool, len(n.succ))
+		for _, e := range n.succ {
+			if e.To == NodeID(i) && !g.allowLoops {
+				return fmt.Errorf("self-loop at node %d", i)
+			}
+			if seen[e.To] {
+				return fmt.Errorf("parallel edge %d->%d", i, e.To)
+			}
+			seen[e.To] = true
+			if !g.Alive(e.To) {
+				return fmt.Errorf("edge %d->%d targets deleted node", i, e.To)
+			}
+			if !hasMirror(g.nodes[e.To].pred, NodeID(i), e.Kind) {
+				return fmt.Errorf("edge %d->%d missing from pred list of %d", i, e.To, e.To)
+			}
+			nEdges++
+			if e.Kind == IDRef {
+				nIDRef++
+			}
+		}
+		for _, e := range n.pred {
+			if !g.Alive(e.To) {
+				return fmt.Errorf("pred edge %d<-%d from deleted node", i, e.To)
+			}
+			if !hasMirror(g.nodes[e.To].succ, NodeID(i), e.Kind) {
+				return fmt.Errorf("pred edge %d<-%d missing from succ list of %d", i, e.To, e.To)
+			}
+		}
+	}
+	if nEdges != g.numEdges {
+		return fmt.Errorf("edge counter %d != actual %d", g.numEdges, nEdges)
+	}
+	if nIDRef != g.numIDRef {
+		return fmt.Errorf("idref counter %d != actual %d", g.numIDRef, nIDRef)
+	}
+	if g.root != InvalidNode {
+		if !g.Alive(g.root) {
+			return fmt.Errorf("root %d is deleted", g.root)
+		}
+		if len(g.nodes[g.root].pred) != 0 {
+			return fmt.Errorf("root %d has incoming edges", g.root)
+		}
+	}
+	return nil
+}
+
+func hasMirror(list []Edge, to NodeID, kind EdgeKind) bool {
+	for _, e := range list {
+		if e.To == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteDOT emits the graph in Graphviz DOT format, labeling nodes as
+// "label#id" and drawing IDREF edges dashed (matching the paper's Figure 1
+// convention of dashed IDREF edges).
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph G {"); err != nil {
+		return err
+	}
+	var nodes []int
+	for i := range g.nodes {
+		if g.nodes[i].alive {
+			nodes = append(nodes, i)
+		}
+	}
+	sort.Ints(nodes)
+	for _, i := range nodes {
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", i, fmt.Sprintf("%s#%d", g.labels.Name(g.nodes[i].label), i)); err != nil {
+			return err
+		}
+	}
+	for _, i := range nodes {
+		for _, e := range g.nodes[i].succ {
+			style := ""
+			if e.Kind == IDRef {
+				style = " [style=dashed]"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", i, e.To, style); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

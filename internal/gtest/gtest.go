@@ -1,0 +1,191 @@
+// Package gtest provides shared test fixtures: the example graphs from the
+// paper's figures and randomized graph/update generators used by the test
+// suites of several packages.
+package gtest
+
+import (
+	"math/rand"
+
+	"structix/internal/graph"
+)
+
+// Fig2 builds the running example of the paper's Figure 2.
+//
+// The data graph (a) has root r with children 1 (label a) and 2 (label e);
+// b-labeled nodes 3, 4, 5 with edges 1→3, 1→4, 1→5, 2→5; and c-labeled
+// nodes 6, 7, 8 with edges 3→6, 4→7, 5→8. The minimum 1-index before the
+// update is {r},{1},{2},{3,4},{5},{6,7},{8} (Figure 2(b), 7 inodes).
+// Inserting the dedge 2→4 first splits {3,4} and then {6,7} (split phase,
+// Figures 2(c)-(d)), after which the merge phase produces
+// {r},{1},{2},{3},{4,5},{6},{7,8} (Figure 2(f), 7 inodes).
+//
+// It returns the graph, the endpoints (u, v) = (2, 4) of the dedge the
+// figure inserts, and a name→NodeID map for assertions.
+func Fig2() (g *graph.Graph, u, v graph.NodeID, ids map[string]graph.NodeID) {
+	g = graph.New()
+	r := g.AddRoot()
+	n1 := g.AddNode("a")
+	n2 := g.AddNode("e")
+	n3 := g.AddNode("b")
+	n4 := g.AddNode("b")
+	n5 := g.AddNode("b")
+	n6 := g.AddNode("c")
+	n7 := g.AddNode("c")
+	n8 := g.AddNode("c")
+	for _, e := range [][2]graph.NodeID{
+		{r, n1}, {r, n2},
+		{n1, n3}, {n1, n4}, {n1, n5}, {n2, n5},
+		{n3, n6}, {n4, n7}, {n5, n8},
+	} {
+		mustAdd(g, e[0], e[1])
+	}
+	ids = map[string]graph.NodeID{
+		"r": r, "1": n1, "2": n2, "3": n3, "4": n4,
+		"5": n5, "6": n6, "7": n7, "8": n8,
+	}
+	return g, n2, n4, ids
+}
+
+// Fig4 builds the cyclic example of the paper's Figure 4, for which minimal
+// 1-indexes are not unique: nodes 1 and 2 share label a and form a 2-cycle,
+// both reachable from the root. The minimum 1-index is {r},{1,2}; the
+// partition {r},{1},{2} is minimal (1 and 2 have different index-parent
+// sets when separated) but not minimum.
+func Fig4() (g *graph.Graph, ids map[string]graph.NodeID) {
+	g = graph.New()
+	r := g.AddRoot()
+	n1 := g.AddNode("a")
+	n2 := g.AddNode("a")
+	mustAdd(g, r, n1)
+	mustAdd(g, r, n2)
+	mustAdd(g, n1, n2)
+	mustAdd(g, n2, n1)
+	return g, map[string]graph.NodeID{"r": r, "1": n1, "2": n2}
+}
+
+// Fig5 builds a graph in the spirit of the paper's Figure 5, where a single
+// edge insertion makes the intermediate (post-split, pre-merge) 1-index
+// Ω(n) larger than both the old and the new index.
+//
+// Three identical chains of length depth hang off roots p1, p2, p3 (label
+// p), all children of the root; a q-labeled node q additionally points to
+// p3. Before the update the minimum 1-index merges the p1 and p2 chains
+// ({p1,p2} have index parents {ROOT}, p3 has {ROOT, q}). Inserting q→p1
+// transiently splits the whole p1 chain out, after which the merge phase
+// re-merges it with the p3 chain. It returns the graph, the edge (q, p1) to
+// insert, and the chain depth.
+func Fig5(depth int) (g *graph.Graph, u, v graph.NodeID) {
+	g = graph.New()
+	r := g.AddRoot()
+	q := g.AddNode("q")
+	mustAdd(g, r, q)
+	chain := func() graph.NodeID {
+		top := g.AddNode("p")
+		mustAdd(g, r, top)
+		cur := top
+		for i := 0; i < depth; i++ {
+			next := g.AddNode("t")
+			mustAdd(g, cur, next)
+			cur = next
+		}
+		return top
+	}
+	p1 := chain()
+	_ = chain() // p2
+	p3 := chain()
+	mustAdd(g, q, p3)
+	return g, q, p1
+}
+
+// Labels used by the random generators.
+var randLabels = []string{"a", "b", "c", "d", "e"}
+
+// RandomDAG generates a rooted random acyclic graph with n non-root nodes
+// and approximately extra additional forward edges beyond the spanning
+// tree. Every node is reachable from the root.
+func RandomDAG(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := graph.New()
+	r := g.AddRoot()
+	nodes := []graph.NodeID{r}
+	for i := 0; i < n; i++ {
+		v := g.AddNodeL(g.Labels().Intern(randLabels[rng.Intn(len(randLabels))]))
+		// Parent chosen among earlier nodes keeps the graph acyclic and
+		// rooted.
+		p := nodes[rng.Intn(len(nodes))]
+		mustAdd(g, p, v)
+		nodes = append(nodes, v)
+	}
+	for i := 0; i < extra; i++ {
+		a := rng.Intn(len(nodes))
+		b := rng.Intn(len(nodes))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		// Forward edge only (earlier → later) to preserve acyclicity; skip
+		// edges into the root.
+		if nodes[b] == r {
+			continue
+		}
+		_ = g.AddEdge(nodes[a], nodes[b], graph.IDRef)
+	}
+	return g
+}
+
+// RandomCyclic generates a rooted random graph with n non-root nodes and
+// approximately extra additional edges in arbitrary directions (cycles
+// likely). Every node is reachable from the root.
+func RandomCyclic(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := RandomDAG(rng, n, 0)
+	nodes := g.Nodes()
+	r := g.Root()
+	for i := 0; i < extra; i++ {
+		a := nodes[rng.Intn(len(nodes))]
+		b := nodes[rng.Intn(len(nodes))]
+		if a == b || b == r {
+			continue
+		}
+		_ = g.AddEdge(a, b, graph.IDRef)
+	}
+	return g
+}
+
+// RandomNonEdge returns a uniformly chosen pair (u, v) that is not currently
+// an edge, suitable for insertion (u ≠ v, v not the root). ok is false if no
+// such pair was found within a bounded number of tries.
+func RandomNonEdge(rng *rand.Rand, g *graph.Graph) (u, v graph.NodeID, ok bool) {
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		return 0, 0, false
+	}
+	for tries := 0; tries < 200; tries++ {
+		u = nodes[rng.Intn(len(nodes))]
+		v = nodes[rng.Intn(len(nodes))]
+		if u == v || v == g.Root() || g.HasEdge(u, v) {
+			continue
+		}
+		return u, v, true
+	}
+	return 0, 0, false
+}
+
+// RandomEdge returns a uniformly chosen existing edge. It does not check
+// that deleting the edge keeps every node reachable; callers that need a
+// rooted graph should prefer deleting IDREF edges. ok is false if the graph
+// has no edges.
+func RandomEdge(rng *rand.Rand, g *graph.Graph) (u, v graph.NodeID, ok bool) {
+	edges := g.EdgeListAll()
+	if len(edges) == 0 {
+		return 0, 0, false
+	}
+	e := edges[rng.Intn(len(edges))]
+	return e[0], e[1], true
+}
+
+func mustAdd(g *graph.Graph, u, v graph.NodeID) {
+	if err := g.AddEdge(u, v, graph.Tree); err != nil {
+		panic(err)
+	}
+}

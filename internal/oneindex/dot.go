@@ -1,0 +1,39 @@
+package oneindex
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT emits the index graph in Graphviz DOT format: one node per
+// inode labeled "label ×extent-size", one edge per iedge annotated with
+// its dedge count. Useful for inspecting what maintenance did to the
+// summary.
+func (x *Index) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph OneIndex {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  node [shape=box];"); err != nil {
+		return err
+	}
+	for _, i := range x.INodes() {
+		label := x.g.Labels().Name(x.Label(i))
+		if _, err := fmt.Fprintf(w, "  i%d [label=%q];\n",
+			i, fmt.Sprintf("%s ×%d", label, x.ExtentSize(i))); err != nil {
+			return err
+		}
+	}
+	for _, i := range x.INodes() {
+		succ := x.ISucc(i)
+		sort.Slice(succ, func(a, b int) bool { return succ[a] < succ[b] })
+		for _, j := range succ {
+			if _, err := fmt.Fprintf(w, "  i%d -> i%d [label=%d];\n",
+				i, j, x.inodes[i].succ[j]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,143 @@
+package oneindex
+
+import (
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/partition"
+)
+
+// Degenerate and adversarial graph shapes, each run through a delete/insert
+// churn with exact-minimum (acyclic) or validity+minimality checks.
+
+func shapes(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+
+	single := graph.New()
+	single.AddRoot()
+	out["single-node"] = single
+
+	star := graph.New()
+	r := star.AddRoot()
+	for i := 0; i < 12; i++ {
+		v := star.AddNode("leaf")
+		if err := star.AddEdge(r, v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out["star"] = star
+
+	chain := graph.New()
+	cur := chain.AddRoot()
+	for i := 0; i < 20; i++ {
+		v := chain.AddNode("link")
+		if err := chain.AddEdge(cur, v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+		cur = v
+	}
+	out["chain"] = chain
+
+	// Complete bipartite with one label on each side: maximal merge
+	// opportunity and maximal split fan-out.
+	bip := graph.New()
+	br := bip.AddRoot()
+	var left, right []graph.NodeID
+	for i := 0; i < 5; i++ {
+		l := bip.AddNode("l")
+		if err := bip.AddEdge(br, l, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+		left = append(left, l)
+	}
+	for i := 0; i < 5; i++ {
+		right = append(right, bip.AddNode("r"))
+	}
+	for _, l := range left {
+		for _, rr := range right {
+			if err := bip.AddEdge(l, rr, graph.Tree); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	out["bipartite"] = bip
+
+	// Ladder: two parallel chains with rungs — many blocks of size 2.
+	lad := graph.New()
+	lr := lad.AddRoot()
+	a := lad.AddNode("side")
+	b := lad.AddNode("side")
+	mustE(t, lad, lr, a)
+	mustE(t, lad, lr, b)
+	for i := 0; i < 8; i++ {
+		na, nb := lad.AddNode("side"), lad.AddNode("side")
+		mustE(t, lad, a, na)
+		mustE(t, lad, b, nb)
+		mustE(t, lad, a, nb) // rung
+		a, b = na, nb
+	}
+	out["ladder"] = lad
+	return out
+}
+
+func mustE(t *testing.T, g *graph.Graph, u, v graph.NodeID) {
+	t.Helper()
+	if err := g.AddEdge(u, v, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapesBuildAndChurn(t *testing.T) {
+	for name, g := range shapes(t) {
+		t.Run(name, func(t *testing.T) {
+			x := Build(g)
+			mustValid(t, x)
+			if !x.IsMinimal() {
+				t.Fatalf("fresh build not minimal")
+			}
+			// Churn: delete and re-insert every edge, one at a time.
+			edges := g.EdgeListAll()
+			for i, e := range edges {
+				if err := x.DeleteEdge(e[0], e[1]); err != nil {
+					t.Fatalf("edge %d delete: %v", i, err)
+				}
+				if err := x.InsertEdge(e[0], e[1], graph.Tree); err != nil {
+					t.Fatalf("edge %d insert: %v", i, err)
+				}
+				if g.IsAcyclic() {
+					if !partition.Equal(x.ToPartition(), rebuild(x)) {
+						t.Fatalf("edge %d: not minimum (acyclic shape)", i)
+					}
+				} else if !x.IsMinimal() {
+					t.Fatalf("edge %d: not minimal", i)
+				}
+			}
+			mustValid(t, x)
+		})
+	}
+}
+
+// Deleting every node of a shape one by one must keep the index valid all
+// the way to empty.
+func TestShapesDrainToEmpty(t *testing.T) {
+	for name, g := range shapes(t) {
+		t.Run(name, func(t *testing.T) {
+			x := Build(g)
+			nodes := g.Nodes()
+			// Delete children-first (reverse creation order keeps parents
+			// alive for their children's deletion order not to matter).
+			for i := len(nodes) - 1; i >= 0; i-- {
+				if err := x.DeleteNode(nodes[i]); err != nil {
+					t.Fatalf("deleting %d: %v", nodes[i], err)
+				}
+				if err := x.Validate(); err != nil {
+					t.Fatalf("after deleting %d: %v", nodes[i], err)
+				}
+			}
+			if x.Size() != 0 || g.NumNodes() != 0 {
+				t.Fatalf("residue after drain: %d inodes, %d dnodes", x.Size(), g.NumNodes())
+			}
+		})
+	}
+}

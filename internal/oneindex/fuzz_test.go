@@ -1,0 +1,77 @@
+package oneindex
+
+import (
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/partition"
+)
+
+// FuzzMaintenance interprets a byte string as an update script over a
+// small graph and checks the full index invariants after every operation:
+// whatever the op sequence, the maintained index must stay a valid,
+// minimal 1-index, equal to the minimum when the graph is acyclic.
+func FuzzMaintenance(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 200, 30, 40, 250, 60, 70, 80})
+	f.Add([]byte{255, 254, 253, 0, 1, 255})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		g := graph.New()
+		r := g.AddRoot()
+		labels := []string{"a", "b", "c"}
+		nodes := []graph.NodeID{r}
+		for i := 0; i < 9; i++ {
+			v := g.AddNode(labels[i%len(labels)])
+			if err := g.AddEdge(nodes[i%len(nodes)], v, graph.Tree); err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, v)
+		}
+		x := Build(g)
+		for i := 0; i+2 < len(script); i += 3 {
+			u := nodes[int(script[i])%len(nodes)]
+			v := nodes[int(script[i+1])%len(nodes)]
+			if u == v || v == r || !g.Alive(u) || !g.Alive(v) {
+				continue
+			}
+			var err error
+			switch script[i+2] % 3 {
+			case 0:
+				err = x.InsertEdge(u, v, graph.IDRef)
+				if err == graph.ErrEdgeExists {
+					err = nil
+				}
+			case 1:
+				err = x.DeleteEdge(u, v)
+				if err == graph.ErrNoEdge {
+					err = nil
+				}
+			case 2:
+				// Node ops: insert under u, sometimes delete v.
+				if script[i+2]%2 == 0 {
+					_, err = x.InsertNode(g.Labels().Intern("w"), u, graph.Tree)
+				} else if v != r && g.InDegree(v) > 0 {
+					err = x.DeleteNode(v)
+				}
+			}
+			if err != nil {
+				t.Fatalf("op %d: %v", i/3, err)
+			}
+			if err := x.Validate(); err != nil {
+				t.Fatalf("op %d: invalid index: %v", i/3, err)
+			}
+			if !x.IsMinimal() {
+				t.Fatalf("op %d: index not minimal", i/3)
+			}
+			if g.IsAcyclic() {
+				min := partition.CoarsestStable(g, partition.ByLabel(g))
+				if !partition.Equal(x.ToPartition(), min) {
+					t.Fatalf("op %d: acyclic graph but maintained != minimum", i/3)
+				}
+			}
+		}
+	})
+}

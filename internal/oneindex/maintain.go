@@ -1,0 +1,399 @@
+package oneindex
+
+import (
+	"sort"
+
+	"structix/internal/graph"
+)
+
+// InsertEdge adds the dedge u→v to the data graph and incrementally
+// maintains the index with the split/merge algorithm of Figure 3. If the
+// index was minimal before the call it is minimal after it (Lemma 3), and
+// minimum if the graph is acyclic (Theorem 1).
+func (x *Index) InsertEdge(u, v graph.NodeID, kind graph.EdgeKind) error {
+	return x.insertEdge(u, v, kind, true)
+}
+
+// InsertEdgeSplitOnly is InsertEdge without the merge phase — the
+// *propagate* algorithm of Kaushik et al. [8]. The index stays valid but
+// can grow beyond minimal.
+func (x *Index) InsertEdgeSplitOnly(u, v graph.NodeID, kind graph.EdgeKind) error {
+	return x.insertEdge(u, v, kind, false)
+}
+
+// NoteEdgeInserted maintains the index for a dedge u→v that the caller has
+// already added to the shared data graph — the entry point for keeping
+// several indexes over one graph: mutate the graph through one index (or
+// directly) and Note the change on the others.
+func (x *Index) NoteEdgeInserted(u, v graph.NodeID, kind graph.EdgeKind) {
+	x.noteInsert(u, v, true)
+}
+
+// NoteEdgeDeleted maintains the index for a dedge u→v that the caller has
+// already removed from the shared data graph.
+func (x *Index) NoteEdgeDeleted(u, v graph.NodeID) {
+	x.noteDelete(u, v, true)
+}
+
+func (x *Index) insertEdge(u, v graph.NodeID, kind graph.EdgeKind, merge bool) error {
+	if err := x.g.AddEdge(u, v, kind); err != nil {
+		return err
+	}
+	x.noteInsert(u, v, merge)
+	return nil
+}
+
+// noteInsert updates the index for the (already present) dedge u→v. The
+// index's own iedge counts do not yet include the edge, so the covered-
+// iedge fast path still reads pre-insertion state.
+func (x *Index) noteInsert(u, v graph.NodeID, merge bool) {
+	iu, iv := x.inodeOf[u], x.inodeOf[v]
+	hadIEdge := x.inodes[iu].succ[iv] > 0
+	x.addIEdgeCount(iu, iv, 1)
+	// If the iedge I[u]→I[v] already existed then, by stability, v already
+	// had a parent in I[u]: no index-parent set changed and the index is
+	// untouched.
+	if hadIEdge {
+		x.Stats.UpdatesNoChange++
+		return
+	}
+	x.Stats.UpdatesMaintained++
+	x.splitPhase(v)
+	x.noteIntermediate()
+	if merge {
+		x.mergePhase(v)
+	}
+}
+
+// DeleteEdge removes the dedge u→v and incrementally maintains the index
+// with the split/merge algorithm (the deletion variant of Figure 3).
+//
+// The early-exit test is "does v still have a parent in I[u]": only then is
+// v's index-parent set unchanged. (The condition as printed in the paper —
+// any remaining dedge between the two extents — would skip a necessary
+// split when v loses its last parent in I[u] while its inode siblings keep
+// theirs; the proof of Lemma 3 relies on the per-v test.)
+func (x *Index) DeleteEdge(u, v graph.NodeID) error {
+	return x.deleteEdge(u, v, true)
+}
+
+// DeleteEdgeSplitOnly is DeleteEdge without the merge phase (propagate
+// baseline).
+func (x *Index) DeleteEdgeSplitOnly(u, v graph.NodeID) error {
+	return x.deleteEdge(u, v, false)
+}
+
+func (x *Index) deleteEdge(u, v graph.NodeID, merge bool) error {
+	if err := x.g.DeleteEdge(u, v); err != nil {
+		return err
+	}
+	x.noteDelete(u, v, merge)
+	return nil
+}
+
+// noteDelete updates the index for the (already removed) dedge u→v.
+func (x *Index) noteDelete(u, v graph.NodeID, merge bool) {
+	iu := x.inodeOf[u]
+	x.addIEdgeCount(iu, x.inodeOf[v], -1)
+	still := false
+	x.g.EachPred(v, func(p graph.NodeID, _ graph.EdgeKind) {
+		if x.inodeOf[p] == iu {
+			still = true
+		}
+	})
+	if still {
+		x.Stats.UpdatesNoChange++
+		return
+	}
+	x.Stats.UpdatesMaintained++
+	x.splitPhase(v)
+	x.noteIntermediate()
+	if merge {
+		x.mergePhase(v)
+	}
+}
+
+func (x *Index) noteIntermediate() {
+	x.Stats.LastIntermediate = x.numLive
+	if x.numLive > x.Stats.MaxIntermediate {
+		x.Stats.MaxIntermediate = x.numLive
+	}
+}
+
+// ---- split phase ----
+
+// compound is a compound block: the set of inodes a former inode has been
+// split into, with respect to whose union the rest of the index is already
+// stable but with respect to whose individual members it may not be.
+type compound struct {
+	ids []INodeID
+}
+
+type splitCtx struct {
+	x        *Index
+	queue    []*compound
+	memberOf map[INodeID]*compound
+}
+
+// splitPhase singles v out of its inode and propagates splits in the style
+// of Paige–Tarjan until the index partition is self-stable again.
+func (x *Index) splitPhase(v graph.NodeID) {
+	iv := x.inodeOf[v]
+	if len(x.inodes[iv].extent) <= 1 {
+		return
+	}
+	nv := x.newINode(x.inodes[iv].label)
+	x.moveDNode(v, nv)
+	x.Stats.Splits++
+	s := &splitCtx{x: x, memberOf: make(map[INodeID]*compound)}
+	s.push(&compound{ids: []INodeID{nv, iv}})
+	s.run()
+}
+
+func (s *splitCtx) push(c *compound) {
+	s.queue = append(s.queue, c)
+	for _, id := range c.ids {
+		s.memberOf[id] = c
+	}
+}
+
+func (s *splitCtx) run() {
+	for len(s.queue) > 0 {
+		c := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		for _, id := range c.ids {
+			delete(s.memberOf, id)
+		}
+		s.step(c)
+	}
+}
+
+// step processes one compound block 𝓘: pick a member I with at most half
+// the total extent, re-queue 𝓘−{I} if it still has ≥2 members, and
+// three-way split every inode by Succ(I) and Succ(𝓘−{I}).
+func (s *splitCtx) step(c *compound) {
+	x := s.x
+	// Pick the member with the smallest extent (ties by id, for
+	// determinism); the smallest is always ≤ half the total.
+	sort.Slice(c.ids, func(i, j int) bool {
+		si, sj := len(x.inodes[c.ids[i]].extent), len(x.inodes[c.ids[j]].extent)
+		if si != sj {
+			return si < sj
+		}
+		return c.ids[i] < c.ids[j]
+	})
+	if x.PickLargestSplitter {
+		// Ablation mode: violate the smaller-half rule on purpose.
+		last := len(c.ids) - 1
+		c.ids[0], c.ids[last] = c.ids[last], c.ids[0]
+	}
+	small := c.ids[0]
+	rest := c.ids[1:]
+	if len(c.ids) >= 3 {
+		s.push(&compound{ids: append([]INodeID(nil), rest...)})
+	}
+	// Snapshot both successor sets before any split: extents may change
+	// under our feet otherwise (including I's own, if the index has a
+	// self-cycle — the "messy detail" §5.1 alludes to; handled here by
+	// snapshotting).
+	s1 := x.markSucc([]INodeID{small}, 1)
+	s2 := x.markSucc(rest, 2)
+	s.threeWaySplit(s1)
+	for _, w := range s1 {
+		x.mark[w] &^= 1
+	}
+	for _, w := range s2 {
+		x.mark[w] &^= 2
+	}
+}
+
+// markSucc marks Succ(ids) with the given bit and returns the dnodes newly
+// marked with that bit.
+func (x *Index) markSucc(ids []INodeID, bit uint8) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range ids {
+		for u := range x.inodes[id].extent {
+			x.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
+				if x.mark[w]&bit == 0 {
+					x.mark[w] |= bit
+					out = append(out, w)
+				}
+			})
+		}
+	}
+	return out
+}
+
+// threeWaySplit splits every inode K containing a dnode of s1 (= Succ(I))
+// into K11 = K∩Succ(I)∩Succ(𝓘−{I}), K12 = K∩Succ(I)−Succ(𝓘−{I}) and
+// K2 = K−Succ(I), dropping empty parts. Inodes untouched by Succ(I) need
+// no splitting: by the compound-block invariant they are stable with
+// respect to the union Succ(I) ∪ Succ(𝓘−{I}), so missing s1 entirely
+// means being contained in or disjoint from Succ(𝓘−{I}).
+func (s *splitCtx) threeWaySplit(s1 []graph.NodeID) {
+	x := s.x
+	type hit struct {
+		k11, k12 []graph.NodeID // members of K in s1, split by s2-bit
+	}
+	hits := make(map[INodeID]*hit)
+	var order []INodeID // deterministic processing order
+	for _, w := range s1 {
+		k := x.inodeOf[w]
+		h, ok := hits[k]
+		if !ok {
+			h = &hit{}
+			hits[k] = h
+			order = append(order, k)
+		}
+		if x.mark[w]&2 != 0 {
+			h.k11 = append(h.k11, w)
+		} else {
+			h.k12 = append(h.k12, w)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, k := range order {
+		h := hits[k]
+		n2 := len(x.inodes[k].extent) - len(h.k11) - len(h.k12)
+		parts := 0
+		if len(h.k11) > 0 {
+			parts++
+		}
+		if len(h.k12) > 0 {
+			parts++
+		}
+		if n2 > 0 {
+			parts++
+		}
+		if parts < 2 {
+			continue // stable: all of K fell in one class
+		}
+		label := x.inodes[k].label
+		newIDs := make([]INodeID, 0, 2)
+		move := func(members []graph.NodeID) {
+			id := x.newINode(label)
+			newIDs = append(newIDs, id)
+			for _, w := range members {
+				x.moveDNode(w, id)
+			}
+		}
+		if n2 > 0 {
+			// K keeps the K2 part (whose members we never materialized).
+			if len(h.k11) > 0 {
+				move(h.k11)
+			}
+			if len(h.k12) > 0 {
+				move(h.k12)
+			}
+		} else {
+			// K ⊆ Succ(I): keep K's id for k11 or k12, move the other.
+			if len(h.k11) > 0 && len(h.k12) > 0 {
+				if len(h.k11) >= len(h.k12) {
+					move(h.k12)
+				} else {
+					move(h.k11)
+				}
+			}
+		}
+		x.Stats.Splits += len(newIDs)
+		// Compound bookkeeping: the parts of K join K's queued compound if
+		// any, otherwise they form a new compound.
+		if c, ok := s.memberOf[k]; ok {
+			c.ids = append(c.ids, newIDs...)
+			for _, id := range newIDs {
+				s.memberOf[id] = c
+			}
+		} else {
+			all := append([]INodeID{k}, newIDs...)
+			s.push(&compound{ids: all})
+		}
+	}
+}
+
+// ---- merge phase ----
+
+// mergePhase starts from I[v] — the only inode whose merging can have been
+// enabled by the update (see the proof of Lemma 3) — and cascades merges
+// through index successors until no two inodes share a label and an
+// index-parent set.
+func (x *Index) mergePhase(v graph.NodeID) {
+	iv := x.inodeOf[v]
+	j := x.findMergeCandidate(iv)
+	if j == NoINode {
+		return
+	}
+	m := x.merge(iv, j)
+	queue := []INodeID{m}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if x.inodes[i] == nil {
+			continue // absorbed by a later merge while queued
+		}
+		// Group the index successors of i by (label, index-parent set).
+		groups := make(map[string][]INodeID)
+		var order []string
+		for _, j := range x.ISucc(i) {
+			key := x.predIDKey(j)
+			if _, ok := groups[key]; !ok {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], j)
+		}
+		sort.Strings(order)
+		for _, key := range order {
+			class := groups[key]
+			if len(class) < 2 {
+				continue
+			}
+			m := class[0]
+			for _, j := range class[1:] {
+				m = x.merge(m, j)
+			}
+			queue = append(queue, m)
+		}
+	}
+}
+
+// findMergeCandidate returns an inode J ≠ I with the same label and the
+// same index-parent set as I, or NoINode. Candidates are sought among the
+// index successors of any one parent of I; for a (rare) parentless I a
+// global scan over parentless inodes is used.
+func (x *Index) findMergeCandidate(i INodeID) INodeID {
+	key := x.predIDKey(i)
+	preds := x.IPred(i)
+	if len(preds) == 0 {
+		found := NoINode
+		x.EachINode(func(c INodeID) {
+			if found == NoINode && c != i && x.predIDKey(c) == key {
+				found = c
+			}
+		})
+		return found
+	}
+	for _, c := range x.ISucc(preds[0]) {
+		if c != i && x.predIDKey(c) == key {
+			return c
+		}
+	}
+	return NoINode
+}
+
+// merge unions two inodes (which must have equal labels and index-parent
+// sets for the index to stay a valid 1-index) and returns the surviving id.
+// The smaller extent is moved into the larger.
+func (x *Index) merge(a, b INodeID) INodeID {
+	if len(x.inodes[a].extent) < len(x.inodes[b].extent) {
+		a, b = b, a
+	}
+	members := make([]graph.NodeID, 0, len(x.inodes[b].extent))
+	for w := range x.inodes[b].extent {
+		members = append(members, w)
+	}
+	for _, w := range members {
+		x.moveDNode(w, a)
+	}
+	x.freeINode(b)
+	x.Stats.Merges++
+	return a
+}

@@ -1,0 +1,146 @@
+package oneindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/partition"
+)
+
+func TestInsertNodeMergesWithSibling(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := Build(g)
+	size := x.Size()
+	// A new b-labeled child of node 1 is bisimilar to {3,4}: the index
+	// must not grow.
+	v, err := x.InsertNode(g.Labels().Intern("b"), ids["1"], graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if x.Size() != size {
+		t.Errorf("Size = %d after bisimilar node insertion, want %d", x.Size(), size)
+	}
+	if x.INodeOf(v) != x.INodeOf(ids["3"]) {
+		t.Errorf("new node did not merge into {3,4}")
+	}
+	if !partition.Equal(x.ToPartition(), rebuild(x)) {
+		t.Errorf("index differs from minimum after node insertion")
+	}
+}
+
+func TestInsertNodeNewLabel(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := Build(g)
+	v, err := x.InsertNode(g.Labels().Intern("zzz"), ids["5"], graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if x.ExtentSize(x.INodeOf(v)) != 1 {
+		t.Errorf("new-label node should be a singleton inode")
+	}
+	if !partition.Equal(x.ToPartition(), rebuild(x)) {
+		t.Errorf("index differs from minimum")
+	}
+}
+
+func TestInsertNodeDetached(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	x := Build(g)
+	v1, err := x.InsertNode(g.Labels().Intern("island"), graph.InvalidNode, graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := x.InsertNode(g.Labels().Intern("island"), graph.InvalidNode, graph.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if x.INodeOf(v1) != x.INodeOf(v2) {
+		t.Errorf("two detached same-label nodes should share an inode")
+	}
+}
+
+func TestInsertNodeBadParent(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	x := Build(g)
+	if _, err := x.InsertNode(g.Labels().Intern("b"), graph.NodeID(9999), graph.Tree); err == nil {
+		t.Errorf("expected error for dead parent")
+	}
+}
+
+func TestDeleteNodeLeaf(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := Build(g)
+	// Delete leaf 8; the minimum index loses {8} and {5} becomes
+	// childless.
+	if err := x.DeleteNode(ids["8"]); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if !partition.Equal(x.ToPartition(), rebuild(x)) {
+		t.Errorf("index differs from minimum after leaf deletion")
+	}
+	if x.Size() != 6 {
+		t.Errorf("Size = %d, want 6", x.Size())
+	}
+}
+
+func TestDeleteNodeInternal(t *testing.T) {
+	g, _, _, ids := gtest.Fig2()
+	x := Build(g)
+	// Deleting node 5 orphans node 8 (its only parent).
+	if err := x.DeleteNode(ids["5"]); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if !x.IsMinimal() {
+		t.Errorf("not minimal after internal node deletion")
+	}
+	if x.g.Alive(ids["5"]) {
+		t.Errorf("node still alive")
+	}
+	if err := x.DeleteNode(ids["5"]); err == nil {
+		t.Errorf("double deletion accepted")
+	}
+}
+
+// Insert/delete node round trips across random graphs stay minimum
+// (acyclic) or minimal (cyclic).
+func TestNodeChurn(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomDAG(rng, 40, 20)
+		x := Build(g)
+		nodes := g.Nodes()
+		var added []graph.NodeID
+		for step := 0; step < 60; step++ {
+			if rng.Intn(2) == 0 || len(added) == 0 {
+				parent := nodes[rng.Intn(len(nodes))]
+				if !g.Alive(parent) {
+					continue
+				}
+				v, err := x.InsertNode(g.Labels().Intern("w"), parent, graph.Tree)
+				if err != nil {
+					t.Fatal(err)
+				}
+				added = append(added, v)
+			} else {
+				i := rng.Intn(len(added))
+				v := added[i]
+				added[i] = added[len(added)-1]
+				added = added[:len(added)-1]
+				if err := x.DeleteNode(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !partition.Equal(x.ToPartition(), rebuild(x)) {
+				t.Fatalf("seed %d step %d: maintained != minimum on DAG", seed, step)
+			}
+		}
+		mustValid(t, x)
+	}
+}

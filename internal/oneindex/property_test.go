@@ -1,0 +1,115 @@
+package oneindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/partition"
+)
+
+// Property: on acyclic graphs, insert followed by delete of the same edge
+// restores the exact index partition (both operations land on the unique
+// minimum).
+func TestQuickInsertDeleteIdentityAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomDAG(rng, 30, 15)
+		x := Build(g)
+		before := x.ToPartition()
+		nodes := g.Nodes()
+		a := rng.Intn(len(nodes) - 1)
+		b := a + 1 + rng.Intn(len(nodes)-a-1)
+		u, v := nodes[a], nodes[b]
+		if v == g.Root() || g.HasEdge(u, v) {
+			return true
+		}
+		if x.InsertEdge(u, v, graph.IDRef) != nil {
+			return false
+		}
+		if x.DeleteEdge(u, v) != nil {
+			return false
+		}
+		return partition.Equal(before, x.ToPartition())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the maintained index is always a *partition* (cover +
+// disjoint), label-pure, and its iedge counts match the graph — even under
+// cyclic churn. (Validate checks all of this.)
+func TestQuickStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 30, 25)
+		x := Build(g)
+		for i := 0; i < 25; i++ {
+			u, v, ok := gtest.RandomNonEdge(rng, g)
+			if !ok {
+				continue
+			}
+			if x.InsertEdge(u, v, graph.IDRef) != nil {
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				if x.DeleteEdge(u, v) != nil {
+					return false
+				}
+			}
+		}
+		return x.Validate() == nil && x.IsMinimal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Size is monotone under the quality ordering — the split/merge
+// index is never larger than the split-only index run on the same script.
+func TestQuickMergeNeverLoses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 25, 20)
+		g2 := g.Clone()
+		a := Build(g)
+		b := Build(g2)
+		for i := 0; i < 20; i++ {
+			u, v, ok := gtest.RandomNonEdge(rng, g)
+			if !ok {
+				continue
+			}
+			if a.InsertEdge(u, v, graph.IDRef) != nil {
+				return false
+			}
+			if b.InsertEdgeSplitOnly(u, v, graph.IDRef) != nil {
+				return false
+			}
+		}
+		return a.Size() <= b.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: extents of the maintained index biject with ToPartition blocks.
+func TestQuickPartitionRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 25, 15)
+		x := Build(g)
+		p := x.ToPartition()
+		if p.NumBlocks() != x.Size() {
+			return false
+		}
+		y := FromPartition(g, p)
+		return partition.Equal(y.ToPartition(), p) && y.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package oneindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/partition"
+)
+
+// buildTreeUnder attaches a small labeled subtree below parent and returns
+// its root.
+func buildTreeUnder(t *testing.T, g *graph.Graph, parent graph.NodeID, rng *rand.Rand, size int) graph.NodeID {
+	t.Helper()
+	labels := []string{"s", "t", "u"}
+	root := g.AddNode("sub")
+	if err := g.AddEdge(parent, root, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	nodes := []graph.NodeID{root}
+	for i := 1; i < size; i++ {
+		v := g.AddNode(labels[rng.Intn(len(labels))])
+		p := nodes[rng.Intn(len(nodes))]
+		if err := g.AddEdge(p, v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, v)
+	}
+	return root
+}
+
+func TestDeleteThenAddSubgraphRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomDAG(rng, 50, 20)
+		root := buildTreeUnder(t, g, g.Root(), rng, 20)
+		// Cross IDREF edges in and out of the subtree.
+		members := g.Reachable(root, true)
+		outside := g.Nodes()[:20]
+		for i := 0; i < 5; i++ {
+			m := members[rng.Intn(len(members))]
+			o := outside[rng.Intn(len(outside))]
+			if o != m {
+				_ = g.AddEdge(o, m, graph.IDRef)
+				_ = g.AddEdge(m, o, graph.IDRef)
+			}
+		}
+		x := Build(g)
+		mustValid(t, x)
+
+		sg, err := x.DeleteSubgraph(root, true)
+		if err != nil {
+			t.Fatalf("seed %d: DeleteSubgraph: %v", seed, err)
+		}
+		mustValid(t, x)
+		if !x.IsMinimal() {
+			t.Errorf("seed %d: not minimal after subgraph deletion", seed)
+		}
+		if !partition.Equal(x.ToPartition(), rebuild(x)) {
+			t.Errorf("seed %d: not minimum after subgraph deletion (acyclic)", seed)
+		}
+		if sg.NumNodes() != len(members) {
+			t.Errorf("seed %d: extracted %d nodes, expected %d", seed, sg.NumNodes(), len(members))
+		}
+
+		ids, err := x.AddSubgraph(sg)
+		if err != nil {
+			t.Fatalf("seed %d: AddSubgraph: %v", seed, err)
+		}
+		mustValid(t, x)
+		if len(ids) != sg.NumNodes() {
+			t.Errorf("seed %d: AddSubgraph returned %d ids", seed, len(ids))
+		}
+		if !x.IsMinimal() {
+			t.Errorf("seed %d: not minimal after subgraph re-addition", seed)
+		}
+		if !partition.Equal(x.ToPartition(), rebuild(x)) {
+			t.Errorf("seed %d: not minimum after subgraph re-addition (acyclic)", seed)
+		}
+	}
+}
+
+// Adding a subgraph identical in shape to an existing sibling must merge
+// completely with it (the index must not grow).
+func TestAddIdenticalSubgraphMerges(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	rng := rand.New(rand.NewSource(9))
+	root1 := buildTreeUnder(t, g, r, rng, 15)
+	x := Build(g)
+	sizeBefore := x.Size()
+
+	// Extract a copy of the first subtree and re-attach it under the root.
+	sg := graph.Extract(g, root1, true)
+	if _, err := x.AddSubgraph(sg); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if x.Size() != sizeBefore {
+		t.Errorf("Size = %d after adding an identical sibling subtree, want %d", x.Size(), sizeBefore)
+	}
+	if !partition.Equal(x.ToPartition(), rebuild(x)) {
+		t.Errorf("index differs from minimum")
+	}
+}
+
+// A subgraph with no incoming cross edges becomes an unreachable island but
+// the index must still be valid and minimal.
+func TestAddDetachedIsland(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	a := g.AddNode("a")
+	if err := g.AddEdge(r, a, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	x := Build(g)
+	sg := &graph.Subgraph{
+		Labels:    []graph.LabelID{g.Labels().Intern("isl"), g.Labels().Intern("leaf")},
+		Values:    []string{"", ""},
+		Edges:     [][2]int32{{0, 1}},
+		EdgeKinds: []graph.EdgeKind{graph.Tree},
+	}
+	if _, err := x.AddSubgraph(sg); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if !x.IsMinimal() {
+		t.Errorf("not minimal after island addition")
+	}
+	if x.Size() != 4 {
+		t.Errorf("Size = %d, want 4", x.Size())
+	}
+}
+
+// Two identical detached islands must share inodes after the second is
+// added (the merge phase finds the parentless candidate).
+func TestTwoIdenticalIslandsMerge(t *testing.T) {
+	g := graph.New()
+	g.AddRoot()
+	x := Build(g)
+	mk := func() *graph.Subgraph {
+		return &graph.Subgraph{
+			Labels:    []graph.LabelID{g.Labels().Intern("isl"), g.Labels().Intern("leaf")},
+			Values:    []string{"", ""},
+			Edges:     [][2]int32{{0, 1}},
+			EdgeKinds: []graph.EdgeKind{graph.Tree},
+		}
+	}
+	if _, err := x.AddSubgraph(mk()); err != nil {
+		t.Fatal(err)
+	}
+	size1 := x.Size()
+	if _, err := x.AddSubgraph(mk()); err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, x)
+	if x.Size() != size1 {
+		t.Errorf("Size = %d after identical island, want %d", x.Size(), size1)
+	}
+}
+
+// The §5.2 DELETE-marker route and the direct route must leave identical
+// indexes.
+func TestDeleteSubgraphViaMarkerEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed + 40))
+		// Keep the graph acyclic so the minimal 1-index is unique and both
+		// deletion routes must converge to the same index: cross edges run
+		// only from earlier-created to later-created nodes.
+		build := func() (*Index, graph.NodeID) {
+			r2 := rand.New(rand.NewSource(seed + 40))
+			g := gtest.RandomDAG(r2, 40, 15)
+			root := buildTreeUnder(t, g, g.Root(), r2, 15)
+			members := g.Reachable(root, true)
+			outside := g.Nodes()[:10]
+			for i := 0; i < 3; i++ {
+				m := members[r2.Intn(len(members))]
+				o := outside[r2.Intn(len(outside))]
+				_ = g.AddEdge(o, m, graph.IDRef) // old → new: acyclic
+			}
+			for i := 0; i < 3; i++ {
+				m := members[r2.Intn(len(members))]
+				tgt := g.AddNode("after")
+				if err := g.AddEdge(g.Root(), tgt, graph.Tree); err != nil {
+					t.Fatal(err)
+				}
+				_ = g.AddEdge(m, tgt, graph.IDRef) // member → newest: acyclic
+			}
+			if !g.IsAcyclic() {
+				t.Fatal("fixture must be acyclic")
+			}
+			return Build(g), root
+		}
+		_ = rng
+		a, rootA := build()
+		b, rootB := build()
+		sgA, err := a.DeleteSubgraph(rootA, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sgB, err := b.DeleteSubgraphViaMarker(rootB, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustValid(t, a)
+		mustValid(t, b)
+		if !partition.Equal(a.ToPartition(), b.ToPartition()) {
+			t.Fatalf("seed %d: marker route left a different index", seed)
+		}
+		if sgA.NumNodes() != sgB.NumNodes() || len(sgA.CrossIn) != len(sgB.CrossIn) {
+			t.Fatalf("seed %d: extracted subgraphs differ (%d/%d nodes, %d/%d cross-in)",
+				seed, sgA.NumNodes(), sgB.NumNodes(), len(sgA.CrossIn), len(sgB.CrossIn))
+		}
+		// Re-adding the marker-extracted subgraph must restore the minimum.
+		if _, err := b.AddSubgraph(sgB); err != nil {
+			t.Fatal(err)
+		}
+		mustValid(t, b)
+		if !partition.Equal(b.ToPartition(), rebuild(b)) {
+			t.Errorf("seed %d: re-added marker-extracted subgraph not minimum", seed)
+		}
+	}
+}
+
+func TestAddEmptySubgraph(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	x := Build(g)
+	ids, err := x.AddSubgraph(&graph.Subgraph{})
+	if err != nil || ids != nil {
+		t.Errorf("empty subgraph: ids=%v err=%v", ids, err)
+	}
+	mustValid(t, x)
+}
+
+// Repeated delete/re-add cycles of the same subtree must be idempotent in
+// index size (the workload of Figure 12 relies on this).
+func TestSubgraphChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gtest.RandomDAG(rng, 60, 25)
+	root := buildTreeUnder(t, g, g.Root(), rng, 25)
+	x := Build(g)
+	want := x.Size()
+	for round := 0; round < 5; round++ {
+		sg, err := x.DeleteSubgraph(root, true)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		ids, err := x.AddSubgraph(sg)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		root = ids[0]
+		if x.Size() != want {
+			t.Fatalf("round %d: Size = %d, want %d", round, x.Size(), want)
+		}
+	}
+	mustValid(t, x)
+}

@@ -1,0 +1,135 @@
+package oneindex
+
+import (
+	"fmt"
+
+	"structix/internal/graph"
+	"structix/internal/partition"
+)
+
+// Validate checks every structural invariant of the index against the data
+// graph: the extents partition exactly the live dnodes and agree with the
+// dnode→inode map, every inode is label-pure, iedge counts equal the actual
+// number of underlying dedges in both directions, freed slots hold nothing,
+// and the partition is self-stable (i.e. the index is a valid 1-index).
+// It is O(graph + index) and meant for tests and debugging.
+func (x *Index) Validate() error {
+	if err := x.validateStructure(); err != nil {
+		return err
+	}
+	p := x.ToPartition()
+	if !partition.IsSelfStable(x.g, p) {
+		return fmt.Errorf("index partition is not self-stable (not a valid 1-index)")
+	}
+	return nil
+}
+
+// validateStructure checks everything except stability.
+func (x *Index) validateStructure() error {
+	live := 0
+	seen := make(map[graph.NodeID]INodeID)
+	for i, in := range x.inodes {
+		if in == nil {
+			continue
+		}
+		live++
+		if len(in.extent) == 0 {
+			return fmt.Errorf("inode %d has empty extent", i)
+		}
+		for v := range in.extent {
+			if !x.g.Alive(v) {
+				return fmt.Errorf("inode %d contains dead dnode %d", i, v)
+			}
+			if x.g.Label(v) != in.label {
+				return fmt.Errorf("inode %d not label-pure: dnode %d", i, v)
+			}
+			if x.inodeOf[v] != INodeID(i) {
+				return fmt.Errorf("inodeOf[%d] = %d, extent says %d", v, x.inodeOf[v], i)
+			}
+			if prev, dup := seen[v]; dup {
+				return fmt.Errorf("dnode %d in extents of both %d and %d", v, prev, i)
+			}
+			seen[v] = INodeID(i)
+		}
+	}
+	if live != x.numLive {
+		return fmt.Errorf("live inode counter %d != actual %d", x.numLive, live)
+	}
+	missing := -1
+	x.g.EachNode(func(v graph.NodeID) {
+		if missing < 0 && x.inodeOf[v] == NoINode {
+			missing = int(v)
+		}
+	})
+	if missing >= 0 {
+		return fmt.Errorf("live dnode %d not in any extent", missing)
+	}
+	if len(seen) != x.g.NumNodes() {
+		return fmt.Errorf("extents cover %d dnodes, graph has %d", len(seen), x.g.NumNodes())
+	}
+	// Recompute iedge counts from scratch and compare.
+	want := make(map[[2]INodeID]int32)
+	x.g.EachEdge(func(u, v graph.NodeID, _ graph.EdgeKind) {
+		want[[2]INodeID{x.inodeOf[u], x.inodeOf[v]}]++
+	})
+	total := 0
+	for i, in := range x.inodes {
+		if in == nil {
+			continue
+		}
+		for j, c := range in.succ {
+			if c <= 0 {
+				return fmt.Errorf("iedge %d->%d has non-positive count %d", i, j, c)
+			}
+			if want[[2]INodeID{INodeID(i), j}] != c {
+				return fmt.Errorf("iedge %d->%d count %d, want %d", i, j, c, want[[2]INodeID{INodeID(i), j}])
+			}
+			if x.inodes[j].pred[INodeID(i)] != c {
+				return fmt.Errorf("iedge %d->%d count asymmetric", i, j)
+			}
+			total++
+		}
+	}
+	if total != len(want) {
+		return fmt.Errorf("index has %d iedges, graph induces %d", total, len(want))
+	}
+	return nil
+}
+
+// IsMinimal reports whether the index is a minimal 1-index in the sense of
+// Definition 5, using the paper's equivalent criterion: a valid 1-index is
+// minimal iff no two inodes have the same label and the same set of index
+// parents.
+func (x *Index) IsMinimal() bool {
+	keys := make(map[string]INodeID, x.numLive)
+	minimal := true
+	x.EachINode(func(i INodeID) {
+		if !minimal {
+			return
+		}
+		k := x.predIDKey(i)
+		if _, dup := keys[k]; dup {
+			minimal = false
+			return
+		}
+		keys[k] = i
+	})
+	return minimal
+}
+
+// MinimumSize computes the number of inodes in the minimum 1-index of the
+// current data graph, by from-scratch construction. Expensive; used for the
+// quality metric in experiments.
+func (x *Index) MinimumSize() int {
+	return partition.CoarsestStable(x.g, partition.ByLabel(x.g)).NumBlocks()
+}
+
+// Quality returns the paper's index-quality metric (§3):
+// #inodes / #inodes-in-minimum − 1. Zero means the index is minimum.
+func (x *Index) Quality() float64 {
+	min := x.MinimumSize()
+	if min == 0 {
+		return 0
+	}
+	return float64(x.Size())/float64(min) - 1
+}

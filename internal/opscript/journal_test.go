@@ -1,0 +1,125 @@
+package opscript
+
+import (
+	"bytes"
+	"testing"
+
+	"structix/internal/datagen"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+	"structix/internal/partition"
+	"structix/internal/persist"
+)
+
+// Snapshot + journal replay must reconstruct the exact lost state.
+func TestJournalRecovery(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(256, 1, 6))
+	live := oneindex.Build(g)
+
+	// Snapshot at time T.
+	var snapshot bytes.Buffer
+	if err := persist.SaveDatabase(&snapshot, &persist.Database{Graph: g, One: live}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Work after the snapshot goes through the journal.
+	var journal bytes.Buffer
+	j := NewJournal(live, &journal)
+	ops := GenerateMixed(g, 30, 6)
+	for _, op := range ops {
+		var err error
+		if op.Kind == Insert {
+			err = j.InsertEdge(op.U, op.V, op.Edge)
+		} else {
+			err = j.DeleteEdge(op.U, op.V)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Some node-level activity too.
+	var person graph.NodeID = graph.InvalidNode
+	g.EachNode(func(v graph.NodeID) {
+		if person == graph.InvalidNode && g.LabelName(v) == "person" {
+			person = v
+		}
+	})
+	nv, err := j.AddNode("hobby", person)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.DeleteNode(nv); err != nil {
+		t.Fatal(err)
+	}
+	if j.Logged() != len(ops)+2 {
+		t.Fatalf("journal has %d entries, want %d", j.Logged(), len(ops)+2)
+	}
+
+	// "Crash": recover from snapshot + journal.
+	db, err := persist.LoadDatabase(bytes.NewReader(snapshot.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(db.One, bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != j.Logged() {
+		t.Fatalf("replayed %d of %d", res.Applied, j.Logged())
+	}
+	// Recovered state equals the live state exactly.
+	if err := db.One.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !partition.Equal(live.ToPartition(), db.One.ToPartition()) {
+		t.Errorf("recovered index differs from the live one")
+	}
+	if db.Graph.NumNodes() != g.NumNodes() || db.Graph.NumEdges() != g.NumEdges() {
+		t.Errorf("recovered graph shape differs")
+	}
+}
+
+// A failed operation must not be journaled.
+func TestJournalSkipsFailedOps(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	a := g.AddNode("a")
+	if err := g.AddEdge(r, a, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	x := oneindex.Build(g)
+	var journal bytes.Buffer
+	j := NewJournal(x, &journal)
+	if err := j.DeleteEdge(a, r); err == nil {
+		t.Fatal("deleting a non-edge succeeded")
+	}
+	if j.Logged() != 0 || journal.Len() != 0 {
+		t.Errorf("failed op was journaled")
+	}
+}
+
+func TestJournalSubtreeDeletion(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(512, 0, 3))
+	x := oneindex.Build(g)
+	var root graph.NodeID = graph.InvalidNode
+	g.EachNode(func(v graph.NodeID) {
+		if root == graph.InvalidNode && g.LabelName(v) == "open_auction" {
+			root = v
+		}
+	})
+	if root == graph.InvalidNode {
+		t.Skip("no auctions at this scale")
+	}
+	var snapshotLess bytes.Buffer
+	j := NewJournal(x, &snapshotLess)
+	if _, err := j.DeleteSubgraph(root, true); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Parse(bytes.NewReader(snapshotLess.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Kind != DelSub || ops[0].U != root {
+		t.Errorf("journaled %+v", ops)
+	}
+}

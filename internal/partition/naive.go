@@ -1,0 +1,55 @@
+package partition
+
+import "structix/internal/graph"
+
+// NaiveCoarsestStable is an intentionally simple O(n·m·splits) reference
+// implementation of the coarsest self-stable refinement, used by tests to
+// cross-validate CoarsestStable. It repeatedly scans every block as a
+// splitter and restarts after any split, so its correctness is easy to
+// audit. Do not use it outside tests on anything but small graphs.
+func NaiveCoarsestStable(g *graph.Graph, init *Partition) *Partition {
+	p := init.Clone()
+	for {
+		if !naiveSplitPass(g, p) {
+			return p
+		}
+	}
+}
+
+// naiveSplitPass performs at most one split and reports whether it did.
+func naiveSplitPass(g *graph.Graph, p *Partition) bool {
+	blocks := p.Blocks()
+	succ := make(map[graph.NodeID]bool)
+	for _, J := range blocks {
+		for k := range succ {
+			delete(succ, k)
+		}
+		for _, u := range J {
+			g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
+				succ[w] = true
+			})
+		}
+		for _, B := range blocks {
+			in, out := 0, 0
+			for _, w := range B {
+				if succ[w] {
+					in++
+				} else {
+					out++
+				}
+			}
+			if in > 0 && out > 0 {
+				// Split block bi: members in Succ(J) get a new block id.
+				nb := int32(p.NumBlocks())
+				for _, w := range B {
+					if succ[w] {
+						p.SetBlock(w, nb)
+					}
+				}
+				p.SetNumBlocks(int(nb) + 1)
+				return true
+			}
+		}
+	}
+	return false
+}

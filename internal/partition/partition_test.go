@@ -1,0 +1,302 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+)
+
+func TestByLabel(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	p := ByLabel(g)
+	// Labels: ROOT, a, e, b, c → 5 blocks.
+	if p.NumBlocks() != 5 {
+		t.Fatalf("NumBlocks = %d, want 5", p.NumBlocks())
+	}
+	if !IsLabelPure(g, p) {
+		t.Errorf("ByLabel not label-pure")
+	}
+	blocks := p.Blocks()
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	if total != g.NumNodes() {
+		t.Errorf("blocks cover %d nodes, want %d", total, g.NumNodes())
+	}
+}
+
+func TestCoarsestStableFig2(t *testing.T) {
+	g, u, v, ids := gtest.Fig2()
+	p := CoarsestStable(g, ByLabel(g))
+	// Figure 2(b): {r},{1},{2},{3,4},{5},{6,7},{8} — 7 blocks.
+	if p.NumBlocks() != 7 {
+		t.Fatalf("before insert: NumBlocks = %d, want 7\n%s", p.NumBlocks(), p.Fingerprint())
+	}
+	sameBlock := func(p *Partition, a, b string) bool {
+		return p.Block(ids[a]) == p.Block(ids[b])
+	}
+	if !sameBlock(p, "3", "4") || !sameBlock(p, "6", "7") {
+		t.Errorf("expected {3,4} and {6,7} together:\n%s", p.Fingerprint())
+	}
+	if sameBlock(p, "4", "5") || sameBlock(p, "7", "8") {
+		t.Errorf("expected 5 and 8 separate before the update:\n%s", p.Fingerprint())
+	}
+
+	// Insert the Figure 2 dedge 2→4 and rebuild: Figure 2(f).
+	if err := g.AddEdge(u, v, graph.IDRef); err != nil {
+		t.Fatal(err)
+	}
+	q := CoarsestStable(g, ByLabel(g))
+	if q.NumBlocks() != 7 {
+		t.Fatalf("after insert: NumBlocks = %d, want 7\n%s", q.NumBlocks(), q.Fingerprint())
+	}
+	if !sameBlock(q, "4", "5") || !sameBlock(q, "7", "8") {
+		t.Errorf("expected {4,5} and {7,8} together after insert:\n%s", q.Fingerprint())
+	}
+	if sameBlock(q, "3", "4") || sameBlock(q, "6", "7") {
+		t.Errorf("expected 3 and 6 split off after insert:\n%s", q.Fingerprint())
+	}
+}
+
+func TestCoarsestStableFig4(t *testing.T) {
+	g, ids := gtest.Fig4()
+	p := CoarsestStable(g, ByLabel(g))
+	// Minimum 1-index is {r},{1,2}: 2 blocks.
+	if p.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d, want 2\n%s", p.NumBlocks(), p.Fingerprint())
+	}
+	if p.Block(ids["1"]) != p.Block(ids["2"]) {
+		t.Errorf("1 and 2 should be bisimilar")
+	}
+}
+
+func TestCoarsestStableIsStableAndPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		g := gtest.RandomCyclic(rng, 60, 40)
+		p := CoarsestStable(g, ByLabel(g))
+		if !IsLabelPure(g, p) {
+			t.Fatalf("iter %d: not label-pure", i)
+		}
+		if !IsSelfStable(g, p) {
+			t.Fatalf("iter %d: not self-stable", i)
+		}
+		if !IsRefinementOf(p, ByLabel(g)) {
+			t.Fatalf("iter %d: not a refinement of the label partition", i)
+		}
+	}
+}
+
+func TestCoarsestStableMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 30; i++ {
+		var g *graph.Graph
+		if i%2 == 0 {
+			g = gtest.RandomDAG(rng, 40, 25)
+		} else {
+			g = gtest.RandomCyclic(rng, 40, 25)
+		}
+		fast := CoarsestStable(g, ByLabel(g))
+		slow := NaiveCoarsestStable(g, ByLabel(g))
+		if !Equal(fast, slow) {
+			t.Fatalf("iter %d: CoarsestStable disagrees with naive reference\nfast: %s\nslow: %s",
+				i, fast.Fingerprint(), slow.Fingerprint())
+		}
+	}
+}
+
+func TestCoarsestStableMatchesBisimFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		g := gtest.RandomCyclic(rng, 80, 60)
+		a := CoarsestStable(g, ByLabel(g))
+		b := BisimFixpoint(g)
+		if !Equal(a, b) {
+			t.Fatalf("iter %d: CoarsestStable disagrees with bisimulation fixpoint", i)
+		}
+	}
+}
+
+func TestKBisimLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gtest.RandomCyclic(rng, 100, 60)
+	const k = 6
+	levels := KBisimLevels(g, k)
+	if len(levels) != k+1 {
+		t.Fatalf("got %d levels, want %d", len(levels), k+1)
+	}
+	if !Equal(levels[0], ByLabel(g)) {
+		t.Errorf("A(0) != label partition")
+	}
+	for i := 1; i <= k; i++ {
+		if !IsRefinementOf(levels[i], levels[i-1]) {
+			t.Errorf("A(%d) is not a refinement of A(%d)", i, i-1)
+		}
+		if !IsStableWrt(g, levels[i], levels[i-1]) {
+			t.Errorf("A(%d) is not stable wrt A(%d)", i, i-1)
+		}
+		if levels[i].NumBlocks() < levels[i-1].NumBlocks() {
+			t.Errorf("A(%d) has fewer blocks than A(%d)", i, i-1)
+		}
+	}
+}
+
+// A(i) levels must be *minimum*: coarsest among refinements of A(i-1)
+// stable wrt A(i-1). Cross-check against RefineWrt.
+func TestKBisimMatchesRefineWrt(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 10; iter++ {
+		g := gtest.RandomCyclic(rng, 50, 30)
+		levels := KBisimLevels(g, 4)
+		for i := 1; i <= 4; i++ {
+			want := RefineWrt(g, levels[i-1], levels[i-1])
+			if !Equal(levels[i], want) {
+				t.Fatalf("iter %d level %d: KBisimLevels disagrees with RefineWrt", iter, i)
+			}
+		}
+	}
+}
+
+func TestBisimFixpointEqualsDeepKBisim(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gtest.RandomCyclic(rng, 60, 40)
+	fix := BisimFixpoint(g)
+	deep := KBisimLevels(g, 100) // far beyond the fixpoint depth
+	if !Equal(fix, deep[100]) {
+		t.Errorf("BisimFixpoint != A(100)")
+	}
+}
+
+func TestEqualAndRefinement(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("a")
+	c := g.AddNode("b")
+	_ = c
+
+	p := NewPartition(g.MaxNodeID())
+	p.SetBlock(a, 0)
+	p.SetBlock(b, 0)
+	p.SetBlock(c, 1)
+	p.SetNumBlocks(2)
+
+	q := NewPartition(g.MaxNodeID())
+	q.SetBlock(a, 1)
+	q.SetBlock(b, 1)
+	q.SetBlock(c, 0)
+	q.SetNumBlocks(2)
+
+	r := NewPartition(g.MaxNodeID())
+	r.SetBlock(a, 0)
+	r.SetBlock(b, 1)
+	r.SetBlock(c, 2)
+	r.SetNumBlocks(3)
+
+	if !Equal(p, q) {
+		t.Errorf("Equal(p,q) = false, want true (renamed block ids)")
+	}
+	if Equal(p, r) {
+		t.Errorf("Equal(p,r) = true, want false")
+	}
+	if !IsRefinementOf(r, p) {
+		t.Errorf("r should refine p")
+	}
+	if IsRefinementOf(p, r) {
+		t.Errorf("p should not refine r")
+	}
+	if !IsRefinementOf(p, p) {
+		t.Errorf("p should refine itself")
+	}
+}
+
+func TestPartitionWithDeadNodes(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	a := g.AddNode("a")
+	b := g.AddNode("a")
+	if err := g.AddEdge(r, a, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(r, b, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveNode(b)
+	p := CoarsestStable(g, ByLabel(g))
+	if p.Block(b) != NoBlock {
+		t.Errorf("dead node assigned block %d", p.Block(b))
+	}
+	if p.NumBlocks() != 2 {
+		t.Errorf("NumBlocks = %d, want 2", p.NumBlocks())
+	}
+}
+
+// Property: for random graphs, the coarsest stable partition is no finer
+// than necessary — merging any two same-label blocks breaks self-stability.
+// This is the partition-level statement of index minimality.
+func TestCoarsestStableIsCoarsest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 25, 15)
+		p := CoarsestStable(g, ByLabel(g))
+		blocks := p.Blocks()
+		labelOf := func(blk []graph.NodeID) graph.LabelID { return g.Label(blk[0]) }
+		for i := 0; i < len(blocks); i++ {
+			for j := i + 1; j < len(blocks); j++ {
+				if len(blocks[i]) == 0 || len(blocks[j]) == 0 {
+					continue
+				}
+				if labelOf(blocks[i]) != labelOf(blocks[j]) {
+					continue
+				}
+				merged := p.Clone()
+				for _, w := range blocks[j] {
+					merged.SetBlock(w, p.Block(blocks[i][0]))
+				}
+				if IsSelfStable(g, merged) {
+					return false // a coarser stable partition exists
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefineWrtAgainstNaiveStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10; i++ {
+		g := gtest.RandomCyclic(rng, 40, 25)
+		base := ByLabel(g)
+		ref := RefineWrt(g, base, base)
+		if !IsStableWrt(g, ref, base) {
+			t.Fatalf("iter %d: RefineWrt result not stable wrt base", i)
+		}
+		if !IsRefinementOf(ref, base) {
+			t.Fatalf("iter %d: RefineWrt result not a refinement", i)
+		}
+	}
+}
+
+func BenchmarkCoarsestStable(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gtest.RandomCyclic(rng, 5000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoarsestStable(g, ByLabel(g))
+	}
+}
+
+func BenchmarkKBisimLevelsK5(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gtest.RandomCyclic(rng, 5000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KBisimLevels(g, 5)
+	}
+}

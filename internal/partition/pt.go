@@ -1,0 +1,288 @@
+package partition
+
+import "structix/internal/graph"
+
+// CoarsestStablePT computes the same coarsest self-stable refinement as
+// CoarsestStable using the genuine Paige–Tarjan algorithm [12]: X-blocks
+// (unions of P-blocks the partition is already stable with respect to),
+// the smaller-half splitter choice, three-way splits, and per-edge count
+// records r(w, S) = |parents of w in X-block S| that let the "split by
+// Succ(S−B)" half run without ever scanning S−B. Worst-case O(m log n).
+//
+// Both engines are kept: this one for the complexity guarantee and
+// fidelity to the construction the paper builds on, the worklist one for
+// its simplicity; the test suite holds them equal on randomized graphs.
+func CoarsestStablePT(g *graph.Graph, init *Partition) *Partition {
+	s := newPTState(g, init)
+	for len(s.worklist) > 0 {
+		x := s.worklist[len(s.worklist)-1]
+		s.worklist = s.worklist[:len(s.worklist)-1]
+		s.queued[x] = false
+		if len(s.xblocks[x]) < 2 {
+			continue // became simple while queued
+		}
+		s.step(x)
+	}
+	return s.partition()
+}
+
+// rec is a shared count record: the number of parents a node has inside
+// one X-block. Every edge whose source lies in that X-block points to the
+// sink's record.
+type rec struct {
+	count int32
+}
+
+// ptEdge is one data edge with its current count record r(dst, X(src)).
+type ptEdge struct {
+	dst graph.NodeID
+	rec *rec
+}
+
+type ptState struct {
+	g *graph.Graph
+
+	// P-blocks.
+	blockOf []int32
+	members [][]graph.NodeID
+	pos     []int32 // node position within its block
+
+	// X-blocks: lists of P-block ids; xOf maps P-block -> X-block;
+	// xpos the P-block's position in its X-block list.
+	xblocks  [][]int32
+	xOf      []int32
+	xpos     []int32
+	worklist []int32 // compound X-blocks to process
+	queued   []bool
+
+	outEdges [][]ptEdge // per source node
+}
+
+func newPTState(g *graph.Graph, init *Partition) *ptState {
+	n := int(g.MaxNodeID())
+	s := &ptState{
+		g:        g,
+		blockOf:  make([]int32, n),
+		pos:      make([]int32, n),
+		outEdges: make([][]ptEdge, n),
+	}
+	for i := range s.blockOf {
+		s.blockOf[i] = -1
+	}
+	// Preprocessing: refine init so it is stable with respect to the
+	// universe U — split every block into has-parent / parentless — and
+	// start with the single X-block U covering all P-blocks.
+	type key struct {
+		b         int32
+		hasParent bool
+	}
+	ids := make(map[key]int32)
+	g.EachNode(func(v graph.NodeID) {
+		k := key{b: init.Block(v), hasParent: g.InDegree(v) > 0}
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(s.members))
+			ids[k] = id
+			s.members = append(s.members, nil)
+		}
+		s.blockOf[v] = id
+		s.pos[v] = int32(len(s.members[id]))
+		s.members[id] = append(s.members[id], v)
+	})
+	all := make([]int32, len(s.members))
+	s.xOf = make([]int32, len(s.members))
+	s.xpos = make([]int32, len(s.members))
+	for i := range all {
+		all[i] = int32(i)
+		s.xOf[i] = 0
+		s.xpos[i] = int32(i)
+	}
+	s.xblocks = [][]int32{all}
+	s.queued = []bool{false}
+	if len(all) >= 2 {
+		s.worklist = append(s.worklist, 0)
+		s.queued[0] = true
+	}
+	// One record per sink for the universal X-block: count = in-degree.
+	recs := make([]*rec, n)
+	g.EachNode(func(v graph.NodeID) {
+		recs[v] = &rec{count: int32(g.InDegree(v))}
+	})
+	g.EachNode(func(u graph.NodeID) {
+		g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
+			s.outEdges[u] = append(s.outEdges[u], ptEdge{dst: w, rec: recs[w]})
+		})
+	})
+	return s
+}
+
+// step removes a small P-block B from compound X-block x and performs the
+// three-way refinement with respect to B and x−B.
+func (s *ptState) step(x int32) {
+	// Smaller of the first two P-blocks: O(1) and ≤ half of x's weight.
+	list := s.xblocks[x]
+	bi := 0
+	if len(s.members[list[0]]) > len(s.members[list[1]]) {
+		bi = 1
+	}
+	b := list[bi]
+	// Detach B into its own (simple) X-block.
+	s.removeFromX(b)
+	t := int32(len(s.xblocks))
+	s.xblocks = append(s.xblocks, []int32{b})
+	s.queued = append(s.queued, false)
+	s.xOf[b] = t
+	s.xpos[b] = 0
+	if len(s.xblocks[x]) >= 2 && !s.queued[x] {
+		s.queued[x] = true
+		s.worklist = append(s.worklist, x)
+	}
+
+	// Pass 1: count parents in B per sink (the records for the new
+	// X-block T), via one scan of B's out-edges.
+	newRec := make(map[graph.NodeID]*rec)
+	snapshot := append([]graph.NodeID(nil), s.members[b]...)
+	for _, u := range snapshot {
+		for i := range s.outEdges[u] {
+			w := s.outEdges[u][i].dst
+			r, ok := newRec[w]
+			if !ok {
+				r = &rec{}
+				newRec[w] = r
+			}
+			r.count++
+		}
+	}
+
+	// Pass 2: three-way split of every P-block hit by Succ(B).
+	type hit struct {
+		only []graph.NodeID // parents in B only  (count(w,B) == count(w,x-old))
+		both []graph.NodeID // parents in B and in x−B
+	}
+	hits := make(map[int32]*hit)
+	var order []int32
+	for _, u := range snapshot {
+		for i := range s.outEdges[u] {
+			e := &s.outEdges[u][i]
+			w := e.dst
+			r := newRec[w]
+			if r.count < 0 {
+				continue // already classified via another edge
+			}
+			d := s.blockOf[w]
+			h, ok := hits[d]
+			if !ok {
+				h = &hit{}
+				hits[d] = h
+				order = append(order, d)
+			}
+			if r.count == e.rec.count {
+				h.only = append(h.only, w)
+			} else {
+				h.both = append(h.both, w)
+			}
+			r.count = -r.count // mark classified; restored in pass 3
+		}
+	}
+	for _, r := range newRec {
+		r.count = -r.count
+	}
+	for _, d := range order {
+		h := hits[d]
+		rest := len(s.members[d]) - len(h.only) - len(h.both)
+		// Parts: only-B, both, rest. The unhit part keeps d's id when
+		// nonempty; otherwise the largest moved part keeps it.
+		var moved [][]graph.NodeID
+		if rest > 0 {
+			if len(h.only) > 0 {
+				moved = append(moved, h.only)
+			}
+			if len(h.both) > 0 {
+				moved = append(moved, h.both)
+			}
+		} else {
+			switch {
+			case len(h.only) == 0 || len(h.both) == 0:
+				continue // single part: no split
+			case len(h.only) <= len(h.both):
+				moved = append(moved, h.only)
+			default:
+				moved = append(moved, h.both)
+			}
+		}
+		if len(moved) == 0 {
+			continue
+		}
+		xd := s.xOf[d]
+		for _, part := range moved {
+			nb := int32(len(s.members))
+			s.members = append(s.members, nil)
+			s.xOf = append(s.xOf, xd)
+			s.xpos = append(s.xpos, int32(len(s.xblocks[xd])))
+			s.xblocks[xd] = append(s.xblocks[xd], nb)
+			for _, w := range part {
+				s.detach(w)
+				s.blockOf[w] = nb
+				s.pos[w] = int32(len(s.members[nb]))
+				s.members[nb] = append(s.members[nb], w)
+			}
+		}
+		if len(s.xblocks[xd]) >= 2 && !s.queued[xd] {
+			s.queued[xd] = true
+			s.worklist = append(s.worklist, xd)
+		}
+	}
+
+	// Pass 3: migrate records — edges out of B now source from X-block T.
+	for _, u := range snapshot {
+		for i := range s.outEdges[u] {
+			e := &s.outEdges[u][i]
+			if r := newRec[e.dst]; e.rec != r {
+				e.rec.count--
+				e.rec = r
+			}
+		}
+	}
+}
+
+func (s *ptState) removeFromX(b int32) {
+	x := s.xOf[b]
+	list := s.xblocks[x]
+	i := s.xpos[b]
+	last := list[len(list)-1]
+	list[i] = last
+	s.xpos[last] = i
+	s.xblocks[x] = list[:len(list)-1]
+}
+
+func (s *ptState) detach(w graph.NodeID) {
+	b := s.blockOf[w]
+	m := s.members[b]
+	i := s.pos[w]
+	last := m[len(m)-1]
+	m[i] = last
+	s.pos[last] = i
+	s.members[b] = m[:len(m)-1]
+}
+
+func (s *ptState) partition() *Partition {
+	p := &Partition{blockOf: make([]int32, len(s.blockOf))}
+	remap := make([]int32, len(s.members))
+	for i := range remap {
+		remap[i] = NoBlock
+	}
+	next := int32(0)
+	for i, b := range s.blockOf {
+		if b < 0 {
+			p.blockOf[i] = NoBlock
+			continue
+		}
+		if remap[b] == NoBlock {
+			remap[b] = next
+			next++
+		}
+		p.blockOf[i] = remap[b]
+	}
+	p.numBlocks = int(next)
+	return p
+}

@@ -1,0 +1,196 @@
+package partition
+
+import "structix/internal/graph"
+
+// CoarsestStable computes the coarsest refinement of init that is stable
+// with respect to itself, over the graph g. Applied to the label partition
+// (ByLabel), this constructs the minimum 1-index partition (Lemma 1);
+// applied to a partially split partition it is the correctness engine of
+// the reconstruction baseline.
+//
+// The implementation is a worklist partition-refinement in the style of
+// Paige and Tarjan [12]: blocks are split by the successor set of a
+// splitter block, and both halves of every split are re-enqueued. Unlike
+// Hopcroft's automaton algorithm, enqueueing only the smaller half is not
+// sound for general relations (a node can have parents in both halves), so
+// both halves are enqueued; the compound-block/counting machinery that
+// recovers the O(m log n) bound is not needed at the scales this package
+// targets, and the maintenance algorithms (which are the paper's
+// contribution) perform their own localized splitting in package oneindex.
+func CoarsestStable(g *graph.Graph, init *Partition) *Partition {
+	r := newRefiner(g, init)
+	for len(r.queue) > 0 {
+		b := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		r.pending[b] = false
+		r.splitBy(b)
+	}
+	return r.partition()
+}
+
+// RefineWrt computes the coarsest refinement of p that is stable with
+// respect to the fixed partition q (one pass: every block of q is used as a
+// splitter exactly once; no fixpoint iteration). This is the single-level
+// step of A(k)-index construction: A(i) = RefineWrt(A(i-1), A(i-1)).
+func RefineWrt(g *graph.Graph, p, q *Partition) *Partition {
+	r := newRefiner(g, p)
+	// Splitters come from q, not from p's own blocks: disable the worklist.
+	r.queue = nil
+	r.track = false
+	for _, J := range q.Blocks() {
+		if len(J) > 0 {
+			r.splitByMembers(J)
+		}
+	}
+	return r.partition()
+}
+
+// refiner holds the mutable block structure during refinement.
+type refiner struct {
+	g       *graph.Graph
+	blockOf []int32
+	members [][]graph.NodeID // per block id
+	pos     []int32          // node's position within members[blockOf[node]]
+	pending []bool           // per block id: queued as splitter
+	queue   []int32
+	track   bool   // re-enqueue split halves (CoarsestStable mode)
+	mark    []bool // scratch: marked successors
+}
+
+func newRefiner(g *graph.Graph, init *Partition) *refiner {
+	n := int(g.MaxNodeID())
+	r := &refiner{
+		g:       g,
+		blockOf: make([]int32, n),
+		pos:     make([]int32, n),
+		mark:    make([]bool, n),
+		track:   true,
+	}
+	blocks := init.Blocks()
+	r.members = make([][]graph.NodeID, 0, len(blocks))
+	r.pending = make([]bool, 0, len(blocks))
+	for i := range r.blockOf {
+		r.blockOf[i] = NoBlock
+	}
+	for _, blk := range blocks {
+		if len(blk) == 0 {
+			continue
+		}
+		id := int32(len(r.members))
+		r.members = append(r.members, append([]graph.NodeID(nil), blk...))
+		r.pending = append(r.pending, true)
+		r.queue = append(r.queue, id)
+		for j, v := range blk {
+			r.blockOf[v] = id
+			r.pos[v] = int32(j)
+		}
+	}
+	return r
+}
+
+func (r *refiner) enqueue(b int32) {
+	if !r.pending[b] {
+		r.pending[b] = true
+		r.queue = append(r.queue, b)
+	}
+}
+
+// splitBy splits every block that partially intersects Succ(members[b]).
+func (r *refiner) splitBy(b int32) {
+	// Snapshot: the splitter's own membership may change if it splits
+	// itself (a node in b with a parent in b).
+	snapshot := append([]graph.NodeID(nil), r.members[b]...)
+	r.splitByMembers(snapshot)
+}
+
+// splitByMembers splits every block that partially intersects Succ(set).
+func (r *refiner) splitByMembers(set []graph.NodeID) {
+	// Mark Succ(set), deduplicated.
+	var marked []graph.NodeID
+	for _, u := range set {
+		r.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
+			if !r.mark[w] {
+				r.mark[w] = true
+				marked = append(marked, w)
+			}
+		})
+	}
+	// Group marked nodes by block.
+	type hit struct {
+		block int32
+		moved []graph.NodeID
+	}
+	hitIdx := make(map[int32]int)
+	var hits []hit
+	for _, w := range marked {
+		blk := r.blockOf[w]
+		if blk == NoBlock {
+			continue
+		}
+		i, ok := hitIdx[blk]
+		if !ok {
+			i = len(hits)
+			hitIdx[blk] = i
+			hits = append(hits, hit{block: blk})
+		}
+		hits[i].moved = append(hits[i].moved, w)
+	}
+	for _, h := range hits {
+		if len(h.moved) == len(r.members[h.block]) {
+			continue // whole block in Succ(set): stable, no split
+		}
+		nb := int32(len(r.members))
+		r.members = append(r.members, nil)
+		r.pending = append(r.pending, false)
+		for _, w := range h.moved {
+			r.detach(w)
+			r.blockOf[w] = nb
+			r.pos[w] = int32(len(r.members[nb]))
+			r.members[nb] = append(r.members[nb], w)
+		}
+		// Both halves must be re-processed as splitters (see doc comment on
+		// CoarsestStable). For RefineWrt the queue is unused and stays empty.
+		if r.track {
+			r.enqueue(h.block)
+			r.enqueue(nb)
+		}
+	}
+	for _, w := range marked {
+		r.mark[w] = false
+	}
+}
+
+// detach removes w from its current block by swap-removal.
+func (r *refiner) detach(w graph.NodeID) {
+	b := r.blockOf[w]
+	m := r.members[b]
+	i := r.pos[w]
+	last := m[len(m)-1]
+	m[i] = last
+	r.pos[last] = i
+	r.members[b] = m[:len(m)-1]
+}
+
+// partition converts the refiner state back into a Partition with dense
+// block ids (empty blocks squeezed out).
+func (r *refiner) partition() *Partition {
+	p := &Partition{blockOf: make([]int32, len(r.blockOf))}
+	remap := make([]int32, len(r.members))
+	for i := range remap {
+		remap[i] = NoBlock
+	}
+	next := int32(0)
+	for i, b := range r.blockOf {
+		if b == NoBlock {
+			p.blockOf[i] = NoBlock
+			continue
+		}
+		if remap[b] == NoBlock {
+			remap[b] = next
+			next++
+		}
+		p.blockOf[i] = remap[b]
+	}
+	p.numBlocks = int(next)
+	return p
+}

@@ -1,0 +1,281 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"structix/internal/akindex"
+	"structix/internal/datagen"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+	"structix/internal/partition"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gtest.RandomCyclic(rng, 60, 40)
+	g.SetValue(g.Nodes()[3], "hello")
+	// Punch holes in the NodeID space.
+	g.RemoveNode(g.Nodes()[10])
+	g.RemoveNode(g.Nodes()[20])
+
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() ||
+		g2.NumIDRefEdges() != g.NumIDRefEdges() || g2.Root() != g.Root() {
+		t.Fatalf("counts differ after round trip")
+	}
+	// NodeIDs, labels, values and edges must be preserved exactly.
+	g.EachNode(func(v graph.NodeID) {
+		if !g2.Alive(v) {
+			t.Fatalf("node %d lost", v)
+		}
+		if g2.LabelName(v) != g.LabelName(v) || g2.Value(v) != g.Value(v) {
+			t.Fatalf("node %d attributes differ", v)
+		}
+	})
+	e1, e2 := g.EdgeListAll(), g2.EdgeListAll()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge lists differ at %d", i)
+		}
+	}
+}
+
+func TestOneIndexRoundTrip(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(256, 1, 2))
+	x := oneindex.Build(g)
+	// Push the index away from the freshly-built state.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 15; i++ {
+		if u, v, ok := gtest.RandomNonEdge(rng, g); ok {
+			if err := x.InsertEdge(u, v, graph.IDRef); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveOneIndex(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := LoadOneIndex(&buf, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x2.Validate(); err != nil {
+		t.Fatalf("loaded index invalid: %v", err)
+	}
+	if !partition.Equal(x.ToPartition(), x2.ToPartition()) {
+		t.Errorf("partition changed across round trip")
+	}
+	// The loaded index must keep working under maintenance.
+	if u, v, ok := gtest.RandomNonEdge(rng, g2); ok {
+		if err := x2.InsertEdge(u, v, graph.IDRef); err != nil {
+			t.Fatal(err)
+		}
+		if err := x2.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAkIndexRoundTrip(t *testing.T) {
+	g := datagen.IMDB(datagen.DefaultIMDB(256, 3))
+	x := akindex.Build(g, 3)
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveAkIndex(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := LoadAkIndex(&buf, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x2.Validate(); err != nil {
+		t.Fatalf("loaded A(k) invalid: %v", err)
+	}
+	for l := 0; l <= 3; l++ {
+		if !partition.Equal(x.ToPartition(l), x2.ToPartition(l)) {
+			t.Errorf("level %d changed across round trip", l)
+		}
+	}
+	if !x2.IsMinimum() {
+		t.Errorf("loaded family not minimum")
+	}
+	// Maintained update on the loaded family.
+	rng := rand.New(rand.NewSource(4))
+	if u, v, ok := gtest.RandomNonEdge(rng, g2); ok {
+		if err := x2.InsertEdge(u, v, graph.IDRef); err != nil {
+			t.Fatal(err)
+		}
+		if !x2.IsMinimum() {
+			t.Errorf("loaded family lost Theorem 2 after update")
+		}
+	}
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(512, 1, 5))
+	db := &Database{
+		Graph: g,
+		One:   oneindex.Build(g),
+		Ak:    akindex.Build(g, 2),
+	}
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.One == nil || db2.Ak == nil {
+		t.Fatalf("indexes missing after load")
+	}
+	if err := db2.One.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Ak.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if db2.One.Size() != db.One.Size() || db2.Ak.Size() != db.Ak.Size() {
+		t.Errorf("index sizes changed")
+	}
+}
+
+func TestDatabaseWithoutIndexes(t *testing.T) {
+	g := graph.New()
+	g.AddRoot()
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, &Database{Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.One != nil || db.Ak != nil {
+		t.Errorf("phantom indexes loaded")
+	}
+}
+
+func TestCompressedRoundTripAndAuto(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(512, 1, 2))
+	db := &Database{Graph: g, One: oneindex.Build(g)}
+	var plain, packed bytes.Buffer
+	if err := SaveDatabase(&plain, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDatabaseCompressed(&packed, db); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len() >= plain.Len() {
+		t.Errorf("compression did not shrink: %d vs %d", packed.Len(), plain.Len())
+	}
+	for _, src := range []*bytes.Buffer{&plain, &packed} {
+		db2, err := LoadDatabaseAuto(bytes.NewReader(src.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db2.Graph.NumNodes() != g.NumNodes() || db2.One.Size() != db.One.Size() {
+			t.Errorf("auto round trip changed shape")
+		}
+	}
+	if _, err := LoadDatabaseCompressed(bytes.NewReader(plain.Bytes())); err == nil {
+		t.Errorf("plain stream accepted by compressed loader")
+	}
+	if _, err := LoadDatabaseAuto(bytes.NewReader(nil)); err == nil {
+		t.Errorf("empty stream accepted")
+	}
+}
+
+func TestTruncatedStreams(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(1024, 1, 1))
+	db := &Database{Graph: g, One: oneindex.Build(g), Ak: akindex.Build(g, 2)}
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every truncation point must fail cleanly, never panic.
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.99} {
+		n := int(frac * float64(len(full)))
+		if _, err := LoadDatabase(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncated stream (%d of %d bytes) accepted", n, len(full))
+		}
+	}
+}
+
+func TestCorruptPartition(t *testing.T) {
+	g := graph.New()
+	g.AddRoot()
+	g.AddNode("a")
+	// Hand-craft a partition DTO with an out-of-range block id by saving a
+	// valid index and then loading against a graph whose liveness
+	// disagrees.
+	var buf bytes.Buffer
+	x := oneindex.Build(g)
+	if err := SaveOneIndex(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	g2.AddRoot()
+	n := g2.AddNode("a")
+	g2.RemoveNode(n) // same id space, different liveness
+	if _, err := LoadOneIndex(&buf, g2); err == nil {
+		t.Errorf("liveness mismatch accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadGraph(strings.NewReader("garbage")); err == nil {
+		t.Errorf("garbage accepted as graph")
+	}
+	// Wrong kind.
+	g := graph.New()
+	g.AddRoot()
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOneIndex(bytes.NewReader(buf.Bytes()), g); err == nil {
+		t.Errorf("graph stream accepted as 1-index")
+	}
+	// Partition for the wrong graph.
+	var buf2 bytes.Buffer
+	x := oneindex.Build(g)
+	if err := SaveOneIndex(&buf2, x); err != nil {
+		t.Fatal(err)
+	}
+	other := graph.New()
+	other.AddRoot()
+	other.AddNode("extra")
+	if _, err := LoadOneIndex(&buf2, other); err == nil {
+		t.Errorf("mismatched graph accepted")
+	}
+}

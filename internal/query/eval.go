@@ -1,0 +1,332 @@
+package query
+
+import (
+	"sort"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+)
+
+// EvalGraph evaluates the expression by direct traversal of the data graph
+// and returns the matched dnodes, sorted. Predicates are honored.
+func EvalGraph(p *Path, g *graph.Graph) []graph.NodeID {
+	if g.Root() == graph.InvalidNode {
+		return nil
+	}
+	if p.HasPredicates() {
+		return evalGraphFull(p, g)
+	}
+	res := run(p, &graphNav{g: g})
+	out := make([]graph.NodeID, 0, len(res))
+	for _, n := range res {
+		out = append(out, graph.NodeID(n))
+	}
+	sortNodes(out)
+	return out
+}
+
+type graphNav struct{ g *graph.Graph }
+
+func (n *graphNav) start() []int64 { return []int64{int64(n.g.Root())} }
+func (n *graphNav) succ(v int64, fn func(int64)) {
+	n.g.EachSucc(graph.NodeID(v), func(w graph.NodeID, _ graph.EdgeKind) { fn(int64(w)) })
+}
+func (n *graphNav) labelMatches(v int64, label string) bool {
+	return label == "*" || n.g.LabelName(graph.NodeID(v)) == label
+}
+
+// EvalOneIndex evaluates the expression on the 1-index graph and returns
+// the union of the matched inodes' extents, sorted. For the predicate-free
+// label-path language the 1-index is precise: the result equals
+// EvalGraph's. Predicates — which constrain *outgoing* structure and
+// values, invisible to backward bisimulation — are checked per candidate
+// against the data graph, so the final result is exact either way.
+func EvalOneIndex(p *Path, x *oneindex.Index) []graph.NodeID {
+	root := x.Graph().Root()
+	if root == graph.InvalidNode {
+		return nil
+	}
+	if p.HasPredicates() {
+		return filterByAllPredicates(p, x.Graph(), EvalOneIndex(p.Skeleton(), x))
+	}
+	res := run(p, &oneNav{x: x, root: x.INodeOf(root)})
+	var out []graph.NodeID
+	for _, n := range res {
+		out = append(out, x.Extent(oneindex.INodeID(n))...)
+	}
+	sortNodes(out)
+	return out
+}
+
+type oneNav struct {
+	x    *oneindex.Index
+	root oneindex.INodeID
+}
+
+func (n *oneNav) start() []int64 { return []int64{int64(n.root)} }
+func (n *oneNav) succ(v int64, fn func(int64)) {
+	n.x.EachISucc(oneindex.INodeID(v), func(j oneindex.INodeID) { fn(int64(j)) })
+}
+func (n *oneNav) labelMatches(v int64, label string) bool {
+	return label == "*" || n.x.Graph().Labels().Name(n.x.Label(oneindex.INodeID(v))) == label
+}
+
+// EvalAk evaluates the expression on the A(k)-index's intra-iedges and
+// returns the union of the matched inodes' extents, sorted. The result is
+// safe (a superset of the true answer) but may contain false positives
+// when the expression is longer than k, uses descendant steps, or carries
+// predicates (which this raw evaluator ignores — they only ever shrink the
+// result, so ignoring preserves safety; use EvalAkValidated for exact
+// answers).
+func EvalAk(p *Path, x *akindex.Index) []graph.NodeID {
+	root := x.Graph().Root()
+	if root == graph.InvalidNode {
+		return nil
+	}
+	p = p.Skeleton()
+	res := run(p, &akNav{x: x, root: x.INodeOf(root)})
+	var out []graph.NodeID
+	for _, n := range res {
+		out = append(out, x.Extent(akindex.INodeID(n))...)
+	}
+	sortNodes(out)
+	return out
+}
+
+type akNav struct {
+	x    *akindex.Index
+	root akindex.INodeID
+}
+
+func (n *akNav) start() []int64 { return []int64{int64(n.root)} }
+func (n *akNav) succ(v int64, fn func(int64)) {
+	for _, j := range n.x.IntraSucc(akindex.INodeID(v)) {
+		fn(int64(j))
+	}
+}
+func (n *akNav) labelMatches(v int64, label string) bool {
+	return label == "*" || n.x.Graph().Labels().Name(n.x.Label(akindex.INodeID(v))) == label
+}
+
+// EvalAkLevel evaluates the expression on the A(l)-index *inside* an
+// A(0..k) family, for any 0 ≤ l ≤ k, using the derived level-l
+// intra-iedges — the "optional" structure §6 mentions for speeding up
+// short expressions: the A(l) graph is smaller than the A(k) graph, and
+// for anchored predicate-free expressions of length ≤ l it is just as
+// precise. The result is safe for any expression; combine with a
+// Validator (as EvalAkLevelValidated does) for exactness.
+func EvalAkLevel(p *Path, x *akindex.Index, l int) []graph.NodeID {
+	root := x.Graph().Root()
+	if root == graph.InvalidNode {
+		return nil
+	}
+	if l < 0 || l > x.K() {
+		l = x.K()
+	}
+	p = p.Skeleton()
+	res := run(p, &akLevelNav{x: x, root: x.LevelINodeOf(root, l)})
+	var out []graph.NodeID
+	for _, n := range res {
+		out = append(out, x.Extent(akindex.INodeID(n))...)
+	}
+	sortNodes(out)
+	return out
+}
+
+// EvalAkLevelValidated is EvalAkLevel followed by validation (and
+// predicate filtering), returning the exact result.
+func EvalAkLevelValidated(p *Path, x *akindex.Index, l int) []graph.NodeID {
+	candidates := EvalAkLevel(p, x, l)
+	if l < 0 || l > x.K() {
+		l = x.K()
+	}
+	if !p.HasPredicates() && !NeedsValidation(p, l) {
+		return candidates
+	}
+	va := newValidator(p.Skeleton(), x.Graph())
+	out := candidates[:0]
+	for _, v := range candidates {
+		if va.matches(v) {
+			out = append(out, v)
+		}
+	}
+	if p.HasPredicates() {
+		out = filterByAllPredicates(p, x.Graph(), out)
+	}
+	return out
+}
+
+type akLevelNav struct {
+	x    *akindex.Index
+	root akindex.INodeID
+}
+
+func (n *akLevelNav) start() []int64 { return []int64{int64(n.root)} }
+func (n *akLevelNav) succ(v int64, fn func(int64)) {
+	for _, j := range n.x.IntraSuccAt(akindex.INodeID(v)) {
+		fn(int64(j))
+	}
+}
+func (n *akLevelNav) labelMatches(v int64, label string) bool {
+	return label == "*" || n.x.Graph().Labels().Name(n.x.Label(akindex.INodeID(v))) == label
+}
+
+// NeedsValidation reports whether an A(k) result for p can contain false
+// positives: the expression is guaranteed precise only if it is anchored,
+// has no descendant steps, and is at most k steps long (§3).
+func NeedsValidation(p *Path, k int) bool {
+	if len(p.steps) > k {
+		return true
+	}
+	for _, s := range p.steps {
+		if s.Descendant {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalAkValidated evaluates on the A(k)-index and, when needed, eliminates
+// false positives with the validation step of [9]: each candidate dnode is
+// re-checked against the data graph by a backward search for a root path
+// matching the expression. Predicates are honored (checked per candidate).
+func EvalAkValidated(p *Path, x *akindex.Index) []graph.NodeID {
+	if p.HasPredicates() {
+		return filterByAllPredicates(p, x.Graph(), EvalAkValidated(p.Skeleton(), x))
+	}
+	candidates := EvalAk(p, x)
+	if !NeedsValidation(p, x.K()) {
+		return candidates
+	}
+	v := newValidator(p, x.Graph())
+	out := candidates[:0]
+	for _, c := range candidates {
+		if v.matches(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validator performs per-candidate backward matching against the data
+// graph: Matches(v) reports whether some root path matching the expression
+// ends at v. It is the reusable core of the A(k) validation step, also
+// used by other imprecise summaries (e.g. the D(k)-index view). Positive
+// results are memoized across candidates; the expression must be
+// predicate-free (validate the Skeleton and filter predicates separately).
+type Validator struct {
+	inner *validator
+}
+
+// NewValidator prepares a validator for one expression over one graph.
+func NewValidator(p *Path, g *graph.Graph) *Validator {
+	return &Validator{inner: newValidator(p.Skeleton(), g)}
+}
+
+// Matches reports whether v is a true match for the expression.
+func (va *Validator) Matches(v graph.NodeID) bool {
+	return va.inner.matches(v)
+}
+
+// validator performs per-candidate backward matching with memoization of
+// positive results (negative results are not cached: with cycles a "false"
+// discovered during an in-progress search is only valid for that search).
+type validator struct {
+	p *Path
+	g *graph.Graph
+	// trueMemo[state] caches proven matches; state packs (node, stepIdx).
+	trueMemo map[int64]bool
+}
+
+func newValidator(p *Path, g *graph.Graph) *validator {
+	return &validator{p: p, g: g, trueMemo: make(map[int64]bool)}
+}
+
+func (va *validator) matches(v graph.NodeID) bool {
+	return va.search(v, len(va.p.steps)-1, make(map[int64]bool))
+}
+
+func state(v graph.NodeID, i int) int64 { return int64(v)<<16 | int64(i) }
+
+// search reports whether v can be the node matched by step i with steps
+// 0..i−1 matched along some path from the root above it.
+func (va *validator) search(v graph.NodeID, i int, inProgress map[int64]bool) bool {
+	st := va.p.steps[i]
+	if st.Label != "*" && va.g.LabelName(v) != st.Label {
+		return false
+	}
+	s := state(v, i)
+	if va.trueMemo[s] {
+		return true
+	}
+	if inProgress[s] {
+		return false
+	}
+	inProgress[s] = true
+	defer delete(inProgress, s)
+	ok := false
+	if st.Descendant {
+		// Any proper ancestor chain leading to a step-(i−1) match (or to
+		// the root when i == 0).
+		ok = va.ancestorSearch(v, i-1)
+	} else {
+		va.g.EachPred(v, func(p graph.NodeID, _ graph.EdgeKind) {
+			if ok {
+				return
+			}
+			if i == 0 {
+				ok = p == va.g.Root()
+			} else {
+				ok = va.search(p, i-1, inProgress)
+			}
+		})
+	}
+	if ok {
+		va.trueMemo[s] = true
+	}
+	return ok
+}
+
+// ancestorSearch reports whether some proper ancestor of v matches step
+// prev (or is the root, when prev < 0). Testing is tracked separately from
+// expansion so that v itself is tested when a cycle makes it its own proper
+// ancestor.
+func (va *validator) ancestorSearch(v graph.NodeID, prev int) bool {
+	tested := make(map[graph.NodeID]bool)
+	expanded := map[graph.NodeID]bool{v: true}
+	stack := []graph.NodeID{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		found := false
+		va.g.EachPred(cur, func(p graph.NodeID, _ graph.EdgeKind) {
+			if found {
+				return
+			}
+			if !tested[p] {
+				tested[p] = true
+				if prev < 0 {
+					found = p == va.g.Root()
+				} else {
+					found = va.search(p, prev, make(map[int64]bool))
+				}
+				if found {
+					return
+				}
+			}
+			if !expanded[p] {
+				expanded[p] = true
+				stack = append(stack, p)
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func sortNodes(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

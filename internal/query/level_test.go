@@ -1,0 +1,89 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+)
+
+// Level-l evaluation over the family: safe at every level, exact after
+// validation, and precise without validation for short anchored paths.
+func TestEvalAkLevel(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed * 3))
+		g := gtest.RandomCyclic(rng, 50, 30)
+		x := akindex.Build(g, 4)
+		for q := 0; q < 15; q++ {
+			expr := randomExpr(rng)
+			p := MustParse(expr)
+			direct := EvalGraph(p, g)
+			for l := 0; l <= 4; l++ {
+				raw := EvalAkLevel(p, x, l)
+				set := make(map[graph.NodeID]bool, len(raw))
+				for _, v := range raw {
+					set[v] = true
+				}
+				for _, v := range direct {
+					if !set[v] {
+						t.Fatalf("seed %d level %d %s: missed %d (unsafe)", seed, l, expr, v)
+					}
+				}
+				validated := EvalAkLevelValidated(p, x, l)
+				if !equalIDs(direct, validated) {
+					t.Fatalf("seed %d level %d %s: validated %v != direct %v",
+						seed, l, expr, validated, direct)
+				}
+			}
+		}
+	}
+}
+
+// At level k the level evaluator coincides with the plain A(k) evaluator.
+func TestEvalAkLevelTopEqualsEvalAk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gtest.RandomCyclic(rng, 40, 25)
+	x := akindex.Build(g, 3)
+	for q := 0; q < 10; q++ {
+		p := MustParse(randomExpr(rng))
+		if !equalIDs(EvalAkLevel(p, x, 3), EvalAk(p, x)) {
+			t.Fatalf("%s: level-k evaluation differs from EvalAk", p)
+		}
+	}
+}
+
+// Short anchored expressions evaluated at a sufficient level need no
+// validation: the raw level result is already exact.
+func TestEvalAkLevelPreciseWhenShort(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	x := akindex.Build(g, 4)
+	for _, tc := range []struct {
+		expr  string
+		level int
+	}{
+		{"/a", 1}, {"/a/b", 2}, {"/a/b/c", 3}, {"/e/b/c", 3},
+	} {
+		p := MustParse(tc.expr)
+		direct := EvalGraph(p, g)
+		raw := EvalAkLevel(p, x, tc.level)
+		if !equalIDs(direct, raw) {
+			t.Errorf("%s at level %d: raw %v != direct %v (should be precise)",
+				tc.expr, tc.level, raw, direct)
+		}
+	}
+}
+
+// Out-of-range levels clamp to k.
+func TestEvalAkLevelClamps(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	x := akindex.Build(g, 2)
+	p := MustParse("//b")
+	if !equalIDs(EvalAkLevel(p, x, 99), EvalAkLevel(p, x, 2)) {
+		t.Errorf("over-range level did not clamp")
+	}
+	if !equalIDs(EvalAkLevelValidated(p, x, -1), EvalAkValidated(p, x)) {
+		t.Errorf("negative level did not clamp")
+	}
+}

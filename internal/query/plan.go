@@ -1,0 +1,176 @@
+package query
+
+import (
+	"fmt"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+)
+
+// Strategy names an evaluation route for one expression.
+type Strategy uint8
+
+// Evaluation strategies, in the order the planner prefers them when costs
+// tie.
+const (
+	// StrategyValueIndex drives evaluation from a value lookup (requires a
+	// value index and a final-step value predicate).
+	StrategyValueIndex Strategy = iota
+	// StrategyAkLevel evaluates on the lowest A(l) level that is already
+	// precise for the expression: the smallest graph with no validation.
+	StrategyAkLevel
+	// StrategyAkValidated evaluates on the A(k) level and validates.
+	StrategyAkValidated
+	// StrategyOneIndex evaluates on the 1-index (precise, no validation,
+	// but the 1-index can be large on irregular data).
+	StrategyOneIndex
+	// StrategyDirect traverses the data graph.
+	StrategyDirect
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyValueIndex:
+		return "value-index"
+	case StrategyAkLevel:
+		return "ak-level"
+	case StrategyAkValidated:
+		return "ak-validated"
+	case StrategyOneIndex:
+		return "1-index"
+	case StrategyDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Plan is a chosen strategy with its cost rationale.
+type Plan struct {
+	Strategy Strategy
+	Level    int    // for StrategyAkLevel / StrategyAkValidated
+	Reason   string // one-line explanation for EXPLAIN-style output
+}
+
+// ValueAccelerator is the value-first evaluation hook the planner can use;
+// *valindex.Index satisfies it (the interface lives here to avoid an
+// import cycle).
+type ValueAccelerator interface {
+	// EvalValuePredicate returns the exact result and true when the
+	// expression has the accelerable shape, or ok=false to decline.
+	EvalValuePredicate(p *Path) (result []graph.NodeID, ok bool)
+}
+
+// Planner picks evaluation strategies over whichever indexes exist. Any of
+// the index fields may be nil; the data graph is required.
+type Planner struct {
+	Graph  *graph.Graph
+	One    *oneindex.Index
+	Ak     *akindex.Index
+	Values ValueAccelerator
+}
+
+// Plan chooses a strategy for the expression. The heuristics follow the
+// cost model the paper's evaluation establishes: evaluation cost tracks
+// the number of (index) nodes the automaton touches, so prefer the
+// smallest structure that answers the expression precisely; fall back to
+// validated evaluation when the small structure is imprecise but much
+// smaller, and to the 1-index or the data graph otherwise.
+func (pl *Planner) Plan(p *Path) Plan {
+	sk := p.Skeleton()
+	anchored := !NeedsValidation(sk, 1<<30) // no descendant steps at all
+	n := pl.Graph.NumNodes()
+
+	if pl.Values != nil && valueAccelerable(p) {
+		return Plan{
+			Strategy: StrategyValueIndex,
+			Reason:   "final-step value predicate: drive from the value lookup",
+		}
+	}
+
+	if pl.Ak != nil {
+		k := pl.Ak.K()
+		if anchored && sk.Len() <= k {
+			// Precise at level = length: the smallest precise structure.
+			return Plan{
+				Strategy: StrategyAkLevel,
+				Level:    sk.Len(),
+				Reason: fmt.Sprintf("anchored %d-step expression ≤ k=%d: A(%d) level is precise (%d inodes)",
+					sk.Len(), k, sk.Len(), pl.Ak.SizeAt(sk.Len())),
+			}
+		}
+		// Imprecise on A(k): worth validating when the A(k) graph is much
+		// smaller than both the data graph and the 1-index.
+		akSize := pl.Ak.Size()
+		oneSize := n
+		if pl.One != nil {
+			oneSize = pl.One.Size()
+		}
+		if akSize*4 <= oneSize {
+			return Plan{
+				Strategy: StrategyAkValidated,
+				Level:    k,
+				Reason: fmt.Sprintf("A(%d) has %d inodes vs %d: validation overhead beats walking the larger structure",
+					k, akSize, oneSize),
+			}
+		}
+	}
+	if pl.One != nil && pl.One.Size()*2 <= n {
+		return Plan{
+			Strategy: StrategyOneIndex,
+			Reason: fmt.Sprintf("1-index is precise and has %d inodes vs %d dnodes",
+				pl.One.Size(), n),
+		}
+	}
+	return Plan{
+		Strategy: StrategyDirect,
+		Reason:   "no index is materially smaller than the data graph",
+	}
+}
+
+// valueAccelerable mirrors the shape check of the value index: predicates
+// only on the final step, at least one of them a value comparison.
+func valueAccelerable(p *Path) bool {
+	steps := p.Steps()
+	if len(steps) == 0 {
+		return false
+	}
+	for i, s := range steps {
+		if len(s.Predicates) > 0 && i != len(steps)-1 {
+			return false
+		}
+	}
+	for _, pr := range steps[len(steps)-1].Predicates {
+		if pr.HasValue {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval plans and executes in one step, always returning the exact result.
+func (pl *Planner) Eval(p *Path) ([]graph.NodeID, Plan) {
+	plan := pl.Plan(p)
+	switch plan.Strategy {
+	case StrategyValueIndex:
+		if res, ok := pl.Values.EvalValuePredicate(p); ok {
+			return res, plan
+		}
+		// The accelerator declined (shape check drifted): fall back.
+		plan = Plan{Strategy: StrategyDirect, Reason: "value accelerator declined"}
+		return EvalGraph(p, pl.Graph), plan
+	case StrategyAkLevel:
+		res := EvalAkLevel(p, pl.Ak, plan.Level)
+		if p.HasPredicates() {
+			res = filterByAllPredicates(p, pl.Graph, res)
+		}
+		return res, plan
+	case StrategyAkValidated:
+		return EvalAkValidated(p, pl.Ak), plan
+	case StrategyOneIndex:
+		return EvalOneIndex(p, pl.One), plan
+	default:
+		return EvalGraph(p, pl.Graph), plan
+	}
+}

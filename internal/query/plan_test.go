@@ -1,0 +1,119 @@
+package query
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"structix/internal/akindex"
+	"structix/internal/datagen"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+)
+
+// Whatever the planner picks, the answer must be exact.
+func TestPlannerAlwaysExact(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed * 11))
+		g := gtest.RandomCyclic(rng, 50, 35)
+		g.EachNode(func(v graph.NodeID) {
+			if rng.Intn(2) == 0 {
+				g.SetValue(v, strconv.Itoa(rng.Intn(3)))
+			}
+		})
+		pl := &Planner{
+			Graph: g,
+			One:   oneindex.Build(g),
+			Ak:    akindex.Build(g.Clone(), 3),
+		}
+		for q := 0; q < 20; q++ {
+			expr := randomExpr(rng)
+			if rng.Intn(3) == 0 {
+				expr += "[a='1']"
+			}
+			p := MustParse(expr)
+			want := EvalGraph(p, g)
+			got, plan := pl.Eval(p)
+			if !equalIDs(want, got) {
+				t.Fatalf("seed %d %s via %s: %v != %v", seed, expr, plan.Strategy, got, want)
+			}
+			if plan.Reason == "" {
+				t.Errorf("empty plan reason")
+			}
+		}
+	}
+}
+
+// fakeAccelerator implements ValueAccelerator for planner testing.
+type fakeAccelerator struct {
+	called bool
+	result []graph.NodeID
+}
+
+func (f *fakeAccelerator) EvalValuePredicate(p *Path) ([]graph.NodeID, bool) {
+	f.called = true
+	return f.result, true
+}
+
+func TestPlannerUsesValueAccelerator(t *testing.T) {
+	g, _, _, ids := fig2()
+	fa := &fakeAccelerator{result: []graph.NodeID{ids["3"]}}
+	pl := &Planner{Graph: g, Values: fa}
+	p := MustParse(`//b[c='x']`)
+	plan := pl.Plan(p)
+	if plan.Strategy != StrategyValueIndex {
+		t.Fatalf("got %s, want value-index", plan.Strategy)
+	}
+	res, _ := pl.Eval(p)
+	if !fa.called || len(res) != 1 {
+		t.Errorf("accelerator not used: called=%v res=%v", fa.called, res)
+	}
+	// Non-accelerable shapes bypass the accelerator.
+	fa.called = false
+	if plan := pl.Plan(MustParse(`//b[c]`)); plan.Strategy == StrategyValueIndex {
+		t.Errorf("existence predicate routed to value index")
+	}
+}
+
+func fig2() (*graph.Graph, graph.NodeID, graph.NodeID, map[string]graph.NodeID) {
+	return gtest.Fig2()
+}
+
+// Strategy selection sanity on a dataset with known shape.
+func TestPlannerStrategyChoices(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(64, 1, 4))
+	pl := &Planner{
+		Graph: g,
+		One:   oneindex.Build(g),
+		Ak:    akindex.Build(g.Clone(), 3),
+	}
+	// Short anchored: must use a precise A-level without validation.
+	plan := pl.Plan(MustParse("/site/people/person"))
+	if plan.Strategy != StrategyAkLevel || plan.Level != 3 {
+		t.Errorf("short anchored: got %s level %d", plan.Strategy, plan.Level)
+	}
+	// Long descendant on a highly cyclic graph (big 1-index, small A(k)):
+	// validated A(k).
+	plan = pl.Plan(MustParse("//person//watch/open_auction"))
+	if plan.Strategy != StrategyAkValidated {
+		t.Errorf("descendant on cyclic: got %s (%s)", plan.Strategy, plan.Reason)
+	}
+	// Without an A(k) index: 1-index when it is materially smaller.
+	plNoAk := &Planner{Graph: g, One: pl.One}
+	plan = plNoAk.Plan(MustParse("//person/name"))
+	if plan.Strategy != StrategyOneIndex && plan.Strategy != StrategyDirect {
+		t.Errorf("no-ak fallback: got %s", plan.Strategy)
+	}
+	// Bare planner: direct.
+	plBare := &Planner{Graph: g}
+	if plan = plBare.Plan(MustParse("//name")); plan.Strategy != StrategyDirect {
+		t.Errorf("bare planner: got %s", plan.Strategy)
+	}
+	// Strategy names render.
+	for _, s := range []Strategy{StrategyAkLevel, StrategyAkValidated, StrategyOneIndex, StrategyDirect} {
+		if s.String() == "" {
+			t.Errorf("empty strategy name")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/akindex"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+)
+
+// The 1-index count must equal the true result size for random graphs and
+// expressions; the A(k) count must never undercount.
+func TestCountsAgainstDirectEvaluation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 50, 30)
+		one := oneindex.Build(g)
+		ak := akindex.Build(g.Clone(), 2)
+		for q := 0; q < 15; q++ {
+			p := MustParse(randomExpr(rng))
+			want := len(EvalGraph(p, g))
+			if got := CountOneIndex(p, one); got != want {
+				t.Fatalf("seed %d %s: CountOneIndex = %d, want %d", seed, p, got, want)
+			}
+			if got := CountAk(p, ak); got < want {
+				t.Fatalf("seed %d %s: CountAk = %d undercounts %d", seed, p, got, want)
+			}
+		}
+	}
+}
+
+// Tight A(k) bound for short anchored expressions.
+func TestCountAkTightWhenPrecise(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	ak := akindex.Build(g, 3)
+	for _, expr := range []string{"/a", "/a/b", "/e/b/c"} {
+		p := MustParse(expr)
+		want := len(EvalGraph(p, g))
+		if got := CountAk(p, ak); got != want {
+			t.Errorf("%s: CountAk = %d, want exact %d", expr, got, want)
+		}
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	one := oneindex.Build(g)
+	// /a/b matches dnodes 3, 4, 5: 3 of 9 nodes.
+	got := Selectivity(MustParse("/a/b"), one)
+	want := 3.0 / 9.0
+	if got != want {
+		t.Errorf("Selectivity = %v, want %v", got, want)
+	}
+	if s := Selectivity(MustParse("/nothing"), one); s != 0 {
+		t.Errorf("empty selectivity = %v", s)
+	}
+}

@@ -1,0 +1,251 @@
+// Package valindex provides an inverted value index: value string → the
+// dnodes carrying it. Structural indexes answer *where in the structure* a
+// node sits; the value index answers *which nodes hold this datum*, which
+// turns selective value predicates ([name='Alice']) from
+// filter-after-structural-scan into lookup-then-structural-validation —
+// the classic index intersection of query processing, built here from the
+// same validation machinery the A(k)-index uses.
+package valindex
+
+import (
+	"sort"
+
+	"structix/internal/graph"
+	"structix/internal/query"
+)
+
+// Index maps values to the nodes carrying them. It is built once from a
+// graph snapshot; Add/Remove keep it aligned when nodes appear or
+// disappear (values themselves are immutable in the data model once set).
+type Index struct {
+	g      *graph.Graph
+	byVal  map[string][]graph.NodeID
+	sorted map[string]bool
+}
+
+// Build indexes every non-empty node value.
+func Build(g *graph.Graph) *Index {
+	x := &Index{g: g, byVal: make(map[string][]graph.NodeID), sorted: make(map[string]bool)}
+	g.EachNode(func(v graph.NodeID) {
+		if val := g.Value(v); val != "" {
+			x.byVal[val] = append(x.byVal[val], v)
+		}
+	})
+	return x
+}
+
+// Lookup returns the nodes whose value equals val, sorted.
+func (x *Index) Lookup(val string) []graph.NodeID {
+	nodes := x.byVal[val]
+	if !x.sorted[val] {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		x.sorted[val] = true
+	}
+	return append([]graph.NodeID(nil), nodes...)
+}
+
+// Add registers a newly created node's value.
+func (x *Index) Add(v graph.NodeID) {
+	if val := x.g.Value(v); val != "" {
+		x.byVal[val] = append(x.byVal[val], v)
+		x.sorted[val] = false
+	}
+}
+
+// Remove forgets a node (call before the node is deleted from the graph).
+func (x *Index) Remove(v graph.NodeID) {
+	val := x.g.Value(v)
+	if val == "" {
+		return
+	}
+	nodes := x.byVal[val]
+	for i, w := range nodes {
+		if w == v {
+			nodes[i] = nodes[len(nodes)-1]
+			x.byVal[val] = nodes[:len(nodes)-1]
+			x.sorted[val] = false
+			break
+		}
+	}
+	if len(x.byVal[val]) == 0 {
+		delete(x.byVal, val)
+	}
+}
+
+// Values returns the number of distinct indexed values.
+func (x *Index) Values() int { return len(x.byVal) }
+
+// EvalValuePredicate answers expressions of the shape
+//
+//	<skeleton>[rel='value']
+//
+// value-first: look the literal up, walk each hit *backwards* along rel to
+// the nodes that could carry the predicate, then keep those that also
+// match the skeleton (query.Validator). For selective values this touches
+// a handful of nodes instead of the whole skeleton result.
+//
+// p must have predicates only on its final step and exactly one of them
+// with a value comparison; ok=false is returned otherwise (callers fall
+// back to ordinary evaluation).
+func (x *Index) EvalValuePredicate(p *query.Path) (result []graph.NodeID, ok bool) {
+	steps := p.Steps()
+	if len(steps) == 0 {
+		return nil, false
+	}
+	for i, s := range steps {
+		if len(s.Predicates) > 0 && i != len(steps)-1 {
+			return nil, false
+		}
+	}
+	// The first value predicate drives the lookup; every other predicate
+	// (value or existence) is verified per candidate afterwards.
+	last := steps[len(steps)-1]
+	var valPred *query.Predicate
+	for _, pr := range last.Predicates {
+		if pr.HasValue {
+			valPred = pr
+			break
+		}
+	}
+	if valPred == nil {
+		return nil, false
+	}
+
+	// 1. Value lookup.
+	hits := x.Lookup(valPred.Value)
+	if len(hits) == 0 {
+		return nil, true
+	}
+	// 2. Walk rel backwards from each hit to candidate predicate anchors.
+	anchors := x.reverseRel(valPred.Rel, hits)
+	if len(anchors) == 0 {
+		return nil, true
+	}
+	// 3. Structural check: anchor matches the skeleton, and any remaining
+	// (existence) predicates hold.
+	va := query.NewValidator(p.Skeleton(), x.g)
+	var out []graph.NodeID
+	for _, a := range anchors {
+		if !va.Matches(a) {
+			continue
+		}
+		good := true
+		for _, pr := range last.Predicates {
+			if pr != valPred && !predicateHolds(pr, x.g, a) {
+				good = false
+				break
+			}
+		}
+		if good {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// reverseRel returns the nodes from which some node of hits is reachable
+// by the relative path rel (deduplicated).
+func (x *Index) reverseRel(rel *query.Path, hits []graph.NodeID) []graph.NodeID {
+	frontier := make(map[graph.NodeID]bool, len(hits))
+	for _, h := range hits {
+		frontier[h] = true
+	}
+	steps := rel.Steps()
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		// Current frontier holds nodes matched by step i; their label must
+		// agree, then move to parents (with ancestor closure for //).
+		next := make(map[graph.NodeID]bool)
+		for v := range frontier {
+			if st.Label != "*" && x.g.LabelName(v) != st.Label {
+				continue
+			}
+			x.g.EachPred(v, func(u graph.NodeID, _ graph.EdgeKind) {
+				next[u] = true
+			})
+		}
+		if st.Descendant {
+			next = x.ancestorClosure(next)
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	out := make([]graph.NodeID, 0, len(frontier))
+	for v := range frontier {
+		out = append(out, v)
+	}
+	return out
+}
+
+// ancestorClosure adds every ancestor of the set (the reverse of the
+// descendant gap).
+func (x *Index) ancestorClosure(set map[graph.NodeID]bool) map[graph.NodeID]bool {
+	stack := make([]graph.NodeID, 0, len(set))
+	for v := range set {
+		stack = append(stack, v)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x.g.EachPred(v, func(u graph.NodeID, _ graph.EdgeKind) {
+			if !set[u] {
+				set[u] = true
+				stack = append(stack, u)
+			}
+		})
+	}
+	return set
+}
+
+// predicateHolds checks one (usually existence) predicate at node a by a
+// local forward walk of its relative path.
+func predicateHolds(pr *query.Predicate, g *graph.Graph, a graph.NodeID) bool {
+	frontier := map[graph.NodeID]bool{a: true}
+	for _, st := range pr.Rel.Steps() {
+		if st.Descendant {
+			frontier = descendantClosure(g, frontier)
+		}
+		next := make(map[graph.NodeID]bool)
+		for v := range frontier {
+			g.EachSucc(v, func(w graph.NodeID, _ graph.EdgeKind) {
+				if st.Label == "*" || g.LabelName(w) == st.Label {
+					next[w] = true
+				}
+			})
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return false
+		}
+	}
+	if !pr.HasValue {
+		return len(frontier) > 0
+	}
+	for v := range frontier {
+		if g.Value(v) == pr.Value {
+			return true
+		}
+	}
+	return false
+}
+
+func descendantClosure(g *graph.Graph, set map[graph.NodeID]bool) map[graph.NodeID]bool {
+	stack := make([]graph.NodeID, 0, len(set))
+	for v := range set {
+		stack = append(stack, v)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.EachSucc(v, func(w graph.NodeID, _ graph.EdgeKind) {
+			if !set[w] {
+				set[w] = true
+				stack = append(stack, w)
+			}
+		})
+	}
+	return set
+}

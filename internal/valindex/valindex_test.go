@@ -1,0 +1,166 @@
+package valindex
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/query"
+	"structix/internal/xmlload"
+)
+
+const doc = `
+<site>
+  <person vip="yes"><name>Alice</name><age>30</age></person>
+  <person><name>Bob</name><age>30</age></person>
+  <person><name>Carol</name></person>
+  <team><person><name>Alice</name></person></team>
+</site>`
+
+func build(t *testing.T) (*graph.Graph, *Index) {
+	t.Helper()
+	g, err := xmlload.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Build(g)
+}
+
+func TestLookup(t *testing.T) {
+	g, x := build(t)
+	alices := x.Lookup("Alice")
+	if len(alices) != 2 {
+		t.Fatalf("Lookup(Alice) = %v", alices)
+	}
+	for _, v := range alices {
+		if g.Value(v) != "Alice" || g.LabelName(v) != "name" {
+			t.Errorf("bad hit %d", v)
+		}
+	}
+	if got := x.Lookup("nobody"); len(got) != 0 {
+		t.Errorf("Lookup(nobody) = %v", got)
+	}
+	if x.Values() == 0 {
+		t.Errorf("no values indexed")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	g, x := build(t)
+	v := g.AddNode("name")
+	g.SetValue(v, "Dave")
+	x.Add(v)
+	if len(x.Lookup("Dave")) != 1 {
+		t.Errorf("added value not found")
+	}
+	x.Remove(v)
+	if len(x.Lookup("Dave")) != 0 {
+		t.Errorf("removed value still found")
+	}
+	// Removing a valueless node is a no-op.
+	w := g.AddNode("x")
+	x.Remove(w)
+}
+
+func TestEvalValuePredicate(t *testing.T) {
+	g, x := build(t)
+	for expr, want := range map[string]int{
+		`/site/person[name='Alice']`:       1, // the team Alice is deeper
+		`//person[name='Alice']`:           2,
+		`//person[age='30']`:               2,
+		`//person[name='Bob']`:             1,
+		`//person[name='Nobody']`:          0,
+		`//person[age='30'][name='Alice']`: 1,
+		`/site/person[@vip='yes']`:         1,
+		`//team/person[name='Alice']`:      1,
+		`//person[*='Alice']`:              2,
+	} {
+		p := query.MustParse(expr)
+		got, ok := x.EvalValuePredicate(p)
+		if !ok {
+			t.Fatalf("%s: not accelerable", expr)
+		}
+		direct := query.EvalGraph(p, g)
+		if len(got) != want || len(direct) != want {
+			t.Errorf("%s: valindex %d, direct %d, want %d", expr, len(got), len(direct), want)
+		}
+		for i := range got {
+			if got[i] != direct[i] {
+				t.Errorf("%s: %v != %v", expr, got, direct)
+			}
+		}
+	}
+}
+
+func TestEvalValuePredicateRejects(t *testing.T) {
+	g, x := build(t)
+	for _, expr := range []string{
+		`//person`,                       // no predicate
+		`//person[name]`,                 // no value comparison
+		`/site[person]/person[age='30']`, // predicate on non-final step
+	} {
+		p := query.MustParse(expr)
+		if _, ok := x.EvalValuePredicate(p); ok {
+			t.Errorf("%s: unexpectedly accelerable", expr)
+		}
+	}
+	// Two value predicates are supported (lookup on the first, local check
+	// on the second) and must stay exact.
+	p := query.MustParse(`//person[age='30'][name='Bob']`)
+	got, ok := x.EvalValuePredicate(p)
+	if !ok {
+		t.Fatalf("two value predicates rejected")
+	}
+	want := query.EvalGraph(p, g)
+	if len(got) != len(want) || len(got) != 1 {
+		t.Errorf("two-predicate result %v, want %v", got, want)
+	}
+}
+
+// Randomized agreement with direct evaluation.
+func TestEvalValuePredicateRandom(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 50, 30)
+		g.EachNode(func(v graph.NodeID) {
+			if rng.Intn(2) == 0 {
+				g.SetValue(v, strconv.Itoa(rng.Intn(4)))
+			}
+		})
+		x := Build(g)
+		labels := []string{"a", "b", "c", "d", "*"}
+		for q := 0; q < 25; q++ {
+			expr := ""
+			n := 1 + rng.Intn(3)
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					expr += "//"
+				} else {
+					expr += "/"
+				}
+				expr += labels[rng.Intn(len(labels))]
+			}
+			rel := labels[rng.Intn(len(labels))]
+			if rng.Intn(2) == 0 {
+				rel = "//" + rel
+			}
+			expr += "[" + rel + "='" + strconv.Itoa(rng.Intn(4)) + "']"
+			p := query.MustParse(expr)
+			got, ok := x.EvalValuePredicate(p)
+			if !ok {
+				t.Fatalf("%s: not accelerable", expr)
+			}
+			direct := query.EvalGraph(p, g)
+			if len(got) != len(direct) {
+				t.Fatalf("seed %d %s: valindex %v != direct %v", seed, expr, got, direct)
+			}
+			for i := range got {
+				if got[i] != direct[i] {
+					t.Fatalf("seed %d %s: valindex %v != direct %v", seed, expr, got, direct)
+				}
+			}
+		}
+	}
+}

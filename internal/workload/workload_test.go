@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+
+	"structix/internal/datagen"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+)
+
+func TestMixedScript(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(64, 1, 1))
+	idrefBefore := g.NumIDRefEdges()
+	ops := MixedScript(g, 0.2, 50, 9)
+	if len(ops) != 100 {
+		t.Fatalf("script has %d ops, want 100", len(ops))
+	}
+	removed := idrefBefore - g.NumIDRefEdges()
+	if want := int(0.2 * float64(idrefBefore)); removed != want {
+		t.Errorf("removed %d edges into the pool, want %d", removed, want)
+	}
+	// Script alternates insert/delete.
+	for i, op := range ops {
+		if op.Insert != (i%2 == 0) {
+			t.Fatalf("op %d: Insert=%v, expected alternation", i, op.Insert)
+		}
+	}
+	// Replaying the script against the graph must never hit a missing or
+	// duplicate edge.
+	for i, op := range ops {
+		var err error
+		if op.Insert {
+			err = g.AddEdge(op.U, op.V, graph.IDRef)
+		} else {
+			err = g.DeleteEdge(op.U, op.V)
+		}
+		if err != nil {
+			t.Fatalf("op %d (%+v): %v", i, op, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedScriptDeterministic(t *testing.T) {
+	g1 := datagen.XMark(datagen.DefaultXMark(64, 1, 1))
+	g2 := datagen.XMark(datagen.DefaultXMark(64, 1, 1))
+	ops1 := MixedScript(g1, 0.2, 30, 9)
+	ops2 := MixedScript(g2, 0.2, 30, 9)
+	if len(ops1) != len(ops2) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range ops1 {
+		if ops1[i] != ops2[i] {
+			t.Fatalf("scripts diverge at op %d", i)
+		}
+	}
+}
+
+// Replaying the same script against split/merge and a from-scratch rebuild
+// must agree on acyclic data (end-to-end workload sanity).
+func TestMixedScriptAgainstIndex(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(128, 0, 2)) // acyclic
+	ops := MixedScript(g, 0.2, 40, 3)
+	x := oneindex.Build(g)
+	for _, op := range ops {
+		var err error
+		if op.Insert {
+			err = x.InsertEdge(op.U, op.V, graph.IDRef)
+		} else {
+			err = x.DeleteEdge(op.U, op.V)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q := x.Quality(); q != 0 {
+		t.Errorf("quality %v after acyclic workload, want 0", q)
+	}
+}
+
+func TestSkewedScript(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(64, 1, 1))
+	ops := SkewedScript(g, 0.2, 0.05, 80, 4)
+	if len(ops) != 160 {
+		t.Fatalf("script has %d ops, want 160", len(ops))
+	}
+	// Replaying must be edge-consistent, like the uniform script.
+	for i, op := range ops {
+		var err error
+		if op.Insert {
+			err = g.AddEdge(op.U, op.V, graph.IDRef)
+		} else {
+			err = g.DeleteEdge(op.U, op.V)
+		}
+		if err != nil {
+			t.Fatalf("op %d (%+v): %v", i, op, err)
+		}
+	}
+	// Skew check: the most-touched endpoint must absorb far more ops than
+	// the uniform expectation.
+	touch := map[graph.NodeID]int{}
+	for _, op := range ops {
+		touch[op.U]++
+		touch[op.V]++
+	}
+	maxTouch := 0
+	for _, c := range touch {
+		if c > maxTouch {
+			maxTouch = c
+		}
+	}
+	if maxTouch < 8 {
+		t.Errorf("hottest endpoint touched only %d times — not skewed", maxTouch)
+	}
+}
+
+func TestSubtreeRoots(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(64, 1, 1))
+	roots := SubtreeRoots(g, "open_auction", 20, 5)
+	if len(roots) == 0 {
+		t.Fatalf("no auction roots found")
+	}
+	if len(roots) > 20 {
+		t.Fatalf("more roots than requested")
+	}
+	lid, _ := g.Labels().Lookup("open_auction")
+	for _, r := range roots {
+		if g.Label(r) != lid {
+			t.Errorf("root %d has label %s", r, g.LabelName(r))
+		}
+	}
+	// Deterministic.
+	again := SubtreeRoots(g, "open_auction", 20, 5)
+	if len(again) != len(roots) {
+		t.Fatalf("nondeterministic root selection")
+	}
+	for i := range roots {
+		if roots[i] != again[i] {
+			t.Fatalf("nondeterministic root selection at %d", i)
+		}
+	}
+}
+
+func TestSubtreeRootsUnknownLabel(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(256, 1, 1))
+	if roots := SubtreeRoots(g, "no-such-label", 5, 1); roots != nil {
+		t.Errorf("expected nil for unknown label, got %v", roots)
+	}
+}
+
+// Nested selections: when one selected root is an ancestor of another, the
+// descendant must be dropped.
+func TestSubtreeRootsNestedFiltered(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	outer := g.AddNode("sub")
+	mid := g.AddNode("x")
+	inner := g.AddNode("sub")
+	for _, e := range [][2]graph.NodeID{{r, outer}, {outer, mid}, {mid, inner}} {
+		if err := g.AddEdge(e[0], e[1], graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roots := SubtreeRoots(g, "sub", 10, 1)
+	if len(roots) != 1 || roots[0] != outer {
+		t.Errorf("nested root not filtered: %v", roots)
+	}
+}

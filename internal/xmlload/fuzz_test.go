@@ -1,0 +1,63 @@
+package xmlload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary documents to the loader: it must never panic,
+// and anything it accepts must produce a valid graph that survives a
+// write/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(`<a/>`)
+	f.Add(`<a><b id="x"/><c idref="x"/></a>`)
+	f.Add(`<a x="1" idrefs="p q"><b id="p"/><b id="q">text</b></a>`)
+	f.Add(`<a><a><a></a></a></a>`)
+	f.Add(`<?xml version="1.0"?><!-- c --><a>&amp;</a>`)
+	f.Add(`<a`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted document produced invalid graph: %v\ndoc: %q", err, doc)
+		}
+		var buf bytes.Buffer
+		if err := Write(g, &buf); err != nil {
+			t.Fatalf("write failed on accepted graph: %v", err)
+		}
+		g2, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nserialized: %q", err, buf.String())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d\ndoc: %q",
+				g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges(), doc)
+		}
+	})
+}
+
+// FuzzLoaderMultiDoc exercises the incremental loader protocol.
+func FuzzLoaderMultiDoc(f *testing.F) {
+	f.Add(`<a id="1"/>`, `<b idref="1"/>`)
+	f.Add(`<a/>`, `<b/>`)
+	f.Fuzz(func(t *testing.T, d1, d2 string) {
+		l := NewLoader()
+		l.IgnoreUnresolved = true
+		if err := l.LoadDocument(strings.NewReader(d1)); err != nil {
+			return
+		}
+		if err := l.LoadDocument(strings.NewReader(d2)); err != nil {
+			return
+		}
+		if err := l.Resolve(); err != nil {
+			t.Fatalf("Resolve with IgnoreUnresolved failed: %v", err)
+		}
+		if err := l.Graph().Validate(); err != nil {
+			t.Fatalf("invalid graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package xmlload converts between XML documents and the graph data model
+// of package graph, using only encoding/xml.
+//
+// Mapping conventions (documented behaviour, since no DTD/schema is read):
+//
+//   - each element becomes a dnode labeled with the element name;
+//   - character data directly inside an element becomes the dnode's value
+//     (concatenated, whitespace-trimmed);
+//   - the attribute id="…" declares the element's XML ID;
+//   - the attributes idref="…" and ref="…" create one IDREF edge each, and
+//     idrefs="… … …" creates one per whitespace-separated token, from the
+//     element's dnode to the identified element's dnode;
+//   - every other attribute becomes a child dnode labeled @name carrying
+//     the attribute value;
+//   - a database of several documents is a single graph whose artificial
+//     ROOT node points to each document's top element (§3).
+//
+// The writer inverts the mapping: tree edges become element nesting, IDREF
+// edges become idref/idrefs attributes, and id attributes are emitted for
+// every IDREF target.
+package xmlload
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"structix/internal/graph"
+)
+
+// Loader accumulates one or more XML documents into a single data graph.
+type Loader struct {
+	g       *graph.Graph
+	ids     map[string]graph.NodeID
+	pending []pendingRef
+
+	// IgnoreUnresolved drops IDREF attributes whose target ID is not
+	// defined in any loaded document instead of failing Resolve.
+	IgnoreUnresolved bool
+}
+
+type pendingRef struct {
+	from graph.NodeID
+	id   string
+}
+
+// NewLoader creates a loader with a fresh graph containing only the
+// artificial ROOT node.
+func NewLoader() *Loader {
+	g := graph.New()
+	g.AddRoot()
+	return &Loader{g: g, ids: make(map[string]graph.NodeID)}
+}
+
+// Graph returns the accumulated graph. Call Resolve first so IDREF edges
+// are materialized.
+func (l *Loader) Graph() *graph.Graph { return l.g }
+
+// LoadDocument parses one XML document and attaches its top element under
+// the artificial root. IDREF edges are recorded but only materialized by
+// Resolve, so forward and cross-document references work.
+func (l *Loader) LoadDocument(r io.Reader) error {
+	dec := xml.NewDecoder(r)
+	var stack []graph.NodeID
+	var texts []*strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("xmlload: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			v := l.g.AddNode(t.Name.Local)
+			parent := l.g.Root()
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			if err := l.g.AddEdge(parent, v, graph.Tree); err != nil {
+				return fmt.Errorf("xmlload: element edge: %w", err)
+			}
+			for _, a := range t.Attr {
+				switch strings.ToLower(a.Name.Local) {
+				case "id":
+					if prev, dup := l.ids[a.Value]; dup {
+						return fmt.Errorf("xmlload: duplicate id %q (nodes %d, %d)", a.Value, prev, v)
+					}
+					l.ids[a.Value] = v
+				case "idref", "ref":
+					l.pending = append(l.pending, pendingRef{from: v, id: a.Value})
+				case "idrefs":
+					for _, id := range strings.Fields(a.Value) {
+						l.pending = append(l.pending, pendingRef{from: v, id: id})
+					}
+				default:
+					av := l.g.AddNode("@" + a.Name.Local)
+					l.g.SetValue(av, a.Value)
+					if err := l.g.AddEdge(v, av, graph.Tree); err != nil {
+						return fmt.Errorf("xmlload: attribute edge: %w", err)
+					}
+				}
+			}
+			stack = append(stack, v)
+			texts = append(texts, &strings.Builder{})
+		case xml.CharData:
+			if len(texts) > 0 {
+				texts[len(texts)-1].Write(t)
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return fmt.Errorf("xmlload: unbalanced end element %s", t.Name.Local)
+			}
+			v := stack[len(stack)-1]
+			if s := strings.TrimSpace(texts[len(texts)-1].String()); s != "" {
+				l.g.SetValue(v, s)
+			}
+			stack = stack[:len(stack)-1]
+			texts = texts[:len(texts)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("xmlload: unclosed element")
+	}
+	return nil
+}
+
+// Resolve materializes every recorded IDREF as an IDREF edge. Unresolved
+// references fail unless IgnoreUnresolved is set; duplicate references to
+// the same target are collapsed (the edge set semantics of the model).
+func (l *Loader) Resolve() error {
+	for _, p := range l.pending {
+		to, ok := l.ids[p.id]
+		if !ok {
+			if l.IgnoreUnresolved {
+				continue
+			}
+			return fmt.Errorf("xmlload: unresolved idref %q", p.id)
+		}
+		err := l.g.AddEdge(p.from, to, graph.IDRef)
+		if err != nil && err != graph.ErrEdgeExists && err != graph.ErrSelfLoop {
+			return fmt.Errorf("xmlload: idref edge: %w", err)
+		}
+	}
+	l.pending = nil
+	return nil
+}
+
+// Parse is the one-shot convenience: load every reader as a document and
+// resolve references.
+func Parse(readers ...io.Reader) (*graph.Graph, error) {
+	l := NewLoader()
+	for _, r := range readers {
+		if err := l.LoadDocument(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.Resolve(); err != nil {
+		return nil, err
+	}
+	return l.Graph(), nil
+}
+
+// ParseString parses a single document given as a string.
+func ParseString(doc string) (*graph.Graph, error) {
+	return Parse(strings.NewReader(doc))
+}

@@ -1,0 +1,121 @@
+package xmlload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"structix/internal/graph"
+)
+
+// Write serializes the graph back to XML, one document per child of the
+// artificial root. Tree edges become nesting (each non-root node must have
+// exactly one tree parent), IDREF edges become idref= / idrefs= attributes,
+// and id="n<NodeID>" attributes are emitted for every IDREF target.
+// Attribute dnodes (labels starting with '@') are written back as
+// attributes.
+func Write(g *graph.Graph, w io.Writer) error {
+	root := g.Root()
+	if root == graph.InvalidNode {
+		return fmt.Errorf("xmlload: graph has no root")
+	}
+	bw := bufio.NewWriter(w)
+	// Nodes needing an id attribute: IDREF targets.
+	needsID := map[graph.NodeID]bool{}
+	g.EachEdge(func(u, v graph.NodeID, kind graph.EdgeKind) {
+		if kind == graph.IDRef {
+			needsID[v] = true
+		}
+	})
+	tops := treeChildren(g, root)
+	for _, top := range tops {
+		if err := writeElement(g, bw, top, needsID, 0); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func treeChildren(g *graph.Graph, v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	g.EachSucc(v, func(w graph.NodeID, kind graph.EdgeKind) {
+		if kind == graph.Tree {
+			out = append(out, w)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func writeElement(g *graph.Graph, w *bufio.Writer, v graph.NodeID, needsID map[graph.NodeID]bool, depth int) error {
+	label := g.LabelName(v)
+	if strings.HasPrefix(label, "@") {
+		return fmt.Errorf("xmlload: attribute node %d reached as element", v)
+	}
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s<%s", indent, label)
+	if needsID[v] {
+		fmt.Fprintf(w, " id=%q", nodeID(v))
+	}
+	// IDREF successors become idref/idrefs attributes.
+	var refs []graph.NodeID
+	g.EachSucc(v, func(c graph.NodeID, kind graph.EdgeKind) {
+		if kind == graph.IDRef {
+			refs = append(refs, c)
+		}
+	})
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	switch len(refs) {
+	case 0:
+	case 1:
+		fmt.Fprintf(w, " idref=%q", nodeID(refs[0]))
+	default:
+		parts := make([]string, len(refs))
+		for i, r := range refs {
+			parts[i] = nodeID(r)
+		}
+		fmt.Fprintf(w, " idrefs=%q", strings.Join(parts, " "))
+	}
+	// Attribute children.
+	var elems []graph.NodeID
+	for _, c := range treeChildren(g, v) {
+		cl := g.LabelName(c)
+		if strings.HasPrefix(cl, "@") {
+			fmt.Fprintf(w, " %s=%q", cl[1:], g.Value(c))
+		} else {
+			elems = append(elems, c)
+		}
+	}
+	val := g.Value(v)
+	if len(elems) == 0 && val == "" {
+		fmt.Fprintf(w, "/>\n")
+		return nil
+	}
+	fmt.Fprintf(w, ">")
+	if val != "" {
+		if err := escapeTo(w, val); err != nil {
+			return err
+		}
+	}
+	if len(elems) > 0 {
+		fmt.Fprintf(w, "\n")
+		for _, c := range elems {
+			if err := writeElement(g, w, c, needsID, depth+1); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "%s", indent)
+	}
+	fmt.Fprintf(w, "</%s>\n", label)
+	return nil
+}
+
+func nodeID(v graph.NodeID) string { return fmt.Sprintf("n%d", v) }
+
+func escapeTo(w *bufio.Writer, s string) error {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	_, err := r.WriteString(w, s)
+	return err
+}

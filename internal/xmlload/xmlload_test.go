@@ -1,0 +1,187 @@
+package xmlload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/partition"
+)
+
+const sample = `
+<site>
+  <people>
+    <person id="p1" age="30"><name>Alice</name></person>
+    <person id="p2"><name>Bob</name></person>
+  </people>
+  <auctions>
+    <auction id="a1">
+      <seller idref="p1"/>
+      <bidders idrefs="p1 p2"/>
+    </auction>
+  </auctions>
+</site>`
+
+func TestParseBasics(t *testing.T) {
+	g, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Elements: site, people, person×2, name×2, auctions, auction, seller,
+	// bidders = 10; attribute node @age = 1; plus ROOT = 12.
+	if g.NumNodes() != 12 {
+		t.Errorf("NumNodes = %d, want 12", g.NumNodes())
+	}
+	if g.NumIDRefEdges() != 3 {
+		t.Errorf("NumIDRefEdges = %d, want 3 (idref + 2 idrefs)", g.NumIDRefEdges())
+	}
+	// Find Alice's person node via the @age attribute child.
+	var alice graph.NodeID = graph.InvalidNode
+	g.EachNode(func(v graph.NodeID) {
+		if g.LabelName(v) == "@age" {
+			g.EachPred(v, func(p graph.NodeID, _ graph.EdgeKind) { alice = p })
+		}
+	})
+	if alice == graph.InvalidNode {
+		t.Fatalf("@age attribute node not found")
+	}
+	if g.LabelName(alice) != "person" {
+		t.Errorf("@age parent label = %s", g.LabelName(alice))
+	}
+	// Alice is the IDREF target of seller and bidders.
+	in := 0
+	g.EachPred(alice, func(p graph.NodeID, kind graph.EdgeKind) {
+		if kind == graph.IDRef {
+			in++
+		}
+	})
+	if in != 2 {
+		t.Errorf("Alice has %d IDREF in-edges, want 2", in)
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	g, err := ParseString(`<a><b> hello  world </b><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b graph.NodeID = graph.InvalidNode
+	g.EachNode(func(v graph.NodeID) {
+		if g.LabelName(v) == "b" {
+			b = v
+		}
+	})
+	if got := g.Value(b); got != "hello  world" {
+		t.Errorf("Value(b) = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString(`<a><b></a>`); err == nil {
+		t.Errorf("mismatched tags accepted")
+	}
+	if _, err := ParseString(`<a id="x"/><a id="x"/>`); err == nil {
+		t.Errorf("duplicate ids accepted")
+	}
+	if _, err := ParseString(`<a idref="nowhere"/>`); err == nil {
+		t.Errorf("unresolved idref accepted")
+	}
+	l := NewLoader()
+	l.IgnoreUnresolved = true
+	if err := l.LoadDocument(strings.NewReader(`<a idref="nowhere"/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Resolve(); err != nil {
+		t.Errorf("IgnoreUnresolved still failed: %v", err)
+	}
+}
+
+func TestMultiDocumentDatabase(t *testing.T) {
+	l := NewLoader()
+	if err := l.LoadDocument(strings.NewReader(`<doc1><x id="i1"/></doc1>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LoadDocument(strings.NewReader(`<doc2><y idref="i1"/></doc2>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	g := l.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Both document roots hang off the artificial ROOT.
+	if got := g.OutDegree(g.Root()); got != 2 {
+		t.Errorf("root out-degree = %d, want 2", got)
+	}
+	// Cross-document IDREF resolved.
+	if g.NumIDRefEdges() != 1 {
+		t.Errorf("cross-document idref not resolved")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	g1, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(g1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() ||
+		g1.NumIDRefEdges() != g2.NumIDRefEdges() {
+		t.Errorf("round trip changed counts: (%d,%d,%d) vs (%d,%d,%d)\n%s",
+			g1.NumNodes(), g1.NumEdges(), g1.NumIDRefEdges(),
+			g2.NumNodes(), g2.NumEdges(), g2.NumIDRefEdges(), buf.String())
+	}
+	// The bisimulation structure must survive the round trip.
+	m1 := partition.CoarsestStable(g1, partition.ByLabel(g1)).NumBlocks()
+	m2 := partition.CoarsestStable(g2, partition.ByLabel(g2)).NumBlocks()
+	if m1 != m2 {
+		t.Errorf("minimum 1-index size changed across round trip: %d vs %d", m1, m2)
+	}
+}
+
+func TestWriteEscaping(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	a := g.AddNode("a")
+	if err := g.AddEdge(r, a, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	g.SetValue(a, `x < y & "z"`)
+	var buf bytes.Buffer
+	if err := Write(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	var a2 graph.NodeID = graph.InvalidNode
+	g2.EachNode(func(v graph.NodeID) {
+		if g2.LabelName(v) == "a" {
+			a2 = v
+		}
+	})
+	if got := g2.Value(a2); got != `x < y & "z"` {
+		t.Errorf("escaped value round trip = %q", got)
+	}
+}
+
+func TestWriteNoRoot(t *testing.T) {
+	g := graph.New()
+	if err := Write(g, &bytes.Buffer{}); err == nil {
+		t.Errorf("Write on rootless graph should fail")
+	}
+}

@@ -1,0 +1,385 @@
+// Package structix is a from-scratch Go implementation of incrementally
+// maintained XML structural indexes, reproducing Yi, He, Stanoi and Yang,
+// "Incremental Maintenance of XML Structural Indexes" (SIGMOD 2004).
+//
+// It provides:
+//
+//   - a graph data model for XML and other semistructured data, with an
+//     XML loader/writer (ParseXML, WriteXML) built on encoding/xml;
+//   - the 1-index (bisimulation structural index) with the paper's
+//     split/merge incremental maintenance under edge insertion, edge
+//     deletion, and subgraph addition/deletion — always minimal, and
+//     minimum on acyclic data (Theorem 1);
+//   - the A(k)-index family A(0..k) with refinement-tree organization and
+//     split/merge maintenance that keeps the unique minimum family on any
+//     data, cyclic or not (Theorem 2);
+//   - the competing baselines the paper evaluates (propagate, index
+//     reconstruction, the simple A(k) algorithm), plus the strong
+//     DataGuide and an incrementally maintained D(k)-index (the extension
+//     the paper's conclusion conjectures);
+//   - a path-expression engine (labels, *, //, predicates) that evaluates
+//     directly, via the 1-index (precise), via any A(l) level with
+//     validation, or value-first through an inverted value index — with a
+//     Planner choosing the cheapest exact route per expression;
+//   - persistence (versioned binary, optional gzip), write-ahead-style op
+//     journals for snapshot+replay recovery, textual update scripts, and
+//     RWMutex wrappers for concurrent querying under serialized updates;
+//   - XMark- and IMDB-shaped dataset generators and the full experiment
+//     harness regenerating every figure and table of the paper (§7).
+//
+// # Quick start
+//
+//	g, err := structix.ParseXMLString(doc)
+//	idx := structix.BuildOneIndex(g)
+//	hits := structix.EvalOneIndex(structix.MustParsePath("//person/name"), idx)
+//	err = idx.InsertEdge(u, v, structix.IDRef) // index stays minimal
+//
+// The exported names are aliases of the implementation packages under
+// internal/, so the full method sets documented there are available on the
+// types below.
+package structix
+
+import (
+	"io"
+
+	"structix/internal/akindex"
+	"structix/internal/baseline"
+	"structix/internal/datagen"
+	"structix/internal/dataguide"
+	"structix/internal/dkindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+	"structix/internal/opscript"
+	"structix/internal/partition"
+	"structix/internal/persist"
+	"structix/internal/query"
+	"structix/internal/valindex"
+	"structix/internal/workload"
+	"structix/internal/xmlload"
+)
+
+// Graph is the directed labeled data-graph model of §3 (see
+// internal/graph for the full API: node/edge mutation, traversal,
+// validation, DOT export).
+type Graph = graph.Graph
+
+// NodeID identifies a data node (dnode).
+type NodeID = graph.NodeID
+
+// EdgeKind distinguishes object-subobject (Tree) from IDREF edges.
+type EdgeKind = graph.EdgeKind
+
+// Edge kinds.
+const (
+	Tree  = graph.Tree
+	IDRef = graph.IDRef
+)
+
+// InvalidNode is the sentinel "no node" value.
+const InvalidNode = graph.InvalidNode
+
+// Subgraph is a detached rooted subgraph for the batched subgraph
+// operations of §5.2.
+type Subgraph = graph.Subgraph
+
+// NewGraph creates an empty data graph.
+func NewGraph() *Graph { return graph.New() }
+
+// Extract captures the subtree rooted at root (following only tree edges
+// when skipIDRef is set) together with its boundary-crossing edges.
+func Extract(g *Graph, root NodeID, skipIDRef bool) *Subgraph {
+	return graph.Extract(g, root, skipIDRef)
+}
+
+// ---- XML ----
+
+// XMLLoader accumulates multiple XML documents into one data graph.
+type XMLLoader = xmlload.Loader
+
+// NewXMLLoader creates a loader with an empty database graph.
+func NewXMLLoader() *XMLLoader { return xmlload.NewLoader() }
+
+// ParseXML parses each reader as one XML document and combines them into a
+// single data graph under an artificial ROOT, resolving id/idref(s)
+// attributes into IDREF edges.
+func ParseXML(readers ...io.Reader) (*Graph, error) { return xmlload.Parse(readers...) }
+
+// ParseXMLString parses a single XML document from a string.
+func ParseXMLString(doc string) (*Graph, error) { return xmlload.ParseString(doc) }
+
+// WriteXML serializes the graph back to XML (tree edges as nesting, IDREF
+// edges as idref attributes).
+func WriteXML(g *Graph, w io.Writer) error { return xmlload.Write(g, w) }
+
+// ---- 1-index ----
+
+// OneIndex is the bisimulation 1-index with split/merge maintenance (§5).
+type OneIndex = oneindex.Index
+
+// OneINodeID identifies a 1-index inode.
+type OneINodeID = oneindex.INodeID
+
+// BuildOneIndex constructs the minimum 1-index of g.
+func BuildOneIndex(g *Graph) *OneIndex { return oneindex.Build(g) }
+
+// ---- A(k)-index ----
+
+// AkIndex is the A(0..k) index family with refinement-tree organization
+// and split/merge maintenance (§6).
+type AkIndex = akindex.Index
+
+// AkINodeID identifies an A(k)-index inode (at any level).
+type AkINodeID = akindex.INodeID
+
+// AkStorage is the Table 3 storage report.
+type AkStorage = akindex.Storage
+
+// BuildAkIndex constructs the minimum A(0..k) family of g.
+func BuildAkIndex(g *Graph, k int) *AkIndex { return akindex.Build(g, k) }
+
+// ---- baselines ----
+
+// Propagate is the split-only 1-index maintainer of Kaushik et al. with
+// optional reconstruction (the paper's main 1-index baseline).
+type Propagate = baseline.Propagate
+
+// NewPropagate wraps an index in a propagate maintainer; threshold > 0
+// enables the 5%-style reconstruction trigger.
+func NewPropagate(x *OneIndex, threshold float64) *Propagate {
+	return baseline.NewPropagate(x, threshold)
+}
+
+// SimpleAk is the simple stand-alone A(k) maintainer of Qun et al. (the
+// paper's A(k) baseline).
+type SimpleAk = baseline.SimpleAk
+
+// NewSimpleAk builds a stand-alone A(k)-index with simple maintenance.
+func NewSimpleAk(g *Graph, k int, threshold float64) *SimpleAk {
+	return baseline.NewSimpleAk(g, k, threshold)
+}
+
+// ReconstructOneIndex rebuilds a 1-index with the index-graph
+// reconstruction of Kaushik et al., recovering the minimum.
+func ReconstructOneIndex(x *OneIndex) *OneIndex { return baseline.ReconstructOneIndex(x) }
+
+// ---- queries ----
+
+// Path is a parsed path expression (labels, *, / and // steps).
+type Path = query.Path
+
+// ParsePath parses a path expression such as "/site//person/name".
+func ParsePath(expr string) (*Path, error) { return query.Parse(expr) }
+
+// MustParsePath parses a known-good expression, panicking on error.
+func MustParsePath(expr string) *Path { return query.MustParse(expr) }
+
+// EvalGraph evaluates a path expression by direct graph traversal.
+func EvalGraph(p *Path, g *Graph) []NodeID { return query.EvalGraph(p, g) }
+
+// EvalOneIndex evaluates via the 1-index (precise for this language).
+func EvalOneIndex(p *Path, x *OneIndex) []NodeID { return query.EvalOneIndex(p, x) }
+
+// EvalAk evaluates via the A(k)-index without validation (safe, may
+// contain false positives for expressions longer than k).
+func EvalAk(p *Path, x *AkIndex) []NodeID { return query.EvalAk(p, x) }
+
+// EvalAkValidated evaluates via the A(k)-index and removes false positives
+// with the validation step of [9].
+func EvalAkValidated(p *Path, x *AkIndex) []NodeID { return query.EvalAkValidated(p, x) }
+
+// EvalAkLevel evaluates on the A(l)-index inside the family (the §6
+// optional structure): smaller graph, safe result, precise for anchored
+// expressions of length ≤ l.
+func EvalAkLevel(p *Path, x *AkIndex, l int) []NodeID { return query.EvalAkLevel(p, x, l) }
+
+// EvalAkLevelValidated is EvalAkLevel plus validation: the exact result.
+func EvalAkLevelValidated(p *Path, x *AkIndex, l int) []NodeID {
+	return query.EvalAkLevelValidated(p, x, l)
+}
+
+// Planner picks the cheapest exact evaluation route (A(l) level, validated
+// A(k), 1-index, or direct traversal) for each expression, given whichever
+// indexes exist.
+type Planner = query.Planner
+
+// QueryPlan is a chosen strategy with an EXPLAIN-style rationale.
+type QueryPlan = query.Plan
+
+// Evaluation strategies a Planner can choose.
+const (
+	StrategyValueIndex  = query.StrategyValueIndex
+	StrategyAkLevel     = query.StrategyAkLevel
+	StrategyAkValidated = query.StrategyAkValidated
+	StrategyOneIndex    = query.StrategyOneIndex
+	StrategyDirect      = query.StrategyDirect
+)
+
+// ValueIndex is the inverted value index (value → dnodes), used directly
+// or as a Planner accelerator for value predicates.
+type ValueIndex = valindex.Index
+
+// BuildValueIndex indexes every non-empty node value of g.
+func BuildValueIndex(g *Graph) *ValueIndex { return valindex.Build(g) }
+
+// CountOneIndex returns the exact result size of p computed from the
+// 1-index alone (selectivity-estimation use of structural indexes, §1).
+func CountOneIndex(p *Path, x *OneIndex) int { return query.CountOneIndex(p, x) }
+
+// CountAk returns an upper bound on the result size of p from the
+// A(k)-index alone.
+func CountAk(p *Path, x *AkIndex) int { return query.CountAk(p, x) }
+
+// Selectivity returns the exact fraction of dnodes matching p, from the
+// 1-index.
+func Selectivity(p *Path, x *OneIndex) float64 { return query.Selectivity(p, x) }
+
+// ---- DataGuide ----
+
+// DataGuide is the strong DataGuide of Goldman & Widom — the related-work
+// summary the 1-index improves on (§2). Exact for path queries, but
+// potentially exponential on non-tree data.
+type DataGuide = dataguide.Guide
+
+// ErrDataGuideTooLarge is returned when subset construction exceeds the
+// state budget.
+var ErrDataGuideTooLarge = dataguide.ErrTooLarge
+
+// BuildDataGuide constructs the strong DataGuide with the given state
+// budget (≤ 0 for a default).
+func BuildDataGuide(g *Graph, maxStates int) (*DataGuide, error) {
+	return dataguide.Build(g, maxStates)
+}
+
+// ---- D(k)-index ----
+
+// DkIndex is the adaptive D(k)-index of Qun et al., maintained
+// incrementally as a cut over the A(0..kmax) family — the extension §8 of
+// the paper conjectures (see internal/dkindex for the derivation).
+type DkIndex = dkindex.Index
+
+// DkConfig assigns per-label locality targets for a D(k)-index.
+type DkConfig = dkindex.Config
+
+// BuildDkIndex constructs an incrementally maintained D(k)-index.
+func BuildDkIndex(g *Graph, cfg DkConfig) (*DkIndex, error) {
+	return dkindex.Build(g, cfg)
+}
+
+// ---- datasets and workloads ----
+
+// XMarkConfig configures the XMark-shaped generator.
+type XMarkConfig = datagen.XMarkConfig
+
+// IMDBConfig configures the IMDB-shaped generator.
+type IMDBConfig = datagen.IMDBConfig
+
+// GenerateXMark builds an auction-site graph with the given cyclicity.
+func GenerateXMark(cfg XMarkConfig) *Graph { return datagen.XMark(cfg) }
+
+// DefaultXMark scales the paper's XMark instance down by scale.
+func DefaultXMark(scale int, cyclicity float64, seed int64) XMarkConfig {
+	return datagen.DefaultXMark(scale, cyclicity, seed)
+}
+
+// GenerateIMDB builds a movie-database graph with clustered IDREF cycles.
+func GenerateIMDB(cfg IMDBConfig) *Graph { return datagen.IMDB(cfg) }
+
+// DefaultIMDB scales the paper's IMDB extract down by scale.
+func DefaultIMDB(scale int, seed int64) IMDBConfig { return datagen.DefaultIMDB(scale, seed) }
+
+// UpdateOp is one scripted edge update.
+type UpdateOp = workload.Op
+
+// MixedUpdateScript prepares the §7.1 mixed workload: it moves removeFrac
+// of g's IDREF edges into an insertion pool (removing them from g) and
+// returns a deterministic script of insert/delete pairs.
+func MixedUpdateScript(g *Graph, removeFrac float64, pairs int, seed int64) []UpdateOp {
+	return workload.MixedScript(g, removeFrac, pairs, seed)
+}
+
+// MinimumOneIndexSize computes the number of inodes in the minimum 1-index
+// of g by from-scratch construction (the denominator of the paper's
+// quality metric).
+func MinimumOneIndexSize(g *Graph) int {
+	return partition.CoarsestStable(g, partition.ByLabel(g)).NumBlocks()
+}
+
+// MinimumAkIndexSize computes the number of inodes in the minimum
+// A(k)-index of g by from-scratch construction.
+func MinimumAkIndexSize(g *Graph, k int) int {
+	return partition.KBisimLevels(g, k)[k].NumBlocks()
+}
+
+// ---- persistence ----
+
+// Database bundles a graph with its (optional) indexes for persistence.
+type Database = persist.Database
+
+// SaveDatabase writes a graph and its indexes to a versioned binary stream.
+func SaveDatabase(w io.Writer, db *Database) error { return persist.SaveDatabase(w, db) }
+
+// LoadDatabase reads a stream written by SaveDatabase; the loaded indexes
+// are bound to the loaded graph and ready for maintained updates.
+func LoadDatabase(r io.Reader) (*Database, error) { return persist.LoadDatabase(r) }
+
+// SaveDatabaseCompressed is SaveDatabase through gzip.
+func SaveDatabaseCompressed(w io.Writer, db *Database) error {
+	return persist.SaveDatabaseCompressed(w, db)
+}
+
+// LoadDatabaseAuto loads a database stream whether or not it is gzipped.
+func LoadDatabaseAuto(r io.Reader) (*Database, error) { return persist.LoadDatabaseAuto(r) }
+
+// SaveGraph writes just the data graph, preserving NodeIDs exactly.
+func SaveGraph(w io.Writer, g *Graph) error { return persist.SaveGraph(w, g) }
+
+// LoadGraph reads a graph written by SaveGraph.
+func LoadGraph(r io.Reader) (*Graph, error) { return persist.LoadGraph(r) }
+
+// ---- update scripts ----
+
+// ScriptOp is one operation of a textual update script (see
+// internal/opscript for the format).
+type ScriptOp = opscript.Op
+
+// OpResult summarizes an applied script.
+type OpResult = opscript.Result
+
+// ParseOps reads an update script.
+func ParseOps(r io.Reader) ([]ScriptOp, error) { return opscript.Parse(r) }
+
+// FormatOps writes an update script.
+func FormatOps(w io.Writer, ops []ScriptOp) error { return opscript.Format(w, ops) }
+
+// GenerateMixedOps produces a mixed edge-update script valid against the
+// graph as it stands (no preparatory mutation).
+func GenerateMixedOps(g *Graph, pairs int, seed int64) []ScriptOp {
+	return opscript.GenerateMixed(g, pairs, seed)
+}
+
+// ApplyOps runs a script against one maintained index (either family).
+func ApplyOps(x opscript.Target, ops []ScriptOp) (OpResult, error) {
+	return opscript.Apply(x, ops)
+}
+
+// ApplyOpsShared runs an edge-update script against several indexes
+// sharing one graph: each graph mutation happens once, every index follows
+// incrementally.
+func ApplyOpsShared(g *Graph, ops []ScriptOp, targets ...opscript.EdgeTarget) (OpResult, error) {
+	return opscript.ApplyShared(g, ops, targets...)
+}
+
+// Journal wraps a maintained index with a write-ahead-style op log;
+// snapshot (SaveDatabase) + journal replay (ReplayOps) reconstructs lost
+// state exactly.
+type Journal = opscript.Journal
+
+// NewJournal attaches an op log to a maintained index.
+func NewJournal(target opscript.Target, w io.Writer) *Journal {
+	return opscript.NewJournal(target, w)
+}
+
+// ReplayOps applies a journal stream to a snapshot-restored index.
+func ReplayOps(x opscript.Target, r io.Reader) (OpResult, error) {
+	return opscript.Replay(x, r)
+}
