@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench fuzz examples experiments clean
+.PHONY: all build vet test test-short race cover bench bench-batch fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -27,11 +27,17 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Batched (ApplyBatch) vs per-edge maintenance; see BENCH_batch.json for
+# the committed xsibench run of the same comparison.
+bench-batch:
+	$(GO) test -bench=Batch -benchmem .
+
 # Short fuzzing pass over every fuzz target (seed corpora always run as
 # part of `make test`).
 fuzz:
 	$(GO) test -fuzz=FuzzMaintenance -fuzztime=20s ./internal/oneindex/
 	$(GO) test -fuzz=FuzzMaintenance -fuzztime=20s ./internal/akindex/
+	$(GO) test -fuzz=FuzzBatchOps -fuzztime=20s ./internal/akindex/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/xmlload/
 	$(GO) test -fuzz=FuzzLoaderMultiDoc -fuzztime=10s ./internal/xmlload/
 
@@ -48,6 +54,12 @@ examples:
 # EXPERIMENTS.md for the -scale trade-off.
 experiments:
 	$(GO) run ./cmd/xsibench -exp all -scale 16
+
+# What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests
+# and a one-iteration smoke pass over the batch benchmarks.
+ci: build vet
+	$(GO) test -race ./...
+	$(GO) test -bench=Batch -benchtime=1x .
 
 clean:
 	$(GO) clean ./...

@@ -34,6 +34,7 @@ func benchPairs(b *testing.B, g *structix.Graph, m maintainer, pool []structix.U
 	if len(pool) == 0 {
 		b.Skip("empty pool")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op := pool[i%len(pool)]
@@ -380,3 +381,112 @@ func BenchmarkAblation_SmallerHalfRule(b *testing.B) {
 // edges one at a time through the ordinary algorithm after raw node
 // insertion is not separable through the public API; the closest proxy is
 // subtree size sensitivity, exercised by BenchmarkFig12 variants above.
+
+// ---- Batched maintenance (ApplyBatch) vs per-edge maintenance ----
+
+// batchMaintainer is a maintainer that also accepts whole batches.
+type batchMaintainer interface {
+	maintainer
+	ApplyBatch(ops []structix.EdgeOp) error
+}
+
+// batchPools builds an XMark graph (scaled up — scale divides the paper's
+// instance, so halving it doubles the graph — until its IDREF pool can
+// supply n distinct absent edges) plus the matching insert and delete
+// batches. Applying inserts then deletes restores the graph, so one
+// benchmark iteration is the pair and the state is stable for any b.N.
+func batchPools(b *testing.B, n int) (*structix.Graph, []structix.EdgeOp, []structix.EdgeOp) {
+	b.Helper()
+	for scale := benchScale; ; scale /= 2 {
+		g := structix.GenerateXMark(structix.DefaultXMark(scale, 1, 1))
+		pool := insertPool(g, 1)
+		if len(pool) < n {
+			if scale <= 1 {
+				b.Skipf("cannot build a pool of %d edges", n)
+			}
+			continue
+		}
+		inserts := make([]structix.EdgeOp, 0, n)
+		deletes := make([]structix.EdgeOp, 0, n)
+		for _, op := range pool[:n] {
+			inserts = append(inserts, structix.InsertOp(op.U, op.V, structix.IDRef))
+			deletes = append(deletes, structix.DeleteOp(op.U, op.V))
+		}
+		return g, inserts, deletes
+	}
+}
+
+// benchBatchVsSequential reports the cost of applying the same n-edge
+// insert+delete workload per-edge ("sequential") and as two ApplyBatch
+// calls ("batched").
+func benchBatchVsSequential(b *testing.B, n int, build func(g *structix.Graph) batchMaintainer) {
+	b.Run("sequential", func(b *testing.B) {
+		g, inserts, deletes := batchPools(b, n)
+		m := build(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, op := range inserts {
+				if err := m.InsertEdge(op.U, op.V, op.Kind); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, op := range deletes {
+				if err := m.DeleteEdge(op.U, op.V); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		g, inserts, deletes := batchPools(b, n)
+		m := build(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.ApplyBatch(inserts); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.ApplyBatch(deletes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBatch_OneIndex_10(b *testing.B) {
+	benchBatchVsSequential(b, 10, func(g *structix.Graph) batchMaintainer {
+		return structix.BuildOneIndex(g)
+	})
+}
+
+func BenchmarkBatch_OneIndex_100(b *testing.B) {
+	benchBatchVsSequential(b, 100, func(g *structix.Graph) batchMaintainer {
+		return structix.BuildOneIndex(g)
+	})
+}
+
+func BenchmarkBatch_OneIndex_1000(b *testing.B) {
+	benchBatchVsSequential(b, 1000, func(g *structix.Graph) batchMaintainer {
+		return structix.BuildOneIndex(g)
+	})
+}
+
+func BenchmarkBatch_Ak(b *testing.B) {
+	for _, n := range []int{10, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchBatchVsSequential(b, n, func(g *structix.Graph) batchMaintainer {
+				return structix.BuildAkIndex(g, 3)
+			})
+		})
+	}
+}
+
+// BenchmarkBatch_Concurrent measures the lock-amortization angle: a batch
+// through ConcurrentOneIndex costs one write-lock acquisition instead of
+// one per edge.
+func BenchmarkBatch_Concurrent(b *testing.B) {
+	benchBatchVsSequential(b, 100, func(g *structix.Graph) batchMaintainer {
+		return structix.NewConcurrentOneIndex(structix.BuildOneIndex(g))
+	})
+}

@@ -14,11 +14,13 @@
 //	xsibench -exp intermediate             # §5.1 transient-growth claim
 //	xsibench -exp dk                       # adaptive D(k) extension (§8)
 //	xsibench -exp skew                     # hot-spot robustness probe
+//	xsibench -exp batch                    # ApplyBatch vs per-edge updates
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
 // and -subgraphs override the update counts; -csv DIR additionally writes
-// the quality curves as CSV for plotting.
+// the quality curves as CSV for plotting; -json FILE writes the batch
+// experiment's machine-readable result (BENCH_batch.json).
 package main
 
 import (
@@ -40,10 +42,11 @@ func main() {
 		subgraphs = flag.Int("subgraphs", 0, "subgraph count for fig12 (0 = paper default scaled)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		csvDir    = flag.String("csv", "", "also write quality curves as CSV files into this directory")
+		jsonPath  = flag.String("json", "", "write the batch experiment result as JSON to this file")
 	)
 	flag.Parse()
 
-	r := runner{scale: *scale, seed: *seed, pairs: *pairs, subgraphs: *subgraphs, csvDir: *csvDir}
+	r := runner{scale: *scale, seed: *seed, pairs: *pairs, subgraphs: *subgraphs, csvDir: *csvDir, jsonPath: *jsonPath}
 	switch *exp {
 	case "all":
 		r.fig9()
@@ -55,6 +58,7 @@ func main() {
 		r.intermediate()
 		r.dk()
 		r.skew()
+		r.batch()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -73,6 +77,8 @@ func main() {
 		r.dk()
 	case "skew":
 		r.skew()
+	case "batch":
+		r.batch()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -85,6 +91,7 @@ type runner struct {
 	pairs     int
 	subgraphs int
 	csvDir    string
+	jsonPath  string
 }
 
 // writeCSV drops a quality-curve CSV next to the textual report when -csv
@@ -254,4 +261,29 @@ func (r runner) queryPerf() {
 		"//item/incategory/category/name",
 	}, 3, 5)
 	experiments.ReportQueryPerf(os.Stdout, rs)
+}
+
+func (r runner) batch() {
+	d := experiments.Dataset{Name: "XMark(1)", Cyclicity: 1}
+	cfg := experiments.DefaultBatchConfig(r.seed)
+	// The N=1000 row needs a pool of ≥1000 absent IDREF edges — roughly
+	// 1/5000th of the paper instance's 30k IDREF edges per unit of scale —
+	// so build this dataset at a scale that can supply it.
+	scale := r.scale
+	if scale > 8 {
+		scale = 8
+	}
+	res := experiments.RunBatch(d.Name, d.Build(scale, r.seed), cfg)
+	experiments.ReportBatch(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteBatchJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
 }

@@ -40,6 +40,15 @@ func (c *ConcurrentOneIndex) DeleteEdge(u, v NodeID) error {
 	return c.idx.DeleteEdge(u, v)
 }
 
+// ApplyBatch applies a batch of edge updates under a single write-lock
+// acquisition — one lock round-trip for the whole batch instead of one per
+// operation, on top of the batched maintenance savings themselves.
+func (c *ConcurrentOneIndex) ApplyBatch(ops []EdgeOp) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.ApplyBatch(ops)
+}
+
 // AddSubgraph grafts a subgraph under the write lock.
 func (c *ConcurrentOneIndex) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
 	c.mu.Lock()
@@ -127,6 +136,49 @@ func (c *ConcurrentAkIndex) DeleteEdge(u, v NodeID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.idx.DeleteEdge(u, v)
+}
+
+// ApplyBatch applies a batch of edge updates under a single write-lock
+// acquisition.
+func (c *ConcurrentAkIndex) ApplyBatch(ops []EdgeOp) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.ApplyBatch(ops)
+}
+
+// AddSubgraph grafts a subgraph under the write lock.
+func (c *ConcurrentAkIndex) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.AddSubgraph(sg)
+}
+
+// DeleteSubgraph removes a subtree under the write lock.
+func (c *ConcurrentAkIndex) DeleteSubgraph(root NodeID, skipIDRef bool) (*Subgraph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.DeleteSubgraph(root, skipIDRef)
+}
+
+// InsertNode adds a node under the write lock.
+func (c *ConcurrentAkIndex) InsertNode(label graph.LabelID, parent NodeID, kind EdgeKind) (NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.InsertNode(label, parent, kind)
+}
+
+// DeleteNode removes a node under the write lock.
+func (c *ConcurrentAkIndex) DeleteNode(v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.DeleteNode(v)
+}
+
+// Count returns an upper bound on the result size under the read lock.
+func (c *ConcurrentAkIndex) Count(p *Path) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CountAk(p, c.idx)
 }
 
 // Eval evaluates with validation under the read lock.

@@ -1,0 +1,193 @@
+package akindex
+
+import (
+	"sort"
+
+	"structix/internal/graph"
+)
+
+// ApplyBatch applies a sequence of edge updates as one maintenance round:
+// every operation is first ingested into the data graph and the iedge
+// counts, recording for each affected dnode the lowest level at which some
+// operation disturbed its index membership; then one split phase runs over
+// the deduplicated compound-block worklist; finally one upward merge sweep
+// restores the unique minimum family.
+//
+// The result equals applying the operations one at a time (Theorem 2: the
+// minimum A(0..k) family is unique on any graph, cyclic or not), at a
+// fraction of the cost: E operations share one split phase and one merge
+// sweep instead of running E of each. The per-operation affectedness level
+// is the same largest-stable-level test as the per-edge path; it is
+// evaluated against the pre-batch partition, which stays fixed during
+// ingestion because splits are deferred. Taking the minimum level over a
+// dnode's operations is conservative — extra singling out is undone by the
+// merge sweep.
+//
+// Operations are ingested in order; an operation may therefore delete an
+// edge inserted earlier in the same batch. If an operation fails (duplicate
+// insert, missing delete), the maintenance phases still run for the prefix
+// already ingested — the family is left valid and minimal — and the error
+// is returned.
+func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	x.Stats.Batches++
+	if x.batchLevel == nil {
+		x.batchLevel = make(map[graph.NodeID]int)
+	}
+	var firstErr error
+	for _, op := range ops {
+		if op.Insert {
+			// As in InsertEdge: the stable level is computed before the edge
+			// exists so the new edge itself is not counted as a parent.
+			i := x.largestStableLevel(op.U, op.V, graph.InvalidNode)
+			if err := x.g.AddEdge(op.U, op.V, op.Kind); err != nil {
+				firstErr = err
+				break
+			}
+			x.addEdgeCounts(op.U, op.V, 1)
+			x.noteBatchOp(op.V, i)
+		} else {
+			if err := x.g.DeleteEdge(op.U, op.V); err != nil {
+				firstErr = err
+				break
+			}
+			x.addEdgeCounts(op.U, op.V, -1)
+			x.noteBatchOp(op.V, x.largestStableLevel(op.U, op.V, graph.InvalidNode))
+		}
+	}
+	x.finishBatch()
+	return firstErr
+}
+
+// noteBatchOp records one ingested operation with stable level i for sink
+// v: levels i+2..k of v need re-derivation. i ≥ k−1 makes that range empty
+// (a no-change op); otherwise v joins the batch's affected set
+// (deduplicated through bit 4 of the mark array) keeping the minimum level
+// seen.
+func (x *Index) noteBatchOp(v graph.NodeID, i int) {
+	if i >= x.k-1 {
+		x.Stats.UpdatesNoChange++
+		return
+	}
+	x.Stats.UpdatesMaintained++
+	if x.mark[v]&4 == 0 {
+		x.mark[v] |= 4
+		x.batchAffected = append(x.batchAffected, v)
+		x.batchLevel[v] = i
+	} else if i < x.batchLevel[v] {
+		x.batchLevel[v] = i
+	}
+}
+
+// finishBatch runs the deferred phases over the accumulated affected set:
+// one split phase seeded with every affected dnode at its recorded level,
+// then one upward merge sweep over the frontier of inodes the batch touched.
+func (x *Index) finishBatch() {
+	if len(x.batchAffected) == 0 {
+		return
+	}
+	sort.Slice(x.batchAffected, func(i, j int) bool {
+		return x.batchAffected[i] < x.batchAffected[j]
+	})
+	ctx := x.splitter()
+	ctx.collect = true
+	for _, v := range x.batchAffected {
+		x.mark[v] &^= 4
+		x.seedSplit(ctx, v, x.batchLevel[v])
+	}
+	x.batchAffected = x.batchAffected[:0]
+	clear(x.batchLevel)
+	ctx.run()
+	ctx.collect = false
+	x.mergeFrontier()
+}
+
+// mergeFrontier is the deferred minimization pass. A pair of level-l inodes
+// can have *become* mergeable only if the batch changed the inter-iedge
+// predecessor set of at least one of them (the family was minimum before):
+// those are exactly the update targets, hats and shrunken split originals
+// collected in x.frontier, plus — transitively — consequences of performed
+// merges, which the drain covers through both the inter-iedge successors
+// and the refinement-tree children of each merged inode. Splits alone
+// cannot equalize two untouched predecessor sets (they replace a
+// predecessor by a non-empty subset of its parts, and part families of
+// distinct predecessors are disjoint), so the frontier finds every newly
+// mergeable pair without a global scan.
+//
+// The sweep runs strictly upward: level l−1 is minimal before the level-l
+// frontier is processed, which makes the sibling-only candidate search
+// complete — with A(l−1) minimal, equal label and predecessor sets imply
+// extents in the same A(l−1) block, i.e. a shared refinement-tree parent.
+// Frontier ids freed by earlier merges (or by the split phase and since
+// reused — the reusing hat is itself in the frontier) are skipped or
+// harmlessly re-checked; merging frees inodes but never allocates, so live
+// entries keep their identity throughout the sweep.
+// Rather than searching a sibling partner per frontier inode — which
+// re-keys the same sibling sets once per entry — the sweep visits the
+// distinct refinement-tree *parents* of the frontier, bucketed by parent
+// level, and runs one keyed group-scan over each parent's children
+// (mergeAmongChildren): with the level below final, a merge partner is
+// necessarily a sibling, so the scan finds every partner while keying each
+// sibling set once.
+func (x *Index) mergeFrontier() {
+	f := x.frontier
+	sort.Slice(f, func(i, j int) bool { return f[i] < f[j] })
+	parents := make([][]INodeID, x.k) // distinct parents by parent level
+	prev := NoINode
+	for _, i := range f {
+		if i == prev || x.nodes[i] == nil {
+			continue
+		}
+		prev = i
+		if p := x.nodes[i].parent; p != NoINode {
+			parents[int(x.nodes[p].level)] = append(parents[int(x.nodes[p].level)], p)
+		}
+	}
+	x.frontier = f[:0]
+
+	cascade := make([][]INodeID, x.k) // queue buckets for levels 1..k-1
+	push := func(l int, id INodeID) {
+		cascade[l] = append(cascade[l], id)
+	}
+	for l := 0; l <= x.k-1; l++ {
+		ps := parents[l]
+		sort.Slice(ps, func(a, b int) bool { return ps[a] < ps[b] })
+		pv := NoINode
+		for _, p := range ps {
+			if p == pv {
+				continue
+			}
+			pv = p
+			if x.nodes[p] == nil {
+				continue // absorbed by an earlier merge; children rehung
+			}
+			x.mergeAmongChildren(p, push)
+		}
+		x.drainBatchMerges(cascade, push)
+	}
+}
+
+// drainBatchMerges is the batch variant of drainMerges: each popped inode
+// additionally scans its refinement-tree children (see mergeAmongChildren).
+func (x *Index) drainBatchMerges(byLevel [][]INodeID, push func(int, INodeID)) {
+	for {
+		var cur INodeID = NoINode
+		for l := range byLevel {
+			if n := len(byLevel[l]); n > 0 {
+				cur = byLevel[l][n-1]
+				byLevel[l] = byLevel[l][:n-1]
+				break
+			}
+		}
+		if cur == NoINode {
+			return
+		}
+		if x.nodes[cur] == nil {
+			continue // absorbed by a later merge while queued
+		}
+		x.mergeAmongChildren(cur, push)
+		x.mergeAmongSuccessors(cur, push)
+	}
+}

@@ -6,6 +6,24 @@ import (
 	"structix/internal/graph"
 )
 
+// fuzzGraph builds the small fixed host graph the fuzz targets mutate:
+// a root plus 8 nodes over 3 labels, wired into a tree-ish base.
+func fuzzGraph(t *testing.T) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	g := graph.New()
+	r := g.AddRoot()
+	labels := []string{"a", "b", "c"}
+	nodes := []graph.NodeID{r}
+	for i := 0; i < 8; i++ {
+		v := g.AddNode(labels[i%len(labels)])
+		if err := g.AddEdge(nodes[i%len(nodes)], v, graph.Tree); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, v)
+	}
+	return g, nodes
+}
+
 // FuzzMaintenance interprets bytes as an update script over a small graph
 // and checks that the maintained family is the minimum A(0..k) after every
 // operation (Theorem 2), for k = 1 + (first byte mod 4).
@@ -22,17 +40,8 @@ func FuzzMaintenance(f *testing.F) {
 		if len(script) > 48 {
 			script = script[:48]
 		}
-		g := graph.New()
-		r := g.AddRoot()
-		labels := []string{"a", "b", "c"}
-		nodes := []graph.NodeID{r}
-		for i := 0; i < 8; i++ {
-			v := g.AddNode(labels[i%len(labels)])
-			if err := g.AddEdge(nodes[i%len(nodes)], v, graph.Tree); err != nil {
-				t.Fatal(err)
-			}
-			nodes = append(nodes, v)
-		}
+		g, nodes := fuzzGraph(t)
+		r := nodes[0]
 		x := Build(g, k)
 		for i := 0; i+2 < len(script); i += 3 {
 			u := nodes[int(script[i])%len(nodes)]
@@ -60,6 +69,67 @@ func FuzzMaintenance(f *testing.F) {
 			}
 			if !x.IsMinimum() {
 				t.Fatalf("op %d: family not minimum (Theorem 2)", i/3)
+			}
+		}
+	})
+}
+
+// FuzzBatchOps interprets bytes as a sequence of update *batches* pushed
+// through ApplyBatch — the deferred split/merge path — and checks validity
+// and minimality after every batch. Theorem 2 makes the minimum family
+// unique, so minimality after each batch is full behavioural equivalence
+// with per-edge maintenance. Batches deliberately include duplicate
+// inserts, deletions of absent edges and insert-then-delete pairs within
+// one batch; a failing operation must still leave the prefix maintained.
+func FuzzBatchOps(f *testing.F) {
+	f.Add([]byte{2, 4, 1, 5, 0, 2, 6, 1, 3, 7, 0, 4, 8, 1, 5, 2, 0})
+	f.Add([]byte{1, 2, 9, 3, 0, 9, 3, 1, 6, 2, 4, 0, 2, 4, 1})
+	f.Add([]byte{3, 5, 1, 2, 0, 2, 1, 1, 3, 4, 0, 4, 3, 1, 8, 7, 0, 7, 8, 1})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) < 2 {
+			return
+		}
+		k := 1 + int(script[0])%4
+		script = script[1:]
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		g, nodes := fuzzGraph(t)
+		r := nodes[0]
+		x := Build(g, k)
+		for off := 0; off < len(script); {
+			n := 1 + int(script[off])%6
+			off++
+			var ops []graph.EdgeOp
+			for j := 0; j < n && off+2 < len(script); j++ {
+				u := nodes[int(script[off])%len(nodes)]
+				v := nodes[int(script[off+1])%len(nodes)]
+				insert := script[off+2]%2 == 0
+				off += 3
+				if u == v || v == r {
+					continue
+				}
+				if insert {
+					ops = append(ops, graph.InsertOp(u, v, graph.IDRef))
+				} else {
+					ops = append(ops, graph.DeleteOp(u, v))
+				}
+			}
+			if len(ops) == 0 {
+				if off+2 >= len(script) {
+					break
+				}
+				continue
+			}
+			err := x.ApplyBatch(ops)
+			if err != nil && err != graph.ErrEdgeExists && err != graph.ErrNoEdge {
+				t.Fatalf("batch: %v", err)
+			}
+			if err := x.Validate(); err != nil {
+				t.Fatalf("invalid family after batch: %v", err)
+			}
+			if !x.IsMinimum() {
+				t.Fatal("family not minimum after batch (Theorem 2)")
 			}
 		}
 	})

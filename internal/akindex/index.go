@@ -25,6 +25,7 @@ package akindex
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"structix/internal/graph"
@@ -71,6 +72,30 @@ type Index struct {
 	Stats Stats
 
 	mark []uint8 // scratch marking array over dnodes
+
+	// Reusable level-indexed (k+1) scratch paths, so the hot maintenance
+	// paths do not allocate at steady state. Each pair is private to one
+	// non-reentrant routine: pathU/pathP to addEdgeCounts and
+	// largestStableLevel, rpOld/rpNbr to reassignPath, mergePath to
+	// mergeANodes.
+	pathU, pathP []INodeID
+	rpOld, rpNbr []INodeID
+	mergePath    []INodeID
+
+	// split is the reusable split-phase context (created on first use).
+	split *akSplitCtx
+
+	// batch bookkeeping: affected dnodes of an in-flight ApplyBatch with
+	// the lowest stable level seen per dnode (deduplicated via mark bit 4);
+	// frontier collects the inodes whose inter-iedge predecessor sets the
+	// batch may have changed, seeding the deferred merge sweep.
+	batchAffected []graph.NodeID
+	batchLevel    map[graph.NodeID]int
+	frontier      []INodeID
+
+	// key-assembly scratch for predBKey
+	keyPreds []INodeID
+	keyBuf   []byte
 }
 
 // Stats counts maintenance work across all levels.
@@ -79,6 +104,7 @@ type Stats struct {
 	Merges            int
 	UpdatesNoChange   int
 	UpdatesMaintained int
+	Batches           int // ApplyBatch calls
 }
 
 // Build constructs the minimum A(0..k) family for g from scratch using the
@@ -88,6 +114,16 @@ func Build(g *graph.Graph, k int) *Index {
 		panic("akindex: k must be ≥ 1")
 	}
 	return FromLevels(g, partition.KBisimLevels(g, k))
+}
+
+// BuildParallel is Build with each refinement step's signature computation
+// sharded across GOMAXPROCS workers. The resulting family is identical to
+// Build's.
+func BuildParallel(g *graph.Graph, k int) *Index {
+	if k < 1 {
+		panic("akindex: k must be ≥ 1")
+	}
+	return FromLevels(g, partition.KBisimLevelsWith(g, k, partition.Config{Parallel: true}))
 }
 
 // FromLevels constructs an Index over g from the given level partitions
@@ -101,11 +137,16 @@ func FromLevels(g *graph.Graph, levels []*partition.Partition) *Index {
 		panic("akindex: need at least levels 0 and 1")
 	}
 	x := &Index{
-		g:       g,
-		k:       k,
-		inodeOf: make([]INodeID, g.MaxNodeID()),
-		numLive: make([]int, k+1),
-		mark:    make([]uint8, g.MaxNodeID()),
+		g:         g,
+		k:         k,
+		inodeOf:   make([]INodeID, g.MaxNodeID()),
+		numLive:   make([]int, k+1),
+		mark:      make([]uint8, g.MaxNodeID()),
+		pathU:     make([]INodeID, k+1),
+		pathP:     make([]INodeID, k+1),
+		rpOld:     make([]INodeID, k+1),
+		rpNbr:     make([]INodeID, k+1),
+		mergePath: make([]INodeID, k+1),
 	}
 	for i := range x.inodeOf {
 		x.inodeOf[i] = NoINode
@@ -392,8 +433,7 @@ func (x *Index) addIntraCount(src, dst INodeID, delta int32) {
 // addEdgeCounts registers the dedge (u, w) in every boundary count and the
 // intra-k counts, with the given sign.
 func (x *Index) addEdgeCounts(u, w graph.NodeID, delta int32) {
-	pu := make([]INodeID, x.k+1)
-	pw := make([]INodeID, x.k+1)
+	pu, pw := x.pathU, x.pathP
 	x.path(u, pu)
 	x.path(w, pw)
 	for b := 0; b < x.k; b++ {
@@ -407,7 +447,7 @@ func (x *Index) addEdgeCounts(u, w graph.NodeID, delta int32) {
 // affected inter-/intra-iedge count by scanning w's incident dedges.
 // Refinement-tree links of the inodes themselves are the caller's business.
 func (x *Index) reassignPath(w graph.NodeID, newPath []INodeID) {
-	old := make([]INodeID, x.k+1)
+	old := x.rpOld
 	x.path(w, old)
 	changedLo := -1
 	for l := 0; l <= x.k; l++ {
@@ -419,7 +459,7 @@ func (x *Index) reassignPath(w graph.NodeID, newPath []INodeID) {
 	if changedLo < 0 {
 		return
 	}
-	scratch := make([]INodeID, x.k+1)
+	scratch := x.rpNbr
 	x.g.EachPred(w, func(p graph.NodeID, _ graph.EdgeKind) {
 		x.path(p, scratch)
 		for b := 0; b < x.k; b++ {
@@ -467,12 +507,19 @@ func (x *Index) growScratch() {
 // predBKey returns a canonical key of (label, index parents in A(l−1)) for
 // a level-l inode: the merge-eligibility criterion of §6.
 func (x *Index) predBKey(I INodeID) string {
-	preds := x.InterPred(I)
-	b := make([]byte, 0, 4*len(preds)+4)
-	b = appendInt32(b, int32(x.nodes[I].label))
-	for _, p := range preds {
+	n := x.nodes[I]
+	ps := x.keyPreds[:0]
+	for p := range n.predB {
+		ps = append(ps, p)
+	}
+	slices.Sort(ps)
+	x.keyPreds = ps
+	b := x.keyBuf[:0]
+	b = appendInt32(b, int32(n.label))
+	for _, p := range ps {
 		b = appendInt32(b, int32(p))
 	}
+	x.keyBuf = b
 	return string(b)
 }
 

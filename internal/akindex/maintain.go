@@ -73,8 +73,7 @@ func (x *Index) NoteEdgeDeleted(u, v graph.NodeID) {
 // A parent equal to exclude is skipped — used to discount an edge that has
 // already been added to the graph but not yet to the index.
 func (x *Index) largestStableLevel(u, v, exclude graph.NodeID) int {
-	pu := make([]INodeID, x.k+1)
-	pp := make([]INodeID, x.k+1)
+	pu, pp := x.pathU, x.pathP
 	x.path(u, pu)
 	best := -1
 	x.g.EachPred(v, func(p graph.NodeID, _ graph.EdgeKind) {
@@ -102,56 +101,155 @@ type akCompound struct {
 	ids   []INodeID
 }
 
+// akOrigRec records one original inode that lost dnodes in a three-way
+// split, with the hats carved out of it.
+type akOrigRec struct {
+	orig INodeID
+	hats []INodeID
+}
+
+// akHatKey identifies a hat inode: the original it was carved from and the
+// Succ(I)-category of its members.
+type akHatKey struct {
+	orig INodeID
+	cat  uint8
+}
+
+// akSplitCtx is the reusable state of one A(k) split phase. Like the
+// 1-index splitCtx it lives on the Index so that queues, maps, snapshot
+// buffers and three-way-split records keep their backing storage across
+// maintenance calls.
 type akSplitCtx struct {
 	x        *Index
 	byLevel  [][]*akCompound // queue buckets indexed by level 0..k-1
 	memberOf map[INodeID]*akCompound
+	free     []*akCompound // compound pool
+
+	// collect, when set (batch mode), gathers every inode whose inter-iedge
+	// predecessor set the phase may change — update targets, hats and
+	// shrunken split originals — into x.frontier for the deferred merge.
+	collect bool
+
+	// seeding scratch
+	seedOld, seedNew []INodeID
+	single           []bool
+
+	// step scratch
+	s1, s2 []graph.NodeID
+	sizes  map[INodeID]int
+
+	// threeWay scratch
+	hats             map[akHatKey]INodeID
+	recIdx           map[INodeID]int32
+	recs             []akOrigRec // flat record arena, reused
+	recsByLevel      [][]int32   // per-level indexes into recs
+	dead             map[INodeID]bool
+	oldPath, newPath []INodeID
+	parts            []INodeID
+}
+
+// splitter returns the index's reusable split context.
+func (x *Index) splitter() *akSplitCtx {
+	if x.split == nil {
+		x.split = &akSplitCtx{
+			x:           x,
+			byLevel:     make([][]*akCompound, x.k),
+			memberOf:    make(map[INodeID]*akCompound),
+			seedOld:     make([]INodeID, x.k+1),
+			seedNew:     make([]INodeID, x.k+1),
+			single:      make([]bool, x.k+1),
+			sizes:       make(map[INodeID]int),
+			hats:        make(map[akHatKey]INodeID),
+			recIdx:      make(map[INodeID]int32),
+			recsByLevel: make([][]int32, x.k+1),
+			dead:        make(map[INodeID]bool),
+			oldPath:     make([]INodeID, x.k+1),
+			newPath:     make([]INodeID, x.k+1),
+		}
+	}
+	return x.split
+}
+
+func (c *akSplitCtx) newCompound(level int, ids ...INodeID) *akCompound {
+	if n := len(c.free); n > 0 {
+		cb := c.free[n-1]
+		c.free = c.free[:n-1]
+		cb.level = level
+		cb.ids = append(cb.ids[:0], ids...)
+		return cb
+	}
+	return &akCompound{level: level, ids: append([]INodeID(nil), ids...)}
 }
 
 // splitPhase performs the initial singleton splits of v at levels i+2..k
 // and propagates splits level by level until every A(l) is stable with
 // respect to A(l−1) again.
 func (x *Index) splitPhase(v graph.NodeID, i int) {
-	ctx := &akSplitCtx{
-		x:        x,
-		byLevel:  make([][]*akCompound, x.k),
-		memberOf: make(map[INodeID]*akCompound),
-	}
-	old := make([]INodeID, x.k+1)
+	ctx := x.splitter()
+	x.seedSplit(ctx, v, i)
+	ctx.run()
+}
+
+// seedSplit singles v out at levels i+2..k, queuing the resulting compound
+// blocks into ctx. When an inode on v's path is already a member of a
+// queued compound — batch seeding, where several affected dnodes can share
+// path prefixes — the new hat joins that compound instead of opening a new
+// one: the hat's members were carved out of the compound member, so the
+// compound's union (what the rest of the index is stable against) is
+// unchanged.
+func (x *Index) seedSplit(ctx *akSplitCtx, v graph.NodeID, i int) {
+	old := ctx.seedOld
 	x.path(v, old)
+	if ctx.collect {
+		// The batch operations changed the inter-iedge predecessor sets of
+		// v's inodes at every affected level — even where no hat is carved
+		// (v already singled out), those inodes may now merge with a sibling.
+		for l := i + 2; l <= x.k; l++ {
+			x.frontier = append(x.frontier, old[l])
+		}
+	}
 	// single[l]: I⁽ˡ⁾[v] already contains only v.
-	single := make([]bool, x.k+1)
+	single := ctx.single
 	single[x.k] = len(x.nodes[old[x.k]].extent) == 1
 	for l := x.k - 1; l >= 0; l-- {
 		single[l] = single[l+1] && len(x.nodes[old[l]].child) == 1
 	}
-	newPath := append([]INodeID(nil), old...)
+	newPath := ctx.seedNew
+	copy(newPath, old)
 	hi := -1 // highest level where a hat was created
 	for l := i + 2; l <= x.k; l++ {
 		if single[l] {
 			break // all higher levels are singletons too
 		}
 		newPath[l] = x.newANode(int32(l), x.g.Label(v), newPath[l-1])
+		if ctx.collect {
+			x.frontier = append(x.frontier, newPath[l])
+		}
 		hi = l
 		x.Stats.Splits++
 	}
-	if hi >= 0 {
-		// Fix counts before touching tree links: reassignPath derives v's
-		// old path from the (still unmodified) parent pointers.
-		x.reassignPath(v, newPath)
-		if hi < x.k {
-			// Levels above hi were already v-only; re-hang that subchain
-			// under the new hat chain.
-			sub := old[hi+1]
-			delete(x.nodes[old[hi]].child, sub)
-			x.nodes[sub].parent = newPath[hi]
-			x.nodes[newPath[hi]].child[sub] = struct{}{}
-		}
-		for l := i + 2; l <= hi && l <= x.k-1; l++ {
-			ctx.push(&akCompound{level: l, ids: []INodeID{newPath[l], old[l]}})
+	if hi < 0 {
+		return
+	}
+	// Fix counts before touching tree links: reassignPath derives v's
+	// old path from the (still unmodified) parent pointers.
+	x.reassignPath(v, newPath)
+	if hi < x.k {
+		// Levels above hi were already v-only; re-hang that subchain
+		// under the new hat chain.
+		sub := old[hi+1]
+		delete(x.nodes[old[hi]].child, sub)
+		x.nodes[sub].parent = newPath[hi]
+		x.nodes[newPath[hi]].child[sub] = struct{}{}
+	}
+	for l := i + 2; l <= hi && l <= x.k-1; l++ {
+		if cb, ok := ctx.memberOf[old[l]]; ok {
+			cb.ids = append(cb.ids, newPath[l])
+			ctx.memberOf[newPath[l]] = cb
+		} else {
+			ctx.push(ctx.newCompound(l, newPath[l], old[l]))
 		}
 	}
-	ctx.run()
 }
 
 func (c *akSplitCtx) push(cb *akCompound) {
@@ -182,6 +280,7 @@ func (c *akSplitCtx) run() {
 			return
 		}
 		c.step(cb)
+		c.free = append(c.free, cb)
 	}
 }
 
@@ -190,7 +289,8 @@ func (c *akSplitCtx) run() {
 // j+1..k by Succ(I) and Succ(𝓘−{I}) via the refinement tree (§6).
 func (c *akSplitCtx) step(cb *akCompound) {
 	x := c.x
-	sizes := make(map[INodeID]int, len(cb.ids))
+	sizes := c.sizes
+	clear(sizes)
 	for _, id := range cb.ids {
 		sizes[id] = x.ExtentSize(id)
 	}
@@ -200,26 +300,24 @@ func (c *akSplitCtx) step(cb *akCompound) {
 		}
 		return cb.ids[a] < cb.ids[b]
 	})
-	small := cb.ids[0]
 	rest := cb.ids[1:]
 	if len(cb.ids) >= 3 {
-		c.push(&akCompound{level: cb.level, ids: append([]INodeID(nil), rest...)})
+		c.push(c.newCompound(cb.level, rest...))
 	}
-	s1 := x.markExtentSucc([]INodeID{small}, 1)
-	s2 := x.markExtentSucc(rest, 2)
-	c.threeWay(cb.level, s1)
-	for _, w := range s1 {
+	c.s1 = x.markExtentSucc(c.s1[:0], cb.ids[:1], 1)
+	c.s2 = x.markExtentSucc(c.s2[:0], rest, 2)
+	c.threeWay(cb.level, c.s1)
+	for _, w := range c.s1 {
 		x.mark[w] &^= 1
 	}
-	for _, w := range s2 {
+	for _, w := range c.s2 {
 		x.mark[w] &^= 2
 	}
 }
 
 // markExtentSucc marks the dnode successors of the (descendant) extents of
-// ids with the given bit, returning the newly marked dnodes.
-func (x *Index) markExtentSucc(ids []INodeID, bit uint8) []graph.NodeID {
-	var out []graph.NodeID
+// ids with the given bit, appending the newly marked dnodes to out.
+func (x *Index) markExtentSucc(out []graph.NodeID, ids []INodeID, bit uint8) []graph.NodeID {
 	for _, id := range ids {
 		x.eachExtentDnode(id, func(u graph.NodeID) {
 			x.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
@@ -242,22 +340,15 @@ func (x *Index) markExtentSucc(ids []INodeID, bit uint8) []graph.NodeID {
 // compound's union).
 func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 	x := c.x
-	type hatKey struct {
-		orig INodeID
-		cat  uint8
+	hats := c.hats
+	clear(hats)
+	clear(c.recIdx)
+	for l := range c.recsByLevel {
+		c.recsByLevel[l] = c.recsByLevel[l][:0]
 	}
-	hats := make(map[hatKey]INodeID)
-	// Per-level records of original inodes that lost dnodes, with the hats
-	// carved out of them.
-	type origRec struct {
-		orig INodeID
-		hats []INodeID
-	}
-	recIdx := make(map[INodeID]int)
-	recs := make([][]*origRec, x.k+1) // by level
+	nrecs := 0
 
-	oldPath := make([]INodeID, x.k+1)
-	newPath := make([]INodeID, x.k+1)
+	oldPath, newPath := c.oldPath, c.newPath
 	for _, w := range s1 {
 		var cat uint8 = 1
 		if x.mark[w]&2 != 0 {
@@ -266,18 +357,24 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 		x.path(w, oldPath)
 		copy(newPath, oldPath)
 		for l := j + 1; l <= x.k; l++ {
-			key := hatKey{orig: oldPath[l], cat: cat}
+			key := akHatKey{orig: oldPath[l], cat: cat}
 			h, ok := hats[key]
 			if !ok {
 				h = x.newANode(int32(l), x.nodes[oldPath[l]].label, newPath[l-1])
 				hats[key] = h
-				ri, seen := recIdx[oldPath[l]]
+				ri, seen := c.recIdx[oldPath[l]]
 				if !seen {
-					ri = len(recs[l])
-					recIdx[oldPath[l]] = ri
-					recs[l] = append(recs[l], &origRec{orig: oldPath[l]})
+					if nrecs == len(c.recs) {
+						c.recs = append(c.recs, akOrigRec{})
+					}
+					ri = int32(nrecs)
+					nrecs++
+					c.recs[ri].orig = oldPath[l]
+					c.recs[ri].hats = c.recs[ri].hats[:0]
+					c.recIdx[oldPath[l]] = ri
+					c.recsByLevel[l] = append(c.recsByLevel[l], ri)
 				}
-				recs[l][ri].hats = append(recs[l][ri].hats, h)
+				c.recs[ri].hats = append(c.recs[ri].hats, h)
 			}
 			newPath[l] = h
 		}
@@ -286,9 +383,11 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 
 	// Cleanup: drop originals that were fully drained, level k first so
 	// that higher-level child sets empty out.
-	dead := make(map[INodeID]bool)
+	dead := c.dead
+	clear(dead)
 	for l := x.k; l > j; l-- {
-		for _, r := range recs[l] {
+		for _, ri := range c.recsByLevel[l] {
+			r := &c.recs[ri]
 			n := x.nodes[r.orig]
 			if (int(n.level) == x.k && len(n.extent) == 0) ||
 				(int(n.level) < x.k && len(n.child) == 0) {
@@ -300,12 +399,16 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 
 	// Compound bookkeeping for levels j+1..k−1 and split accounting.
 	for l := j + 1; l <= x.k; l++ {
-		for _, r := range recs[l] {
-			parts := append([]INodeID(nil), r.hats...)
+		for _, ri := range c.recsByLevel[l] {
+			r := &c.recs[ri]
+			c.parts = append(c.parts[:0], r.hats...)
 			if !dead[r.orig] {
-				parts = append(parts, r.orig)
+				c.parts = append(c.parts, r.orig)
 			}
-			x.Stats.Splits += len(parts) - 1
+			if c.collect {
+				x.frontier = append(x.frontier, c.parts...)
+			}
+			x.Stats.Splits += len(c.parts) - 1
 			if l == x.k {
 				continue // level-k splits never seed compound blocks
 			}
@@ -317,13 +420,13 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 						keep = append(keep, id)
 					}
 				}
-				cb.ids = append(keep, parts...)
+				cb.ids = append(keep, c.parts...)
 				delete(c.memberOf, r.orig)
-				for _, id := range parts {
+				for _, id := range c.parts {
 					c.memberOf[id] = cb
 				}
-			} else if len(parts) >= 2 {
-				c.push(&akCompound{level: l, ids: parts})
+			} else if len(c.parts) >= 2 {
+				c.push(c.newCompound(l, c.parts...))
 			}
 		}
 	}
@@ -412,6 +515,43 @@ func (x *Index) mergeAmongSuccessors(i INodeID, push func(int, INodeID)) {
 	}
 }
 
+// mergeAmongChildren groups the refinement-tree children of a freshly
+// merged level-l inode by (label, index parents in A(l)) and merges each
+// group. The per-edge cascade never needs this — a single update leaves at
+// most one mergeable pair per level, found through the inter-iedges — but a
+// batch merge can unite two parents whose children become siblings for the
+// first time: a child pair with equal keys need not share an inter-iedge
+// predecessor with the merged parent, so only the child scan finds it.
+func (x *Index) mergeAmongChildren(i INodeID, push func(int, INodeID)) {
+	l := int(x.nodes[i].level)
+	if l >= x.k {
+		return // level-k inodes hold extents, not children
+	}
+	groups := make(map[string][]INodeID)
+	var order []string
+	for _, c := range x.Children(i) {
+		k := x.predBKey(c)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		class := groups[k]
+		if len(class) < 2 {
+			continue
+		}
+		m := class[0]
+		for _, j := range class[1:] {
+			m = x.mergeANodes(m, j)
+		}
+		if l+1 <= x.k-1 {
+			push(l+1, m)
+		}
+	}
+}
+
 // findSiblingCandidate returns a refinement-tree sibling of I with the same
 // label and the same index parents in the level above, or NoINode.
 func (x *Index) findSiblingCandidate(i INodeID) INodeID {
@@ -447,7 +587,7 @@ func (x *Index) mergeANodes(a, b INodeID) INodeID {
 		for w := range nb.extent {
 			members = append(members, w)
 		}
-		newPath := make([]INodeID, x.k+1)
+		newPath := x.mergePath
 		for _, w := range members {
 			x.path(w, newPath)
 			newPath[x.k] = a

@@ -72,6 +72,52 @@ func TestQuickInsertDeleteIdentityCyclic(t *testing.T) {
 	}
 }
 
+// Property: a batch is equivalent to applying the same operations one at a
+// time. Theorem 2 gives uniqueness of the minimum family on *any* graph —
+// cyclic included — so every level partition must match exactly (up to
+// block relabeling), and the batched index must be valid and minimum.
+func TestQuickBatchEqualsSequentialAllLevels(t *testing.T) {
+	const k = 3
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 25, 15)
+		gb := g.Clone()
+		seq := Build(g, k)
+		// The batch side starts from the parallel construction: it must be
+		// bit-identical to the sequential build, and this keeps the whole
+		// parallel-build → batch-maintain path under the race detector.
+		bat := BuildParallel(gb, k)
+		sim := g.Clone()
+		for round := 0; round < 3; round++ {
+			ops := gtest.RandomOpBatch(rng, sim, 12, false)
+			for _, op := range ops {
+				if op.Insert {
+					if seq.InsertEdge(op.U, op.V, op.Kind) != nil {
+						return false
+					}
+				} else if seq.DeleteEdge(op.U, op.V) != nil {
+					return false
+				}
+			}
+			if bat.ApplyBatch(ops) != nil {
+				return false
+			}
+			if bat.Validate() != nil || !bat.IsMinimum() {
+				return false
+			}
+			for l := 0; l <= k; l++ {
+				if !partition.Equal(seq.ToPartition(l), bat.ToPartition(l)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: the refinement tree is a forest of height exactly k whose leaf
 // extents partition the live nodes; FromLevels ∘ ToPartition is identity.
 func TestQuickFromLevelsRoundTrip(t *testing.T) {

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+	"structix/internal/workload"
+)
+
+// BatchConfig drives the batched-vs-sequential maintenance comparison
+// (the ApplyBatch experiment: one shared split phase plus one deferred
+// frontier merge per batch, versus per-edge split/merge).
+type BatchConfig struct {
+	// Sizes lists the batch sizes to compare. Sizes larger than the
+	// dataset's IDREF pool are skipped (reported with Skipped=true).
+	Sizes []int
+	// Rounds is the number of timed insert-all+delete-all workloads per
+	// size; the reported times are per-round medians of the total.
+	Rounds int
+	// AkK enables the A(k) comparison at this k when > 0.
+	AkK  int
+	Seed int64
+}
+
+// DefaultBatchConfig mirrors the benchmark suite: batch sizes 10/100/1000
+// over the 1-index, plus an A(3) comparison.
+func DefaultBatchConfig(seed int64) BatchConfig {
+	return BatchConfig{Sizes: []int{10, 100, 1000}, Rounds: 5, AkK: 3, Seed: seed}
+}
+
+// BatchSizeResult is the timing of one (index, batch size) cell.
+type BatchSizeResult struct {
+	Index        string  `json:"index"` // "1-index" or "A(k)"
+	N            int     `json:"n"`     // edges per batch
+	SequentialNs int64   `json:"sequential_ns"`
+	BatchedNs    int64   `json:"batched_ns"`
+	Speedup      float64 `json:"speedup"` // sequential/batched
+	IndexSize    int     `json:"index_size"`
+	Skipped      bool    `json:"skipped,omitempty"`
+}
+
+// BatchResult is the full batched-maintenance experiment on one dataset.
+type BatchResult struct {
+	Dataset string            `json:"dataset"`
+	Nodes   int               `json:"nodes"`
+	Edges   int               `json:"edges"`
+	Rounds  int               `json:"rounds"`
+	Results []BatchSizeResult `json:"results"`
+}
+
+// RunBatch times the same n-edge insert-all+delete-all workload applied
+// per edge and as two ApplyBatch calls, for each configured batch size.
+// Both maintainers run on their own clone of g, and each pair of runs is
+// checked to land on an index of the same size — the batched path must
+// reach the same minimum index the sequential path does.
+func RunBatch(name string, g *graph.Graph, cfg BatchConfig) BatchResult {
+	res := BatchResult{
+		Dataset: name,
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		Rounds:  cfg.Rounds,
+	}
+	pool := batchEdgePool(g, cfg.Seed)
+	for _, n := range cfg.Sizes {
+		res.Results = append(res.Results, runBatchSize(g, pool, "1-index", n, cfg,
+			func(g *graph.Graph) batchMaintainer { return oneindex.Build(g) }))
+		if cfg.AkK > 0 {
+			res.Results = append(res.Results, runBatchSize(g, pool, fmt.Sprintf("A(%d)", cfg.AkK), n, cfg,
+				func(g *graph.Graph) batchMaintainer { return akindex.Build(g, cfg.AkK) }))
+		}
+	}
+	return res
+}
+
+type batchMaintainer interface {
+	InsertEdge(u, v graph.NodeID, kind graph.EdgeKind) error
+	DeleteEdge(u, v graph.NodeID) error
+	ApplyBatch(ops []graph.EdgeOp) error
+	Size() int
+}
+
+// batchEdgePool removes 20% of g's IDREF edges (mutating g) and returns
+// them: every pool edge is absent from the graph, so a workload that
+// inserts a prefix and then deletes it again leaves the graph unchanged.
+func batchEdgePool(g *graph.Graph, seed int64) [][2]graph.NodeID {
+	before := g.EdgeList(graph.IDRef)
+	workload.MixedScript(g, 0.2, 0, seed)
+	present := make(map[[2]graph.NodeID]bool)
+	for _, e := range g.EdgeList(graph.IDRef) {
+		present[e] = true
+	}
+	var pool [][2]graph.NodeID
+	for _, e := range before {
+		if !present[e] {
+			pool = append(pool, e)
+		}
+	}
+	return pool
+}
+
+func runBatchSize(g *graph.Graph, pool [][2]graph.NodeID, index string, n int,
+	cfg BatchConfig, build func(g *graph.Graph) batchMaintainer) BatchSizeResult {
+	r := BatchSizeResult{Index: index, N: n}
+	if n > len(pool) {
+		r.Skipped = true
+		return r
+	}
+	inserts := make([]graph.EdgeOp, 0, n)
+	deletes := make([]graph.EdgeOp, 0, n)
+	for _, e := range pool[:n] {
+		inserts = append(inserts, graph.InsertOp(e[0], e[1], graph.IDRef))
+		deletes = append(deletes, graph.DeleteOp(e[0], e[1]))
+	}
+
+	seq := build(g.Clone())
+	r.SequentialNs = medianRoundNs(cfg.Rounds, func() error {
+		for _, op := range inserts {
+			if err := seq.InsertEdge(op.U, op.V, op.Kind); err != nil {
+				return err
+			}
+		}
+		for _, op := range deletes {
+			if err := seq.DeleteEdge(op.U, op.V); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	bat := build(g.Clone())
+	r.BatchedNs = medianRoundNs(cfg.Rounds, func() error {
+		if err := bat.ApplyBatch(inserts); err != nil {
+			return err
+		}
+		return bat.ApplyBatch(deletes)
+	})
+
+	if seq.Size() != bat.Size() {
+		panic(fmt.Sprintf("experiments: batched %s diverged: %d inodes sequential, %d batched",
+			index, seq.Size(), bat.Size()))
+	}
+	r.IndexSize = bat.Size()
+	if r.BatchedNs > 0 {
+		r.Speedup = float64(r.SequentialNs) / float64(r.BatchedNs)
+	}
+	return r
+}
+
+// medianRoundNs runs the workload cfg.Rounds times and returns the median
+// round duration in nanoseconds.
+func medianRoundNs(rounds int, run func() error) int64 {
+	if rounds < 1 {
+		rounds = 1
+	}
+	times := make([]int64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if err := run(); err != nil {
+			panic("experiments: batch workload failed: " + err.Error())
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}
+
+// ReportBatch prints the comparison as a table.
+func ReportBatch(w io.Writer, res BatchResult) {
+	fmt.Fprintf(w, "\nBatched maintenance (ApplyBatch) on %s (%d dnodes, %d dedges, median of %d rounds)\n",
+		res.Dataset, res.Nodes, res.Edges, res.Rounds)
+	fmt.Fprintf(w, "%-8s %6s %14s %14s %9s %10s\n",
+		"index", "n", "sequential", "batched", "speedup", "inodes")
+	for _, r := range res.Results {
+		if r.Skipped {
+			fmt.Fprintf(w, "%-8s %6d %14s %14s %9s %10s\n",
+				r.Index, r.N, "-", "-", "skip", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-8s %6d %12.3fms %12.3fms %8.2fx %10d\n",
+			r.Index, r.N,
+			float64(r.SequentialNs)/1e6, float64(r.BatchedNs)/1e6,
+			r.Speedup, r.IndexSize)
+	}
+}
+
+// WriteBatchJSON emits the result as indented JSON (BENCH_batch.json).
+func WriteBatchJSON(w io.Writer, res BatchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

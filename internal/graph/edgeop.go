@@ -1,0 +1,22 @@
+package graph
+
+// EdgeOp is one edge update in a batch: an insertion (with a kind) or a
+// deletion of the dedge U→V. Batches of EdgeOps are applied atomically with
+// respect to index maintenance by the ApplyBatch entry points of the index
+// packages: the split phase runs once over the union of affected nodes and
+// the minimization (merge) phase once at the end.
+type EdgeOp struct {
+	Insert bool
+	U, V   NodeID
+	Kind   EdgeKind // used by insertions; ignored by deletions
+}
+
+// InsertOp builds an edge-insertion op.
+func InsertOp(u, v NodeID, kind EdgeKind) EdgeOp {
+	return EdgeOp{Insert: true, U: u, V: v, Kind: kind}
+}
+
+// DeleteOp builds an edge-deletion op.
+func DeleteOp(u, v NodeID) EdgeOp {
+	return EdgeOp{U: u, V: v}
+}

@@ -184,6 +184,44 @@ func RandomEdge(rng *rand.Rand, g *graph.Graph) (u, v graph.NodeID, ok bool) {
 	return e[0], e[1], true
 }
 
+// RandomOpBatch generates up to n edge operations that are valid when
+// applied in order, mutating sim (a scratch clone of the target graph) as
+// it goes: insertions pick current non-edges, deletions pick IDREF edges
+// the batch itself inserted earlier — so a batch may insert and then delete
+// the same edge. With forwardOnly set, insertions only run from a smaller
+// to a larger NodeID, which preserves acyclicity on generator-built DAGs
+// (their node ids are topologically ordered).
+func RandomOpBatch(rng *rand.Rand, sim *graph.Graph, n int, forwardOnly bool) []graph.EdgeOp {
+	var ops []graph.EdgeOp
+	var pool [][2]graph.NodeID
+	for tries := 0; len(ops) < n && tries < 20*n; tries++ {
+		if len(pool) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(pool))
+			e := pool[i]
+			pool[i] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			if err := sim.DeleteEdge(e[0], e[1]); err != nil {
+				panic(err)
+			}
+			ops = append(ops, graph.DeleteOp(e[0], e[1]))
+			continue
+		}
+		u, v, ok := RandomNonEdge(rng, sim)
+		if !ok {
+			break
+		}
+		if forwardOnly && u > v {
+			continue
+		}
+		if err := sim.AddEdge(u, v, graph.IDRef); err != nil {
+			panic(err)
+		}
+		ops = append(ops, graph.InsertOp(u, v, graph.IDRef))
+		pool = append(pool, [2]graph.NodeID{u, v})
+	}
+	return ops
+}
+
 func mustAdd(g *graph.Graph, u, v graph.NodeID) {
 	if err := g.AddEdge(u, v, graph.Tree); err != nil {
 		panic(err)

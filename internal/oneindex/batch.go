@@ -1,0 +1,187 @@
+package oneindex
+
+import (
+	"sort"
+
+	"structix/internal/graph"
+)
+
+// ApplyBatch applies a sequence of edge updates as one maintenance round:
+// every operation is first ingested into the data graph and the iedge
+// counts, collecting the distinct dnodes whose index-parent block set
+// changed; then a single split phase runs over the deduplicated
+// compound-block worklist; finally one deferred minimization pass merges
+// until the index is minimal again.
+//
+// The result is a valid minimal 1-index, and on acyclic graphs the unique
+// minimum — identical to applying the operations one at a time — at a
+// fraction of the cost: E operations share one split phase and one merge
+// pass instead of running E of each. Deferring the merges is sound because
+// merging two inodes with equal labels and index-parent sets preserves
+// stability (the §5.3 argument), so minimization commutes with the rest of
+// the batch.
+//
+// Operations are ingested in order; an operation may therefore delete an
+// edge inserted earlier in the same batch. If an operation fails (duplicate
+// insert, missing delete), the maintenance phases still run for the prefix
+// already ingested — the index is left valid and minimal — and the error is
+// returned.
+func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	x.Stats.Batches++
+	var firstErr error
+	for _, op := range ops {
+		if op.Insert {
+			// Per-dnode affectedness test: v's index-parent *block* set
+			// changes iff v has no parent in I[u] yet. (The per-edge path
+			// tests the iedge I[u]→I[v] instead, which is equivalent only
+			// while the index is stable — mid-batch it is not.)
+			had := x.hasParentIn(op.V, x.inodeOf[op.U])
+			if err := x.g.AddEdge(op.U, op.V, op.Kind); err != nil {
+				firstErr = err
+				break
+			}
+			x.addIEdgeCount(x.inodeOf[op.U], x.inodeOf[op.V], 1)
+			x.noteBatchOp(op.V, had)
+		} else {
+			iu := x.inodeOf[op.U]
+			if err := x.g.DeleteEdge(op.U, op.V); err != nil {
+				firstErr = err
+				break
+			}
+			x.addIEdgeCount(iu, x.inodeOf[op.V], -1)
+			x.noteBatchOp(op.V, x.hasParentIn(op.V, iu))
+		}
+	}
+	x.finishBatch()
+	return firstErr
+}
+
+// noteBatchOp records one ingested operation: an unchanged index-parent set
+// is a no-change op; otherwise the sink joins the batch's affected set
+// (deduplicated through bit 4 of the mark array).
+func (x *Index) noteBatchOp(v graph.NodeID, unchanged bool) {
+	if unchanged {
+		x.Stats.UpdatesNoChange++
+		return
+	}
+	x.Stats.UpdatesMaintained++
+	if x.mark[v]&4 == 0 {
+		x.mark[v] |= 4
+		x.batchAffected = append(x.batchAffected, v)
+	}
+}
+
+// hasParentIn reports whether v currently has a parent inside inode iu.
+func (x *Index) hasParentIn(v graph.NodeID, iu INodeID) bool {
+	found := false
+	x.g.EachPred(v, func(p graph.NodeID, _ graph.EdgeKind) {
+		if !found && x.inodeOf[p] == iu {
+			found = true
+		}
+	})
+	return found
+}
+
+// finishBatch runs the two deferred phases over the accumulated affected
+// set: one split phase seeded with every affected dnode, then one merge
+// pass over the frontier of inodes the batch touched.
+func (x *Index) finishBatch() {
+	if len(x.batchAffected) == 0 {
+		return
+	}
+	sort.Slice(x.batchAffected, func(i, j int) bool {
+		return x.batchAffected[i] < x.batchAffected[j]
+	})
+	s := x.splitter()
+	s.collect = true
+	for _, v := range x.batchAffected {
+		x.mark[v] &^= 4
+		s.seed(v)
+	}
+	x.batchAffected = x.batchAffected[:0]
+	s.run()
+	s.collect = false
+	x.noteIntermediate()
+	x.mergeFrontier()
+}
+
+// mergeFrontier is the deferred minimization pass. A pair of inodes can
+// have *become* mergeable only if the batch changed the index-parent set of
+// at least one of them (the index was minimal before the batch): those are
+// exactly the update targets, split products and shrunken split originals
+// collected in x.frontier, plus — transitively — the index successors of
+// performed merges, which cascadeMerges covers. Splits alone cannot equalize
+// two untouched parent sets (they only replace a parent by a non-empty
+// subset of its parts, and part families of distinct parents are disjoint),
+// so scanning the frontier finds every newly mergeable pair and the index
+// is minimal afterwards (Definition 5) without a global scan.
+// Rather than searching a partner per frontier inode — which re-keys the
+// same successor sets once per entry — the pass seeds the cascade queue with
+// the distinct index-parents of the frontier: a merge partner shares the
+// whole index-parent set, in particular the smallest parent, so the keyed
+// group-scan of that parent's successors (cascadeMerges' step) finds every
+// partner, and each candidate set is keyed once instead of once per frontier
+// member. Frontier inodes without index parents fall back to the global
+// candidate search.
+func (x *Index) mergeFrontier() {
+	f := x.frontier
+	sort.Slice(f, func(i, j int) bool { return f[i] < f[j] })
+	var queue []INodeID
+	prev := NoINode
+	for _, i := range f {
+		if i == prev {
+			continue
+		}
+		prev = i
+		if x.inodes[i] == nil {
+			continue // freed by the split phase, id not yet reused
+		}
+		p := x.minIPred(i)
+		if p != NoINode {
+			queue = append(queue, p)
+			continue
+		}
+		merged := false
+		for {
+			j := x.findMergeCandidate(i)
+			if j == NoINode {
+				break
+			}
+			i = x.merge(i, j)
+			merged = true
+		}
+		if merged {
+			queue = append(queue, i)
+		}
+	}
+	x.frontier = f[:0]
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	x.cascadeMerges(dedupINodes(queue))
+}
+
+// minIPred returns the smallest index parent of I, or NoINode.
+func (x *Index) minIPred(i INodeID) INodeID {
+	best := NoINode
+	for p := range x.inodes[i].pred {
+		if best == NoINode || p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// dedupINodes removes consecutive duplicates from a sorted slice, in place.
+func dedupINodes(ids []INodeID) []INodeID {
+	out := ids[:0]
+	prev := NoINode
+	for _, id := range ids {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return out
+}

@@ -20,6 +20,7 @@ package oneindex
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"structix/internal/graph"
@@ -61,6 +62,22 @@ type Index struct {
 
 	// scratch marking array sized to the graph's NodeID bound
 	mark []uint8
+
+	// split is the reusable split-phase context (created on first use); its
+	// queues, maps and snapshot buffers keep their storage across
+	// maintenance calls so the hot path is allocation-free at steady state.
+	split *splitCtx
+
+	// batchAffected collects the dnodes singled out by an in-flight
+	// ApplyBatch (deduplicated via the mark array's bit 4); frontier
+	// collects the inodes whose index-parent sets the batch may have
+	// changed, seeding the deferred merge pass.
+	batchAffected []graph.NodeID
+	frontier      []INodeID
+
+	// key-assembly scratch for predIDKey
+	keyPreds []INodeID
+	keyBuf   []byte
 }
 
 // Stats counts maintenance work, mirroring the cost accounting of §5.1: the
@@ -73,6 +90,7 @@ type Stats struct {
 	MaxIntermediate   int // max #inodes observed between split and merge phase
 	UpdatesNoChange   int // updates that left the index untouched
 	UpdatesMaintained int // updates that ran the split/merge machinery
+	Batches           int // ApplyBatch calls
 }
 
 // Build constructs the minimum 1-index of g from scratch: the coarsest
@@ -316,14 +334,22 @@ func (x *Index) growScratch() {
 
 // predIDKey returns a canonical string key for I's index-parent set,
 // used to test "same label and same set of index parents" (Definition 5's
-// minimality criterion and the merge phase's grouping).
+// minimality criterion and the merge phase's grouping). The assembly runs
+// in reusable scratch — only the returned string escapes.
 func (x *Index) predIDKey(I INodeID) string {
-	preds := x.IPred(I)
-	b := make([]byte, 0, 4*len(preds)+4)
-	b = appendInt32(b, int32(x.inodes[I].label))
-	for _, p := range preds {
+	in := x.inodes[I]
+	ps := x.keyPreds[:0]
+	for p := range in.pred {
+		ps = append(ps, p)
+	}
+	slices.Sort(ps)
+	x.keyPreds = ps
+	b := x.keyBuf[:0]
+	b = appendInt32(b, int32(in.label))
+	for _, p := range ps {
 		b = appendInt32(b, int32(p))
 	}
+	x.keyBuf = b
 	return string(b)
 }
 

@@ -129,25 +129,93 @@ type compound struct {
 	ids []INodeID
 }
 
+// hit records, for one inode K touched by Succ(I), its members falling in
+// Succ(I)∩Succ(𝓘−{I}) and Succ(I)−Succ(𝓘−{I}).
+type hit struct {
+	k11, k12 []graph.NodeID
+}
+
+// splitCtx is the reusable state of one split phase. It lives on the Index
+// and is re-used across maintenance calls so that the steady-state split
+// path performs no per-call map or slice allocations: the queue, membership
+// map, successor snapshots and three-way-split records all keep their
+// backing storage between runs.
 type splitCtx struct {
 	x        *Index
 	queue    []*compound
 	memberOf map[INodeID]*compound
+	free     []*compound // compound pool
+
+	s1, s2   []graph.NodeID // successor-set snapshots of step
+	hitIdx   map[INodeID]int32
+	hitOrder []INodeID
+	hits     []hit
+	newIDs   []INodeID
+
+	// collect, during a batch, gathers every inode whose index-parent set
+	// may have changed — update targets, split products and shrunken split
+	// originals — into x.frontier for the deferred merge pass.
+	collect bool
+}
+
+// splitter returns the index's reusable split context.
+func (x *Index) splitter() *splitCtx {
+	if x.split == nil {
+		x.split = &splitCtx{
+			x:        x,
+			memberOf: make(map[INodeID]*compound),
+			hitIdx:   make(map[INodeID]int32),
+		}
+	}
+	return x.split
+}
+
+func (s *splitCtx) newCompound(ids ...INodeID) *compound {
+	if n := len(s.free); n > 0 {
+		c := s.free[n-1]
+		s.free = s.free[:n-1]
+		c.ids = append(c.ids[:0], ids...)
+		return c
+	}
+	return &compound{ids: append([]INodeID(nil), ids...)}
 }
 
 // splitPhase singles v out of its inode and propagates splits in the style
 // of Paige–Tarjan until the index partition is self-stable again.
 func (x *Index) splitPhase(v graph.NodeID) {
+	s := x.splitter()
+	s.seed(v)
+	s.run()
+}
+
+// seed singles v out of its inode (when it has company) and queues the
+// resulting compound block. When the inode is already a member of a queued
+// compound — which happens during batch seeding, where several affected
+// dnodes can share an inode — the fresh singleton joins that compound
+// instead: its union is unchanged, so the compound invariant (the rest of
+// the index is stable with respect to the union) is preserved.
+func (s *splitCtx) seed(v graph.NodeID) {
+	x := s.x
 	iv := x.inodeOf[v]
+	if s.collect {
+		// The op targeting v changed I[v]'s index-parent set.
+		x.frontier = append(x.frontier, iv)
+	}
 	if len(x.inodes[iv].extent) <= 1 {
 		return
 	}
 	nv := x.newINode(x.inodes[iv].label)
 	x.moveDNode(v, nv)
 	x.Stats.Splits++
-	s := &splitCtx{x: x, memberOf: make(map[INodeID]*compound)}
-	s.push(&compound{ids: []INodeID{nv, iv}})
-	s.run()
+	if s.collect {
+		x.frontier = append(x.frontier, nv)
+	}
+	if c, ok := s.memberOf[iv]; ok {
+		c.ids = append(c.ids, nv)
+		s.memberOf[nv] = c
+	} else {
+		s.push(s.newCompound(nv, iv))
+	}
 }
 
 func (s *splitCtx) push(c *compound) {
@@ -165,6 +233,7 @@ func (s *splitCtx) run() {
 			delete(s.memberOf, id)
 		}
 		s.step(c)
+		s.free = append(s.free, c)
 	}
 }
 
@@ -187,30 +256,28 @@ func (s *splitCtx) step(c *compound) {
 		last := len(c.ids) - 1
 		c.ids[0], c.ids[last] = c.ids[last], c.ids[0]
 	}
-	small := c.ids[0]
 	rest := c.ids[1:]
 	if len(c.ids) >= 3 {
-		s.push(&compound{ids: append([]INodeID(nil), rest...)})
+		s.push(s.newCompound(rest...))
 	}
 	// Snapshot both successor sets before any split: extents may change
 	// under our feet otherwise (including I's own, if the index has a
 	// self-cycle — the "messy detail" §5.1 alludes to; handled here by
-	// snapshotting).
-	s1 := x.markSucc([]INodeID{small}, 1)
-	s2 := x.markSucc(rest, 2)
-	s.threeWaySplit(s1)
-	for _, w := range s1 {
+	// snapshotting). The snapshots live in reusable scratch buffers.
+	s.s1 = x.markSucc(s.s1[:0], c.ids[:1], 1)
+	s.s2 = x.markSucc(s.s2[:0], rest, 2)
+	s.threeWaySplit(s.s1)
+	for _, w := range s.s1 {
 		x.mark[w] &^= 1
 	}
-	for _, w := range s2 {
+	for _, w := range s.s2 {
 		x.mark[w] &^= 2
 	}
 }
 
-// markSucc marks Succ(ids) with the given bit and returns the dnodes newly
-// marked with that bit.
-func (x *Index) markSucc(ids []INodeID, bit uint8) []graph.NodeID {
-	var out []graph.NodeID
+// markSucc marks Succ(ids) with the given bit and appends the dnodes newly
+// marked with that bit to out.
+func (x *Index) markSucc(out []graph.NodeID, ids []INodeID, bit uint8) []graph.NodeID {
 	for _, id := range ids {
 		for u := range x.inodes[id].extent {
 			x.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
@@ -232,28 +299,34 @@ func (x *Index) markSucc(ids []INodeID, bit uint8) []graph.NodeID {
 // means being contained in or disjoint from Succ(𝓘−{I}).
 func (s *splitCtx) threeWaySplit(s1 []graph.NodeID) {
 	x := s.x
-	type hit struct {
-		k11, k12 []graph.NodeID // members of K in s1, split by s2-bit
-	}
-	hits := make(map[INodeID]*hit)
-	var order []INodeID // deterministic processing order
+	clear(s.hitIdx)
+	s.hitOrder = s.hitOrder[:0]
+	nhits := 0
 	for _, w := range s1 {
 		k := x.inodeOf[w]
-		h, ok := hits[k]
+		hi, ok := s.hitIdx[k]
 		if !ok {
-			h = &hit{}
-			hits[k] = h
-			order = append(order, k)
+			if nhits == len(s.hits) {
+				s.hits = append(s.hits, hit{})
+			}
+			hi = int32(nhits)
+			nhits++
+			s.hits[hi].k11 = s.hits[hi].k11[:0]
+			s.hits[hi].k12 = s.hits[hi].k12[:0]
+			s.hitIdx[k] = hi
+			s.hitOrder = append(s.hitOrder, k)
 		}
+		h := &s.hits[hi]
 		if x.mark[w]&2 != 0 {
 			h.k11 = append(h.k11, w)
 		} else {
 			h.k12 = append(h.k12, w)
 		}
 	}
+	order := s.hitOrder
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	for _, k := range order {
-		h := hits[k]
+		h := &s.hits[s.hitIdx[k]]
 		n2 := len(x.inodes[k].extent) - len(h.k11) - len(h.k12)
 		parts := 0
 		if len(h.k11) > 0 {
@@ -269,10 +342,10 @@ func (s *splitCtx) threeWaySplit(s1 []graph.NodeID) {
 			continue // stable: all of K fell in one class
 		}
 		label := x.inodes[k].label
-		newIDs := make([]INodeID, 0, 2)
+		s.newIDs = s.newIDs[:0]
 		move := func(members []graph.NodeID) {
 			id := x.newINode(label)
-			newIDs = append(newIDs, id)
+			s.newIDs = append(s.newIDs, id)
 			for _, w := range members {
 				x.moveDNode(w, id)
 			}
@@ -295,17 +368,24 @@ func (s *splitCtx) threeWaySplit(s1 []graph.NodeID) {
 				}
 			}
 		}
-		x.Stats.Splits += len(newIDs)
+		x.Stats.Splits += len(s.newIDs)
+		if s.collect {
+			// K lost members and the parts are new: all their index-parent
+			// sets changed.
+			x.frontier = append(x.frontier, k)
+			x.frontier = append(x.frontier, s.newIDs...)
+		}
 		// Compound bookkeeping: the parts of K join K's queued compound if
 		// any, otherwise they form a new compound.
 		if c, ok := s.memberOf[k]; ok {
-			c.ids = append(c.ids, newIDs...)
-			for _, id := range newIDs {
+			c.ids = append(c.ids, s.newIDs...)
+			for _, id := range s.newIDs {
 				s.memberOf[id] = c
 			}
 		} else {
-			all := append([]INodeID{k}, newIDs...)
-			s.push(&compound{ids: all})
+			nc := s.newCompound(k)
+			nc.ids = append(nc.ids, s.newIDs...)
+			s.push(nc)
 		}
 	}
 }
@@ -322,8 +402,14 @@ func (x *Index) mergePhase(v graph.NodeID) {
 	if j == NoINode {
 		return
 	}
-	m := x.merge(iv, j)
-	queue := []INodeID{m}
+	x.cascadeMerges([]INodeID{x.merge(iv, j)})
+}
+
+// cascadeMerges propagates merges downstream: merging two inodes changes
+// the index-parent sets of exactly their index successors, so those are
+// grouped by (label, index-parent set) and merged, and each resulting merge
+// is queued in turn.
+func (x *Index) cascadeMerges(queue []INodeID) {
 	for len(queue) > 0 {
 		i := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]

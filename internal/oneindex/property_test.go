@@ -96,6 +96,64 @@ func TestQuickMergeNeverLoses(t *testing.T) {
 	}
 }
 
+// Property: on acyclic graphs a batch is equivalent to applying the same
+// operations one at a time — both land on the unique minimum 1-index
+// (Theorem 1), so the partitions match exactly (up to block relabeling).
+func TestQuickBatchEqualsSequentialDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomDAG(rng, 30, 10)
+		gb := g.Clone()
+		seq := Build(g)
+		bat := Build(gb)
+		sim := g.Clone()
+		ops := gtest.RandomOpBatch(rng, sim, 20, true)
+		for _, op := range ops {
+			if op.Insert {
+				if seq.InsertEdge(op.U, op.V, op.Kind) != nil {
+					return false
+				}
+			} else if seq.DeleteEdge(op.U, op.V) != nil {
+				return false
+			}
+		}
+		if bat.ApplyBatch(ops) != nil {
+			return false
+		}
+		return bat.Validate() == nil && bat.IsMinimal() &&
+			partition.Equal(seq.ToPartition(), bat.ToPartition())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under cyclic churn, repeated batches keep the index valid and
+// minimal. (Minimal 1-indexes are not unique on cyclic data — Figure 4 —
+// so no exact comparison with the sequential history is possible; validity
+// and minimality are the full §5 guarantee.)
+func TestQuickBatchInvariantsCyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 30, 20)
+		x := Build(g)
+		sim := g.Clone()
+		for round := 0; round < 4; round++ {
+			ops := gtest.RandomOpBatch(rng, sim, 10, false)
+			if x.ApplyBatch(ops) != nil {
+				return false
+			}
+			if x.Validate() != nil || !x.IsMinimal() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: extents of the maintained index biject with ToPartition blocks.
 func TestQuickPartitionRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {

@@ -2,10 +2,25 @@ package partition
 
 import (
 	"encoding/binary"
+	"runtime"
 	"sort"
+	"sync"
 
 	"structix/internal/graph"
 )
+
+// Config controls the A(k) level construction.
+type Config struct {
+	// Parallel shards each refinement step's per-node signature computation
+	// across worker goroutines. The resulting partitions are identical to
+	// the sequential construction (same block numbering, not merely
+	// isomorphic): workers only compute signatures, and block ids are
+	// assigned in a deterministic sequential pass afterwards.
+	Parallel bool
+	// Workers caps the worker count when Parallel is set; ≤0 means
+	// GOMAXPROCS.
+	Workers int
+}
 
 // KBisimLevels constructs the minimum A(0)..A(k) partitions of g
 // (Definition 4): level 0 partitions nodes by label; level i refines level
@@ -17,10 +32,19 @@ import (
 // and all later levels are copies; the fixpoint partition is the maximal
 // bisimulation, i.e. the minimum 1-index partition.
 func KBisimLevels(g *graph.Graph, k int) []*Partition {
+	return KBisimLevelsWith(g, k, Config{})
+}
+
+// KBisimLevelsWith is KBisimLevels under an explicit Config.
+func KBisimLevelsWith(g *graph.Graph, k int, cfg Config) []*Partition {
 	levels := make([]*Partition, k+1)
 	levels[0] = ByLabel(g)
 	for i := 1; i <= k; i++ {
-		levels[i] = bisimStep(g, levels[i-1])
+		if cfg.Parallel {
+			levels[i] = bisimStepParallel(g, levels[i-1], cfg.Workers)
+		} else {
+			levels[i] = bisimStep(g, levels[i-1])
+		}
 		if levels[i].NumBlocks() == levels[i-1].NumBlocks() {
 			// A refinement with the same block count is the same partition;
 			// the remaining levels are identical.
@@ -57,20 +81,7 @@ func bisimStep(g *graph.Graph, prev *Partition) *Partition {
 	var scratch []int32
 	var buf []byte
 	g.EachNode(func(v graph.NodeID) {
-		scratch = scratch[:0]
-		g.EachPred(v, func(u graph.NodeID, _ graph.EdgeKind) {
-			scratch = append(scratch, prev.Block(u))
-		})
-		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-		buf = buf[:0]
-		buf = binary.AppendVarint(buf, int64(prev.Block(v)))
-		last := int32(-2)
-		for _, b := range scratch {
-			if b != last { // deduplicate: parent *set*, not multiset
-				buf = binary.AppendVarint(buf, int64(b))
-				last = b
-			}
-		}
+		buf, scratch = bisimKey(buf, scratch, g, prev, v)
 		key := string(buf)
 		id, ok := keyOf[key]
 		if !ok {
@@ -80,6 +91,80 @@ func bisimStep(g *graph.Graph, prev *Partition) *Partition {
 		}
 		p.SetBlock(v, id)
 	})
+	p.SetNumBlocks(int(next))
+	return p
+}
+
+// bisimKey fills buf with v's refinement signature — v's previous block
+// followed by the sorted, deduplicated *set* (not multiset) of its parents'
+// previous blocks — returning the reusable buffers.
+func bisimKey(buf []byte, scratch []int32, g *graph.Graph, prev *Partition, v graph.NodeID) ([]byte, []int32) {
+	scratch = scratch[:0]
+	g.EachPred(v, func(u graph.NodeID, _ graph.EdgeKind) {
+		scratch = append(scratch, prev.Block(u))
+	})
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	buf = binary.AppendVarint(buf[:0], int64(prev.Block(v)))
+	last := int32(-2)
+	for _, b := range scratch {
+		if b != last {
+			buf = binary.AppendVarint(buf, int64(b))
+			last = b
+		}
+	}
+	return buf, scratch
+}
+
+// bisimStepParallel is bisimStep with the signature computation sharded
+// across workers. Workers write only their own disjoint slots of the keys
+// array and perform read-only graph and partition accesses, so the step is
+// race-free; block ids are then assigned sequentially in node order, making
+// the output bit-identical to the sequential step.
+func bisimStepParallel(g *graph.Graph, prev *Partition, workers int) *Partition {
+	nodes := make([]graph.NodeID, 0, g.NumNodes())
+	g.EachNode(func(v graph.NodeID) { nodes = append(nodes, v) })
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		return bisimStep(g, prev)
+	}
+	keys := make([]string, len(nodes))
+	chunk := (len(nodes) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(nodes))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var scratch []int32
+			var buf []byte
+			for idx := lo; idx < hi; idx++ {
+				buf, scratch = bisimKey(buf, scratch, g, prev, nodes[idx])
+				keys[idx] = string(buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	p := NewPartition(graph.NodeID(prev.Len()))
+	keyOf := make(map[string]int32, len(nodes))
+	next := int32(0)
+	for idx, v := range nodes {
+		id, ok := keyOf[keys[idx]]
+		if !ok {
+			id = next
+			next++
+			keyOf[keys[idx]] = id
+		}
+		p.SetBlock(v, id)
+	}
 	p.SetNumBlocks(int(next))
 	return p
 }

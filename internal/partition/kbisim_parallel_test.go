@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+)
+
+// requireIdenticalLevels asserts the parallel construction yields exactly
+// the sequential one — same block ids, not merely isomorphic partitions.
+func requireIdenticalLevels(t *testing.T, g *graph.Graph, k int) {
+	t.Helper()
+	seq := KBisimLevels(g, k)
+	for _, workers := range []int{0, 1, 2, 3, 7} {
+		par := KBisimLevelsWith(g, k, Config{Parallel: true, Workers: workers})
+		for l := 0; l <= k; l++ {
+			if seq[l].NumBlocks() != par[l].NumBlocks() {
+				t.Fatalf("workers=%d level %d: %d blocks sequential, %d parallel",
+					workers, l, seq[l].NumBlocks(), par[l].NumBlocks())
+			}
+			for v := 0; v < seq[l].Len(); v++ {
+				if seq[l].Block(graph.NodeID(v)) != par[l].Block(graph.NodeID(v)) {
+					t.Fatalf("workers=%d level %d node %d: block %d sequential, %d parallel",
+						workers, l, v, seq[l].Block(graph.NodeID(v)), par[l].Block(graph.NodeID(v)))
+				}
+			}
+		}
+	}
+}
+
+func TestParallelKBisimFixtures(t *testing.T) {
+	g2, _, _, _ := gtest.Fig2()
+	g4, _ := gtest.Fig4()
+	g5, _, _ := gtest.Fig5(12)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Fig2", g2},
+		{"Fig4", g4},
+		{"Fig5", g5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			requireIdenticalLevels(t, tc.g, 4)
+		})
+	}
+}
+
+func TestParallelKBisimRandom(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		requireIdenticalLevels(t, gtest.RandomDAG(rng, 60, 30), 4)
+		requireIdenticalLevels(t, gtest.RandomCyclic(rng, 60, 40), 4)
+	}
+}
+
+// Deleted nodes leave dead slots in the NodeID space; the parallel step
+// must shard over live nodes only, exactly as EachNode does.
+func TestParallelKBisimWithDeadNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := gtest.RandomDAG(rng, 40, 20)
+	nodes := g.Nodes()
+	removed := 0
+	for _, v := range nodes {
+		if v == g.Root() || removed >= 8 {
+			continue
+		}
+		if len(g.Succ(v)) == 0 {
+			for _, p := range g.Pred(v) {
+				if err := g.DeleteEdge(p, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			g.RemoveNode(v)
+			removed++
+		}
+	}
+	requireIdenticalLevels(t, g, 3)
+}

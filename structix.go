@@ -82,6 +82,17 @@ const InvalidNode = graph.InvalidNode
 // operations of §5.2.
 type Subgraph = graph.Subgraph
 
+// EdgeOp is one edge update inside a batch. Build batches with InsertOp
+// and DeleteOp and apply them with ApplyBatch on either index family: the
+// whole batch shares one split phase and one deferred minimization pass.
+type EdgeOp = graph.EdgeOp
+
+// InsertOp describes the insertion of dedge u→v for ApplyBatch.
+func InsertOp(u, v NodeID, kind EdgeKind) EdgeOp { return graph.InsertOp(u, v, kind) }
+
+// DeleteOp describes the deletion of dedge u→v for ApplyBatch.
+func DeleteOp(u, v NodeID) EdgeOp { return graph.DeleteOp(u, v) }
+
 // NewGraph creates an empty data graph.
 func NewGraph() *Graph { return graph.New() }
 
@@ -136,6 +147,10 @@ type AkStorage = akindex.Storage
 
 // BuildAkIndex constructs the minimum A(0..k) family of g.
 func BuildAkIndex(g *Graph, k int) *AkIndex { return akindex.Build(g, k) }
+
+// BuildAkIndexParallel is BuildAkIndex with the per-level signature
+// computation sharded across GOMAXPROCS workers; the result is identical.
+func BuildAkIndexParallel(g *Graph, k int) *AkIndex { return akindex.BuildParallel(g, k) }
 
 // ---- baselines ----
 
