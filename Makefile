@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench bench-batch fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress cover bench bench-batch bench-snapshot fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Repeated race-enabled runs of the concurrency surface: snapshot wrappers
+# and RWMutex wrappers under batch + subgraph churn.
+stress:
+	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
+
 cover:
 	$(GO) test -cover ./...
 
@@ -31,6 +36,11 @@ bench:
 # the committed xsibench run of the same comparison.
 bench-batch:
 	$(GO) test -bench=Batch -benchmem .
+
+# Read latency under concurrent maintenance, RWMutex vs epoch snapshots;
+# see BENCH_snapshot.json for the committed xsibench run.
+bench-snapshot:
+	$(GO) run ./cmd/xsibench -exp snapshot -json BENCH_snapshot.json
 
 # Short fuzzing pass over every fuzz target (seed corpora always run as
 # part of `make test`).
@@ -55,10 +65,12 @@ examples:
 experiments:
 	$(GO) run ./cmd/xsibench -exp all -scale 16
 
-# What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests
-# and a one-iteration smoke pass over the batch benchmarks.
+# What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests,
+# the concurrent-stress pass, and a one-iteration smoke pass over the
+# batch benchmarks.
 ci: build vet
 	$(GO) test -race ./...
+	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
 	$(GO) test -bench=Batch -benchtime=1x .
 
 clean:

@@ -15,12 +15,14 @@
 //	xsibench -exp dk                       # adaptive D(k) extension (§8)
 //	xsibench -exp skew                     # hot-spot robustness probe
 //	xsibench -exp batch                    # ApplyBatch vs per-edge updates
+//	xsibench -exp snapshot                 # read latency: RWMutex vs epoch snapshots
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
 // and -subgraphs override the update counts; -csv DIR additionally writes
-// the quality curves as CSV for plotting; -json FILE writes the batch
-// experiment's machine-readable result (BENCH_batch.json).
+// the quality curves as CSV for plotting; -json FILE writes the batch or
+// snapshot experiment's machine-readable result (BENCH_batch.json,
+// BENCH_snapshot.json — invoke the experiments separately to keep both).
 package main
 
 import (
@@ -59,6 +61,7 @@ func main() {
 		r.dk()
 		r.skew()
 		r.batch()
+		r.snapshot()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -79,6 +82,8 @@ func main() {
 		r.skew()
 	case "batch":
 		r.batch()
+	case "snapshot":
+		r.snapshot()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -283,6 +288,30 @@ func (r runner) batch() {
 		}
 		defer f.Close()
 		if err := experiments.WriteBatchJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) snapshot() {
+	d := experiments.Dataset{Name: "XMark(1)", Cyclicity: 1}
+	cfg := experiments.DefaultSnapshotConfig(r.seed)
+	// Like the batch experiment, the writer needs a healthy pool of absent
+	// IDREF edges; cap the reduction so the batches stay at full width.
+	scale := r.scale
+	if scale > 8 {
+		scale = 8
+	}
+	res := experiments.RunSnapshot(d.Name, d.Build(scale, r.seed), cfg)
+	experiments.ReportSnapshot(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteSnapshotJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

@@ -99,7 +99,13 @@ func (c *ConcurrentOneIndex) Size() int {
 }
 
 // View runs fn with shared (read-locked) access to the index. fn must not
-// mutate the index or its graph.
+// mutate the index or its graph, and must not retain the index, the graph,
+// or anything that aliases their internal state past its return — the read
+// lock is released when View returns, after which a writer may mutate the
+// structures under any retained reference. Slices returned by the index's
+// own accessors (Extent, ISucc, …) are fresh copies and safe to keep; the
+// raw maps and the graph are not. For retainable views use
+// SnapshotOneIndex, whose snapshots stay valid indefinitely.
 func (c *ConcurrentOneIndex) View(fn func(*OneIndex)) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -195,7 +201,10 @@ func (c *ConcurrentAkIndex) Size() int {
 	return c.idx.Size()
 }
 
-// View runs fn with shared access; fn must not mutate.
+// View runs fn with shared access; fn must not mutate, and (as with
+// ConcurrentOneIndex.View) must not retain the index or graph past its
+// return — accessor-returned slices are fresh copies and safe to keep,
+// the underlying structures are not.
 func (c *ConcurrentAkIndex) View(fn func(*AkIndex)) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -24,41 +24,46 @@ import (
 // merge sweep.
 //
 // Operations are ingested in order; an operation may therefore delete an
-// edge inserted earlier in the same batch. If an operation fails (duplicate
-// insert, missing delete), the maintenance phases still run for the prefix
-// already ingested — the family is left valid and minimal — and the error
-// is returned.
+// edge inserted earlier in the same batch.
+//
+// The batch is atomic: the whole sequence is validated against the current
+// graph (simulating the ops in order) before anything is ingested. On a
+// bad operation — duplicate insert, missing delete, dead endpoint,
+// self-loop — ApplyBatch returns a *graph.BatchError identifying the
+// offending operation and leaves the graph and the family exactly as they
+// were: no edge is applied, no maintenance runs, no scratch state leaks
+// into later calls.
 func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
 	if len(ops) == 0 {
 		return nil
+	}
+	if err := x.g.ValidateOps(ops); err != nil {
+		return err
 	}
 	x.Stats.Batches++
 	if x.batchLevel == nil {
 		x.batchLevel = make(map[graph.NodeID]int)
 	}
-	var firstErr error
 	for _, op := range ops {
 		if op.Insert {
 			// As in InsertEdge: the stable level is computed before the edge
 			// exists so the new edge itself is not counted as a parent.
 			i := x.largestStableLevel(op.U, op.V, graph.InvalidNode)
 			if err := x.g.AddEdge(op.U, op.V, op.Kind); err != nil {
-				firstErr = err
-				break
+				panic("akindex: validated op failed: " + err.Error())
 			}
 			x.addEdgeCounts(op.U, op.V, 1)
 			x.noteBatchOp(op.V, i)
 		} else {
 			if err := x.g.DeleteEdge(op.U, op.V); err != nil {
-				firstErr = err
-				break
+				panic("akindex: validated op failed: " + err.Error())
 			}
 			x.addEdgeCounts(op.U, op.V, -1)
 			x.noteBatchOp(op.V, x.largestStableLevel(op.U, op.V, graph.InvalidNode))
 		}
 	}
 	x.finishBatch()
-	return firstErr
+	return nil
 }
 
 // noteBatchOp records one ingested operation with stable level i for sink
@@ -83,8 +88,12 @@ func (x *Index) noteBatchOp(v graph.NodeID, i int) {
 
 // finishBatch runs the deferred phases over the accumulated affected set:
 // one split phase seeded with every affected dnode at its recorded level,
-// then one upward merge sweep over the frontier of inodes the batch touched.
+// then one upward merge sweep over the frontier of inodes the batch
+// touched. The batch scratch (mark bit 4, affected set, level map,
+// frontier) is reset unconditionally so no state survives into the next
+// batch.
 func (x *Index) finishBatch() {
+	defer x.resetBatchScratch()
 	if len(x.batchAffected) == 0 {
 		return
 	}
@@ -94,14 +103,25 @@ func (x *Index) finishBatch() {
 	ctx := x.splitter()
 	ctx.collect = true
 	for _, v := range x.batchAffected {
-		x.mark[v] &^= 4
 		x.seedSplit(ctx, v, x.batchLevel[v])
 	}
-	x.batchAffected = x.batchAffected[:0]
-	clear(x.batchLevel)
 	ctx.run()
 	ctx.collect = false
 	x.mergeFrontier()
+}
+
+// resetBatchScratch clears every piece of per-batch scratch state: the
+// dedup bit (mark bit 4) of each collected dnode, the affected set, the
+// per-dnode level map, and the merge frontier. Splits only ever use mark
+// bits 1 and 2, so clearing bit 4 here cannot disturb a split in flight
+// (there is none — the split phase has fully run, or never started).
+func (x *Index) resetBatchScratch() {
+	for _, v := range x.batchAffected {
+		x.mark[v] &^= 4
+	}
+	x.batchAffected = x.batchAffected[:0]
+	clear(x.batchLevel)
+	x.frontier = x.frontier[:0]
 }
 
 // mergeFrontier is the deferred minimization pass. A pair of level-l inodes

@@ -96,6 +96,28 @@ type Index struct {
 	// key-assembly scratch for predBKey
 	keyPreds []INodeID
 	keyBuf   []byte
+
+	// Snapshot dirty tracking (see snapshot.go): once Freeze has been
+	// called, every inode slot whose level-k-visible state (extent,
+	// intra-iedges, liveness) may have changed is recorded here so
+	// PatchSnapshot can re-copy only the touched slots.
+	trackDirty bool
+	dirtySet   []bool // by INodeID slot
+	dirtyIDs   []INodeID
+}
+
+// markDirty records that inode slot i changed since the last Freeze/Patch.
+func (x *Index) markDirty(i INodeID) {
+	if !x.trackDirty {
+		return
+	}
+	for int(i) >= len(x.dirtySet) {
+		x.dirtySet = append(x.dirtySet, false)
+	}
+	if !x.dirtySet[i] {
+		x.dirtySet[i] = true
+		x.dirtyIDs = append(x.dirtyIDs, i)
+	}
 }
 
 // Stats counts maintenance work across all levels.
@@ -232,7 +254,10 @@ func (x *Index) Children(I INodeID) []INodeID {
 }
 
 // Extent returns the dnode extent of I (descendant extents for levels <k),
-// sorted.
+// sorted. The slice is freshly allocated on every call — the caller owns
+// it and may retain or mutate it freely; it never aliases index state
+// (contrast with Snapshot.Extent, which shares one slice among all
+// readers).
 func (x *Index) Extent(I INodeID) []graph.NodeID {
 	var out []graph.NodeID
 	x.eachExtentDnode(I, func(v graph.NodeID) { out = append(out, v) })
@@ -378,6 +403,7 @@ func (x *Index) newANode(level int32, label graph.LabelID, parent INodeID) INode
 		x.nodes[parent].child[id] = struct{}{}
 	}
 	x.numLive[level]++
+	x.markDirty(id)
 	return id
 }
 
@@ -396,6 +422,7 @@ func (x *Index) freeANode(id INodeID) {
 	x.nodes[id] = nil
 	x.freeIDs = append(x.freeIDs, id)
 	x.numLive[n.level]--
+	x.markDirty(id)
 }
 
 func (x *Index) addBoundaryCount(src, dst INodeID, delta int32) {
@@ -415,6 +442,7 @@ func (x *Index) addBoundaryCount(src, dst INodeID, delta int32) {
 }
 
 func (x *Index) addIntraCount(src, dst INodeID, delta int32) {
+	x.markDirty(src) // the snapshot view carries src's intra-successor list
 	s := x.nodes[src].intraSucc
 	s[dst] += delta
 	switch {
@@ -490,6 +518,8 @@ func (x *Index) reassignPath(w graph.NodeID, newPath []INodeID) {
 		delete(x.nodes[old[x.k]].extent, w)
 		x.nodes[newPath[x.k]].extent[w] = struct{}{}
 		x.inodeOf[w] = newPath[x.k]
+		x.markDirty(old[x.k])
+		x.markDirty(newPath[x.k])
 	}
 }
 

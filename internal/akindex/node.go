@@ -67,6 +67,7 @@ func (x *Index) DeleteNode(v graph.NodeID) error {
 	x.g.RemoveNode(v)
 	delete(x.nodes[iv].extent, v)
 	x.inodeOf[v] = NoINode
+	x.markDirty(iv)
 	for id := iv; id != NoINode; {
 		n := x.nodes[id]
 		if (n.extent != nil && len(n.extent) > 0) || len(n.child) > 0 {

@@ -1,0 +1,184 @@
+package akindex
+
+import (
+	"fmt"
+
+	"structix/internal/graph"
+)
+
+// Snapshot is an immutable read view of the level-k index of an A(k)
+// family, paired with a frozen copy of the data graph taken at the same
+// instant. Queries run against level k only, so that is all a snapshot
+// carries: per-inode label names, sorted intra-iedge successor lists and
+// sorted extents, the root inode, the locality parameter k, and the
+// frozen graph for result validation and predicate checks. Once built,
+// nothing in it ever changes; any number of goroutines may evaluate
+// against it while the live family is being maintained.
+//
+// Aliasing contract: the slices returned by Extent and ISucc are owned by
+// the snapshot and shared between all callers; they must be treated as
+// read-only.
+type Snapshot struct {
+	data    *graph.Frozen
+	k       int
+	root    INodeID // level-k inode of the data root; NoINode if no root
+	live    []bool  // by INodeID slot; true only for live level-k inodes
+	names   []string
+	succs   [][]INodeID
+	extents [][]graph.NodeID
+	size    int
+}
+
+// Freeze builds a complete Snapshot of the family's current level-k state
+// (the caller supplies the matching frozen graph, normally
+// x.Graph().Freeze()) and enables dirty tracking so that later
+// PatchSnapshot calls can reuse the untouched per-inode records.
+func (x *Index) Freeze(data *graph.Frozen) *Snapshot {
+	n := len(x.nodes)
+	s := &Snapshot{
+		data:    data,
+		k:       x.k,
+		live:    make([]bool, n),
+		names:   make([]string, n),
+		succs:   make([][]INodeID, n),
+		extents: make([][]graph.NodeID, n),
+	}
+	for i := range x.nodes {
+		s.fill(x, INodeID(i))
+	}
+	s.finish(x)
+	x.resetDirty()
+	return s
+}
+
+// PatchSnapshot derives a new Snapshot from prev by re-copying only the
+// inode slots dirtied since prev was built; every untouched slot shares
+// its slices with prev. Falls back to a full Freeze when prev is nil or
+// dirty tracking was not active. The caller supplies the frozen graph
+// matching the family's current state.
+func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
+	if prev == nil || !x.trackDirty {
+		return x.Freeze(data)
+	}
+	n := len(x.nodes)
+	s := &Snapshot{
+		data:    data,
+		k:       x.k,
+		live:    make([]bool, n),
+		names:   make([]string, n),
+		succs:   make([][]INodeID, n),
+		extents: make([][]graph.NodeID, n),
+	}
+	copy(s.live, prev.live)
+	copy(s.names, prev.names)
+	copy(s.succs, prev.succs)
+	copy(s.extents, prev.extents)
+	for _, i := range x.dirtyIDs {
+		s.fill(x, i)
+	}
+	s.finish(x)
+	x.resetDirty()
+	return s
+}
+
+// fill recopies slot i from the live index. Slots that are dead or hold a
+// non-level-k inode are blanked: only level k is visible to readers.
+func (s *Snapshot) fill(x *Index, i INodeID) {
+	n := x.nodes[i]
+	if n == nil || int(n.level) != x.k {
+		s.live[i] = false
+		s.names[i] = ""
+		s.succs[i] = nil
+		s.extents[i] = nil
+		return
+	}
+	s.live[i] = true
+	s.names[i] = x.g.Labels().Name(n.label)
+	s.succs[i] = x.IntraSucc(i)
+	s.extents[i] = x.Extent(i)
+}
+
+func (s *Snapshot) finish(x *Index) {
+	s.size = x.numLive[x.k]
+	s.root = NoINode
+	if r := x.g.Root(); r != graph.InvalidNode {
+		s.root = x.inodeOf[r]
+	}
+	x.trackDirty = true
+}
+
+// resetDirty clears the dirty set after a snapshot has consumed it.
+func (x *Index) resetDirty() {
+	for _, i := range x.dirtyIDs {
+		x.dirtySet[i] = false
+	}
+	x.dirtyIDs = x.dirtyIDs[:0]
+}
+
+// Data returns the frozen data graph the snapshot was paired with.
+func (s *Snapshot) Data() *graph.Frozen { return s.data }
+
+// K returns the locality parameter of the snapshotted family.
+func (s *Snapshot) K() int { return s.k }
+
+// RootINode returns the level-k inode containing the data root (NoINode
+// if the graph had no root at freeze time).
+func (s *Snapshot) RootINode() INodeID { return s.root }
+
+// Size returns the number of live level-k inodes at freeze time.
+func (s *Snapshot) Size() int { return s.size }
+
+// Live reports whether level-k inode I existed at freeze time.
+func (s *Snapshot) Live(I INodeID) bool {
+	return I >= 0 && int(I) < len(s.live) && s.live[I]
+}
+
+// LabelName returns I's label string ("" for a dead or non-level-k slot).
+func (s *Snapshot) LabelName(I INodeID) string {
+	if !s.Live(I) {
+		return ""
+	}
+	return s.names[I]
+}
+
+// EachISucc calls fn for every intra-iedge successor of I, in increasing
+// order.
+func (s *Snapshot) EachISucc(I INodeID, fn func(J INodeID)) {
+	if !s.Live(I) {
+		return
+	}
+	for _, j := range s.succs[I] {
+		fn(j)
+	}
+}
+
+// ISucc returns I's sorted intra-iedge successors. The slice is shared
+// with the snapshot: read-only.
+func (s *Snapshot) ISucc(I INodeID) []INodeID {
+	if !s.Live(I) {
+		return nil
+	}
+	return s.succs[I]
+}
+
+// Extent returns I's sorted extent. The slice is shared with the
+// snapshot: read-only.
+func (s *Snapshot) Extent(I INodeID) []graph.NodeID {
+	if !s.Live(I) {
+		return nil
+	}
+	return s.extents[I]
+}
+
+// ExtentSize returns |extent(I)| at freeze time.
+func (s *Snapshot) ExtentSize(I INodeID) int {
+	if !s.Live(I) {
+		return 0
+	}
+	return len(s.extents[I])
+}
+
+func (s *Snapshot) String() string {
+	return fmt.Sprintf("A(%d)-index snapshot{%d inodes over %d dnodes}",
+		s.k, s.size, s.data.NumNodes())
+}

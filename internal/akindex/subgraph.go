@@ -156,6 +156,7 @@ func (x *Index) DeleteSubgraph(root graph.NodeID, skipIDRef bool) (*graph.Subgra
 		x.g.RemoveNode(w)
 		delete(x.nodes[iw].extent, w)
 		x.inodeOf[w] = NoINode
+		x.markDirty(iw)
 		// Free the now-empty tail of w's refinement-tree path.
 		for id := iw; id != NoINode; {
 			n := x.nodes[id]

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 // Small-scale end-to-end runs of every experiment, asserting the *shapes*
@@ -253,5 +254,39 @@ func TestStandardDatasets(t *testing.T) {
 		if g.NumNodes() == 0 {
 			t.Errorf("%s: empty graph", d.Name)
 		}
+	}
+}
+
+func TestRunSnapshot(t *testing.T) {
+	d := Dataset{Name: "XMark(1)", Cyclicity: 1}
+	g := d.Build(64, 11)
+	cfg := SnapshotConfig{Readers: 2, Batch: 8, Duration: 30 * time.Millisecond, AkK: 2, Seed: 11}
+	r := RunSnapshot(d.Name, g, cfg)
+	if len(r.Modes) != 4 {
+		t.Fatalf("%d mode cells, want 4", len(r.Modes))
+	}
+	for _, m := range r.Modes {
+		if m.Reads == 0 {
+			t.Errorf("%s/%s: no reads completed", m.Index, m.Mode)
+		}
+		if m.Batches == 0 {
+			t.Errorf("%s/%s: no batches applied", m.Index, m.Mode)
+		}
+		if m.P50Ns > m.P99Ns || m.P99Ns > m.MaxNs {
+			t.Errorf("%s/%s: latency quantiles out of order: %d %d %d",
+				m.Index, m.Mode, m.P50Ns, m.P99Ns, m.MaxNs)
+		}
+	}
+	var buf bytes.Buffer
+	ReportSnapshot(&buf, r)
+	if !strings.Contains(buf.String(), "rwmutex") || !strings.Contains(buf.String(), "snapshot") {
+		t.Errorf("report output missing mode rows")
+	}
+	buf.Reset()
+	if err := WriteSnapshotJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"p99_ns\"") {
+		t.Errorf("JSON output missing latency fields")
 	}
 }

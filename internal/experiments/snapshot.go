@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"structix"
+	"structix/internal/graph"
+)
+
+// SnapshotConfig drives the read-availability experiment: reader
+// goroutines evaluating queries while a writer applies ApplyBatch
+// maintenance, once through the RWMutex wrapper (readers block while the
+// writer holds the lock) and once through the epoch-snapshot wrapper
+// (readers never block; they serve the last published epoch).
+type SnapshotConfig struct {
+	// Readers is the number of concurrent query goroutines.
+	Readers int
+	// Batch is the number of edge ops per writer batch; bigger batches
+	// hold the write lock longer and widen the tail for locked readers.
+	Batch int
+	// Duration is the measured window per (index, mode) cell.
+	Duration time.Duration
+	// AkK enables the A(k) comparison at this k when > 0.
+	AkK  int
+	Seed int64
+}
+
+// DefaultSnapshotConfig mirrors the benchmark suite: 4 readers against a
+// 64-edge batch writer, 1-index plus A(3).
+func DefaultSnapshotConfig(seed int64) SnapshotConfig {
+	return SnapshotConfig{Readers: 4, Batch: 64, Duration: 500 * time.Millisecond, AkK: 3, Seed: seed}
+}
+
+// SnapshotModeResult is one (index, wrapper) cell: read-side latency
+// distribution and throughput, plus how much maintenance ran meanwhile.
+type SnapshotModeResult struct {
+	Index       string  `json:"index"` // "1-index" or "A(k)"
+	Mode        string  `json:"mode"`  // "rwmutex" or "snapshot"
+	Reads       int     `json:"reads"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	MaxNs       int64   `json:"max_ns"`
+	Batches     int     `json:"batches"`
+}
+
+// SnapshotResult is the full experiment on one dataset.
+type SnapshotResult struct {
+	Dataset    string               `json:"dataset"`
+	Nodes      int                  `json:"nodes"`
+	Edges      int                  `json:"edges"`
+	Readers    int                  `json:"readers"`
+	BatchSize  int                  `json:"batch_size"`
+	DurationMs int64                `json:"duration_ms"`
+	Modes      []SnapshotModeResult `json:"modes"`
+	// P99Improvement maps each index name to rwmutex-p99 / snapshot-p99.
+	P99Improvement map[string]float64 `json:"p99_improvement"`
+}
+
+// snapshotTarget is the read+write surface shared by the RWMutex and the
+// epoch-snapshot wrappers of either index family.
+type snapshotTarget interface {
+	Eval(p *structix.Path) []structix.NodeID
+	Count(p *structix.Path) int
+	Size() int
+	ApplyBatch(ops []structix.EdgeOp) error
+}
+
+var (
+	_ snapshotTarget = (*structix.ConcurrentOneIndex)(nil)
+	_ snapshotTarget = (*structix.SnapshotOneIndex)(nil)
+	_ snapshotTarget = (*structix.ConcurrentAkIndex)(nil)
+	_ snapshotTarget = (*structix.SnapshotAkIndex)(nil)
+)
+
+// RunSnapshot measures read latency under concurrent batch maintenance
+// for both wrappers of both index families. Every cell gets its own clone
+// of g, the same query mix, and the same insert-all/delete-all batch
+// workload over the shared IDREF pool.
+func RunSnapshot(name string, g *graph.Graph, cfg SnapshotConfig) SnapshotResult {
+	res := SnapshotResult{
+		Dataset:        name,
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		Readers:        cfg.Readers,
+		BatchSize:      cfg.Batch,
+		DurationMs:     cfg.Duration.Milliseconds(),
+		P99Improvement: map[string]float64{},
+	}
+	pool := batchEdgePool(g, cfg.Seed)
+	if cfg.Batch > len(pool) {
+		cfg.Batch = len(pool)
+	}
+	queries := []*structix.Path{
+		structix.MustParsePath("//person/name"),
+		structix.MustParsePath("/site/people/person"),
+		structix.MustParsePath("//open_auction//person"),
+	}
+	cells := []struct {
+		index string
+		mode  string
+		build func() snapshotTarget
+	}{
+		{"1-index", "rwmutex", func() snapshotTarget {
+			return structix.NewConcurrentOneIndex(structix.BuildOneIndex(g.Clone()))
+		}},
+		{"1-index", "snapshot", func() snapshotTarget {
+			return structix.NewSnapshotOneIndex(structix.BuildOneIndex(g.Clone()))
+		}},
+	}
+	if cfg.AkK > 0 {
+		ak := fmt.Sprintf("A(%d)", cfg.AkK)
+		cells = append(cells,
+			struct {
+				index string
+				mode  string
+				build func() snapshotTarget
+			}{ak, "rwmutex", func() snapshotTarget {
+				return structix.NewConcurrentAkIndex(structix.BuildAkIndex(g.Clone(), cfg.AkK))
+			}},
+			struct {
+				index string
+				mode  string
+				build func() snapshotTarget
+			}{ak, "snapshot", func() snapshotTarget {
+				return structix.NewSnapshotAkIndex(structix.BuildAkIndex(g.Clone(), cfg.AkK))
+			}},
+		)
+	}
+	for _, c := range cells {
+		m := runSnapshotMode(c.build(), queries, pool, cfg)
+		m.Index, m.Mode = c.index, c.mode
+		res.Modes = append(res.Modes, m)
+	}
+	for _, idx := range []string{"1-index", fmt.Sprintf("A(%d)", cfg.AkK)} {
+		var locked, snap *SnapshotModeResult
+		for i := range res.Modes {
+			if res.Modes[i].Index != idx {
+				continue
+			}
+			if res.Modes[i].Mode == "rwmutex" {
+				locked = &res.Modes[i]
+			} else {
+				snap = &res.Modes[i]
+			}
+		}
+		if locked != nil && snap != nil && snap.P99Ns > 0 {
+			res.P99Improvement[idx] = float64(locked.P99Ns) / float64(snap.P99Ns)
+		}
+	}
+	return res
+}
+
+func runSnapshotMode(target snapshotTarget, queries []*structix.Path,
+	pool [][2]graph.NodeID, cfg SnapshotConfig) SnapshotModeResult {
+	inserts := make([]structix.EdgeOp, 0, cfg.Batch)
+	deletes := make([]structix.EdgeOp, 0, cfg.Batch)
+	for _, e := range pool[:cfg.Batch] {
+		inserts = append(inserts, structix.InsertOp(e[0], e[1], structix.IDRef))
+		deletes = append(deletes, structix.DeleteOp(e[0], e[1]))
+	}
+
+	stop := make(chan struct{})
+	perReader := make([][]int64, cfg.Readers)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lat := make([]int64, 0, 1<<14)
+			// Work first, then poll: every goroutine completes at least one
+			// iteration even if the window expires before it is scheduled.
+			for i := 0; ; i++ {
+				p := queries[(r+i)%len(queries)]
+				start := time.Now()
+				_ = target.Eval(p)
+				lat = append(lat, time.Since(start).Nanoseconds())
+				select {
+				case <-stop:
+					perReader[r] = lat
+					return
+				default:
+				}
+			}
+		}(r)
+	}
+	var batches int
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			ops := inserts
+			if i%2 == 1 {
+				ops = deletes
+			}
+			if err := target.ApplyBatch(ops); err != nil {
+				panic("experiments: snapshot workload failed: " + err.Error())
+			}
+			batches++
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	<-writerDone
+	// Leave the graph clean (every pool edge absent) for the next cell.
+	if batches%2 == 1 {
+		if err := target.ApplyBatch(deletes); err != nil {
+			panic("experiments: snapshot drain failed: " + err.Error())
+		}
+	}
+
+	var all []int64
+	for _, lat := range perReader {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	m := SnapshotModeResult{Reads: len(all), Batches: batches}
+	if len(all) > 0 {
+		m.P50Ns = all[len(all)/2]
+		m.P99Ns = all[len(all)*99/100]
+		m.MaxNs = all[len(all)-1]
+		m.ReadsPerSec = float64(len(all)) / cfg.Duration.Seconds()
+	}
+	return m
+}
+
+// ReportSnapshot prints the comparison as a table.
+func ReportSnapshot(w io.Writer, res SnapshotResult) {
+	fmt.Fprintf(w, "\nRead availability under batch maintenance on %s (%d dnodes, %d dedges, %d readers, %d-edge batches, %dms per cell)\n",
+		res.Dataset, res.Nodes, res.Edges, res.Readers, res.BatchSize, res.DurationMs)
+	fmt.Fprintf(w, "%-8s %-9s %10s %12s %10s %10s %10s %8s\n",
+		"index", "mode", "reads", "reads/s", "p50", "p99", "max", "batches")
+	for _, m := range res.Modes {
+		fmt.Fprintf(w, "%-8s %-9s %10d %12.0f %8.1fµs %8.1fµs %8.1fµs %8d\n",
+			m.Index, m.Mode, m.Reads, m.ReadsPerSec,
+			float64(m.P50Ns)/1e3, float64(m.P99Ns)/1e3, float64(m.MaxNs)/1e3, m.Batches)
+	}
+	for idx, f := range res.P99Improvement {
+		fmt.Fprintf(w, "%s: snapshot p99 is %.2fx better than rwmutex\n", idx, f)
+	}
+}
+
+// WriteSnapshotJSON emits the result as indented JSON (BENCH_snapshot.json).
+func WriteSnapshotJSON(w io.Writer, res SnapshotResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

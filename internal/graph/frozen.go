@@ -1,0 +1,128 @@
+package graph
+
+// Frozen is an immutable point-in-time copy of a Graph, built for
+// snapshot-isolated readers: once published, nothing about it ever
+// changes, so any number of goroutines may traverse it while the live
+// graph keeps mutating under its writers. Query evaluation needs label
+// names, values, the root and both adjacency directions (predicates walk
+// successors, A(k) validation walks predecessors), and that is exactly
+// what a Frozen holds.
+//
+// Snapshots are copy-on-write at node granularity: Rebuild shares the
+// per-node records of the previous Frozen and re-copies only the nodes a
+// batch touched, so publishing a new view after an n-op batch costs
+// O(MaxNodeID) pointer copies plus the adjacency of the ~2n touched
+// endpoints — not a full O(V+E) re-freeze.
+type Frozen struct {
+	root     NodeID
+	numAlive int
+	nodes    []*frozenNode // indexed by NodeID; nil for dead slots
+}
+
+// frozenNode is one immutable node record. The succ/pred slices are owned
+// by the record and never mutated after construction.
+type frozenNode struct {
+	name  string
+	value string
+	succ  []Edge
+	pred  []Edge
+}
+
+// Freeze builds a complete immutable copy of the graph's current state.
+func (g *Graph) Freeze() *Frozen {
+	f := &Frozen{
+		root:     g.root,
+		numAlive: g.numAlive,
+		nodes:    make([]*frozenNode, len(g.nodes)),
+	}
+	for i := range g.nodes {
+		if g.nodes[i].alive {
+			f.nodes[i] = g.freezeNode(NodeID(i))
+		}
+	}
+	return f
+}
+
+func (g *Graph) freezeNode(v NodeID) *frozenNode {
+	n := &g.nodes[v]
+	return &frozenNode{
+		name:  g.labels.Name(n.label),
+		value: n.value,
+		succ:  append([]Edge(nil), n.succ...),
+		pred:  append([]Edge(nil), n.pred...),
+	}
+}
+
+// Rebuild derives a new Frozen from this one by re-copying only the given
+// nodes from the live graph; every other node record is shared with the
+// receiver. The caller must list every node whose adjacency, value or
+// liveness changed since the receiver was built — for a batch of edge ops
+// that is the set of op endpoints; for structural operations
+// (node/subgraph insertion and deletion) use a full Freeze instead unless
+// the touched set is known exactly. Duplicate entries are harmless.
+func (f *Frozen) Rebuild(g *Graph, touched []NodeID) *Frozen {
+	nf := &Frozen{
+		root:     g.root,
+		numAlive: g.numAlive,
+		nodes:    make([]*frozenNode, len(g.nodes)),
+	}
+	copy(nf.nodes, f.nodes)
+	for _, v := range touched {
+		if g.Alive(v) {
+			nf.nodes[v] = g.freezeNode(v)
+		} else if int(v) < len(nf.nodes) {
+			nf.nodes[v] = nil
+		}
+	}
+	return nf
+}
+
+// Root returns the root node at freeze time (InvalidNode if none).
+func (f *Frozen) Root() NodeID { return f.root }
+
+// Alive reports whether v was live at freeze time.
+func (f *Frozen) Alive(v NodeID) bool {
+	return v >= 0 && int(v) < len(f.nodes) && f.nodes[v] != nil
+}
+
+// NumNodes returns the live-node count at freeze time.
+func (f *Frozen) NumNodes() int { return f.numAlive }
+
+// MaxNodeID returns the exclusive NodeID bound at freeze time.
+func (f *Frozen) MaxNodeID() NodeID { return NodeID(len(f.nodes)) }
+
+// LabelName returns v's label string ("" for a dead or unknown node).
+func (f *Frozen) LabelName(v NodeID) string {
+	if !f.Alive(v) {
+		return ""
+	}
+	return f.nodes[v].name
+}
+
+// Value returns v's value ("" for a dead or unknown node).
+func (f *Frozen) Value(v NodeID) string {
+	if !f.Alive(v) {
+		return ""
+	}
+	return f.nodes[v].value
+}
+
+// EachSucc calls fn for every successor edge of v at freeze time.
+func (f *Frozen) EachSucc(v NodeID, fn func(w NodeID, kind EdgeKind)) {
+	if !f.Alive(v) {
+		return
+	}
+	for _, e := range f.nodes[v].succ {
+		fn(e.To, e.Kind)
+	}
+}
+
+// EachPred calls fn for every predecessor edge of v at freeze time.
+func (f *Frozen) EachPred(v NodeID, fn func(u NodeID, kind EdgeKind)) {
+	if !f.Alive(v) {
+		return
+	}
+	for _, e := range f.nodes[v].pred {
+		fn(e.To, e.Kind)
+	}
+}

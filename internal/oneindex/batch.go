@@ -22,16 +22,23 @@ import (
 // the batch.
 //
 // Operations are ingested in order; an operation may therefore delete an
-// edge inserted earlier in the same batch. If an operation fails (duplicate
-// insert, missing delete), the maintenance phases still run for the prefix
-// already ingested — the index is left valid and minimal — and the error is
-// returned.
+// edge inserted earlier in the same batch.
+//
+// The batch is atomic: the whole sequence is validated against the current
+// graph (simulating the ops in order) before anything is ingested. On a
+// bad operation — duplicate insert, missing delete, dead endpoint,
+// self-loop — ApplyBatch returns a *graph.BatchError identifying the
+// offending operation and leaves the graph and the index exactly as they
+// were: no edge is applied, no maintenance runs, no scratch state leaks
+// into later calls.
 func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	if err := x.g.ValidateOps(ops); err != nil {
+		return err
+	}
 	x.Stats.Batches++
-	var firstErr error
 	for _, op := range ops {
 		if op.Insert {
 			// Per-dnode affectedness test: v's index-parent *block* set
@@ -40,23 +47,21 @@ func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
 			// while the index is stable — mid-batch it is not.)
 			had := x.hasParentIn(op.V, x.inodeOf[op.U])
 			if err := x.g.AddEdge(op.U, op.V, op.Kind); err != nil {
-				firstErr = err
-				break
+				panic("oneindex: validated op failed: " + err.Error())
 			}
 			x.addIEdgeCount(x.inodeOf[op.U], x.inodeOf[op.V], 1)
 			x.noteBatchOp(op.V, had)
 		} else {
 			iu := x.inodeOf[op.U]
 			if err := x.g.DeleteEdge(op.U, op.V); err != nil {
-				firstErr = err
-				break
+				panic("oneindex: validated op failed: " + err.Error())
 			}
 			x.addIEdgeCount(iu, x.inodeOf[op.V], -1)
 			x.noteBatchOp(op.V, x.hasParentIn(op.V, iu))
 		}
 	}
 	x.finishBatch()
-	return firstErr
+	return nil
 }
 
 // noteBatchOp records one ingested operation: an unchanged index-parent set
@@ -87,8 +92,11 @@ func (x *Index) hasParentIn(v graph.NodeID, iu INodeID) bool {
 
 // finishBatch runs the two deferred phases over the accumulated affected
 // set: one split phase seeded with every affected dnode, then one merge
-// pass over the frontier of inodes the batch touched.
+// pass over the frontier of inodes the batch touched. The batch scratch
+// (mark bit 4, affected set, frontier) is reset unconditionally so no
+// state survives into the next batch.
 func (x *Index) finishBatch() {
+	defer x.resetBatchScratch()
 	if len(x.batchAffected) == 0 {
 		return
 	}
@@ -98,14 +106,25 @@ func (x *Index) finishBatch() {
 	s := x.splitter()
 	s.collect = true
 	for _, v := range x.batchAffected {
-		x.mark[v] &^= 4
 		s.seed(v)
 	}
-	x.batchAffected = x.batchAffected[:0]
 	s.run()
 	s.collect = false
 	x.noteIntermediate()
 	x.mergeFrontier()
+}
+
+// resetBatchScratch clears every piece of per-batch scratch state: the
+// dedup bit (mark bit 4) of each collected dnode, the affected set, and
+// the merge frontier. Splits only ever use mark bits 1 and 2, so clearing
+// bit 4 here cannot disturb a split in flight (there is none — the split
+// phase has fully run, or never started).
+func (x *Index) resetBatchScratch() {
+	for _, v := range x.batchAffected {
+		x.mark[v] &^= 4
+	}
+	x.batchAffected = x.batchAffected[:0]
+	x.frontier = x.frontier[:0]
 }
 
 // mergeFrontier is the deferred minimization pass. A pair of inodes can

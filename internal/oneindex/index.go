@@ -78,6 +78,28 @@ type Index struct {
 	// key-assembly scratch for predIDKey
 	keyPreds []INodeID
 	keyBuf   []byte
+
+	// Snapshot dirty tracking (see snapshot.go): once Freeze has been
+	// called, every inode whose label, extent, successor set or liveness
+	// changes is recorded here so PatchSnapshot can re-copy only the
+	// touched slots.
+	trackDirty bool
+	dirtySet   []bool // by INodeID slot
+	dirtyIDs   []INodeID
+}
+
+// markDirty records that inode slot i changed since the last Freeze/Patch.
+func (x *Index) markDirty(i INodeID) {
+	if !x.trackDirty {
+		return
+	}
+	for int(i) >= len(x.dirtySet) {
+		x.dirtySet = append(x.dirtySet, false)
+	}
+	if !x.dirtySet[i] {
+		x.dirtySet[i] = true
+		x.dirtyIDs = append(x.dirtyIDs, i)
+	}
 }
 
 // Stats counts maintenance work, mirroring the cost accounting of §5.1: the
@@ -149,7 +171,10 @@ func (x *Index) Label(I INodeID) graph.LabelID { return x.inodes[I].label }
 // ExtentSize returns |extent(I)|.
 func (x *Index) ExtentSize(I INodeID) int { return len(x.inodes[I].extent) }
 
-// Extent returns the extent of I as a sorted slice.
+// Extent returns the extent of I as a sorted slice. The slice is freshly
+// allocated on every call — the caller owns it and may retain or mutate
+// it freely; it never aliases index state (contrast with
+// Snapshot.Extent, which shares one slice among all readers).
 func (x *Index) Extent(I INodeID) []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(x.inodes[I].extent))
 	for v := range x.inodes[I].extent {
@@ -194,7 +219,8 @@ func (x *Index) EachIPred(I INodeID, fn func(J INodeID)) {
 	}
 }
 
-// ISucc returns the index successors of I, sorted.
+// ISucc returns the index successors of I, sorted. Like Extent, the
+// returned slice is freshly allocated and owned by the caller.
 func (x *Index) ISucc(I INodeID) []INodeID {
 	out := make([]INodeID, 0, len(x.inodes[I].succ))
 	for j := range x.inodes[I].succ {
@@ -266,6 +292,7 @@ func (x *Index) newINode(label graph.LabelID) INodeID {
 		})
 	}
 	x.numLive++
+	x.markDirty(id)
 	return id
 }
 
@@ -280,9 +307,11 @@ func (x *Index) freeINode(id INodeID) {
 	x.inodes[id] = nil
 	x.freeIDs = append(x.freeIDs, id)
 	x.numLive--
+	x.markDirty(id)
 }
 
 func (x *Index) addIEdgeCount(from, to INodeID, delta int32) {
+	x.markDirty(from) // the snapshot view carries from's successor list
 	fs := x.inodes[from].succ
 	fs[to] += delta
 	switch {
@@ -308,6 +337,8 @@ func (x *Index) moveDNode(w graph.NodeID, dst INodeID) {
 	delete(x.inodes[src].extent, w)
 	x.inodes[dst].extent[w] = struct{}{}
 	x.inodeOf[w] = dst
+	x.markDirty(src)
+	x.markDirty(dst)
 	x.g.EachPred(w, func(p graph.NodeID, _ graph.EdgeKind) {
 		ip := x.inodeOf[p]
 		x.addIEdgeCount(ip, src, -1)

@@ -58,6 +58,7 @@ func (x *Index) DeleteNode(v graph.NodeID) error {
 	iv := x.inodeOf[v]
 	delete(x.inodes[iv].extent, v)
 	x.inodeOf[v] = NoINode
+	x.markDirty(iv)
 	x.g.RemoveNode(v)
 	if len(x.inodes[iv].extent) == 0 {
 		x.freeINode(iv)

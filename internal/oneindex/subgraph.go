@@ -185,6 +185,7 @@ func (x *Index) DeleteSubgraph(root graph.NodeID, skipIDRef bool) (*graph.Subgra
 		x.g.RemoveNode(w)
 		delete(x.inodes[iw].extent, w)
 		x.inodeOf[w] = NoINode
+		x.markDirty(iw)
 		if len(x.inodes[iw].extent) == 0 {
 			x.freeINode(iw)
 		}

@@ -10,7 +10,7 @@ import (
 
 // EvalGraph evaluates the expression by direct traversal of the data graph
 // and returns the matched dnodes, sorted. Predicates are honored.
-func EvalGraph(p *Path, g *graph.Graph) []graph.NodeID {
+func EvalGraph(p *Path, g Source) []graph.NodeID {
 	if g.Root() == graph.InvalidNode {
 		return nil
 	}
@@ -26,7 +26,7 @@ func EvalGraph(p *Path, g *graph.Graph) []graph.NodeID {
 	return out
 }
 
-type graphNav struct{ g *graph.Graph }
+type graphNav struct{ g Source }
 
 func (n *graphNav) start() []int64 { return []int64{int64(n.g.Root())} }
 func (n *graphNav) succ(v int64, fn func(int64)) {
@@ -220,7 +220,7 @@ type Validator struct {
 }
 
 // NewValidator prepares a validator for one expression over one graph.
-func NewValidator(p *Path, g *graph.Graph) *Validator {
+func NewValidator(p *Path, g Source) *Validator {
 	return &Validator{inner: newValidator(p.Skeleton(), g)}
 }
 
@@ -234,12 +234,12 @@ func (va *Validator) Matches(v graph.NodeID) bool {
 // discovered during an in-progress search is only valid for that search).
 type validator struct {
 	p *Path
-	g *graph.Graph
+	g Source
 	// trueMemo[state] caches proven matches; state packs (node, stepIdx).
 	trueMemo map[int64]bool
 }
 
-func newValidator(p *Path, g *graph.Graph) *validator {
+func newValidator(p *Path, g Source) *validator {
 	return &validator{p: p, g: g, trueMemo: make(map[int64]bool)}
 }
 

@@ -31,7 +31,7 @@ func (pr *Predicate) String() string {
 }
 
 // holds reports whether the predicate holds at node v of g.
-func (pr *Predicate) holds(g *graph.Graph, v graph.NodeID) bool {
+func (pr *Predicate) holds(g Source, v graph.NodeID) bool {
 	matches := evalFrom(pr.Rel, g, v)
 	if !pr.HasValue {
 		return len(matches) > 0
@@ -45,7 +45,7 @@ func (pr *Predicate) holds(g *graph.Graph, v graph.NodeID) bool {
 }
 
 // evalFrom evaluates a (relative) path with v as the context node.
-func evalFrom(p *Path, g *graph.Graph, v graph.NodeID) []graph.NodeID {
+func evalFrom(p *Path, g Source, v graph.NodeID) []graph.NodeID {
 	res := runFrom(p, &graphNav{g: g}, []int64{int64(v)})
 	out := make([]graph.NodeID, len(res))
 	for i, n := range res {
@@ -100,7 +100,7 @@ func (p *Path) Skeleton() *Path {
 }
 
 // stepHolds checks every predicate of the step at node v.
-func stepHolds(st Step, g *graph.Graph, v graph.NodeID) bool {
+func stepHolds(st Step, g Source, v graph.NodeID) bool {
 	for _, pr := range st.Predicates {
 		if !pr.holds(g, v) {
 			return false
@@ -111,7 +111,7 @@ func stepHolds(st Step, g *graph.Graph, v graph.NodeID) bool {
 
 // EvalGraphFull evaluates an expression with predicates by direct
 // traversal. (EvalGraph delegates here when predicates are present.)
-func evalGraphFull(p *Path, g *graph.Graph) []graph.NodeID {
+func evalGraphFull(p *Path, g Source) []graph.NodeID {
 	frontier := []int64{int64(g.Root())}
 	nav := &graphNav{g: g}
 	for _, st := range p.steps {
@@ -162,7 +162,7 @@ func (p *Path) predicatesOnlyOnFinalStep() bool {
 // locally; predicates on earlier steps require re-deriving which root
 // paths support each candidate, so the exact predicate-aware evaluation is
 // intersected instead.
-func filterByAllPredicates(p *Path, g *graph.Graph, candidates []graph.NodeID) []graph.NodeID {
+func filterByAllPredicates(p *Path, g Source, candidates []graph.NodeID) []graph.NodeID {
 	if len(candidates) == 0 {
 		return candidates
 	}

@@ -1,0 +1,126 @@
+package query
+
+import (
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+)
+
+// Snapshot evaluation: the same automaton, validator and predicate
+// machinery as the live-index paths, but running entirely against an
+// immutable index snapshot and its frozen data graph. Nothing here reads
+// mutable state, so any number of goroutines may call these while the
+// live index is being maintained.
+
+// EvalOneSnapshot evaluates the expression on a 1-index snapshot and
+// returns the matched dnodes, sorted. Exactly like EvalOneIndex, the
+// result is exact: the 1-index is precise for the skeleton language and
+// predicates are checked per candidate against the snapshot's frozen
+// graph.
+func EvalOneSnapshot(p *Path, s *oneindex.Snapshot) []graph.NodeID {
+	if s.RootINode() == oneindex.NoINode {
+		return nil
+	}
+	if p.HasPredicates() {
+		return filterByAllPredicates(p, s.Data(), EvalOneSnapshot(p.Skeleton(), s))
+	}
+	res := run(p, &oneSnapNav{s: s})
+	var out []graph.NodeID
+	for _, n := range res {
+		out = append(out, s.Extent(oneindex.INodeID(n))...)
+	}
+	sortNodes(out)
+	return out
+}
+
+// CountOneSnapshot returns the exact number of dnodes matching p,
+// computed from a 1-index snapshot (extent sizes alone for predicate-free
+// expressions).
+func CountOneSnapshot(p *Path, s *oneindex.Snapshot) int {
+	if s.RootINode() == oneindex.NoINode {
+		return 0
+	}
+	if p.HasPredicates() {
+		return len(EvalOneSnapshot(p, s))
+	}
+	res := run(p, &oneSnapNav{s: s})
+	n := 0
+	for _, id := range res {
+		n += s.ExtentSize(oneindex.INodeID(id))
+	}
+	return n
+}
+
+type oneSnapNav struct{ s *oneindex.Snapshot }
+
+func (n *oneSnapNav) start() []int64 { return []int64{int64(n.s.RootINode())} }
+func (n *oneSnapNav) succ(v int64, fn func(int64)) {
+	n.s.EachISucc(oneindex.INodeID(v), func(j oneindex.INodeID) { fn(int64(j)) })
+}
+func (n *oneSnapNav) labelMatches(v int64, label string) bool {
+	return label == "*" || n.s.LabelName(oneindex.INodeID(v)) == label
+}
+
+// EvalAkSnapshot evaluates the expression on an A(k)-index snapshot and
+// returns the exact result, sorted: candidates come from the snapshot's
+// intra-iedges, false positives are removed by backward validation
+// against the frozen graph when the expression needs it, and predicates
+// are checked per candidate — the snapshot counterpart of
+// EvalAkValidated.
+func EvalAkSnapshot(p *Path, s *akindex.Snapshot) []graph.NodeID {
+	if p.HasPredicates() {
+		return filterByAllPredicates(p, s.Data(), EvalAkSnapshot(p.Skeleton(), s))
+	}
+	candidates := evalAkSnapshotRaw(p, s)
+	if !NeedsValidation(p, s.K()) {
+		return candidates
+	}
+	va := newValidator(p, s.Data())
+	out := candidates[:0]
+	for _, c := range candidates {
+		if va.matches(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CountAkSnapshot returns an upper bound on the number of dnodes matching
+// p, computed from the snapshot alone (the counterpart of CountAk).
+func CountAkSnapshot(p *Path, s *akindex.Snapshot) int {
+	if s.RootINode() == akindex.NoINode {
+		return 0
+	}
+	res := run(p.Skeleton(), &akSnapNav{s: s})
+	n := 0
+	for _, id := range res {
+		n += s.ExtentSize(akindex.INodeID(id))
+	}
+	return n
+}
+
+// evalAkSnapshotRaw is the safe (possibly over-approximate) skeleton
+// evaluation over the snapshot's intra-iedges.
+func evalAkSnapshotRaw(p *Path, s *akindex.Snapshot) []graph.NodeID {
+	if s.RootINode() == akindex.NoINode {
+		return nil
+	}
+	p = p.Skeleton()
+	res := run(p, &akSnapNav{s: s})
+	var out []graph.NodeID
+	for _, n := range res {
+		out = append(out, s.Extent(akindex.INodeID(n))...)
+	}
+	sortNodes(out)
+	return out
+}
+
+type akSnapNav struct{ s *akindex.Snapshot }
+
+func (n *akSnapNav) start() []int64 { return []int64{int64(n.s.RootINode())} }
+func (n *akSnapNav) succ(v int64, fn func(int64)) {
+	n.s.EachISucc(akindex.INodeID(v), func(j akindex.INodeID) { fn(int64(j)) })
+}
+func (n *akSnapNav) labelMatches(v int64, label string) bool {
+	return label == "*" || n.s.LabelName(akindex.INodeID(v)) == label
+}

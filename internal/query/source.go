@@ -1,0 +1,23 @@
+package query
+
+import "structix/internal/graph"
+
+// Source is the read surface query evaluation needs from a data graph:
+// the root, per-node labels and values, and both adjacency directions
+// (predicates walk successors, validation walks predecessors). Both the
+// live *graph.Graph and the immutable *graph.Frozen view satisfy it, so
+// every evaluator, validator and predicate check in this package runs
+// unchanged against either — which is what lets snapshot readers stay
+// lock-free even for expressions that must touch the data.
+type Source interface {
+	Root() graph.NodeID
+	LabelName(v graph.NodeID) string
+	Value(v graph.NodeID) string
+	EachSucc(v graph.NodeID, fn func(w graph.NodeID, kind graph.EdgeKind))
+	EachPred(v graph.NodeID, fn func(u graph.NodeID, kind graph.EdgeKind))
+}
+
+var (
+	_ Source = (*graph.Graph)(nil)
+	_ Source = (*graph.Frozen)(nil)
+)

@@ -1,0 +1,359 @@
+package structix
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+	"structix/internal/query"
+)
+
+// OneSnapshot is an immutable point-in-time view of a 1-index and its
+// data graph. See internal/oneindex.Snapshot for the read API and the
+// aliasing contract (extent and successor slices are shared, read-only).
+type OneSnapshot = oneindex.Snapshot
+
+// AkSnapshot is an immutable point-in-time view of the level-k index of
+// an A(k) family and its data graph.
+type AkSnapshot = akindex.Snapshot
+
+// BatchError reports the operation that made ApplyBatch reject a batch
+// atomically: OpIndex is the position in the ops slice, Op the operation,
+// and Err the cause (ErrEdgeExists, ErrNoEdge, ErrSelfLoop, ErrDeadNode —
+// retrievable with errors.Is).
+type BatchError = graph.BatchError
+
+// ErrDeadNode is the BatchError cause for operations naming a node that
+// is not live in the graph.
+var ErrDeadNode = graph.ErrDeadNode
+
+// EvalOneSnapshot evaluates a path expression against a 1-index snapshot
+// (exact, including predicates, with no access to mutable state).
+func EvalOneSnapshot(p *Path, s *OneSnapshot) []NodeID { return query.EvalOneSnapshot(p, s) }
+
+// CountOneSnapshot returns the exact result size of p from a 1-index
+// snapshot.
+func CountOneSnapshot(p *Path, s *OneSnapshot) int { return query.CountOneSnapshot(p, s) }
+
+// EvalAkSnapshot evaluates a path expression against an A(k) snapshot
+// with validation and predicate filtering over the snapshot's frozen
+// graph: the exact result, with no access to mutable state.
+func EvalAkSnapshot(p *Path, s *AkSnapshot) []NodeID { return query.EvalAkSnapshot(p, s) }
+
+// CountAkSnapshot returns an upper bound on the result size of p from an
+// A(k) snapshot.
+func CountAkSnapshot(p *Path, s *AkSnapshot) int { return query.CountAkSnapshot(p, s) }
+
+// SnapshotOneIndex serves a 1-index through epoch-based snapshots:
+// maintenance operations run serialized behind a mutex and publish a new
+// immutable snapshot with an atomic pointer swap, while Eval, Count, Size
+// and View read the current snapshot with a single atomic load — readers
+// never take a lock and never block on maintenance, at the cost of
+// answering from the state as of the most recently completed operation.
+//
+// This is the availability upgrade over ConcurrentOneIndex: under the
+// RWMutex wrapper a long merge phase stalls every reader; here readers
+// keep answering from the previous epoch for the full duration of the
+// write. Snapshot publication is copy-on-write — an edge batch re-copies
+// only the inodes and graph nodes it touched (tracked by the index's
+// dirty set), not the whole index.
+//
+// The wrapped index and graph must not be touched directly while the
+// wrapper is in use.
+type SnapshotOneIndex struct {
+	mu  sync.Mutex // serializes writers
+	idx *OneIndex
+	cur atomic.Pointer[OneSnapshot]
+}
+
+// NewSnapshotOneIndex wraps an index for snapshot-isolated serving and
+// publishes the initial snapshot.
+func NewSnapshotOneIndex(idx *OneIndex) *SnapshotOneIndex {
+	c := &SnapshotOneIndex{idx: idx}
+	c.cur.Store(idx.Freeze(idx.Graph().Freeze()))
+	return c
+}
+
+// publishPatch publishes a new snapshot derived from the current one,
+// re-freezing only the given graph nodes. Callers hold c.mu.
+func (c *SnapshotOneIndex) publishPatch(touched []NodeID) {
+	prev := c.cur.Load()
+	data := prev.Data().Rebuild(c.idx.Graph(), touched)
+	c.cur.Store(c.idx.PatchSnapshot(prev, data))
+}
+
+// publishFull publishes a snapshot over a fully re-frozen graph (used
+// after structural operations whose touched-node set is not tracked).
+// Callers hold c.mu.
+func (c *SnapshotOneIndex) publishFull() {
+	c.cur.Store(c.idx.PatchSnapshot(c.cur.Load(), c.idx.Graph().Freeze()))
+}
+
+// InsertEdge inserts a dedge and publishes the next snapshot.
+func (c *SnapshotOneIndex) InsertEdge(u, v NodeID, kind EdgeKind) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.InsertEdge(u, v, kind); err != nil {
+		return err
+	}
+	c.publishPatch([]NodeID{u, v})
+	return nil
+}
+
+// DeleteEdge deletes a dedge and publishes the next snapshot.
+func (c *SnapshotOneIndex) DeleteEdge(u, v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.DeleteEdge(u, v); err != nil {
+		return err
+	}
+	c.publishPatch([]NodeID{u, v})
+	return nil
+}
+
+// ApplyBatch applies a batch of edge updates atomically and publishes one
+// snapshot for the whole batch. A rejected batch (*BatchError) publishes
+// nothing: readers never observe a partially applied batch, and the
+// previous snapshot stays current.
+func (c *SnapshotOneIndex) ApplyBatch(ops []EdgeOp) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.ApplyBatch(ops); err != nil {
+		return err
+	}
+	touched := make([]NodeID, 0, 2*len(ops))
+	for _, op := range ops {
+		touched = append(touched, op.U, op.V)
+	}
+	c.publishPatch(touched)
+	return nil
+}
+
+// AddSubgraph grafts a subgraph and publishes the next snapshot.
+func (c *SnapshotOneIndex) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, err := c.idx.AddSubgraph(sg)
+	if err != nil {
+		return nil, err
+	}
+	c.publishFull()
+	return ids, nil
+}
+
+// DeleteSubgraph removes a subtree and publishes the next snapshot.
+func (c *SnapshotOneIndex) DeleteSubgraph(root NodeID, skipIDRef bool) (*Subgraph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sg, err := c.idx.DeleteSubgraph(root, skipIDRef)
+	if err != nil {
+		return nil, err
+	}
+	c.publishFull()
+	return sg, nil
+}
+
+// InsertNode adds a node and publishes the next snapshot.
+func (c *SnapshotOneIndex) InsertNode(label graph.LabelID, parent NodeID, kind EdgeKind) (NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.idx.InsertNode(label, parent, kind)
+	if err != nil {
+		return v, err
+	}
+	c.publishFull()
+	return v, nil
+}
+
+// DeleteNode removes a node and publishes the next snapshot.
+func (c *SnapshotOneIndex) DeleteNode(v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.DeleteNode(v); err != nil {
+		return err
+	}
+	c.publishFull()
+	return nil
+}
+
+// Update runs fn with exclusive access to the live index and publishes a
+// fully re-frozen snapshot afterwards (the wrapper cannot know what fn
+// touched).
+func (c *SnapshotOneIndex) Update(fn func(*OneIndex) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := fn(c.idx)
+	c.publishFull()
+	return err
+}
+
+// Snapshot returns the current snapshot: one atomic load, never blocks.
+// The snapshot remains valid (and frozen at its epoch) indefinitely.
+func (c *SnapshotOneIndex) Snapshot() *OneSnapshot { return c.cur.Load() }
+
+// Eval evaluates a path expression against the current snapshot without
+// locking.
+func (c *SnapshotOneIndex) Eval(p *Path) []NodeID {
+	return query.EvalOneSnapshot(p, c.cur.Load())
+}
+
+// Count returns the exact result size from the current snapshot without
+// locking.
+func (c *SnapshotOneIndex) Count(p *Path) int {
+	return query.CountOneSnapshot(p, c.cur.Load())
+}
+
+// Size returns the inode count of the current snapshot without locking.
+func (c *SnapshotOneIndex) Size() int { return c.cur.Load().Size() }
+
+// View runs fn against the current snapshot. Unlike the RWMutex wrapper's
+// View there is nothing to hold: the snapshot is immutable, so fn may
+// retain it, run long, or be called concurrently with writers at will.
+func (c *SnapshotOneIndex) View(fn func(*OneSnapshot)) { fn(c.cur.Load()) }
+
+// SnapshotAkIndex is the A(k)-family counterpart of SnapshotOneIndex:
+// serialized maintenance publishing immutable level-k snapshots, lock-free
+// readers (including the validation and predicate passes, which run
+// against the snapshot's frozen graph).
+type SnapshotAkIndex struct {
+	mu  sync.Mutex // serializes writers
+	idx *AkIndex
+	cur atomic.Pointer[AkSnapshot]
+}
+
+// NewSnapshotAkIndex wraps an A(k) family for snapshot-isolated serving
+// and publishes the initial snapshot.
+func NewSnapshotAkIndex(idx *AkIndex) *SnapshotAkIndex {
+	c := &SnapshotAkIndex{idx: idx}
+	c.cur.Store(idx.Freeze(idx.Graph().Freeze()))
+	return c
+}
+
+func (c *SnapshotAkIndex) publishPatch(touched []NodeID) {
+	prev := c.cur.Load()
+	data := prev.Data().Rebuild(c.idx.Graph(), touched)
+	c.cur.Store(c.idx.PatchSnapshot(prev, data))
+}
+
+func (c *SnapshotAkIndex) publishFull() {
+	c.cur.Store(c.idx.PatchSnapshot(c.cur.Load(), c.idx.Graph().Freeze()))
+}
+
+// InsertEdge inserts a dedge and publishes the next snapshot.
+func (c *SnapshotAkIndex) InsertEdge(u, v NodeID, kind EdgeKind) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.InsertEdge(u, v, kind); err != nil {
+		return err
+	}
+	c.publishPatch([]NodeID{u, v})
+	return nil
+}
+
+// DeleteEdge deletes a dedge and publishes the next snapshot.
+func (c *SnapshotAkIndex) DeleteEdge(u, v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.DeleteEdge(u, v); err != nil {
+		return err
+	}
+	c.publishPatch([]NodeID{u, v})
+	return nil
+}
+
+// ApplyBatch applies a batch atomically and publishes one snapshot for
+// the whole batch; a rejected batch publishes nothing.
+func (c *SnapshotAkIndex) ApplyBatch(ops []EdgeOp) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.ApplyBatch(ops); err != nil {
+		return err
+	}
+	touched := make([]NodeID, 0, 2*len(ops))
+	for _, op := range ops {
+		touched = append(touched, op.U, op.V)
+	}
+	c.publishPatch(touched)
+	return nil
+}
+
+// AddSubgraph grafts a subgraph and publishes the next snapshot.
+func (c *SnapshotAkIndex) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, err := c.idx.AddSubgraph(sg)
+	if err != nil {
+		return nil, err
+	}
+	c.publishFull()
+	return ids, nil
+}
+
+// DeleteSubgraph removes a subtree and publishes the next snapshot.
+func (c *SnapshotAkIndex) DeleteSubgraph(root NodeID, skipIDRef bool) (*Subgraph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sg, err := c.idx.DeleteSubgraph(root, skipIDRef)
+	if err != nil {
+		return nil, err
+	}
+	c.publishFull()
+	return sg, nil
+}
+
+// InsertNode adds a node and publishes the next snapshot.
+func (c *SnapshotAkIndex) InsertNode(label graph.LabelID, parent NodeID, kind EdgeKind) (NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.idx.InsertNode(label, parent, kind)
+	if err != nil {
+		return v, err
+	}
+	c.publishFull()
+	return v, nil
+}
+
+// DeleteNode removes a node and publishes the next snapshot.
+func (c *SnapshotAkIndex) DeleteNode(v NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.idx.DeleteNode(v); err != nil {
+		return err
+	}
+	c.publishFull()
+	return nil
+}
+
+// Update runs fn with exclusive access to the live family and publishes a
+// fully re-frozen snapshot afterwards.
+func (c *SnapshotAkIndex) Update(fn func(*AkIndex) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := fn(c.idx)
+	c.publishFull()
+	return err
+}
+
+// Snapshot returns the current snapshot: one atomic load, never blocks.
+func (c *SnapshotAkIndex) Snapshot() *AkSnapshot { return c.cur.Load() }
+
+// Eval evaluates with validation against the current snapshot without
+// locking.
+func (c *SnapshotAkIndex) Eval(p *Path) []NodeID {
+	return query.EvalAkSnapshot(p, c.cur.Load())
+}
+
+// Count returns an upper bound on the result size from the current
+// snapshot without locking.
+func (c *SnapshotAkIndex) Count(p *Path) int {
+	return query.CountAkSnapshot(p, c.cur.Load())
+}
+
+// Size returns the level-k inode count of the current snapshot without
+// locking.
+func (c *SnapshotAkIndex) Size() int { return c.cur.Load().Size() }
+
+// View runs fn against the current immutable snapshot; fn may retain it.
+func (c *SnapshotAkIndex) View(fn func(*AkSnapshot)) { fn(c.cur.Load()) }

@@ -1,0 +1,416 @@
+package structix_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"structix"
+)
+
+// batchPool builds insert/delete batches over a pool of absent IDREF
+// edges: each batch inserts a window of pool edges, the next deletes it.
+func batchPool(pool [][2]structix.NodeID, width int) (inserts, deletes [][]structix.EdgeOp) {
+	for off := 0; off+width <= len(pool); off += width {
+		var ins, del []structix.EdgeOp
+		for _, e := range pool[off : off+width] {
+			ins = append(ins, structix.InsertOp(e[0], e[1], structix.IDRef))
+			del = append(del, structix.DeleteOp(e[0], e[1]))
+		}
+		inserts = append(inserts, ins)
+		deletes = append(deletes, del)
+	}
+	return
+}
+
+// Lock-free readers hammer a SnapshotOneIndex while a writer applies
+// batches and subgraph deletions; run with -race. Readers must always see
+// a complete, internally consistent epoch.
+func TestSnapshotOneIndexRace(t *testing.T) {
+	g := structix.GenerateXMark(structix.DefaultXMark(512, 1, 6))
+	pool := poolEdges(g, 6)
+	if len(pool) < 4 {
+		t.Skip("no pool edges at this scale")
+	}
+	c := structix.NewSnapshotOneIndex(structix.BuildOneIndex(g))
+	queries := []*structix.Path{
+		structix.MustParsePath("//person/name"),
+		structix.MustParsePath("/site/open_auctions/open_auction"),
+		structix.MustParsePath("//person[name]"),
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := queries[(r+i)%len(queries)]
+				res := c.Eval(p)
+				if n := c.Count(p); !p.HasPredicates() && n != len(res) {
+					// Count and Eval may observe different epochs, but each
+					// must be self-consistent; re-check on one pinned snapshot.
+					s := c.Snapshot()
+					if structix.CountOneSnapshot(p, s) != len(structix.EvalOneSnapshot(p, s)) {
+						t.Errorf("count != len(eval) on one snapshot for %v", p)
+						return
+					}
+				}
+				_ = c.Size()
+				c.View(func(s *structix.OneSnapshot) { _ = s.RootINode() })
+			}
+		}(r)
+	}
+	inserts, deletes := batchPool(pool, 2)
+	for round := 0; round < 30; round++ {
+		i := round % len(inserts)
+		if err := c.ApplyBatch(inserts[i]); err != nil {
+			t.Errorf("insert batch: %v", err)
+			break
+		}
+		if err := c.ApplyBatch(deletes[i]); err != nil {
+			t.Errorf("delete batch: %v", err)
+			break
+		}
+		// A rejected batch must not disturb readers or state.
+		bad := []structix.EdgeOp{deletes[i][0]}
+		if err := c.ApplyBatch(bad); err == nil {
+			t.Error("double delete accepted")
+			break
+		}
+	}
+	var auction structix.NodeID = structix.InvalidNode
+	c.View(func(s *structix.OneSnapshot) {
+		d := s.Data()
+		for v := structix.NodeID(0); v < d.MaxNodeID(); v++ {
+			if d.Alive(v) && d.LabelName(v) == "open_auction" {
+				auction = v
+				break
+			}
+		}
+	})
+	if auction != structix.InvalidNode {
+		sg, err := c.DeleteSubgraph(auction, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddSubgraph(sg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Update(func(x *structix.OneIndex) error { return x.Validate() }); err != nil {
+		t.Errorf("index invalid after concurrent run: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The A(k) counterpart: snapshot readers (including validation against
+// the frozen graph) race ApplyBatch writers.
+func TestSnapshotAkIndexRace(t *testing.T) {
+	g := structix.GenerateIMDB(structix.DefaultIMDB(512, 6))
+	pool := poolEdges(g, 7)
+	if len(pool) < 4 {
+		t.Skip("no pool edges at this scale")
+	}
+	c := structix.NewSnapshotAkIndex(structix.BuildAkIndex(g, 2))
+	p := structix.MustParsePath("//movie/actorref/person")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.Eval(p)
+				_ = c.Count(p)
+				_ = c.Size()
+				c.View(func(s *structix.AkSnapshot) { _ = s.K() })
+			}
+		}()
+	}
+	inserts, deletes := batchPool(pool, 2)
+	for round := 0; round < 20; round++ {
+		i := round % len(inserts)
+		if err := c.ApplyBatch(inserts[i]); err != nil {
+			t.Errorf("insert batch: %v", err)
+			break
+		}
+		if err := c.ApplyBatch(deletes[i]); err != nil {
+			t.Errorf("delete batch: %v", err)
+			break
+		}
+	}
+	if err := c.Update(func(x *structix.AkIndex) error { return x.Validate() }); err != nil {
+		t.Errorf("family invalid after concurrent run: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The RWMutex wrappers under the same batch + subgraph churn; run with
+// -race. (The original concurrent tests cover per-edge updates.)
+func TestConcurrentWrappersBatchStress(t *testing.T) {
+	g := structix.GenerateXMark(structix.DefaultXMark(512, 1, 9))
+	pool := poolEdges(g, 9)
+	if len(pool) < 4 {
+		t.Skip("no pool edges at this scale")
+	}
+	gAk := structix.GenerateIMDB(structix.DefaultIMDB(512, 9))
+	poolAk := poolEdges(gAk, 9)
+	one := structix.NewConcurrentOneIndex(structix.BuildOneIndex(g))
+	ak := structix.NewConcurrentAkIndex(structix.BuildAkIndex(gAk, 2))
+	p := structix.MustParsePath("//person/name")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = one.Eval(p)
+				_ = one.Count(p)
+				_ = ak.Eval(p)
+				_ = ak.Count(p)
+			}
+		}()
+	}
+	ins, del := batchPool(pool, 2)
+	insAk, delAk := batchPool(poolAk, 2)
+	for round := 0; round < 15; round++ {
+		if err := one.ApplyBatch(ins[round%len(ins)]); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := one.ApplyBatch(del[round%len(del)]); err != nil {
+			t.Error(err)
+			break
+		}
+		if len(insAk) > 0 {
+			if err := ak.ApplyBatch(insAk[round%len(insAk)]); err != nil {
+				t.Error(err)
+				break
+			}
+			if err := ak.ApplyBatch(delAk[round%len(delAk)]); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := one.Update(func(x *structix.OneIndex) error { return x.Validate() }); err != nil {
+		t.Error(err)
+	}
+	if err := ak.Update(func(x *structix.AkIndex) error { return x.Validate() }); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot reads are identical to write-locked reads taken at
+// the same quiescent point, across batches, rejections, and node ops.
+func TestSnapshotEqualsLockedReads(t *testing.T) {
+	g := structix.GenerateXMark(structix.DefaultXMark(768, 1, 4))
+	pool := poolEdges(g, 4)
+	if len(pool) < 6 {
+		t.Skip("no pool edges at this scale")
+	}
+	idx := structix.BuildOneIndex(g)
+	snap := structix.NewSnapshotOneIndex(idx)
+	locked := structix.NewConcurrentOneIndex(idx) // same live index, quiescent comparisons only
+
+	gAk := g.Clone()
+	idxAk := structix.BuildAkIndex(gAk, 2)
+	snapAk := structix.NewSnapshotAkIndex(idxAk)
+
+	queries := []*structix.Path{
+		structix.MustParsePath("//person/name"),
+		structix.MustParsePath("/site/people/person"),
+		structix.MustParsePath("//open_auction//person"),
+		structix.MustParsePath("//person[name]"),
+		structix.MustParsePath("/site/*/*"),
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, p := range queries {
+			a := snap.Eval(p)
+			b := locked.Eval(p)
+			if len(a) != len(b) {
+				t.Fatalf("%s %v: snapshot %d nodes, locked %d", stage, p, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s %v: results differ at %d: %d vs %d", stage, p, i, a[i], b[i])
+				}
+			}
+			if snap.Count(p) != locked.Count(p) {
+				t.Fatalf("%s %v: counts differ", stage, p)
+			}
+			ea := snapAk.Eval(p)
+			eb := structix.EvalAkValidated(p, idxAk)
+			if len(ea) != len(eb) {
+				t.Fatalf("%s %v: ak snapshot %d nodes, locked %d", stage, p, len(ea), len(eb))
+			}
+			for i := range ea {
+				if ea[i] != eb[i] {
+					t.Fatalf("%s %v: ak results differ at %d", stage, p, i)
+				}
+			}
+		}
+	}
+	check("initial")
+	ins, del := batchPool(pool, 3)
+	for round := 0; round < len(ins) && round < 6; round++ {
+		if err := snap.ApplyBatch(ins[round]); err != nil {
+			t.Fatal(err)
+		}
+		if err := snapAk.ApplyBatch(ins[round]); err != nil {
+			t.Fatal(err)
+		}
+		check("after insert batch")
+		// A rejected batch must leave the served snapshot unchanged.
+		bad := append(append([]structix.EdgeOp{}, del[round]...), del[round][0])
+		var be *structix.BatchError
+		if err := snap.ApplyBatch(bad); !errors.As(err, &be) {
+			t.Fatalf("bad batch: got %v", err)
+		}
+		if be.OpIndex != len(bad)-1 {
+			t.Fatalf("bad batch rejected at op %d, want %d", be.OpIndex, len(bad)-1)
+		}
+		if err := snapAk.ApplyBatch(bad); !errors.As(err, &be) {
+			t.Fatalf("ak bad batch: got %v", err)
+		}
+		check("after rejected batch")
+		if err := snap.ApplyBatch(del[round]); err != nil {
+			t.Fatal(err)
+		}
+		if err := snapAk.ApplyBatch(del[round]); err != nil {
+			t.Fatal(err)
+		}
+		check("after delete batch")
+	}
+}
+
+// Mutate-after-eval: results handed out by Eval and pinned snapshots must
+// be unaffected by subsequent maintenance (the aliasing contract).
+func TestSnapshotAliasing(t *testing.T) {
+	g := structix.GenerateXMark(structix.DefaultXMark(512, 1, 11))
+	pool := poolEdges(g, 11)
+	if len(pool) < 2 {
+		t.Skip("no pool edges at this scale")
+	}
+	c := structix.NewSnapshotOneIndex(structix.BuildOneIndex(g))
+	p := structix.MustParsePath("//person/name")
+
+	res := c.Eval(p)
+	resCopy := append([]structix.NodeID(nil), res...)
+	pinned := c.Snapshot()
+	var pinnedExtent []structix.NodeID
+	var pinnedInode structix.OneINodeID = -1
+	for i := 0; i < 1<<16; i++ {
+		if pinned.Live(structix.OneINodeID(i)) {
+			pinnedInode = structix.OneINodeID(i)
+			break
+		}
+	}
+	if pinnedInode >= 0 {
+		pinnedExtent = append([]structix.NodeID(nil), pinned.Extent(pinnedInode)...)
+	}
+
+	ins, del := batchPool(pool, 2)
+	for round := 0; round < 5 && round < len(ins); round++ {
+		if err := c.ApplyBatch(ins[round]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ApplyBatch(del[round]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range resCopy {
+		if res[i] != resCopy[i] {
+			t.Fatalf("Eval result mutated by subsequent maintenance at %d", i)
+		}
+	}
+	if pinnedInode >= 0 {
+		got := pinned.Extent(pinnedInode)
+		if len(got) != len(pinnedExtent) {
+			t.Fatal("pinned snapshot extent changed length under maintenance")
+		}
+		for i := range got {
+			if got[i] != pinnedExtent[i] {
+				t.Fatal("pinned snapshot extent mutated under maintenance")
+			}
+		}
+	}
+}
+
+// Persist round-trip: a database written and reloaded must keep both
+// indexes maintainable — apply a batch to the loaded copy and validate.
+func TestPersistRoundTripThenBatch(t *testing.T) {
+	g := structix.GenerateXMark(structix.DefaultXMark(512, 1, 13))
+	pool := poolEdges(g, 13)
+	if len(pool) < 2 {
+		t.Skip("no pool edges at this scale")
+	}
+	var ops []structix.EdgeOp
+	for _, e := range pool[:2] {
+		ops = append(ops, structix.InsertOp(e[0], e[1], structix.IDRef))
+	}
+	// Each index gets its own graph so ApplyBatch (which ingests the ops
+	// into the bound graph) can run on both loaded indexes independently.
+	gAk := g.Clone()
+	dbOne := &structix.Database{Graph: g, One: structix.BuildOneIndex(g)}
+	dbAk := &structix.Database{Graph: gAk, Ak: structix.BuildAkIndex(gAk, 2)}
+	var bufOne, bufAk bytes.Buffer
+	if err := structix.SaveDatabase(&bufOne, dbOne); err != nil {
+		t.Fatal(err)
+	}
+	if err := structix.SaveDatabase(&bufAk, dbAk); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := structix.LoadDatabase(&bufOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedAk, err := structix.LoadDatabase(&bufAk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.One.ApplyBatch(ops); err != nil {
+		t.Fatalf("batch on loaded 1-index: %v", err)
+	}
+	if err := loadedAk.Ak.ApplyBatch(ops); err != nil {
+		t.Fatalf("batch on loaded A(k): %v", err)
+	}
+	if err := loaded.One.Validate(); err != nil {
+		t.Fatalf("loaded 1-index invalid after batch: %v", err)
+	}
+	if err := loadedAk.Ak.Validate(); err != nil {
+		t.Fatalf("loaded A(k) invalid after batch: %v", err)
+	}
+	// The loaded indexes can also serve snapshots immediately.
+	s := structix.NewSnapshotOneIndex(loaded.One)
+	p := structix.MustParsePath("//person/name")
+	if got, want := len(s.Eval(p)), len(structix.EvalOneIndex(p, loaded.One)); got != want {
+		t.Fatalf("snapshot over loaded index: %d results, want %d", got, want)
+	}
+}

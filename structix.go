@@ -23,7 +23,12 @@
 //     Planner choosing the cheapest exact route per expression;
 //   - persistence (versioned binary, optional gzip), write-ahead-style op
 //     journals for snapshot+replay recovery, textual update scripts, and
-//     RWMutex wrappers for concurrent querying under serialized updates;
+//     two concurrency wrappers: RWMutex (concurrent queries, serialized
+//     updates) and epoch snapshots (SnapshotOneIndex, SnapshotAkIndex —
+//     lock-free reads against an immutable published view, so queries
+//     never block on maintenance); batch updates are atomic on every
+//     surface — a rejected batch (*BatchError) leaves graph and index
+//     untouched;
 //   - XMark- and IMDB-shaped dataset generators and the full experiment
 //     harness regenerating every figure and table of the paper (§7).
 //
