@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race stress cover bench bench-batch bench-snapshot fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress cover bench bench-batch bench-snapshot bench-memlayout bench-smoke fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -42,6 +42,18 @@ bench-batch:
 bench-snapshot:
 	$(GO) run ./cmd/xsibench -exp snapshot -json BENCH_snapshot.json
 
+# Flat-memory-layout experiment: build/batch/edge-op wall clock and
+# allocs/op for both index families; see BENCH_memlayout.json for the
+# committed run. Pass BASELINE=file.json to merge a previous run for
+# before/after ratios.
+bench-memlayout:
+	$(GO) run ./cmd/xsibench -exp memlayout -json BENCH_memlayout.json $(if $(BASELINE),-baseline $(BASELINE))
+
+# One-iteration pass over every benchmark in the module: keeps them
+# compiling and running without paying for stable timings (CI runs this).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
 # Short fuzzing pass over every fuzz target (seed corpora always run as
 # part of `make test`).
 fuzz:
@@ -66,12 +78,12 @@ experiments:
 	$(GO) run ./cmd/xsibench -exp all -scale 16
 
 # What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests,
-# the concurrent-stress pass, and a one-iteration smoke pass over the
-# batch benchmarks.
+# the concurrent-stress pass, and a one-iteration smoke pass over every
+# benchmark in the module.
 ci: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
-	$(GO) test -bench=Batch -benchtime=1x .
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 clean:
 	$(GO) clean ./...

@@ -16,13 +16,18 @@
 //	xsibench -exp skew                     # hot-spot robustness probe
 //	xsibench -exp batch                    # ApplyBatch vs per-edge updates
 //	xsibench -exp snapshot                 # read latency: RWMutex vs epoch snapshots
+//	xsibench -exp memlayout                # flat-layout build/batch/alloc costs
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
 // and -subgraphs override the update counts; -csv DIR additionally writes
-// the quality curves as CSV for plotting; -json FILE writes the batch or
-// snapshot experiment's machine-readable result (BENCH_batch.json,
-// BENCH_snapshot.json — invoke the experiments separately to keep both).
+// the quality curves as CSV for plotting; -json FILE writes the batch,
+// snapshot, or memlayout experiment's machine-readable result
+// (BENCH_batch.json, BENCH_snapshot.json, BENCH_memlayout.json — invoke the
+// experiments separately to keep each). -baseline FILE merges a previous
+// memlayout JSON as the "before" column so a layout change can be compared
+// against the run captured before it. -cpuprofile/-memprofile write pprof
+// profiles covering the selected experiment.
 package main
 
 import (
@@ -30,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"structix/internal/baseline"
@@ -38,17 +45,49 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, queryperf")
-		scale     = flag.Int("scale", 16, "dataset size reduction factor (1 ≈ paper scale)")
-		pairs     = flag.Int("pairs", 0, "insert/delete pairs (0 = paper defaults scaled)")
-		subgraphs = flag.Int("subgraphs", 0, "subgraph count for fig12 (0 = paper default scaled)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		csvDir    = flag.String("csv", "", "also write quality curves as CSV files into this directory")
-		jsonPath  = flag.String("json", "", "write the batch experiment result as JSON to this file")
+		exp        = flag.String("exp", "all", "experiment: all, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, queryperf")
+		scale      = flag.Int("scale", 16, "dataset size reduction factor (1 ≈ paper scale)")
+		pairs      = flag.Int("pairs", 0, "insert/delete pairs (0 = paper defaults scaled)")
+		subgraphs  = flag.Int("subgraphs", 0, "subgraph count for fig12 (0 = paper default scaled)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		csvDir     = flag.String("csv", "", "also write quality curves as CSV files into this directory")
+		jsonPath   = flag.String("json", "", "write the batch/snapshot/memlayout experiment result as JSON to this file")
+		basePath   = flag.String("baseline", "", "previous memlayout JSON to merge as the before column")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
 
-	r := runner{scale: *scale, seed: *seed, pairs: *pairs, subgraphs: *subgraphs, csvDir: *csvDir, jsonPath: *jsonPath}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle heap stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			}
+		}()
+	}
+
+	r := runner{scale: *scale, seed: *seed, pairs: *pairs, subgraphs: *subgraphs,
+		csvDir: *csvDir, jsonPath: *jsonPath, basePath: *basePath}
 	switch *exp {
 	case "all":
 		r.fig9()
@@ -62,6 +101,7 @@ func main() {
 		r.skew()
 		r.batch()
 		r.snapshot()
+		r.memlayout()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -84,6 +124,8 @@ func main() {
 		r.batch()
 	case "snapshot":
 		r.snapshot()
+	case "memlayout":
+		r.memlayout()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -97,6 +139,7 @@ type runner struct {
 	subgraphs int
 	csvDir    string
 	jsonPath  string
+	basePath  string
 }
 
 // writeCSV drops a quality-curve CSV next to the textual report when -csv
@@ -312,6 +355,44 @@ func (r runner) snapshot() {
 		}
 		defer f.Close()
 		if err := experiments.WriteSnapshotJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) memlayout() {
+	d := experiments.Dataset{Name: "XMark(1)", Cyclicity: 1}
+	cfg := experiments.DefaultMemLayoutConfig(r.seed)
+	// Same pool constraint as the batch experiment: the ApplyBatch rounds
+	// need a healthy stock of absent IDREF edges.
+	scale := r.scale
+	if scale > 8 {
+		scale = 8
+	}
+	res := experiments.RunMemLayout(d.Name, d.Build(scale, r.seed), cfg)
+	if r.basePath != "" {
+		f, err := os.Open(r.basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			os.Exit(1)
+		}
+		base, err := experiments.ReadMemLayoutJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: -baseline %s: %v\n", r.basePath, err)
+			os.Exit(1)
+		}
+		res.AttachBaseline(base.After)
+	}
+	experiments.ReportMemLayout(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteMemLayoutJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

@@ -1,7 +1,7 @@
 package akindex
 
 import (
-	"sort"
+	"slices"
 
 	"structix/internal/graph"
 )
@@ -41,8 +41,12 @@ func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
 		return err
 	}
 	x.Stats.Batches++
-	if x.batchLevel == nil {
-		x.batchLevel = make(map[graph.NodeID]int)
+	// New epoch invalidates every dedup stamp from previous batches; only a
+	// full wrap of the counter needs an actual clearing pass.
+	x.batchEpoch++
+	if x.batchEpoch == 0 {
+		clear(x.batchStamp[:cap(x.batchStamp)])
+		x.batchEpoch = 1
 	}
 	for _, op := range ops {
 		if op.Insert {
@@ -69,7 +73,7 @@ func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
 // noteBatchOp records one ingested operation with stable level i for sink
 // v: levels i+2..k of v need re-derivation. i ≥ k−1 makes that range empty
 // (a no-change op); otherwise v joins the batch's affected set
-// (deduplicated through bit 4 of the mark array) keeping the minimum level
+// (deduplicated through the batch epoch stamp) keeping the minimum level
 // seen.
 func (x *Index) noteBatchOp(v graph.NodeID, i int) {
 	if i >= x.k-1 {
@@ -77,50 +81,42 @@ func (x *Index) noteBatchOp(v graph.NodeID, i int) {
 		return
 	}
 	x.Stats.UpdatesMaintained++
-	if x.mark[v]&4 == 0 {
-		x.mark[v] |= 4
+	if x.batchStamp[v] != x.batchEpoch {
+		x.batchStamp[v] = x.batchEpoch
 		x.batchAffected = append(x.batchAffected, v)
-		x.batchLevel[v] = i
-	} else if i < x.batchLevel[v] {
-		x.batchLevel[v] = i
+		x.batchLevel[v] = int32(i)
+	} else if int32(i) < x.batchLevel[v] {
+		x.batchLevel[v] = int32(i)
 	}
 }
 
 // finishBatch runs the deferred phases over the accumulated affected set:
 // one split phase seeded with every affected dnode at its recorded level,
 // then one upward merge sweep over the frontier of inodes the batch
-// touched. The batch scratch (mark bit 4, affected set, level map,
-// frontier) is reset unconditionally so no state survives into the next
-// batch.
+// touched. The batch scratch (affected set, frontier) is reset
+// unconditionally so no state survives into the next batch; the dedup
+// stamps die with the epoch.
 func (x *Index) finishBatch() {
 	defer x.resetBatchScratch()
 	if len(x.batchAffected) == 0 {
 		return
 	}
-	sort.Slice(x.batchAffected, func(i, j int) bool {
-		return x.batchAffected[i] < x.batchAffected[j]
-	})
+	slices.Sort(x.batchAffected)
 	ctx := x.splitter()
 	ctx.collect = true
 	for _, v := range x.batchAffected {
-		x.seedSplit(ctx, v, x.batchLevel[v])
+		x.seedSplit(ctx, v, int(x.batchLevel[v]))
 	}
 	ctx.run()
 	ctx.collect = false
 	x.mergeFrontier()
 }
 
-// resetBatchScratch clears every piece of per-batch scratch state: the
-// dedup bit (mark bit 4) of each collected dnode, the affected set, the
-// per-dnode level map, and the merge frontier. Splits only ever use mark
-// bits 1 and 2, so clearing bit 4 here cannot disturb a split in flight
-// (there is none — the split phase has fully run, or never started).
+// resetBatchScratch truncates the per-batch scratch state. The per-dnode
+// dedup stamps and levels need no touch-up: they are invalidated wholesale
+// when the next ApplyBatch bumps the epoch.
 func (x *Index) resetBatchScratch() {
-	for _, v := range x.batchAffected {
-		x.mark[v] &^= 4
-	}
 	x.batchAffected = x.batchAffected[:0]
-	clear(x.batchLevel)
 	x.frontier = x.frontier[:0]
 }
 
@@ -153,7 +149,7 @@ func (x *Index) resetBatchScratch() {
 // sibling set once.
 func (x *Index) mergeFrontier() {
 	f := x.frontier
-	sort.Slice(f, func(i, j int) bool { return f[i] < f[j] })
+	slices.Sort(f)
 	parents := make([][]INodeID, x.k) // distinct parents by parent level
 	prev := NoINode
 	for _, i := range f {
@@ -167,13 +163,10 @@ func (x *Index) mergeFrontier() {
 	}
 	x.frontier = f[:0]
 
-	cascade := make([][]INodeID, x.k) // queue buckets for levels 1..k-1
-	push := func(l int, id INodeID) {
-		cascade[l] = append(cascade[l], id)
-	}
+	x.resetCascade()
 	for l := 0; l <= x.k-1; l++ {
 		ps := parents[l]
-		sort.Slice(ps, func(a, b int) bool { return ps[a] < ps[b] })
+		slices.Sort(ps)
 		pv := NoINode
 		for _, p := range ps {
 			if p == pv {
@@ -183,21 +176,21 @@ func (x *Index) mergeFrontier() {
 			if x.nodes[p] == nil {
 				continue // absorbed by an earlier merge; children rehung
 			}
-			x.mergeAmongChildren(p, push)
+			x.mergeAmongChildren(p)
 		}
-		x.drainBatchMerges(cascade, push)
+		x.drainBatchMerges()
 	}
 }
 
 // drainBatchMerges is the batch variant of drainMerges: each popped inode
 // additionally scans its refinement-tree children (see mergeAmongChildren).
-func (x *Index) drainBatchMerges(byLevel [][]INodeID, push func(int, INodeID)) {
+func (x *Index) drainBatchMerges() {
 	for {
 		var cur INodeID = NoINode
-		for l := range byLevel {
-			if n := len(byLevel[l]); n > 0 {
-				cur = byLevel[l][n-1]
-				byLevel[l] = byLevel[l][:n-1]
+		for l := range x.cascade {
+			if n := len(x.cascade[l]); n > 0 {
+				cur = x.cascade[l][n-1]
+				x.cascade[l] = x.cascade[l][:n-1]
 				break
 			}
 		}
@@ -207,7 +200,7 @@ func (x *Index) drainBatchMerges(byLevel [][]INodeID, push func(int, INodeID)) {
 		if x.nodes[cur] == nil {
 			continue // absorbed by a later merge while queued
 		}
-		x.mergeAmongChildren(cur, push)
-		x.mergeAmongSuccessors(cur, push)
+		x.mergeAmongChildren(cur)
+		x.mergeAmongSuccessors(cur)
 	}
 }

@@ -17,6 +17,14 @@
 // Both kinds carry a count of underlying dedges so they can be maintained
 // exactly as extents change.
 //
+// The in-memory layout is flat (see DESIGN.md "Memory layout"): extents are
+// dense member slices with a position vector for O(1) swap-removal,
+// refinement-tree child sets are sorted id slices, iedge counters are
+// sorted (id, count) slice pairs, maintenance marks are epoch-stamped
+// instead of cleared, and merge grouping interns integer signatures instead
+// of building string keys. Freed inodes return to a pool with their slice
+// capacity intact.
+//
 // The maintenance entry points InsertEdge and DeleteEdge implement Figure 7
 // and keep the family the unique minimum set of A(i)-indexes for any data
 // graph, cyclic or not (Theorem 2). AddSubgraph and DeleteSubgraph extend
@@ -26,10 +34,11 @@ package akindex
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"structix/internal/graph"
+	"structix/internal/ilist"
 	"structix/internal/partition"
+	"structix/internal/sigtab"
 )
 
 // INodeID identifies an inode at any level of the refinement tree. IDs are
@@ -40,22 +49,25 @@ type INodeID int32
 // inodes.
 const NoINode INodeID = -1
 
+// anode is one inode of the refinement tree. All adjacency is flat: child
+// is a sorted id slice, extent a dense member slice (position vector on the
+// Index), and the iedge counters sorted (id, count) slice pairs.
 type anode struct {
 	level  int32
 	label  graph.LabelID
-	parent INodeID                   // refinement-tree parent; NoINode at level 0
-	child  map[INodeID]struct{}      // refinement-tree children; nil at level k
-	extent map[graph.NodeID]struct{} // dnode extent; nil below level k
+	parent INodeID        // refinement-tree parent; NoINode at level 0
+	child  []INodeID      // refinement-tree children, sorted; empty at level k
+	extent []graph.NodeID // dnode extent; empty below level k
 
 	// Inter-iedges. predB counts dedges whose source lies in the keyed
 	// level-(l−1) inode and whose sink lies in this (level-l) inode; succB
 	// is the mirror on the source side, keyed by level-(l+1) inodes.
-	predB map[INodeID]int32 // nil at level 0
-	succB map[INodeID]int32 // nil at level k
+	predB ilist.Counts[INodeID] // empty at level 0
+	succB ilist.Counts[INodeID] // empty at level k
 
 	// Intra-iedges within the A(k)-index (level k only).
-	intraSucc map[INodeID]int32
-	intraPred map[INodeID]int32
+	intraSucc ilist.Counts[INodeID]
+	intraPred ilist.Counts[INodeID]
 }
 
 // Index is an A(k)-index family A(0..k) over a data graph. It is not safe
@@ -64,14 +76,22 @@ type Index struct {
 	g       *graph.Graph
 	k       int
 	inodeOf []INodeID // dnode -> level-k inode
+	pos     []int32   // dnode -> position within its inode's extent slice
 	nodes   []*anode  // arena; nil when free
 	freeIDs []INodeID
-	numLive []int // live inode count per level 0..k
+	pool    []*anode // freed anode structs, slice capacity retained
+	numLive []int    // live inode count per level 0..k
 
 	// Stats accumulates maintenance instrumentation.
 	Stats Stats
 
-	mark []uint8 // scratch marking array over dnodes
+	// Epoch-stamped scratch marks over dnodes: split marks (bits 1 and 2)
+	// are valid only under the current splitEpoch, the ApplyBatch dedup
+	// stamp only under the current batchEpoch — no clearing passes.
+	markStamp  []uint64 // epoch<<2 | split mark bits
+	splitEpoch uint64
+	batchStamp []uint32
+	batchEpoch uint32
 
 	// Reusable level-indexed (k+1) scratch paths, so the hot maintenance
 	// paths do not allocate at steady state. Each pair is private to one
@@ -86,16 +106,26 @@ type Index struct {
 	split *akSplitCtx
 
 	// batch bookkeeping: affected dnodes of an in-flight ApplyBatch with
-	// the lowest stable level seen per dnode (deduplicated via mark bit 4);
-	// frontier collects the inodes whose inter-iedge predecessor sets the
-	// batch may have changed, seeding the deferred merge sweep.
+	// the lowest stable level seen per dnode (deduplicated via batchStamp,
+	// levels in batchLevel); frontier collects the inodes whose inter-iedge
+	// predecessor sets the batch may have changed, seeding the deferred
+	// merge sweep.
 	batchAffected []graph.NodeID
-	batchLevel    map[graph.NodeID]int
+	batchLevel    []int32 // by dnode, valid when batchStamp matches
 	frontier      []INodeID
 
-	// key-assembly scratch for predBKey
-	keyPreds []INodeID
-	keyBuf   []byte
+	// Merge-phase scratch: the cascade queue buckets (k of them, levels
+	// 0..k-1), the signature table grouping inodes by merge key, per-group
+	// member lists, and assembly buffers. All reused across calls.
+	cascade     [][]INodeID
+	mergeTab    sigtab.Table
+	mergeSig    []int32
+	mergeGroups [][]INodeID
+	groupSnap   []INodeID
+	mergeBuf    []graph.NodeID
+	childBuf    []INodeID
+	ibuf        []INodeID
+	cbuf        []int32
 
 	// Snapshot dirty tracking (see snapshot.go): once Freeze has been
 	// called, every inode slot whose level-k-visible state (extent,
@@ -159,16 +189,19 @@ func FromLevels(g *graph.Graph, levels []*partition.Partition) *Index {
 		panic("akindex: need at least levels 0 and 1")
 	}
 	x := &Index{
-		g:         g,
-		k:         k,
-		inodeOf:   make([]INodeID, g.MaxNodeID()),
-		numLive:   make([]int, k+1),
-		mark:      make([]uint8, g.MaxNodeID()),
-		pathU:     make([]INodeID, k+1),
-		pathP:     make([]INodeID, k+1),
-		rpOld:     make([]INodeID, k+1),
-		rpNbr:     make([]INodeID, k+1),
-		mergePath: make([]INodeID, k+1),
+		g:          g,
+		k:          k,
+		inodeOf:    make([]INodeID, g.MaxNodeID()),
+		pos:        make([]int32, g.MaxNodeID()),
+		numLive:    make([]int, k+1),
+		markStamp:  make([]uint64, g.MaxNodeID()),
+		batchStamp: make([]uint32, g.MaxNodeID()),
+		batchLevel: make([]int32, g.MaxNodeID()),
+		pathU:      make([]INodeID, k+1),
+		pathP:      make([]INodeID, k+1),
+		rpOld:      make([]INodeID, k+1),
+		rpNbr:      make([]INodeID, k+1),
+		mergePath:  make([]INodeID, k+1),
 	}
 	for i := range x.inodeOf {
 		x.inodeOf[i] = NoINode
@@ -190,7 +223,7 @@ func FromLevels(g *graph.Graph, levels []*partition.Partition) *Index {
 			parent = id
 		}
 		// After the loop, parent is v's level-k inode.
-		x.nodes[parent].extent[v] = struct{}{}
+		x.extentAdd(parent, v)
 		x.inodeOf[v] = parent
 	})
 	g.EachEdge(func(u, w graph.NodeID, _ graph.EdgeKind) {
@@ -243,14 +276,10 @@ func (x *Index) Level(I INodeID) int { return int(x.nodes[I].level) }
 // Parent returns I's refinement-tree parent (NoINode at level 0).
 func (x *Index) Parent(I INodeID) INodeID { return x.nodes[I].parent }
 
-// Children returns I's refinement-tree children, sorted.
+// Children returns I's refinement-tree children, sorted. The slice is
+// freshly allocated; the caller owns it.
 func (x *Index) Children(I INodeID) []INodeID {
-	out := make([]INodeID, 0, len(x.nodes[I].child))
-	for c := range x.nodes[I].child {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]INodeID(nil), x.nodes[I].child...)
 }
 
 // Extent returns the dnode extent of I (descendant extents for levels <k),
@@ -261,26 +290,41 @@ func (x *Index) Children(I INodeID) []INodeID {
 func (x *Index) Extent(I INodeID) []graph.NodeID {
 	var out []graph.NodeID
 	x.eachExtentDnode(I, func(v graph.NodeID) { out = append(out, v) })
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
+}
+
+// AppendExtent appends the dnode extent of I (descendant extents for
+// levels <k) to dst in unspecified order and returns the extended slice.
+// Result assembly that sorts the union afterwards (query evaluation)
+// avoids Extent's per-inode copy-and-sort this way.
+func (x *Index) AppendExtent(dst []graph.NodeID, I INodeID) []graph.NodeID {
+	x.eachExtentDnode(I, func(v graph.NodeID) { dst = append(dst, v) })
+	return dst
 }
 
 // ExtentSize returns |extent(I)| including refinement-tree descendants.
 func (x *Index) ExtentSize(I INodeID) int {
-	n := 0
-	x.eachExtentDnode(I, func(graph.NodeID) { n++ })
-	return n
+	n := x.nodes[I]
+	if int(n.level) == x.k {
+		return len(n.extent)
+	}
+	total := 0
+	for _, c := range n.child {
+		total += x.ExtentSize(c)
+	}
+	return total
 }
 
 func (x *Index) eachExtentDnode(I INodeID, fn func(v graph.NodeID)) {
 	n := x.nodes[I]
 	if int(n.level) == x.k {
-		for v := range n.extent {
+		for _, v := range n.extent {
 			fn(v)
 		}
 		return
 	}
-	for c := range n.child {
+	for _, c := range n.child {
 		x.eachExtentDnode(c, fn)
 	}
 }
@@ -296,27 +340,27 @@ func (x *Index) EachINodeAt(l int, fn func(I INodeID)) {
 }
 
 // IntraSucc returns the A(k) intra-iedge successors of a level-k inode,
-// sorted.
+// sorted. Freshly allocated; the caller owns it.
 func (x *Index) IntraSucc(I INodeID) []INodeID {
-	return sortedKeys(x.nodes[I].intraSucc)
+	return append([]INodeID(nil), x.nodes[I].intraSucc.IDs...)
 }
 
 // IntraPred returns the A(k) intra-iedge predecessors of a level-k inode,
 // sorted.
 func (x *Index) IntraPred(I INodeID) []INodeID {
-	return sortedKeys(x.nodes[I].intraPred)
+	return append([]INodeID(nil), x.nodes[I].intraPred.IDs...)
 }
 
 // InterSucc returns the inter-iedge successors (level l+1) of a level-l
 // inode, sorted.
 func (x *Index) InterSucc(I INodeID) []INodeID {
-	return sortedKeys(x.nodes[I].succB)
+	return append([]INodeID(nil), x.nodes[I].succB.IDs...)
 }
 
 // InterPred returns the inter-iedge predecessors (level l−1) of a level-l
 // inode, sorted. These are I's index parents in the A(l−1)-index.
 func (x *Index) InterPred(I INodeID) []INodeID {
-	return sortedKeys(x.nodes[I].predB)
+	return append([]INodeID(nil), x.nodes[I].predB.IDs...)
 }
 
 // IntraSuccAt returns the intra-iedge successors of inode I *within its
@@ -331,26 +375,12 @@ func (x *Index) IntraSuccAt(I INodeID) []INodeID {
 	if int(n.level) == x.k {
 		return x.IntraSucc(I)
 	}
-	seen := make(map[INodeID]struct{}, len(n.succB))
-	out := make([]INodeID, 0, len(n.succB))
-	for child := range n.succB {
-		p := x.nodes[child].parent
-		if _, ok := seen[p]; !ok {
-			seen[p] = struct{}{}
-			out = append(out, p)
-		}
+	out := make([]INodeID, 0, n.succB.Len())
+	for _, child := range n.succB.IDs {
+		out = append(out, x.nodes[child].parent)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func sortedKeys(m map[INodeID]int32) []INodeID {
-	out := make([]INodeID, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // ToPartition exports the A(l)-index's dnode partition.
@@ -378,17 +408,13 @@ func (x *Index) ToPartition(l int) *partition.Partition {
 // ---- structure manipulation ----
 
 func (x *Index) newANode(level int32, label graph.LabelID, parent INodeID) INodeID {
-	n := &anode{level: level, label: label, parent: parent}
-	if int(level) == x.k {
-		n.extent = make(map[graph.NodeID]struct{})
-		n.intraSucc = make(map[INodeID]int32)
-		n.intraPred = make(map[INodeID]int32)
+	var n *anode
+	if ln := len(x.pool); ln > 0 {
+		n = x.pool[ln-1]
+		x.pool = x.pool[:ln-1]
+		n.level, n.label, n.parent = level, label, parent
 	} else {
-		n.child = make(map[INodeID]struct{})
-		n.succB = make(map[INodeID]int32)
-	}
-	if level > 0 {
-		n.predB = make(map[INodeID]int32)
+		n = &anode{level: level, label: label, parent: parent}
 	}
 	var id INodeID
 	if ln := len(x.freeIDs); ln > 0 {
@@ -400,62 +426,91 @@ func (x *Index) newANode(level int32, label graph.LabelID, parent INodeID) INode
 		x.nodes = append(x.nodes, n)
 	}
 	if parent != NoINode {
-		x.nodes[parent].child[id] = struct{}{}
+		x.addChild(parent, id)
 	}
 	x.numLive[level]++
 	x.markDirty(id)
 	return id
 }
 
-// freeANode unlinks an emptied inode from its parent and releases its id.
+// freeANode unlinks an emptied inode from its parent and releases its id,
+// returning the struct (with its slice capacity) to the pool.
 func (x *Index) freeANode(id INodeID) {
 	n := x.nodes[id]
 	if len(n.extent) != 0 || len(n.child) != 0 {
 		panic("akindex: freeing non-empty inode")
 	}
-	if len(n.predB) != 0 || len(n.succB) != 0 || len(n.intraSucc) != 0 || len(n.intraPred) != 0 {
+	if n.predB.Len() != 0 || n.succB.Len() != 0 || n.intraSucc.Len() != 0 || n.intraPred.Len() != 0 {
 		panic("akindex: freeing inode with live iedges")
 	}
 	if n.parent != NoINode {
-		delete(x.nodes[n.parent].child, id)
+		x.removeChild(n.parent, id)
 	}
 	x.nodes[id] = nil
 	x.freeIDs = append(x.freeIDs, id)
+	x.pool = append(x.pool, n)
 	x.numLive[n.level]--
 	x.markDirty(id)
 }
 
+// addChild inserts c into p's sorted child slice.
+func (x *Index) addChild(p, c INodeID) {
+	s := x.nodes[p].child
+	i, _ := slices.BinarySearch(s, c)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = c
+	x.nodes[p].child = s
+}
+
+// removeChild deletes c from p's sorted child slice.
+func (x *Index) removeChild(p, c INodeID) {
+	s := x.nodes[p].child
+	i, ok := slices.BinarySearch(s, c)
+	if !ok {
+		panic("akindex: removing absent child")
+	}
+	x.nodes[p].child = append(s[:i], s[i+1:]...)
+}
+
+// hasChild reports whether c is in p's child slice.
+func (x *Index) hasChild(p, c INodeID) bool {
+	_, ok := slices.BinarySearch(x.nodes[p].child, c)
+	return ok
+}
+
+// extentAdd appends dnode v to level-k inode id's extent (position vector
+// updated); the caller maintains inodeOf.
+func (x *Index) extentAdd(id INodeID, v graph.NodeID) {
+	n := x.nodes[id]
+	x.pos[v] = int32(len(n.extent))
+	n.extent = append(n.extent, v)
+}
+
+// extentRemove swap-removes dnode v from level-k inode id's extent.
+func (x *Index) extentRemove(id INodeID, v graph.NodeID) {
+	n := x.nodes[id]
+	m := n.extent
+	i := x.pos[v]
+	last := m[len(m)-1]
+	m[i] = last
+	x.pos[last] = i
+	n.extent = m[:len(m)-1]
+}
+
 func (x *Index) addBoundaryCount(src, dst INodeID, delta int32) {
-	s := x.nodes[src].succB
-	s[dst] += delta
-	switch {
-	case s[dst] == 0:
-		delete(s, dst)
-	case s[dst] < 0:
+	if x.nodes[src].succB.Add(dst, delta) < 0 {
 		panic("akindex: negative inter-iedge count")
 	}
-	p := x.nodes[dst].predB
-	p[src] += delta
-	if p[src] == 0 {
-		delete(p, src)
-	}
+	x.nodes[dst].predB.Add(src, delta)
 }
 
 func (x *Index) addIntraCount(src, dst INodeID, delta int32) {
 	x.markDirty(src) // the snapshot view carries src's intra-successor list
-	s := x.nodes[src].intraSucc
-	s[dst] += delta
-	switch {
-	case s[dst] == 0:
-		delete(s, dst)
-	case s[dst] < 0:
+	if x.nodes[src].intraSucc.Add(dst, delta) < 0 {
 		panic("akindex: negative intra-iedge count")
 	}
-	p := x.nodes[dst].intraPred
-	p[src] += delta
-	if p[src] == 0 {
-		delete(p, src)
-	}
+	x.nodes[dst].intraPred.Add(src, delta)
 }
 
 // addEdgeCounts registers the dedge (u, w) in every boundary count and the
@@ -515,8 +570,8 @@ func (x *Index) reassignPath(w graph.NodeID, newPath []INodeID) {
 		}
 	})
 	if old[x.k] != newPath[x.k] {
-		delete(x.nodes[old[x.k]].extent, w)
-		x.nodes[newPath[x.k]].extent[w] = struct{}{}
+		x.extentRemove(old[x.k], w)
+		x.extentAdd(newPath[x.k], w)
 		x.inodeOf[w] = newPath[x.k]
 		x.markDirty(old[x.k])
 		x.markDirty(newPath[x.k])
@@ -529,32 +584,38 @@ func (x *Index) growScratch() {
 	for len(x.inodeOf) < n {
 		x.inodeOf = append(x.inodeOf, NoINode)
 	}
-	for len(x.mark) < n {
-		x.mark = append(x.mark, 0)
+	for len(x.pos) < n {
+		x.pos = append(x.pos, 0)
+	}
+	for len(x.markStamp) < n {
+		x.markStamp = append(x.markStamp, 0)
+	}
+	for len(x.batchStamp) < n {
+		x.batchStamp = append(x.batchStamp, 0)
+	}
+	for len(x.batchLevel) < n {
+		x.batchLevel = append(x.batchLevel, 0)
 	}
 }
 
-// predBKey returns a canonical key of (label, index parents in A(l−1)) for
-// a level-l inode: the merge-eligibility criterion of §6.
-func (x *Index) predBKey(I INodeID) string {
-	n := x.nodes[I]
-	ps := x.keyPreds[:0]
-	for p := range n.predB {
-		ps = append(ps, p)
-	}
-	slices.Sort(ps)
-	x.keyPreds = ps
-	b := x.keyBuf[:0]
-	b = appendInt32(b, int32(n.label))
-	for _, p := range ps {
-		b = appendInt32(b, int32(p))
-	}
-	x.keyBuf = b
-	return string(b)
+// sameMergeKey reports whether same-level inodes i and j share a label and
+// an index-parent set in the level above — the merge-eligibility criterion
+// of §6. The predB lists are sorted, so the comparison is one parallel
+// walk; no key object is ever materialized.
+func (x *Index) sameMergeKey(i, j INodeID) bool {
+	a, b := x.nodes[i], x.nodes[j]
+	return a.label == b.label && a.predB.EqualIDs(&b.predB)
 }
 
-func appendInt32(b []byte, v int32) []byte {
-	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// mergeKeySig appends the integer merge-grouping signature of I — label
+// followed by the sorted inter-iedge predecessor ids — to sig.
+func (x *Index) mergeKeySig(sig []int32, i INodeID) []int32 {
+	n := x.nodes[i]
+	sig = append(sig, int32(n.label))
+	for _, p := range n.predB.IDs {
+		sig = append(sig, int32(p))
+	}
+	return sig
 }
 
 func (x *Index) String() string {

@@ -1,7 +1,7 @@
 package akindex
 
 import (
-	"sort"
+	"slices"
 
 	"structix/internal/graph"
 )
@@ -108,22 +108,23 @@ type akOrigRec struct {
 	hats []INodeID
 }
 
-// akHatKey identifies a hat inode: the original it was carved from and the
-// Succ(I)-category of its members.
-type akHatKey struct {
-	orig INodeID
-	cat  uint8
+// idSize pairs an inode with its extent size for the compound-member sort.
+type idSize struct {
+	id   INodeID
+	size int
 }
 
 // akSplitCtx is the reusable state of one A(k) split phase. Like the
-// 1-index splitCtx it lives on the Index so that queues, maps, snapshot
-// buffers and three-way-split records keep their backing storage across
-// maintenance calls.
+// 1-index splitCtx it lives on the Index so that queues, dense per-inode
+// scratch arrays, snapshot buffers and three-way-split records keep their
+// backing storage across maintenance calls. All former per-phase maps are
+// dense slices indexed by INodeID, invalidated by epoch stamps instead of
+// cleared.
 type akSplitCtx struct {
 	x        *Index
 	byLevel  [][]*akCompound // queue buckets indexed by level 0..k-1
-	memberOf map[INodeID]*akCompound
-	free     []*akCompound // compound pool
+	memberOf []*akCompound   // by INodeID; nil when not in a queued compound
+	free     []*akCompound   // compound pool
 
 	// collect, when set (batch mode), gathers every inode whose inter-iedge
 	// predecessor set the phase may change — update targets, hats and
@@ -136,16 +137,21 @@ type akSplitCtx struct {
 
 	// step scratch
 	s1, s2 []graph.NodeID
-	sizes  map[INodeID]int
+	pairs  []idSize
 
-	// threeWay scratch
-	hats             map[akHatKey]INodeID
-	recIdx           map[INodeID]int32
-	recs             []akOrigRec // flat record arena, reused
-	recsByLevel      [][]int32   // per-level indexes into recs
-	dead             map[INodeID]bool
-	oldPath, newPath []INodeID
-	parts            []INodeID
+	// threeWay scratch, all per-original dense arrays valid only under the
+	// current owEpoch: the cat-1/cat-2 hats carved from an original, its
+	// record index (−1 when none yet), and the drained-dead flag.
+	owEpoch     uint32
+	owStamp     []uint32
+	hat1, hat2  []INodeID
+	recOf       []int32
+	deadStamp   []uint32
+	recs        []akOrigRec // flat record arena, reused
+	recsByLevel [][]int32   // per-level indexes into recs
+	oldPath     []INodeID
+	newPath     []INodeID
+	parts       []INodeID
 }
 
 // splitter returns the index's reusable split context.
@@ -154,20 +160,29 @@ func (x *Index) splitter() *akSplitCtx {
 		x.split = &akSplitCtx{
 			x:           x,
 			byLevel:     make([][]*akCompound, x.k),
-			memberOf:    make(map[INodeID]*akCompound),
 			seedOld:     make([]INodeID, x.k+1),
 			seedNew:     make([]INodeID, x.k+1),
 			single:      make([]bool, x.k+1),
-			sizes:       make(map[INodeID]int),
-			hats:        make(map[akHatKey]INodeID),
-			recIdx:      make(map[INodeID]int32),
 			recsByLevel: make([][]int32, x.k+1),
-			dead:        make(map[INodeID]bool),
 			oldPath:     make([]INodeID, x.k+1),
 			newPath:     make([]INodeID, x.k+1),
 		}
 	}
 	return x.split
+}
+
+func (c *akSplitCtx) member(id INodeID) *akCompound {
+	if int(id) < len(c.memberOf) {
+		return c.memberOf[id]
+	}
+	return nil
+}
+
+func (c *akSplitCtx) setMember(id INodeID, cb *akCompound) {
+	for int(id) >= len(c.memberOf) {
+		c.memberOf = append(c.memberOf, nil)
+	}
+	c.memberOf[id] = cb
 }
 
 func (c *akSplitCtx) newCompound(level int, ids ...INodeID) *akCompound {
@@ -238,14 +253,14 @@ func (x *Index) seedSplit(ctx *akSplitCtx, v graph.NodeID, i int) {
 		// Levels above hi were already v-only; re-hang that subchain
 		// under the new hat chain.
 		sub := old[hi+1]
-		delete(x.nodes[old[hi]].child, sub)
+		x.removeChild(old[hi], sub)
 		x.nodes[sub].parent = newPath[hi]
-		x.nodes[newPath[hi]].child[sub] = struct{}{}
+		x.addChild(newPath[hi], sub)
 	}
 	for l := i + 2; l <= hi && l <= x.k-1; l++ {
-		if cb, ok := ctx.memberOf[old[l]]; ok {
+		if cb := ctx.member(old[l]); cb != nil {
 			cb.ids = append(cb.ids, newPath[l])
-			ctx.memberOf[newPath[l]] = cb
+			ctx.setMember(newPath[l], cb)
 		} else {
 			ctx.push(ctx.newCompound(l, newPath[l], old[l]))
 		}
@@ -255,7 +270,7 @@ func (x *Index) seedSplit(ctx *akSplitCtx, v graph.NodeID, i int) {
 func (c *akSplitCtx) push(cb *akCompound) {
 	c.byLevel[cb.level] = append(c.byLevel[cb.level], cb)
 	for _, id := range cb.ids {
-		c.memberOf[id] = cb
+		c.setMember(id, cb)
 	}
 }
 
@@ -265,7 +280,7 @@ func (c *akSplitCtx) popLowest() *akCompound {
 			cb := c.byLevel[l][n-1]
 			c.byLevel[l] = c.byLevel[l][:n-1]
 			for _, id := range cb.ids {
-				delete(c.memberOf, id)
+				c.setMember(id, nil)
 			}
 			return cb
 		}
@@ -289,40 +304,44 @@ func (c *akSplitCtx) run() {
 // j+1..k by Succ(I) and Succ(𝓘−{I}) via the refinement tree (§6).
 func (c *akSplitCtx) step(cb *akCompound) {
 	x := c.x
-	sizes := c.sizes
-	clear(sizes)
+	c.pairs = c.pairs[:0]
 	for _, id := range cb.ids {
-		sizes[id] = x.ExtentSize(id)
+		c.pairs = append(c.pairs, idSize{id: id, size: x.ExtentSize(id)})
 	}
-	sort.Slice(cb.ids, func(a, b int) bool {
-		if sizes[cb.ids[a]] != sizes[cb.ids[b]] {
-			return sizes[cb.ids[a]] < sizes[cb.ids[b]]
+	slices.SortFunc(c.pairs, func(a, b idSize) int {
+		if a.size != b.size {
+			return a.size - b.size
 		}
-		return cb.ids[a] < cb.ids[b]
+		return int(a.id) - int(b.id)
 	})
+	for i, p := range c.pairs {
+		cb.ids[i] = p.id
+	}
 	rest := cb.ids[1:]
 	if len(cb.ids) >= 3 {
 		c.push(c.newCompound(cb.level, rest...))
 	}
+	// New epoch invalidates all previous split marks; no clearing pass.
+	x.splitEpoch++
 	c.s1 = x.markExtentSucc(c.s1[:0], cb.ids[:1], 1)
 	c.s2 = x.markExtentSucc(c.s2[:0], rest, 2)
 	c.threeWay(cb.level, c.s1)
-	for _, w := range c.s1 {
-		x.mark[w] &^= 1
-	}
-	for _, w := range c.s2 {
-		x.mark[w] &^= 2
-	}
 }
 
 // markExtentSucc marks the dnode successors of the (descendant) extents of
-// ids with the given bit, appending the newly marked dnodes to out.
-func (x *Index) markExtentSucc(out []graph.NodeID, ids []INodeID, bit uint8) []graph.NodeID {
+// ids with the given bit under the current split epoch, appending the newly
+// marked dnodes to out.
+func (x *Index) markExtentSucc(out []graph.NodeID, ids []INodeID, bit uint64) []graph.NodeID {
+	base := x.splitEpoch << 2
 	for _, id := range ids {
 		x.eachExtentDnode(id, func(u graph.NodeID) {
 			x.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
-				if x.mark[w]&bit == 0 {
-					x.mark[w] |= bit
+				st := x.markStamp[w]
+				if st < base {
+					st = base // stale stamp from an earlier epoch
+				}
+				if st&bit == 0 {
+					x.markStamp[w] = st | bit
 					out = append(out, w)
 				}
 			})
@@ -340,9 +359,21 @@ func (x *Index) markExtentSucc(out []graph.NodeID, ids []INodeID, bit uint8) []g
 // compound's union).
 func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 	x := c.x
-	hats := c.hats
-	clear(hats)
-	clear(c.recIdx)
+	// Every per-original array is indexed by the original's INodeID; all
+	// originals are live at entry, so sizing to len(x.nodes) now covers them
+	// even though hats allocated below may grow the arena.
+	n := len(x.nodes)
+	c.owEpoch++
+	if c.owEpoch == 0 { // stamp wrap: invalidate everything the hard way
+		clear(c.owStamp[:cap(c.owStamp)])
+		clear(c.deadStamp[:cap(c.deadStamp)])
+		c.owEpoch = 1
+	}
+	c.owStamp = resizeU32(c.owStamp, n)
+	c.deadStamp = resizeU32(c.deadStamp, n)
+	c.hat1 = resizeIDs(c.hat1, n)
+	c.hat2 = resizeIDs(c.hat2, n)
+	c.recOf = resizeI32(c.recOf, n)
 	for l := range c.recsByLevel {
 		c.recsByLevel[l] = c.recsByLevel[l][:0]
 	}
@@ -350,28 +381,37 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 
 	oldPath, newPath := c.oldPath, c.newPath
 	for _, w := range s1 {
-		var cat uint8 = 1
-		if x.mark[w]&2 != 0 {
-			cat = 2
-		}
+		cat2 := x.markStamp[w]&2 != 0 // w ∈ s1 ⇒ stamp is current-epoch
 		x.path(w, oldPath)
 		copy(newPath, oldPath)
 		for l := j + 1; l <= x.k; l++ {
-			key := akHatKey{orig: oldPath[l], cat: cat}
-			h, ok := hats[key]
-			if !ok {
-				h = x.newANode(int32(l), x.nodes[oldPath[l]].label, newPath[l-1])
-				hats[key] = h
-				ri, seen := c.recIdx[oldPath[l]]
-				if !seen {
+			orig := oldPath[l]
+			if c.owStamp[orig] != c.owEpoch {
+				c.owStamp[orig] = c.owEpoch
+				c.hat1[orig], c.hat2[orig] = NoINode, NoINode
+				c.recOf[orig] = -1
+			}
+			h := c.hat1[orig]
+			if cat2 {
+				h = c.hat2[orig]
+			}
+			if h == NoINode {
+				h = x.newANode(int32(l), x.nodes[orig].label, newPath[l-1])
+				if cat2 {
+					c.hat2[orig] = h
+				} else {
+					c.hat1[orig] = h
+				}
+				ri := c.recOf[orig]
+				if ri < 0 {
 					if nrecs == len(c.recs) {
 						c.recs = append(c.recs, akOrigRec{})
 					}
 					ri = int32(nrecs)
 					nrecs++
-					c.recs[ri].orig = oldPath[l]
+					c.recs[ri].orig = orig
 					c.recs[ri].hats = c.recs[ri].hats[:0]
-					c.recIdx[oldPath[l]] = ri
+					c.recOf[orig] = ri
 					c.recsByLevel[l] = append(c.recsByLevel[l], ri)
 				}
 				c.recs[ri].hats = append(c.recs[ri].hats, h)
@@ -383,16 +423,14 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 
 	// Cleanup: drop originals that were fully drained, level k first so
 	// that higher-level child sets empty out.
-	dead := c.dead
-	clear(dead)
 	for l := x.k; l > j; l-- {
 		for _, ri := range c.recsByLevel[l] {
 			r := &c.recs[ri]
-			n := x.nodes[r.orig]
-			if (int(n.level) == x.k && len(n.extent) == 0) ||
-				(int(n.level) < x.k && len(n.child) == 0) {
+			nd := x.nodes[r.orig]
+			if (int(nd.level) == x.k && len(nd.extent) == 0) ||
+				(int(nd.level) < x.k && len(nd.child) == 0) {
 				x.freeANode(r.orig)
-				dead[r.orig] = true
+				c.deadStamp[r.orig] = c.owEpoch
 			}
 		}
 	}
@@ -402,7 +440,7 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 		for _, ri := range c.recsByLevel[l] {
 			r := &c.recs[ri]
 			c.parts = append(c.parts[:0], r.hats...)
-			if !dead[r.orig] {
+			if c.deadStamp[r.orig] != c.owEpoch {
 				c.parts = append(c.parts, r.orig)
 			}
 			if c.collect {
@@ -412,7 +450,7 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 			if l == x.k {
 				continue // level-k splits never seed compound blocks
 			}
-			if cb, ok := c.memberOf[r.orig]; ok {
+			if cb := c.member(r.orig); cb != nil {
 				// Replace r.orig in its queued compound with the parts.
 				keep := cb.ids[:0]
 				for _, id := range cb.ids {
@@ -421,9 +459,9 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 					}
 				}
 				cb.ids = append(keep, c.parts...)
-				delete(c.memberOf, r.orig)
+				c.setMember(r.orig, nil)
 				for _, id := range c.parts {
-					c.memberOf[id] = cb
+					c.setMember(id, cb)
 				}
 			} else if len(c.parts) >= 2 {
 				c.push(c.newCompound(l, c.parts...))
@@ -434,35 +472,48 @@ func (c *akSplitCtx) threeWay(j int, s1 []graph.NodeID) {
 
 // ---- merge phase ----
 
+// resetCascade readies the shared merge cascade queue (buckets for levels
+// 1..k−1, indexed 0..k−1). The queue is shared by mergePhase,
+// mergeFrontier and AddSubgraph — never active in two of them at once.
+func (x *Index) resetCascade() {
+	if x.cascade == nil {
+		x.cascade = make([][]INodeID, x.k)
+	}
+	for l := range x.cascade {
+		x.cascade[l] = x.cascade[l][:0]
+	}
+}
+
+func (x *Index) cascadePush(l int, id INodeID) {
+	x.cascade[l] = append(x.cascade[l], id)
+}
+
 // mergePhase attempts, for each affected level j = i+2..k, to merge
 // I⁽ʲ⁾[v] with a refinement-tree sibling that has the same index parents in
 // the A(j−1)-index, then cascades merges through inter-iedge successors
 // level by level.
 func (x *Index) mergePhase(v graph.NodeID, i int) {
-	byLevel := make([][]INodeID, x.k) // queue buckets for levels 1..k-1
-	push := func(l int, id INodeID) {
-		byLevel[l] = append(byLevel[l], id)
-	}
+	x.resetCascade()
 	for j := i + 2; j <= x.k; j++ {
 		pj := x.LevelINodeOf(v, j)
 		cand := x.findSiblingCandidate(pj)
 		if cand != NoINode {
 			m := x.mergeANodes(pj, cand)
 			if j <= x.k-1 {
-				push(j, m)
+				x.cascadePush(j, m)
 			}
 		}
-		x.drainMerges(byLevel, push)
+		x.drainMerges()
 	}
 }
 
-func (x *Index) drainMerges(byLevel [][]INodeID, push func(int, INodeID)) {
+func (x *Index) drainMerges() {
 	for {
 		var cur INodeID = NoINode
-		for l := range byLevel {
-			if n := len(byLevel[l]); n > 0 {
-				cur = byLevel[l][n-1]
-				byLevel[l] = byLevel[l][:n-1]
+		for l := range x.cascade {
+			if n := len(x.cascade[l]); n > 0 {
+				cur = x.cascade[l][n-1]
+				x.cascade[l] = x.cascade[l][:n-1]
 				break
 			}
 		}
@@ -472,36 +523,16 @@ func (x *Index) drainMerges(byLevel [][]INodeID, push func(int, INodeID)) {
 		if x.nodes[cur] == nil {
 			continue // absorbed by a later merge while queued
 		}
-		x.mergeAmongSuccessors(cur, push)
+		x.mergeAmongSuccessors(cur)
 	}
 }
 
-// mergeAmongSuccessors groups the inter-iedge successors of a freshly
-// merged level-l inode by (refinement-tree parent, label, index parents in
-// A(l)) and merges each group.
-func (x *Index) mergeAmongSuccessors(i INodeID, push func(int, INodeID)) {
-	l := int(x.nodes[i].level)
-	type gkey struct {
-		parent INodeID
-		key    string
-	}
-	groups := make(map[gkey][]INodeID)
-	var order []gkey
-	for _, j := range x.InterSucc(i) {
-		k := gkey{parent: x.nodes[j].parent, key: x.predBKey(j)}
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], j)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].parent != order[b].parent {
-			return order[a].parent < order[b].parent
-		}
-		return order[a].key < order[b].key
-	})
-	for _, k := range order {
-		class := groups[k]
+// mergeGroupRun merges each ≥2-member group accumulated in
+// x.mergeGroups[0..ngroups) and pushes the survivors onto the cascade at
+// level l+1 (when below k).
+func (x *Index) mergeGroupRun(ngroups, l int) {
+	for gid := 0; gid < ngroups; gid++ {
+		class := x.mergeGroups[gid]
 		if len(class) < 2 {
 			continue
 		}
@@ -510,9 +541,52 @@ func (x *Index) mergeAmongSuccessors(i INodeID, push func(int, INodeID)) {
 			m = x.mergeANodes(m, j)
 		}
 		if l+1 <= x.k-1 {
-			push(l+1, m)
+			x.cascadePush(l+1, m)
 		}
 	}
+}
+
+// internMergeGroup files inode j under its merge-key signature group,
+// returning the updated group count. withParent additionally keys by j's
+// refinement-tree parent (successor grouping, where candidates can live
+// under different parents).
+func (x *Index) internMergeGroup(j INodeID, ngroups int, withParent bool) int {
+	sig := x.mergeSig[:0]
+	if withParent {
+		sig = append(sig, int32(x.nodes[j].parent))
+	}
+	sig = x.mergeKeySig(sig, j)
+	x.mergeSig = sig
+	gid, fresh := x.mergeTab.Intern(sig)
+	if fresh {
+		if ngroups == len(x.mergeGroups) {
+			x.mergeGroups = append(x.mergeGroups, nil)
+		}
+		x.mergeGroups[gid] = x.mergeGroups[gid][:0]
+		ngroups++
+	}
+	x.mergeGroups[gid] = append(x.mergeGroups[gid], j)
+	return ngroups
+}
+
+// mergeAmongSuccessors groups the inter-iedge successors of a freshly
+// merged level-l inode by (refinement-tree parent, label, index parents in
+// A(l)) and merges each group. Grouping interns integer signatures into the
+// reusable table; groups are processed in first-appearance order over the
+// sorted successor list, which is deterministic.
+func (x *Index) mergeAmongSuccessors(i INodeID) {
+	l := int(x.nodes[i].level)
+	x.groupSnap = append(x.groupSnap[:0], x.nodes[i].succB.IDs...)
+	if len(x.groupSnap) < 2 {
+		return
+	}
+	x.mergeTab.Reset()
+	x.mergeTab.Grow(len(x.groupSnap))
+	ngroups := 0
+	for _, j := range x.groupSnap {
+		ngroups = x.internMergeGroup(j, ngroups, true)
+	}
+	x.mergeGroupRun(ngroups, l)
 }
 
 // mergeAmongChildren groups the refinement-tree children of a freshly
@@ -522,46 +596,35 @@ func (x *Index) mergeAmongSuccessors(i INodeID, push func(int, INodeID)) {
 // batch merge can unite two parents whose children become siblings for the
 // first time: a child pair with equal keys need not share an inter-iedge
 // predecessor with the merged parent, so only the child scan finds it.
-func (x *Index) mergeAmongChildren(i INodeID, push func(int, INodeID)) {
+func (x *Index) mergeAmongChildren(i INodeID) {
 	l := int(x.nodes[i].level)
 	if l >= x.k {
 		return // level-k inodes hold extents, not children
 	}
-	groups := make(map[string][]INodeID)
-	var order []string
-	for _, c := range x.Children(i) {
-		k := x.predBKey(c)
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], c)
+	x.childBuf = append(x.childBuf[:0], x.nodes[i].child...)
+	if len(x.childBuf) < 2 {
+		return
 	}
-	sort.Strings(order)
-	for _, k := range order {
-		class := groups[k]
-		if len(class) < 2 {
-			continue
-		}
-		m := class[0]
-		for _, j := range class[1:] {
-			m = x.mergeANodes(m, j)
-		}
-		if l+1 <= x.k-1 {
-			push(l+1, m)
-		}
+	x.mergeTab.Reset()
+	x.mergeTab.Grow(len(x.childBuf))
+	ngroups := 0
+	for _, c := range x.childBuf {
+		ngroups = x.internMergeGroup(c, ngroups, false)
 	}
+	x.mergeGroupRun(ngroups, l)
 }
 
 // findSiblingCandidate returns a refinement-tree sibling of I with the same
-// label and the same index parents in the level above, or NoINode.
+// label and the same index parents in the level above, or NoINode. The
+// comparison walks the sorted predecessor lists directly; no keys are
+// materialized.
 func (x *Index) findSiblingCandidate(i INodeID) INodeID {
 	parent := x.nodes[i].parent
 	if parent == NoINode {
 		return NoINode
 	}
-	key := x.predBKey(i)
-	for _, c := range x.Children(parent) {
-		if c != i && x.predBKey(c) == key {
+	for _, c := range x.nodes[parent].child {
+		if c != i && x.sameMergeKey(i, c) {
 			return c
 		}
 	}
@@ -583,30 +646,35 @@ func (x *Index) mergeANodes(a, b INodeID) INodeID {
 			a, b = b, a
 			na, nb = nb, na
 		}
-		members := make([]graph.NodeID, 0, len(nb.extent))
-		for w := range nb.extent {
-			members = append(members, w)
-		}
+		// Snapshot: reassignPath swap-removes from nb.extent as it goes.
+		x.mergeBuf = append(x.mergeBuf[:0], nb.extent...)
 		newPath := x.mergePath
-		for _, w := range members {
+		for _, w := range x.mergeBuf {
 			x.path(w, newPath)
 			newPath[x.k] = a
 			x.reassignPath(w, newPath)
 		}
 		x.freeANode(b)
 	} else {
-		for _, c := range x.Children(b) {
+		x.ibuf = append(x.ibuf[:0], nb.child...)
+		for _, c := range x.ibuf {
 			x.nodes[c].parent = a
-			na.child[c] = struct{}{}
-			delete(nb.child, c)
+			x.addChild(a, c)
 		}
-		for _, src := range x.InterPred(b) {
-			cnt := nb.predB[src]
+		nb.child = nb.child[:0]
+		// Snapshot the counter pairs: addBoundaryCount mutates the lists
+		// being walked (delete-on-zero).
+		x.ibuf = append(x.ibuf[:0], nb.predB.IDs...)
+		x.cbuf = append(x.cbuf[:0], nb.predB.N...)
+		for idx, src := range x.ibuf {
+			cnt := x.cbuf[idx]
 			x.addBoundaryCount(src, b, -cnt)
 			x.addBoundaryCount(src, a, cnt)
 		}
-		for _, dst := range x.InterSucc(b) {
-			cnt := nb.succB[dst]
+		x.ibuf = append(x.ibuf[:0], nb.succB.IDs...)
+		x.cbuf = append(x.cbuf[:0], nb.succB.N...)
+		for idx, dst := range x.ibuf {
+			cnt := x.cbuf[idx]
 			x.addBoundaryCount(b, dst, -cnt)
 			x.addBoundaryCount(a, dst, cnt)
 		}
@@ -614,4 +682,33 @@ func (x *Index) mergeANodes(a, b INodeID) INodeID {
 	}
 	x.Stats.Merges++
 	return a
+}
+
+// ---- dense scratch resizing ----
+
+func resizeU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		ns := make([]uint32, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		ns := make([]int32, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+func resizeIDs(s []INodeID, n int) []INodeID {
+	if cap(s) < n {
+		ns := make([]INodeID, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
 }

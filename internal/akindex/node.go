@@ -31,7 +31,7 @@ func (x *Index) InsertNode(label graph.LabelID, parent graph.NodeID, kind graph.
 	for l := 1; l <= x.k; l++ {
 		cur = x.newANode(int32(l), label, cur)
 	}
-	x.nodes[cur].extent[v] = struct{}{}
+	x.extentAdd(cur, v)
 	x.inodeOf[v] = cur
 	if parent == graph.InvalidNode {
 		x.mergePhase(v, -1)
@@ -65,12 +65,12 @@ func (x *Index) DeleteNode(v graph.NodeID) error {
 	}
 	iv := x.inodeOf[v]
 	x.g.RemoveNode(v)
-	delete(x.nodes[iv].extent, v)
+	x.extentRemove(iv, v)
 	x.inodeOf[v] = NoINode
 	x.markDirty(iv)
 	for id := iv; id != NoINode; {
 		n := x.nodes[id]
-		if (n.extent != nil && len(n.extent) > 0) || len(n.child) > 0 {
+		if len(n.extent) > 0 || len(n.child) > 0 {
 			break
 		}
 		parent := n.parent

@@ -55,7 +55,7 @@ func (x *Index) AddSubgraph(sg *graph.Subgraph) ([]graph.NodeID, error) {
 			}
 			parent = id
 		}
-		x.nodes[parent].extent[real] = struct{}{}
+		x.extentAdd(parent, real)
 		x.inodeOf[real] = parent
 	}
 	for _, e := range sg.Edges {
@@ -64,8 +64,7 @@ func (x *Index) AddSubgraph(sg *graph.Subgraph) ([]graph.NodeID, error) {
 
 	// Fuse A(0): every fresh label class joins the pre-existing class of
 	// the same label, and the fusions cascade upward through the family.
-	byLevel := make([][]INodeID, x.k)
-	push := func(l int, id INodeID) { byLevel[l] = append(byLevel[l], id) }
+	x.resetCascade()
 	for _, f := range fresh0 {
 		if x.nodes[f] == nil {
 			continue // already absorbed by an earlier cascade
@@ -75,9 +74,9 @@ func (x *Index) AddSubgraph(sg *graph.Subgraph) ([]graph.NodeID, error) {
 			continue // genuinely new label
 		}
 		m := x.mergeANodes(host, f)
-		push(0, m)
+		x.cascadePush(0, m)
 	}
-	x.drainMerges(byLevel, push)
+	x.drainMerges()
 
 	// Attach the root. The batched path of Figure 6 applies when the root
 	// is alone in its inode at every level ≥1 (incoming edges then change
@@ -154,13 +153,13 @@ func (x *Index) DeleteSubgraph(root graph.NodeID, skipIDRef bool) (*graph.Subgra
 		})
 		iw := x.inodeOf[w]
 		x.g.RemoveNode(w)
-		delete(x.nodes[iw].extent, w)
+		x.extentRemove(iw, w)
 		x.inodeOf[w] = NoINode
 		x.markDirty(iw)
 		// Free the now-empty tail of w's refinement-tree path.
 		for id := iw; id != NoINode; {
 			n := x.nodes[id]
-			if (n.extent != nil && len(n.extent) > 0) || len(n.child) > 0 {
+			if len(n.extent) > 0 || len(n.child) > 0 {
 				break
 			}
 			parent := n.parent

@@ -5,6 +5,7 @@ import (
 
 	"structix/internal/graph"
 	"structix/internal/partition"
+	"structix/internal/sigtab"
 )
 
 // Validate checks every structural invariant of the A(0..k) family: the
@@ -66,18 +67,18 @@ func (x *Index) validateTree() error {
 			if p.label != n.label {
 				return fmt.Errorf("inode %d label differs from its tree parent", i)
 			}
-			if _, ok := p.child[id]; !ok {
+			if !x.hasChild(n.parent, id) {
 				return fmt.Errorf("inode %d missing from parent's child set", i)
 			}
 		}
 		if l == x.k {
-			if n.child != nil {
-				return fmt.Errorf("level-k inode %d has a child set", i)
+			if len(n.child) != 0 {
+				return fmt.Errorf("level-k inode %d has children", i)
 			}
 			if len(n.extent) == 0 {
 				return fmt.Errorf("level-k inode %d has empty extent", i)
 			}
-			for v := range n.extent {
+			for _, v := range n.extent {
 				if !x.g.Alive(v) {
 					return fmt.Errorf("inode %d holds dead dnode %d", i, v)
 				}
@@ -89,13 +90,13 @@ func (x *Index) validateTree() error {
 				}
 			}
 		} else {
-			if n.extent != nil {
+			if len(n.extent) != 0 {
 				return fmt.Errorf("inode %d below level k has an extent", i)
 			}
 			if len(n.child) == 0 {
 				return fmt.Errorf("inode %d (level %d) has no children", i, l)
 			}
-			for c := range n.child {
+			for _, c := range n.child {
 				cn := x.nodes[c]
 				if cn == nil || cn.parent != id {
 					return fmt.Errorf("inode %d child %d link broken", i, c)
@@ -119,7 +120,8 @@ func (x *Index) validateTree() error {
 			}
 			return
 		}
-		if _, ok := x.nodes[id].extent[v]; ok {
+		e := x.nodes[id].extent
+		if int(x.pos[v]) < len(e) && e[x.pos[v]] == v {
 			covered++
 		} else if bad < 0 {
 			bad = v
@@ -160,7 +162,8 @@ func (x *Index) validateCounts() error {
 		if n == nil {
 			continue
 		}
-		for dst, c := range n.succB {
+		for di, dst := range n.succB.IDs {
+			c := n.succB.N[di]
 			if c <= 0 {
 				return fmt.Errorf("inter-iedge %d->%d non-positive count", i, dst)
 			}
@@ -168,12 +171,13 @@ func (x *Index) validateCounts() error {
 				return fmt.Errorf("inter-iedge %d->%d count %d, want %d",
 					i, dst, c, wantB[[2]INodeID{INodeID(i), dst}])
 			}
-			if x.nodes[dst].predB[INodeID(i)] != c {
+			if x.nodes[dst].predB.Get(INodeID(i)) != c {
 				return fmt.Errorf("inter-iedge %d->%d asymmetric", i, dst)
 			}
 			gotB++
 		}
-		for dst, c := range n.intraSucc {
+		for di, dst := range n.intraSucc.IDs {
+			c := n.intraSucc.N[di]
 			if c <= 0 {
 				return fmt.Errorf("intra-iedge %d->%d non-positive count", i, dst)
 			}
@@ -181,7 +185,7 @@ func (x *Index) validateCounts() error {
 				return fmt.Errorf("intra-iedge %d->%d count %d, want %d",
 					i, dst, c, wantI[[2]INodeID{INodeID(i), dst}])
 			}
-			if x.nodes[dst].intraPred[INodeID(i)] != c {
+			if x.nodes[dst].intraPred.Get(INodeID(i)) != c {
 				return fmt.Errorf("intra-iedge %d->%d asymmetric", i, dst)
 			}
 			gotI++
@@ -200,15 +204,20 @@ func (x *Index) validateCounts() error {
 // Definition 6: at every level l ≥ 1, no two inodes have the same label and
 // the same index parents in A(l−1).
 func (x *Index) IsMinimal() bool {
+	var tab sigtab.Table
+	var sig []int32
 	for l := 1; l <= x.k; l++ {
-		seen := make(map[string]bool, x.numLive[l])
+		tab.Reset()
+		tab.Grow(x.numLive[l])
 		dup := false
 		x.EachINodeAt(l, func(i INodeID) {
-			k := x.predBKey(i)
-			if seen[k] {
+			if dup {
+				return
+			}
+			sig = x.mergeKeySig(sig[:0], i)
+			if _, fresh := tab.Intern(sig); !fresh {
 				dup = true
 			}
-			seen[k] = true
 		})
 		if dup {
 			return false
@@ -276,8 +285,8 @@ func (x *Index) MeasureStorage() Storage {
 		if nd == nil {
 			continue
 		}
-		intra += len(nd.intraSucc)
-		inter += len(nd.succB)
+		intra += nd.intraSucc.Len()
+		inter += nd.succB.Len()
 		if int(nd.level) < x.k {
 			below++
 		}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+	"structix/internal/partition"
+)
+
+// MemLayoutConfig drives the memory-layout experiment: wall-clock cost of
+// from-scratch construction and batched maintenance, plus steady-state
+// allocation behaviour of the warm single-edge maintenance path, for both
+// index families. Run before and after a layout change (the -baseline flag
+// of xsibench merges a previous run) the result quantifies what a data
+// layout buys: the algorithms are identical, only the memory representation
+// differs.
+type MemLayoutConfig struct {
+	// Rounds is the number of timed repetitions per wall-clock cell; the
+	// reported times are medians.
+	Rounds int
+	// Batch is the number of edge ops per ApplyBatch call.
+	Batch int
+	// EdgeIters is the number of warm insert+delete single-edge pairs used
+	// for the allocation measurement.
+	EdgeIters int
+	// AkK is the A(k) locality parameter.
+	AkK  int
+	Seed int64
+}
+
+// DefaultMemLayoutConfig mirrors the benchmark suite defaults.
+func DefaultMemLayoutConfig(seed int64) MemLayoutConfig {
+	return MemLayoutConfig{Rounds: 5, Batch: 256, EdgeIters: 2000, AkK: 3, Seed: seed}
+}
+
+// MemLayoutStats is one measured configuration (one code state).
+type MemLayoutStats struct {
+	// From-scratch construction, median wall clock.
+	OneBuildNs int64 `json:"one_build_ns"`
+	AkBuildNs  int64 `json:"ak_build_ns"`
+	// KBisimLevels alone (the refinement engine without index assembly).
+	LevelsNs int64 `json:"levels_ns"`
+	// One warm insert-all+delete-all ApplyBatch round, median wall clock.
+	OneBatchNs int64 `json:"one_batch_ns"`
+	AkBatchNs  int64 `json:"ak_batch_ns"`
+	// Steady-state warm single-edge maintenance (InsertEdge+DeleteEdge of
+	// the same absent edge), per operation.
+	OneEdgeNs     int64   `json:"one_edge_ns"`
+	OneEdgeAllocs float64 `json:"one_edge_allocs"`
+	OneEdgeBytes  float64 `json:"one_edge_bytes"`
+	AkEdgeNs      int64   `json:"ak_edge_ns"`
+	AkEdgeAllocs  float64 `json:"ak_edge_allocs"`
+	AkEdgeBytes   float64 `json:"ak_edge_bytes"`
+	// Allocations of one full construction (build-time allocation pressure).
+	OneBuildAllocs float64 `json:"one_build_allocs"`
+	AkBuildAllocs  float64 `json:"ak_build_allocs"`
+}
+
+// MemLayoutResult is the full experiment on one dataset, optionally paired
+// with a baseline run of an earlier code state.
+type MemLayoutResult struct {
+	Dataset   string         `json:"dataset"`
+	Nodes     int            `json:"nodes"`
+	Edges     int            `json:"edges"`
+	K         int            `json:"k"`
+	BatchN    int            `json:"batch_n"`
+	Rounds    int            `json:"rounds"`
+	EdgeIters int            `json:"edge_iters"`
+	After     MemLayoutStats `json:"after"`
+	// Before holds the baseline stats when a previous run was supplied.
+	Before *MemLayoutStats `json:"before,omitempty"`
+	// Improvements maps metric names to before/after ratios (>1 = better)
+	// when a baseline is present: time ratios are speedups, alloc ratios
+	// are reductions.
+	Improvements map[string]float64 `json:"improvements,omitempty"`
+}
+
+// RunMemLayout measures the current code state on one dataset.
+func RunMemLayout(name string, g *graph.Graph, cfg MemLayoutConfig) MemLayoutResult {
+	res := MemLayoutResult{
+		Dataset:   name,
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		K:         cfg.AkK,
+		BatchN:    cfg.Batch,
+		Rounds:    cfg.Rounds,
+		EdgeIters: cfg.EdgeIters,
+	}
+	pool := batchEdgePool(g, cfg.Seed)
+	if cfg.Batch > len(pool) {
+		cfg.Batch = len(pool)
+		res.BatchN = cfg.Batch
+	}
+	s := &res.After
+
+	// Construction wall clock. Build does not mutate g, so the rounds can
+	// share it.
+	s.OneBuildNs = medianRoundNs(cfg.Rounds, func() error {
+		oneindex.Build(g)
+		return nil
+	})
+	s.AkBuildNs = medianRoundNs(cfg.Rounds, func() error {
+		akindex.Build(g, cfg.AkK)
+		return nil
+	})
+	s.LevelsNs = medianRoundNs(cfg.Rounds, func() error {
+		partition.KBisimLevels(g, cfg.AkK)
+		return nil
+	})
+	s.OneBuildAllocs, _, _ = measureAllocs(1, func() { oneindex.Build(g) })
+	s.AkBuildAllocs, _, _ = measureAllocs(1, func() { akindex.Build(g, cfg.AkK) })
+
+	// Batched maintenance: insert-all + delete-all returns the graph to its
+	// start state, so a warm index can run the round repeatedly.
+	inserts := make([]graph.EdgeOp, 0, cfg.Batch)
+	deletes := make([]graph.EdgeOp, 0, cfg.Batch)
+	for _, e := range pool[:cfg.Batch] {
+		inserts = append(inserts, graph.InsertOp(e[0], e[1], graph.IDRef))
+		deletes = append(deletes, graph.DeleteOp(e[0], e[1]))
+	}
+	one := oneindex.Build(g.Clone())
+	batchRound := func(x interface {
+		ApplyBatch(ops []graph.EdgeOp) error
+	}) func() error {
+		return func() error {
+			if err := x.ApplyBatch(inserts); err != nil {
+				return err
+			}
+			return x.ApplyBatch(deletes)
+		}
+	}
+	warmup := batchRound(one)
+	if err := warmup(); err != nil {
+		panic("experiments: memlayout batch warmup failed: " + err.Error())
+	}
+	s.OneBatchNs = medianRoundNs(cfg.Rounds, batchRound(one))
+	ak := akindex.Build(g.Clone(), cfg.AkK)
+	warmup = batchRound(ak)
+	if err := warmup(); err != nil {
+		panic("experiments: memlayout batch warmup failed: " + err.Error())
+	}
+	s.AkBatchNs = medianRoundNs(cfg.Rounds, batchRound(ak))
+
+	// Warm single-edge maintenance: the same absent edge inserted and
+	// deleted EdgeIters times. After the first pair every scratch buffer has
+	// reached steady state, so the measured allocations are the hot path's.
+	u, v := pool[0][0], pool[0][1]
+	oneEdge := oneindex.Build(g.Clone())
+	edgePair := func() {
+		if err := oneEdge.InsertEdge(u, v, graph.IDRef); err != nil {
+			panic("experiments: memlayout edge insert failed: " + err.Error())
+		}
+		if err := oneEdge.DeleteEdge(u, v); err != nil {
+			panic("experiments: memlayout edge delete failed: " + err.Error())
+		}
+	}
+	edgePair() // warm-up
+	var ns int64
+	s.OneEdgeAllocs, s.OneEdgeBytes, ns = measureAllocs(cfg.EdgeIters, edgePair)
+	s.OneEdgeNs = ns / 2 // pair = insert + delete
+	s.OneEdgeAllocs /= 2
+	s.OneEdgeBytes /= 2
+
+	akEdge := akindex.Build(g.Clone(), cfg.AkK)
+	akPair := func() {
+		if err := akEdge.InsertEdge(u, v, graph.IDRef); err != nil {
+			panic("experiments: memlayout edge insert failed: " + err.Error())
+		}
+		if err := akEdge.DeleteEdge(u, v); err != nil {
+			panic("experiments: memlayout edge delete failed: " + err.Error())
+		}
+	}
+	akPair() // warm-up
+	s.AkEdgeAllocs, s.AkEdgeBytes, ns = measureAllocs(cfg.EdgeIters, akPair)
+	s.AkEdgeNs = ns / 2
+	s.AkEdgeAllocs /= 2
+	s.AkEdgeBytes /= 2
+
+	return res
+}
+
+// AttachBaseline records a previous run as the "before" state and computes
+// the improvement ratios.
+func (res *MemLayoutResult) AttachBaseline(before MemLayoutStats) {
+	res.Before = &before
+	// A zero "after" (e.g. an alloc-free steady state) would divide out to
+	// ±Inf, which JSON cannot carry; clamp the denominator to one unit so
+	// the ratio stays finite and still reads as "at least b× better".
+	ratio := func(b, a float64) float64 {
+		if a <= 0 {
+			if b <= 0 {
+				return 1
+			}
+			return b
+		}
+		return b / a
+	}
+	res.Improvements = map[string]float64{
+		"one_build_speedup":     ratio(float64(before.OneBuildNs), float64(res.After.OneBuildNs)),
+		"ak_build_speedup":      ratio(float64(before.AkBuildNs), float64(res.After.AkBuildNs)),
+		"levels_speedup":        ratio(float64(before.LevelsNs), float64(res.After.LevelsNs)),
+		"one_batch_speedup":     ratio(float64(before.OneBatchNs), float64(res.After.OneBatchNs)),
+		"ak_batch_speedup":      ratio(float64(before.AkBatchNs), float64(res.After.AkBatchNs)),
+		"one_edge_alloc_redux":  ratio(before.OneEdgeAllocs, res.After.OneEdgeAllocs),
+		"ak_edge_alloc_redux":   ratio(before.AkEdgeAllocs, res.After.AkEdgeAllocs),
+		"one_edge_bytes_redux":  ratio(before.OneEdgeBytes, res.After.OneEdgeBytes),
+		"ak_edge_bytes_redux":   ratio(before.AkEdgeBytes, res.After.AkEdgeBytes),
+		"one_build_alloc_redux": ratio(before.OneBuildAllocs, res.After.OneBuildAllocs),
+		"ak_build_alloc_redux":  ratio(before.AkBuildAllocs, res.After.AkBuildAllocs),
+		"one_edge_time_speedup": ratio(float64(before.OneEdgeNs), float64(res.After.OneEdgeNs)),
+		"ak_edge_time_speedup":  ratio(float64(before.AkEdgeNs), float64(res.After.AkEdgeNs)),
+	}
+}
+
+// measureAllocs runs fn iters times on a single goroutine and returns the
+// per-iteration allocation count, allocated bytes, and wall clock. The
+// numbers include everything fn does (they are a ceiling, not a floor, on
+// the code path's own allocations — the GC may add arena growth).
+func measureAllocs(iters int, fn func()) (allocs, bytes float64, ns int64) {
+	if iters < 1 {
+		iters = 1
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return float64(after.Mallocs-before.Mallocs) / n,
+		float64(after.TotalAlloc-before.TotalAlloc) / n,
+		elapsed / int64(iters)
+}
+
+// ReportMemLayout prints the experiment as a table; when a baseline is
+// attached every row carries its before/after ratio.
+func ReportMemLayout(w io.Writer, res MemLayoutResult) {
+	fmt.Fprintf(w, "\nMemory-layout experiment on %s (%d dnodes, %d dedges, k=%d, batch=%d, median of %d rounds)\n",
+		res.Dataset, res.Nodes, res.Edges, res.K, res.BatchN, res.Rounds)
+	row := func(name string, after, before float64, unit string, speedup bool) {
+		if res.Before == nil {
+			fmt.Fprintf(w, "  %-28s %12.1f %s\n", name, after, unit)
+			return
+		}
+		ratio := 1.0
+		if after != 0 {
+			ratio = before / after
+		} else if before > 0 {
+			ratio = before // denominator clamped to one unit, as in AttachBaseline
+		}
+		tag := "speedup"
+		if !speedup {
+			tag = "reduction"
+		}
+		fmt.Fprintf(w, "  %-28s %12.1f %s   (before %.1f, %.2fx %s)\n", name, after, unit, before, ratio, tag)
+	}
+	b := res.Before
+	if b == nil {
+		b = &MemLayoutStats{}
+	}
+	row("1-index build", float64(res.After.OneBuildNs)/1e6, float64(b.OneBuildNs)/1e6, "ms", true)
+	row("A(k) build", float64(res.After.AkBuildNs)/1e6, float64(b.AkBuildNs)/1e6, "ms", true)
+	row("KBisimLevels", float64(res.After.LevelsNs)/1e6, float64(b.LevelsNs)/1e6, "ms", true)
+	row("1-index ApplyBatch round", float64(res.After.OneBatchNs)/1e6, float64(b.OneBatchNs)/1e6, "ms", true)
+	row("A(k) ApplyBatch round", float64(res.After.AkBatchNs)/1e6, float64(b.AkBatchNs)/1e6, "ms", true)
+	row("1-index edge op", float64(res.After.OneEdgeNs)/1e3, float64(b.OneEdgeNs)/1e3, "µs", true)
+	row("1-index edge allocs/op", res.After.OneEdgeAllocs, b.OneEdgeAllocs, "  ", false)
+	row("1-index edge bytes/op", res.After.OneEdgeBytes, b.OneEdgeBytes, "B ", false)
+	row("A(k) edge op", float64(res.After.AkEdgeNs)/1e3, float64(b.AkEdgeNs)/1e3, "µs", true)
+	row("A(k) edge allocs/op", res.After.AkEdgeAllocs, b.AkEdgeAllocs, "  ", false)
+	row("A(k) edge bytes/op", res.After.AkEdgeBytes, b.AkEdgeBytes, "B ", false)
+	row("1-index build allocs", res.After.OneBuildAllocs, b.OneBuildAllocs, "  ", false)
+	row("A(k) build allocs", res.After.AkBuildAllocs, b.AkBuildAllocs, "  ", false)
+}
+
+// WriteMemLayoutJSON emits the result as indented JSON (BENCH_memlayout.json).
+func WriteMemLayoutJSON(w io.Writer, res MemLayoutResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// ReadMemLayoutJSON parses a previously written result (the -baseline flag).
+func ReadMemLayoutJSON(r io.Reader) (MemLayoutResult, error) {
+	var res MemLayoutResult
+	err := json.NewDecoder(r).Decode(&res)
+	return res, err
+}

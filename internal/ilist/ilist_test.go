@@ -1,0 +1,142 @@
+package ilist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type id int32
+
+func TestAddGetRemove(t *testing.T) {
+	var l Counts[id]
+	if l.Get(3) != 0 || l.Contains(3) || l.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if c := l.Add(5, 2); c != 2 {
+		t.Fatalf("Add(5,2) = %d", c)
+	}
+	if c := l.Add(3, 1); c != 1 {
+		t.Fatalf("Add(3,1) = %d", c)
+	}
+	if c := l.Add(5, -1); c != 1 {
+		t.Fatalf("Add(5,-1) = %d", c)
+	}
+	if got := []id(l.IDs); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("IDs = %v, want [3 5]", got)
+	}
+	if c := l.Add(5, -1); c != 0 {
+		t.Fatalf("Add(5,-1) = %d", c)
+	}
+	if l.Contains(5) || l.Len() != 1 {
+		t.Fatal("zero count not removed")
+	}
+	if c := l.Add(3, 0); c != 1 {
+		t.Fatalf("Add(3,0) = %d", c)
+	}
+	if c := l.Add(9, 0); c != 0 || l.Contains(9) {
+		t.Fatal("Add(absent, 0) must be a no-op")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	for _, f := range []func(l *Counts[id]){
+		func(l *Counts[id]) { l.Add(1, -1) },              // absent
+		func(l *Counts[id]) { l.Add(2, 1); l.Add(2, -2) }, // underflow
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on negative count")
+				}
+			}()
+			var l Counts[id]
+			f(&l)
+		}()
+	}
+}
+
+func TestEqual(t *testing.T) {
+	var a, b Counts[id]
+	a.Add(1, 2)
+	a.Add(7, 1)
+	b.Add(7, 1)
+	b.Add(1, 2)
+	if !a.Equal(&b) || !a.EqualIDs(&b) {
+		t.Fatal("equal lists reported unequal")
+	}
+	b.Add(7, 3)
+	if a.Equal(&b) {
+		t.Fatal("count mismatch missed")
+	}
+	if !a.EqualIDs(&b) {
+		t.Fatal("EqualIDs must ignore counts")
+	}
+	b.Add(9, 1)
+	if a.EqualIDs(&b) {
+		t.Fatal("id mismatch missed")
+	}
+}
+
+// TestAgainstMap drives random upserts against a reference map and checks
+// every observable after each step.
+func TestAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var l Counts[id]
+	ref := map[id]int32{}
+	for step := 0; step < 5000; step++ {
+		k := id(rng.Intn(40))
+		delta := int32(rng.Intn(3))
+		if ref[k] > 0 && rng.Intn(2) == 0 {
+			delta = -int32(rng.Intn(int(ref[k])) + 1)
+		}
+		got := l.Add(k, delta)
+		ref[k] += delta
+		if ref[k] == 0 {
+			delete(ref, k)
+		}
+		if got != ref[k] {
+			t.Fatalf("step %d: Add(%d,%d) = %d, want %d", step, k, delta, got, ref[k])
+		}
+		if l.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, l.Len(), len(ref))
+		}
+	}
+	// Final state: sorted, exact match.
+	if !sort.SliceIsSorted(l.IDs, func(i, j int) bool { return l.IDs[i] < l.IDs[j] }) {
+		t.Fatal("IDs not sorted")
+	}
+	for k, v := range ref {
+		if l.Get(k) != v {
+			t.Fatalf("Get(%d) = %d, want %d", k, l.Get(k), v)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var l Counts[id]
+	l.Add(1, 1)
+	l.Add(2, 2)
+	l.Reset()
+	if l.Len() != 0 || l.Get(1) != 0 {
+		t.Fatal("Reset did not empty the list")
+	}
+	if cap(l.IDs) == 0 {
+		t.Fatal("Reset dropped capacity")
+	}
+}
+
+func TestAddNoAllocSteadyState(t *testing.T) {
+	var l Counts[id]
+	for i := 0; i < 64; i++ {
+		l.Add(id(i), 1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Add(10, 1)
+		l.Add(10, -1)
+		_ = l.Get(33)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Add/Get allocated %.1f times per run", allocs)
+	}
+}

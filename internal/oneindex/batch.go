@@ -1,7 +1,7 @@
 package oneindex
 
 import (
-	"sort"
+	"slices"
 
 	"structix/internal/graph"
 )
@@ -39,6 +39,12 @@ func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
 		return err
 	}
 	x.Stats.Batches++
+	// A fresh batch epoch invalidates every previous batch's dedup stamps.
+	x.batchEpoch++
+	if x.batchEpoch == 0 {
+		clear(x.batchStamp[:cap(x.batchStamp)])
+		x.batchEpoch = 1
+	}
 	for _, op := range ops {
 		if op.Insert {
 			// Per-dnode affectedness test: v's index-parent *block* set
@@ -66,15 +72,15 @@ func (x *Index) ApplyBatch(ops []graph.EdgeOp) error {
 
 // noteBatchOp records one ingested operation: an unchanged index-parent set
 // is a no-change op; otherwise the sink joins the batch's affected set
-// (deduplicated through bit 4 of the mark array).
+// (deduplicated through the epoch-stamped batchStamp vector).
 func (x *Index) noteBatchOp(v graph.NodeID, unchanged bool) {
 	if unchanged {
 		x.Stats.UpdatesNoChange++
 		return
 	}
 	x.Stats.UpdatesMaintained++
-	if x.mark[v]&4 == 0 {
-		x.mark[v] |= 4
+	if x.batchStamp[v] != x.batchEpoch {
+		x.batchStamp[v] = x.batchEpoch
 		x.batchAffected = append(x.batchAffected, v)
 	}
 }
@@ -93,16 +99,14 @@ func (x *Index) hasParentIn(v graph.NodeID, iu INodeID) bool {
 // finishBatch runs the two deferred phases over the accumulated affected
 // set: one split phase seeded with every affected dnode, then one merge
 // pass over the frontier of inodes the batch touched. The batch scratch
-// (mark bit 4, affected set, frontier) is reset unconditionally so no
-// state survives into the next batch.
+// (affected set, frontier) is reset unconditionally so no state survives
+// into the next batch; the dedup stamps expire with the epoch on their own.
 func (x *Index) finishBatch() {
 	defer x.resetBatchScratch()
 	if len(x.batchAffected) == 0 {
 		return
 	}
-	sort.Slice(x.batchAffected, func(i, j int) bool {
-		return x.batchAffected[i] < x.batchAffected[j]
-	})
+	slices.Sort(x.batchAffected)
 	s := x.splitter()
 	s.collect = true
 	for _, v := range x.batchAffected {
@@ -114,15 +118,10 @@ func (x *Index) finishBatch() {
 	x.mergeFrontier()
 }
 
-// resetBatchScratch clears every piece of per-batch scratch state: the
-// dedup bit (mark bit 4) of each collected dnode, the affected set, and
-// the merge frontier. Splits only ever use mark bits 1 and 2, so clearing
-// bit 4 here cannot disturb a split in flight (there is none — the split
-// phase has fully run, or never started).
+// resetBatchScratch truncates the per-batch scratch: the affected set and
+// the merge frontier. The dedup stamps need no clearing — the next batch's
+// epoch bump invalidates them wholesale.
 func (x *Index) resetBatchScratch() {
-	for _, v := range x.batchAffected {
-		x.mark[v] &^= 4
-	}
 	x.batchAffected = x.batchAffected[:0]
 	x.frontier = x.frontier[:0]
 }
@@ -147,8 +146,8 @@ func (x *Index) resetBatchScratch() {
 // candidate search.
 func (x *Index) mergeFrontier() {
 	f := x.frontier
-	sort.Slice(f, func(i, j int) bool { return f[i] < f[j] })
-	var queue []INodeID
+	slices.Sort(f)
+	queue := x.mergeQueue[:0]
 	prev := NoINode
 	for _, i := range f {
 		if i == prev {
@@ -177,19 +176,18 @@ func (x *Index) mergeFrontier() {
 		}
 	}
 	x.frontier = f[:0]
-	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
-	x.cascadeMerges(dedupINodes(queue))
+	slices.Sort(queue)
+	x.mergeQueue = dedupINodes(queue)
+	x.cascadeMerges()
 }
 
-// minIPred returns the smallest index parent of I, or NoINode.
+// minIPred returns the smallest index parent of I, or NoINode. The pred
+// list is sorted, so this is its first entry.
 func (x *Index) minIPred(i INodeID) INodeID {
-	best := NoINode
-	for p := range x.inodes[i].pred {
-		if best == NoINode || p < best {
-			best = p
-		}
+	if ids := x.inodes[i].pred.IDs; len(ids) > 0 {
+		return ids[0]
 	}
-	return best
+	return NoINode
 }
 
 // dedupINodes removes consecutive duplicates from a sorted slice, in place.

@@ -3,7 +3,6 @@ package oneindex
 import (
 	"fmt"
 	"io"
-	"sort"
 )
 
 // WriteDOT emits the index graph in Graphviz DOT format: one node per
@@ -25,11 +24,9 @@ func (x *Index) WriteDOT(w io.Writer) error {
 		}
 	}
 	for _, i := range x.INodes() {
-		succ := x.ISucc(i)
-		sort.Slice(succ, func(a, b int) bool { return succ[a] < succ[b] })
-		for _, j := range succ {
+		for _, j := range x.ISucc(i) { // already sorted
 			if _, err := fmt.Fprintf(w, "  i%d -> i%d [label=%d];\n",
-				i, j, x.inodes[i].succ[j]); err != nil {
+				i, j, x.inodes[i].succ.Get(j)); err != nil {
 				return err
 			}
 		}

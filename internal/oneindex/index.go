@@ -11,6 +11,14 @@
 // count of underlying dedges so iedges can be maintained exactly as extents
 // change.
 //
+// The in-memory layout is flat (see DESIGN.md "Memory layout"): extents
+// are dense member slices with a position vector for O(1) swap-removal,
+// iedge counters are sorted (id, count) slice pairs, maintenance marks are
+// epoch-stamped instead of cleared, and merge grouping interns integer
+// signatures instead of building string keys. Freed inodes return to a
+// pool with their slice capacity intact, so steady-state maintenance churn
+// allocates nothing.
+//
 // The maintenance entry points are InsertEdge, DeleteEdge, AddSubgraph and
 // DeleteSubgraph. Each keeps the index a valid, minimal 1-index (Lemma 3);
 // on acyclic graphs the result is the unique minimum 1-index (Theorem 1).
@@ -21,10 +29,11 @@ package oneindex
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"structix/internal/graph"
+	"structix/internal/ilist"
 	"structix/internal/partition"
+	"structix/internal/sigtab"
 )
 
 // INodeID identifies an index node. IDs are reused after merges empty an
@@ -34,19 +43,24 @@ type INodeID int32
 // NoINode marks dnodes that are not in the index (dead nodes).
 const NoINode INodeID = -1
 
+// inode is one index node. The extent slice is unsorted — membership order
+// is maintenance order, with Index.pos giving each dnode's position for
+// swap-removal — while succ and pred are sorted by construction.
 type inode struct {
 	label  graph.LabelID
-	extent map[graph.NodeID]struct{}
-	succ   map[INodeID]int32 // iedge successor -> # underlying dedges
-	pred   map[INodeID]int32 // iedge predecessor -> # underlying dedges
+	extent []graph.NodeID        // members; position vector lives in Index.pos
+	succ   ilist.Counts[INodeID] // iedge successor -> # underlying dedges
+	pred   ilist.Counts[INodeID] // iedge predecessor -> # underlying dedges
 }
 
 // Index is a 1-index over a data graph. It is not safe for concurrent use.
 type Index struct {
 	g       *graph.Graph
 	inodeOf []INodeID // dnode -> inode
+	pos     []int32   // dnode -> position within its inode's extent slice
 	inodes  []*inode  // by INodeID; nil when free
 	freeIDs []INodeID
+	pool    []*inode // freed inode structs, slice capacity retained
 	numLive int
 
 	// Stats accumulates instrumentation counters across maintenance calls.
@@ -60,24 +74,38 @@ type Index struct {
 	// that measures what the rule buys.
 	PickLargestSplitter bool
 
-	// scratch marking array sized to the graph's NodeID bound
-	mark []uint8
+	// Epoch-stamped scratch marks sized to the graph's NodeID bound. A
+	// dnode's split marks (bits 1 and 2) are valid only when the stamp's
+	// epoch part matches splitEpoch, so a new split step invalidates every
+	// mark by bumping the epoch — no clearing pass. batchStamp plays the
+	// same role for ApplyBatch's affected-dnode dedup.
+	markStamp  []uint64 // epoch<<2 | split mark bits
+	splitEpoch uint64
+	batchStamp []uint32
+	batchEpoch uint32
 
 	// split is the reusable split-phase context (created on first use); its
-	// queues, maps and snapshot buffers keep their storage across
-	// maintenance calls so the hot path is allocation-free at steady state.
+	// queues, membership vector and snapshot buffers keep their storage
+	// across maintenance calls so the hot path is allocation-free at steady
+	// state.
 	split *splitCtx
 
 	// batchAffected collects the dnodes singled out by an in-flight
-	// ApplyBatch (deduplicated via the mark array's bit 4); frontier
-	// collects the inodes whose index-parent sets the batch may have
-	// changed, seeding the deferred merge pass.
+	// ApplyBatch (deduplicated via batchStamp); frontier collects the
+	// inodes whose index-parent sets the batch may have changed, seeding
+	// the deferred merge pass.
 	batchAffected []graph.NodeID
 	frontier      []INodeID
 
-	// key-assembly scratch for predIDKey
-	keyPreds []INodeID
-	keyBuf   []byte
+	// Merge-phase scratch: the signature table grouping inodes by
+	// (label, index-parent set), the per-group member lists, the cascade
+	// queue, and assembly buffers. All reused across maintenance calls.
+	mergeTab    sigtab.Table
+	mergeSig    []int32
+	mergeGroups [][]INodeID
+	mergeQueue  []INodeID
+	succSnap    []INodeID
+	mergeBuf    []graph.NodeID
 
 	// Snapshot dirty tracking (see snapshot.go): once Freeze has been
 	// called, every inode whose label, extent, successor set or liveness
@@ -126,10 +154,12 @@ func Build(g *graph.Graph) *Index {
 // 1-index must pass a self-stable partition (Build does).
 func FromPartition(g *graph.Graph, p *partition.Partition) *Index {
 	idx := &Index{
-		g:       g,
-		inodeOf: make([]INodeID, g.MaxNodeID()),
-		inodes:  make([]*inode, 0, p.NumBlocks()),
-		mark:    make([]uint8, g.MaxNodeID()),
+		g:          g,
+		inodeOf:    make([]INodeID, g.MaxNodeID()),
+		pos:        make([]int32, g.MaxNodeID()),
+		inodes:     make([]*inode, 0, p.NumBlocks()),
+		markStamp:  make([]uint64, g.MaxNodeID()),
+		batchStamp: make([]uint32, g.MaxNodeID()),
 	}
 	for i := range idx.inodeOf {
 		idx.inodeOf[i] = NoINode
@@ -146,9 +176,7 @@ func FromPartition(g *graph.Graph, p *partition.Partition) *Index {
 		if blockTo[b] == NoINode {
 			blockTo[b] = idx.newINode(g.Label(v))
 		}
-		id := blockTo[b]
-		idx.inodes[id].extent[v] = struct{}{}
-		idx.inodeOf[v] = id
+		idx.attachDNode(v, blockTo[b])
 	})
 	g.EachEdge(func(u, v graph.NodeID, _ graph.EdgeKind) {
 		idx.addIEdgeCount(idx.inodeOf[u], idx.inodeOf[v], 1)
@@ -176,12 +204,16 @@ func (x *Index) ExtentSize(I INodeID) int { return len(x.inodes[I].extent) }
 // it freely; it never aliases index state (contrast with
 // Snapshot.Extent, which shares one slice among all readers).
 func (x *Index) Extent(I INodeID) []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(x.inodes[I].extent))
-	for v := range x.inodes[I].extent {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := append([]graph.NodeID(nil), x.inodes[I].extent...)
+	slices.Sort(out)
 	return out
+}
+
+// AppendExtent appends I's extent to dst in unspecified order and returns
+// the extended slice. Result assembly that sorts the union afterwards
+// (query evaluation) avoids Extent's per-inode copy-and-sort this way.
+func (x *Index) AppendExtent(dst []graph.NodeID, I INodeID) []graph.NodeID {
+	return append(dst, x.inodes[I].extent...)
 }
 
 // EachINode calls fn for every live inode in increasing id order.
@@ -202,19 +234,19 @@ func (x *Index) INodes() []INodeID {
 
 // HasIEdge reports whether the iedge I→J exists (≥1 underlying dedge).
 func (x *Index) HasIEdge(I, J INodeID) bool {
-	return x.inodes[I].succ[J] > 0
+	return x.inodes[I].succ.Contains(J)
 }
 
-// EachISucc calls fn for every index successor of I.
+// EachISucc calls fn for every index successor of I, in increasing order.
 func (x *Index) EachISucc(I INodeID, fn func(J INodeID)) {
-	for j := range x.inodes[I].succ {
+	for _, j := range x.inodes[I].succ.IDs {
 		fn(j)
 	}
 }
 
-// EachIPred calls fn for every index predecessor of I.
+// EachIPred calls fn for every index predecessor of I, in increasing order.
 func (x *Index) EachIPred(I INodeID, fn func(J INodeID)) {
-	for j := range x.inodes[I].pred {
+	for _, j := range x.inodes[I].pred.IDs {
 		fn(j)
 	}
 }
@@ -222,28 +254,18 @@ func (x *Index) EachIPred(I INodeID, fn func(J INodeID)) {
 // ISucc returns the index successors of I, sorted. Like Extent, the
 // returned slice is freshly allocated and owned by the caller.
 func (x *Index) ISucc(I INodeID) []INodeID {
-	out := make([]INodeID, 0, len(x.inodes[I].succ))
-	for j := range x.inodes[I].succ {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return append([]INodeID(nil), x.inodes[I].succ.IDs...)
 }
 
 // IPred returns the index predecessors of I, sorted.
 func (x *Index) IPred(I INodeID) []INodeID {
-	out := make([]INodeID, 0, len(x.inodes[I].pred))
-	for j := range x.inodes[I].pred {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return append([]INodeID(nil), x.inodes[I].pred.IDs...)
 }
 
 // NumIEdges returns the number of iedges.
 func (x *Index) NumIEdges() int {
 	n := 0
-	x.EachINode(func(I INodeID) { n += len(x.inodes[I].succ) })
+	x.EachINode(func(I INodeID) { n += x.inodes[I].succ.Len() })
 	return n
 }
 
@@ -272,24 +294,22 @@ func (x *Index) ToPartition() *partition.Partition {
 // ---- internal structure manipulation ----
 
 func (x *Index) newINode(label graph.LabelID) INodeID {
+	var in *inode
+	if n := len(x.pool); n > 0 {
+		in = x.pool[n-1]
+		x.pool = x.pool[:n-1]
+		in.label = label
+	} else {
+		in = &inode{label: label}
+	}
 	var id INodeID
 	if n := len(x.freeIDs); n > 0 {
 		id = x.freeIDs[n-1]
 		x.freeIDs = x.freeIDs[:n-1]
-		x.inodes[id] = &inode{
-			label:  label,
-			extent: make(map[graph.NodeID]struct{}),
-			succ:   make(map[INodeID]int32),
-			pred:   make(map[INodeID]int32),
-		}
+		x.inodes[id] = in
 	} else {
 		id = INodeID(len(x.inodes))
-		x.inodes = append(x.inodes, &inode{
-			label:  label,
-			extent: make(map[graph.NodeID]struct{}),
-			succ:   make(map[INodeID]int32),
-			pred:   make(map[INodeID]int32),
-		})
+		x.inodes = append(x.inodes, in)
 	}
 	x.numLive++
 	x.markDirty(id)
@@ -301,30 +321,43 @@ func (x *Index) freeINode(id INodeID) {
 	if len(in.extent) != 0 {
 		panic("oneindex: freeing non-empty inode")
 	}
-	if len(in.succ) != 0 || len(in.pred) != 0 {
+	if in.succ.Len() != 0 || in.pred.Len() != 0 {
 		panic("oneindex: freeing inode with live iedges")
 	}
 	x.inodes[id] = nil
 	x.freeIDs = append(x.freeIDs, id)
+	x.pool = append(x.pool, in)
 	x.numLive--
 	x.markDirty(id)
 }
 
+// attachDNode appends dnode v to inode id's extent (v must not currently
+// be in any extent) and updates the membership maps.
+func (x *Index) attachDNode(v graph.NodeID, id INodeID) {
+	in := x.inodes[id]
+	x.pos[v] = int32(len(in.extent))
+	in.extent = append(in.extent, v)
+	x.inodeOf[v] = id
+}
+
+// detachDNode removes dnode v from its inode's extent by swap-removal;
+// x.inodeOf[v] is left stale for the caller to overwrite.
+func (x *Index) detachDNode(v graph.NodeID) {
+	in := x.inodes[x.inodeOf[v]]
+	m := in.extent
+	i := x.pos[v]
+	last := m[len(m)-1]
+	m[i] = last
+	x.pos[last] = i
+	in.extent = m[:len(m)-1]
+}
+
 func (x *Index) addIEdgeCount(from, to INodeID, delta int32) {
 	x.markDirty(from) // the snapshot view carries from's successor list
-	fs := x.inodes[from].succ
-	fs[to] += delta
-	switch {
-	case fs[to] == 0:
-		delete(fs, to)
-	case fs[to] < 0:
+	if x.inodes[from].succ.Add(to, delta) < 0 {
 		panic("oneindex: negative iedge count")
 	}
-	tp := x.inodes[to].pred
-	tp[from] += delta
-	if tp[from] == 0 {
-		delete(tp, from)
-	}
+	x.inodes[to].pred.Add(from, delta)
 }
 
 // moveDNode reassigns dnode w from its current inode to inode dst, updating
@@ -334,9 +367,8 @@ func (x *Index) moveDNode(w graph.NodeID, dst INodeID) {
 	if src == dst {
 		return
 	}
-	delete(x.inodes[src].extent, w)
-	x.inodes[dst].extent[w] = struct{}{}
-	x.inodeOf[w] = dst
+	x.detachDNode(w)
+	x.attachDNode(w, dst)
 	x.markDirty(src)
 	x.markDirty(dst)
 	x.g.EachPred(w, func(p graph.NodeID, _ graph.EdgeKind) {
@@ -358,34 +390,35 @@ func (x *Index) growScratch() {
 	for len(x.inodeOf) < n {
 		x.inodeOf = append(x.inodeOf, NoINode)
 	}
-	for len(x.mark) < n {
-		x.mark = append(x.mark, 0)
+	for len(x.pos) < n {
+		x.pos = append(x.pos, 0)
+	}
+	for len(x.markStamp) < n {
+		x.markStamp = append(x.markStamp, 0)
+	}
+	for len(x.batchStamp) < n {
+		x.batchStamp = append(x.batchStamp, 0)
 	}
 }
 
-// predIDKey returns a canonical string key for I's index-parent set,
-// used to test "same label and same set of index parents" (Definition 5's
-// minimality criterion and the merge phase's grouping). The assembly runs
-// in reusable scratch — only the returned string escapes.
-func (x *Index) predIDKey(I INodeID) string {
-	in := x.inodes[I]
-	ps := x.keyPreds[:0]
-	for p := range in.pred {
-		ps = append(ps, p)
-	}
-	slices.Sort(ps)
-	x.keyPreds = ps
-	b := x.keyBuf[:0]
-	b = appendInt32(b, int32(in.label))
-	for _, p := range ps {
-		b = appendInt32(b, int32(p))
-	}
-	x.keyBuf = b
-	return string(b)
+// sameMergeKey reports whether inodes i and j share a label and an
+// index-parent set — Definition 5's mergeability criterion. The pred lists
+// are sorted, so the set comparison is one parallel walk; no key object is
+// ever materialized.
+func (x *Index) sameMergeKey(i, j INodeID) bool {
+	a, b := x.inodes[i], x.inodes[j]
+	return a.label == b.label && a.pred.EqualIDs(&b.pred)
 }
 
-func appendInt32(b []byte, v int32) []byte {
-	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// mergeKeySig appends the integer merge-grouping signature of I —
+// label followed by the sorted index-parent ids — to sig.
+func (x *Index) mergeKeySig(sig []int32, i INodeID) []int32 {
+	in := x.inodes[i]
+	sig = append(sig, int32(in.label))
+	for _, p := range in.pred.IDs {
+		sig = append(sig, int32(p))
+	}
+	return sig
 }
 
 func (x *Index) String() string {

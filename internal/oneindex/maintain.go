@@ -1,7 +1,7 @@
 package oneindex
 
 import (
-	"sort"
+	"slices"
 
 	"structix/internal/graph"
 )
@@ -48,7 +48,7 @@ func (x *Index) insertEdge(u, v graph.NodeID, kind graph.EdgeKind, merge bool) e
 // iedge fast path still reads pre-insertion state.
 func (x *Index) noteInsert(u, v graph.NodeID, merge bool) {
 	iu, iv := x.inodeOf[u], x.inodeOf[v]
-	hadIEdge := x.inodes[iu].succ[iv] > 0
+	hadIEdge := x.inodes[iu].succ.Contains(iv)
 	x.addIEdgeCount(iu, iv, 1)
 	// If the iedge I[u]→I[v] already existed then, by stability, v already
 	// had a parent in I[u]: no index-parent set changed and the index is
@@ -137,17 +137,20 @@ type hit struct {
 
 // splitCtx is the reusable state of one split phase. It lives on the Index
 // and is re-used across maintenance calls so that the steady-state split
-// path performs no per-call map or slice allocations: the queue, membership
-// map, successor snapshots and three-way-split records all keep their
-// backing storage between runs.
+// path performs no per-call allocations: the queue, the compound-membership
+// vector, successor snapshots and three-way-split records all keep their
+// backing storage between runs, and the per-step hit grouping is
+// epoch-stamped rather than cleared.
 type splitCtx struct {
 	x        *Index
 	queue    []*compound
-	memberOf map[INodeID]*compound
+	memberOf []*compound // by INodeID; nil when not in a queued compound
 	free     []*compound // compound pool
 
 	s1, s2   []graph.NodeID // successor-set snapshots of step
-	hitIdx   map[INodeID]int32
+	hitEpoch uint32
+	hitStamp []uint32 // by INodeID: hitOf valid this threeWaySplit call
+	hitOf    []int32
 	hitOrder []INodeID
 	hits     []hit
 	newIDs   []INodeID
@@ -161,13 +164,24 @@ type splitCtx struct {
 // splitter returns the index's reusable split context.
 func (x *Index) splitter() *splitCtx {
 	if x.split == nil {
-		x.split = &splitCtx{
-			x:        x,
-			memberOf: make(map[INodeID]*compound),
-			hitIdx:   make(map[INodeID]int32),
-		}
+		x.split = &splitCtx{x: x}
 	}
 	return x.split
+}
+
+// member returns the queued compound inode id belongs to, if any.
+func (s *splitCtx) member(id INodeID) *compound {
+	if int(id) >= len(s.memberOf) {
+		return nil
+	}
+	return s.memberOf[id]
+}
+
+func (s *splitCtx) setMember(id INodeID, c *compound) {
+	for int(id) >= len(s.memberOf) {
+		s.memberOf = append(s.memberOf, nil)
+	}
+	s.memberOf[id] = c
 }
 
 func (s *splitCtx) newCompound(ids ...INodeID) *compound {
@@ -210,9 +224,9 @@ func (s *splitCtx) seed(v graph.NodeID) {
 	if s.collect {
 		x.frontier = append(x.frontier, nv)
 	}
-	if c, ok := s.memberOf[iv]; ok {
+	if c := s.member(iv); c != nil {
 		c.ids = append(c.ids, nv)
-		s.memberOf[nv] = c
+		s.setMember(nv, c)
 	} else {
 		s.push(s.newCompound(nv, iv))
 	}
@@ -221,7 +235,7 @@ func (s *splitCtx) seed(v graph.NodeID) {
 func (s *splitCtx) push(c *compound) {
 	s.queue = append(s.queue, c)
 	for _, id := range c.ids {
-		s.memberOf[id] = c
+		s.setMember(id, c)
 	}
 }
 
@@ -230,7 +244,7 @@ func (s *splitCtx) run() {
 		c := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
 		for _, id := range c.ids {
-			delete(s.memberOf, id)
+			s.memberOf[id] = nil
 		}
 		s.step(c)
 		s.free = append(s.free, c)
@@ -244,12 +258,11 @@ func (s *splitCtx) step(c *compound) {
 	x := s.x
 	// Pick the member with the smallest extent (ties by id, for
 	// determinism); the smallest is always ≤ half the total.
-	sort.Slice(c.ids, func(i, j int) bool {
-		si, sj := len(x.inodes[c.ids[i]].extent), len(x.inodes[c.ids[j]].extent)
-		if si != sj {
-			return si < sj
+	slices.SortFunc(c.ids, func(a, b INodeID) int {
+		if d := len(x.inodes[a].extent) - len(x.inodes[b].extent); d != 0 {
+			return d
 		}
-		return c.ids[i] < c.ids[j]
+		return int(a - b)
 	})
 	if x.PickLargestSplitter {
 		// Ablation mode: violate the smaller-half rule on purpose.
@@ -263,26 +276,28 @@ func (s *splitCtx) step(c *compound) {
 	// Snapshot both successor sets before any split: extents may change
 	// under our feet otherwise (including I's own, if the index has a
 	// self-cycle — the "messy detail" §5.1 alludes to; handled here by
-	// snapshotting). The snapshots live in reusable scratch buffers.
+	// snapshotting). The snapshots live in reusable scratch buffers, and a
+	// fresh mark epoch invalidates the previous step's marks wholesale.
+	x.splitEpoch++
 	s.s1 = x.markSucc(s.s1[:0], c.ids[:1], 1)
 	s.s2 = x.markSucc(s.s2[:0], rest, 2)
 	s.threeWaySplit(s.s1)
-	for _, w := range s.s1 {
-		x.mark[w] &^= 1
-	}
-	for _, w := range s.s2 {
-		x.mark[w] &^= 2
-	}
 }
 
-// markSucc marks Succ(ids) with the given bit and appends the dnodes newly
-// marked with that bit to out.
-func (x *Index) markSucc(out []graph.NodeID, ids []INodeID, bit uint8) []graph.NodeID {
+// markSucc marks Succ(ids) with the given bit under the current split epoch
+// and appends the dnodes newly marked with that bit to out. A stamp from an
+// earlier epoch reads as "no bits set", so no clearing pass ever runs.
+func (x *Index) markSucc(out []graph.NodeID, ids []INodeID, bit uint64) []graph.NodeID {
+	base := x.splitEpoch << 2
 	for _, id := range ids {
-		for u := range x.inodes[id].extent {
+		for _, u := range x.inodes[id].extent {
 			x.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
-				if x.mark[w]&bit == 0 {
-					x.mark[w] |= bit
+				st := x.markStamp[w]
+				if st < base {
+					st = base // stale epoch: all bits read as zero
+				}
+				if st&bit == 0 {
+					x.markStamp[w] = st | bit
 					out = append(out, w)
 				}
 			})
@@ -299,34 +314,40 @@ func (x *Index) markSucc(out []graph.NodeID, ids []INodeID, bit uint8) []graph.N
 // means being contained in or disjoint from Succ(𝓘−{I}).
 func (s *splitCtx) threeWaySplit(s1 []graph.NodeID) {
 	x := s.x
-	clear(s.hitIdx)
+	s.hitEpoch++
+	if s.hitEpoch == 0 {
+		clear(s.hitStamp[:cap(s.hitStamp)])
+		s.hitEpoch = 1
+	}
+	s.hitStamp = resizeU32(s.hitStamp, len(x.inodes))
+	s.hitOf = resizeI32(s.hitOf, len(x.inodes))
 	s.hitOrder = s.hitOrder[:0]
 	nhits := 0
 	for _, w := range s1 {
 		k := x.inodeOf[w]
-		hi, ok := s.hitIdx[k]
-		if !ok {
+		if s.hitStamp[k] != s.hitEpoch {
+			s.hitStamp[k] = s.hitEpoch
 			if nhits == len(s.hits) {
 				s.hits = append(s.hits, hit{})
 			}
-			hi = int32(nhits)
+			s.hits[nhits].k11 = s.hits[nhits].k11[:0]
+			s.hits[nhits].k12 = s.hits[nhits].k12[:0]
+			s.hitOf[k] = int32(nhits)
 			nhits++
-			s.hits[hi].k11 = s.hits[hi].k11[:0]
-			s.hits[hi].k12 = s.hits[hi].k12[:0]
-			s.hitIdx[k] = hi
 			s.hitOrder = append(s.hitOrder, k)
 		}
-		h := &s.hits[hi]
-		if x.mark[w]&2 != 0 {
+		h := &s.hits[s.hitOf[k]]
+		// w ∈ s1, so its stamp carries the current epoch: bit 2 is live.
+		if x.markStamp[w]&2 != 0 {
 			h.k11 = append(h.k11, w)
 		} else {
 			h.k12 = append(h.k12, w)
 		}
 	}
 	order := s.hitOrder
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order)
 	for _, k := range order {
-		h := &s.hits[s.hitIdx[k]]
+		h := &s.hits[s.hitOf[k]]
 		n2 := len(x.inodes[k].extent) - len(h.k11) - len(h.k12)
 		parts := 0
 		if len(h.k11) > 0 {
@@ -377,10 +398,10 @@ func (s *splitCtx) threeWaySplit(s1 []graph.NodeID) {
 		}
 		// Compound bookkeeping: the parts of K join K's queued compound if
 		// any, otherwise they form a new compound.
-		if c, ok := s.memberOf[k]; ok {
+		if c := s.member(k); c != nil {
 			c.ids = append(c.ids, s.newIDs...)
 			for _, id := range s.newIDs {
-				s.memberOf[id] = c
+				s.setMember(id, c)
 			}
 		} else {
 			nc := s.newCompound(k)
@@ -388,6 +409,24 @@ func (s *splitCtx) threeWaySplit(s1 []graph.NodeID) {
 			s.push(nc)
 		}
 	}
+}
+
+// resizeU32 returns s with length n; grown regions read as stamp 0, which
+// never matches a live epoch.
+func resizeU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+// resizeI32 returns s with length n; grown regions are garbage guarded by
+// the accompanying stamp array.
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // ---- merge phase ----
@@ -402,33 +441,43 @@ func (x *Index) mergePhase(v graph.NodeID) {
 	if j == NoINode {
 		return
 	}
-	x.cascadeMerges([]INodeID{x.merge(iv, j)})
+	x.mergeQueue = append(x.mergeQueue[:0], x.merge(iv, j))
+	x.cascadeMerges()
 }
 
-// cascadeMerges propagates merges downstream: merging two inodes changes
-// the index-parent sets of exactly their index successors, so those are
-// grouped by (label, index-parent set) and merged, and each resulting merge
-// is queued in turn.
-func (x *Index) cascadeMerges(queue []INodeID) {
-	for len(queue) > 0 {
-		i := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+// cascadeMerges propagates merges downstream from the queued inodes in
+// x.mergeQueue (consumed by the call): merging two inodes changes the
+// index-parent sets of exactly their index successors, so those are grouped
+// by (label, index-parent set) and merged, and each resulting merge is
+// queued in turn. Grouping interns the integer signature
+// [label, sorted parent ids...] in a reusable open-addressed table; group
+// ids come out in first appearance order over the (sorted) successor list,
+// which keeps the cascade deterministic without materializing any keys.
+func (x *Index) cascadeMerges() {
+	for len(x.mergeQueue) > 0 {
+		i := x.mergeQueue[len(x.mergeQueue)-1]
+		x.mergeQueue = x.mergeQueue[:len(x.mergeQueue)-1]
 		if x.inodes[i] == nil {
 			continue // absorbed by a later merge while queued
 		}
-		// Group the index successors of i by (label, index-parent set).
-		groups := make(map[string][]INodeID)
-		var order []string
-		for _, j := range x.ISucc(i) {
-			key := x.predIDKey(j)
-			if _, ok := groups[key]; !ok {
-				order = append(order, key)
+		// Snapshot the successors: merging mutates succ lists mid-walk.
+		x.succSnap = append(x.succSnap[:0], x.inodes[i].succ.IDs...)
+		x.mergeTab.Reset()
+		ngroups := 0
+		for _, j := range x.succSnap {
+			x.mergeSig = x.mergeKeySig(x.mergeSig[:0], j)
+			gid, fresh := x.mergeTab.Intern(x.mergeSig)
+			if fresh {
+				if int(gid) == len(x.mergeGroups) {
+					x.mergeGroups = append(x.mergeGroups, nil)
+				}
+				x.mergeGroups[gid] = x.mergeGroups[gid][:0]
+				ngroups = int(gid) + 1
 			}
-			groups[key] = append(groups[key], j)
+			x.mergeGroups[gid] = append(x.mergeGroups[gid], j)
 		}
-		sort.Strings(order)
-		for _, key := range order {
-			class := groups[key]
+		for gid := 0; gid < ngroups; gid++ {
+			class := x.mergeGroups[gid]
 			if len(class) < 2 {
 				continue
 			}
@@ -436,7 +485,7 @@ func (x *Index) cascadeMerges(queue []INodeID) {
 			for _, j := range class[1:] {
 				m = x.merge(m, j)
 			}
-			queue = append(queue, m)
+			x.mergeQueue = append(x.mergeQueue, m)
 		}
 	}
 }
@@ -446,19 +495,18 @@ func (x *Index) cascadeMerges(queue []INodeID) {
 // index successors of any one parent of I; for a (rare) parentless I a
 // global scan over parentless inodes is used.
 func (x *Index) findMergeCandidate(i INodeID) INodeID {
-	key := x.predIDKey(i)
-	preds := x.IPred(i)
+	preds := x.inodes[i].pred.IDs
 	if len(preds) == 0 {
 		found := NoINode
 		x.EachINode(func(c INodeID) {
-			if found == NoINode && c != i && x.predIDKey(c) == key {
+			if found == NoINode && c != i && x.sameMergeKey(i, c) {
 				found = c
 			}
 		})
 		return found
 	}
-	for _, c := range x.ISucc(preds[0]) {
-		if c != i && x.predIDKey(c) == key {
+	for _, c := range x.inodes[preds[0]].succ.IDs {
+		if c != i && x.sameMergeKey(i, c) {
 			return c
 		}
 	}
@@ -472,11 +520,9 @@ func (x *Index) merge(a, b INodeID) INodeID {
 	if len(x.inodes[a].extent) < len(x.inodes[b].extent) {
 		a, b = b, a
 	}
-	members := make([]graph.NodeID, 0, len(x.inodes[b].extent))
-	for w := range x.inodes[b].extent {
-		members = append(members, w)
-	}
-	for _, w := range members {
+	// Snapshot b's extent: moveDNode swap-removes from it as we walk.
+	x.mergeBuf = append(x.mergeBuf[:0], x.inodes[b].extent...)
+	for _, w := range x.mergeBuf {
 		x.moveDNode(w, a)
 	}
 	x.freeINode(b)

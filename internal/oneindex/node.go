@@ -19,8 +19,7 @@ func (x *Index) InsertNode(label graph.LabelID, parent graph.NodeID, kind graph.
 	v := x.g.AddNodeL(label)
 	x.growScratch()
 	in := x.newINode(label)
-	x.inodes[in].extent[v] = struct{}{}
-	x.inodeOf[v] = in
+	x.attachDNode(v, in)
 	if parent == graph.InvalidNode {
 		// Detached node: it may still merge with another parentless inode.
 		x.mergePhase(v)
@@ -56,7 +55,7 @@ func (x *Index) DeleteNode(v graph.NodeID) error {
 	// set emptied). Removing it cannot change any other inode's
 	// index-parent set, so minimality is preserved.
 	iv := x.inodeOf[v]
-	delete(x.inodes[iv].extent, v)
+	x.detachDNode(v)
 	x.inodeOf[v] = NoINode
 	x.markDirty(iv)
 	x.g.RemoveNode(v)

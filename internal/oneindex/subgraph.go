@@ -58,8 +58,7 @@ func (x *Index) addSubgraph(sg *graph.Subgraph, merge bool) ([]graph.NodeID, err
 			in = x.newINode(x.g.Label(real))
 			blockTo[b] = in
 		}
-		x.inodes[in].extent[real] = struct{}{}
-		x.inodeOf[real] = in
+		x.attachDNode(real, in)
 	}
 	for _, e := range sg.Edges {
 		x.addIEdgeCount(x.inodeOf[ids[e[0]]], x.inodeOf[ids[e[1]]], 1)
@@ -183,7 +182,7 @@ func (x *Index) DeleteSubgraph(root graph.NodeID, skipIDRef bool) (*graph.Subgra
 			x.addIEdgeCount(x.inodeOf[p], iw, -1)
 		})
 		x.g.RemoveNode(w)
-		delete(x.inodes[iw].extent, w)
+		x.detachDNode(w)
 		x.inodeOf[w] = NoINode
 		x.markDirty(iw)
 		if len(x.inodes[iw].extent) == 0 {

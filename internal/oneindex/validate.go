@@ -5,6 +5,7 @@ import (
 
 	"structix/internal/graph"
 	"structix/internal/partition"
+	"structix/internal/sigtab"
 )
 
 // Validate checks every structural invariant of the index against the data
@@ -36,7 +37,7 @@ func (x *Index) validateStructure() error {
 		if len(in.extent) == 0 {
 			return fmt.Errorf("inode %d has empty extent", i)
 		}
-		for v := range in.extent {
+		for _, v := range in.extent {
 			if !x.g.Alive(v) {
 				return fmt.Errorf("inode %d contains dead dnode %d", i, v)
 			}
@@ -77,14 +78,15 @@ func (x *Index) validateStructure() error {
 		if in == nil {
 			continue
 		}
-		for j, c := range in.succ {
+		for k, j := range in.succ.IDs {
+			c := in.succ.N[k]
 			if c <= 0 {
 				return fmt.Errorf("iedge %d->%d has non-positive count %d", i, j, c)
 			}
 			if want[[2]INodeID{INodeID(i), j}] != c {
 				return fmt.Errorf("iedge %d->%d count %d, want %d", i, j, c, want[[2]INodeID{INodeID(i), j}])
 			}
-			if x.inodes[j].pred[INodeID(i)] != c {
+			if x.inodes[j].pred.Get(INodeID(i)) != c {
 				return fmt.Errorf("iedge %d->%d count asymmetric", i, j)
 			}
 			total++
@@ -101,18 +103,18 @@ func (x *Index) validateStructure() error {
 // minimal iff no two inodes have the same label and the same set of index
 // parents.
 func (x *Index) IsMinimal() bool {
-	keys := make(map[string]INodeID, x.numLive)
+	var tab sigtab.Table
+	tab.Grow(x.numLive)
+	var sig []int32
 	minimal := true
 	x.EachINode(func(i INodeID) {
 		if !minimal {
 			return
 		}
-		k := x.predIDKey(i)
-		if _, dup := keys[k]; dup {
+		sig = x.mergeKeySig(sig[:0], i)
+		if _, fresh := tab.Intern(sig); !fresh {
 			minimal = false
-			return
 		}
-		keys[k] = i
 	})
 	return minimal
 }

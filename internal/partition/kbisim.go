@@ -1,12 +1,12 @@
 package partition
 
 import (
-	"encoding/binary"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"structix/internal/graph"
+	"structix/internal/sigtab"
 )
 
 // Config controls the A(k) level construction.
@@ -21,6 +21,21 @@ type Config struct {
 	// GOMAXPROCS.
 	Workers int
 }
+
+// bisimScratch holds the refinement step's reusable buffers: the signature
+// intern table and the flat per-node signature storage of the parallel
+// step. Pooled so consecutive levels (and consecutive constructions) churn
+// zero steady-state allocations.
+type bisimScratch struct {
+	tab   sigtab.Table
+	sig   []int32        // one node's signature (sequential step)
+	nodes []graph.NodeID // live nodes in EachNode order (parallel step)
+	offs  []int32        // per-node offsets into flat (parallel step)
+	lens  []int32        // per-node signature lengths (parallel step)
+	flat  []int32        // all nodes' signatures, offset-addressed
+}
+
+var bisimPool = sync.Pool{New: func() any { return new(bisimScratch) }}
 
 // KBisimLevels constructs the minimum A(0)..A(k) partitions of g
 // (Definition 4): level 0 partitions nodes by label; level i refines level
@@ -37,13 +52,15 @@ func KBisimLevels(g *graph.Graph, k int) []*Partition {
 
 // KBisimLevelsWith is KBisimLevels under an explicit Config.
 func KBisimLevelsWith(g *graph.Graph, k int, cfg Config) []*Partition {
+	sc := bisimPool.Get().(*bisimScratch)
+	defer bisimPool.Put(sc)
 	levels := make([]*Partition, k+1)
 	levels[0] = ByLabel(g)
 	for i := 1; i <= k; i++ {
 		if cfg.Parallel {
-			levels[i] = bisimStepParallel(g, levels[i-1], cfg.Workers)
+			levels[i] = bisimStepParallel(g, levels[i-1], cfg.Workers, sc)
 		} else {
-			levels[i] = bisimStep(g, levels[i-1])
+			levels[i] = bisimStep(g, levels[i-1], sc)
 		}
 		if levels[i].NumBlocks() == levels[i-1].NumBlocks() {
 			// A refinement with the same block count is the same partition;
@@ -62,9 +79,11 @@ func KBisimLevelsWith(g *graph.Graph, k int, cfg Config) []*Partition {
 // partition — the minimum 1-index (an alternative to CoarsestStable used
 // for cross-validation).
 func BisimFixpoint(g *graph.Graph) *Partition {
+	sc := bisimPool.Get().(*bisimScratch)
+	defer bisimPool.Put(sc)
 	p := ByLabel(g)
 	for {
-		next := bisimStep(g, p)
+		next := bisimStep(g, p, sc)
 		if next.NumBlocks() == p.NumBlocks() {
 			return next
 		}
@@ -73,56 +92,53 @@ func BisimFixpoint(g *graph.Graph) *Partition {
 }
 
 // bisimStep computes the one-step refinement: nodes grouped by
-// (previous block, set of previous blocks of parents).
-func bisimStep(g *graph.Graph, prev *Partition) *Partition {
+// (previous block, set of previous blocks of parents). Signatures are
+// interned as integer slices — first appearance assigns the next dense
+// block id, so numbering follows node order exactly as before.
+func bisimStep(g *graph.Graph, prev *Partition, sc *bisimScratch) *Partition {
 	p := NewPartition(graph.NodeID(prev.Len()))
-	keyOf := make(map[string]int32)
-	next := int32(0)
-	var scratch []int32
-	var buf []byte
+	sc.tab.Reset()
+	sc.tab.Grow(g.NumNodes())
 	g.EachNode(func(v graph.NodeID) {
-		buf, scratch = bisimKey(buf, scratch, g, prev, v)
-		key := string(buf)
-		id, ok := keyOf[key]
-		if !ok {
-			id = next
-			next++
-			keyOf[key] = id
-		}
+		sc.sig = bisimSig(sc.sig[:0], g, prev, v)
+		id, _ := sc.tab.Intern(sc.sig)
 		p.SetBlock(v, id)
 	})
-	p.SetNumBlocks(int(next))
+	p.SetNumBlocks(sc.tab.Len())
 	return p
 }
 
-// bisimKey fills buf with v's refinement signature — v's previous block
-// followed by the sorted, deduplicated *set* (not multiset) of its parents'
-// previous blocks — returning the reusable buffers.
-func bisimKey(buf []byte, scratch []int32, g *graph.Graph, prev *Partition, v graph.NodeID) ([]byte, []int32) {
-	scratch = scratch[:0]
+// bisimSig appends v's refinement signature to sig — v's previous block
+// followed by the sorted, deduplicated *set* (not multiset) of its
+// parents' previous blocks — and returns the extended slice.
+func bisimSig(sig []int32, g *graph.Graph, prev *Partition, v graph.NodeID) []int32 {
+	sig = append(sig, prev.Block(v))
+	start := len(sig)
 	g.EachPred(v, func(u graph.NodeID, _ graph.EdgeKind) {
-		scratch = append(scratch, prev.Block(u))
+		sig = append(sig, prev.Block(u))
 	})
-	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-	buf = binary.AppendVarint(buf[:0], int64(prev.Block(v)))
+	slices.Sort(sig[start:])
+	out := start
 	last := int32(-2)
-	for _, b := range scratch {
+	for _, b := range sig[start:] {
 		if b != last {
-			buf = binary.AppendVarint(buf, int64(b))
+			sig[out] = b
+			out++
 			last = b
 		}
 	}
-	return buf, scratch
+	return sig[:out]
 }
 
 // bisimStepParallel is bisimStep with the signature computation sharded
-// across workers. Workers write only their own disjoint slots of the keys
-// array and perform read-only graph and partition accesses, so the step is
-// race-free; block ids are then assigned sequentially in node order, making
-// the output bit-identical to the sequential step.
-func bisimStepParallel(g *graph.Graph, prev *Partition, workers int) *Partition {
-	nodes := make([]graph.NodeID, 0, g.NumNodes())
-	g.EachNode(func(v graph.NodeID) { nodes = append(nodes, v) })
+// across workers. Per-node signatures land in disjoint regions of one flat
+// buffer (offsets precomputed from 1+indegree bounds), so workers share no
+// mutable state; block ids are then assigned by a sequential intern pass
+// in node order, making the output bit-identical to the sequential step.
+func bisimStepParallel(g *graph.Graph, prev *Partition, workers int, sc *bisimScratch) *Partition {
+	sc.nodes = sc.nodes[:0]
+	g.EachNode(func(v graph.NodeID) { sc.nodes = append(sc.nodes, v) })
+	nodes := sc.nodes
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -130,9 +146,15 @@ func bisimStepParallel(g *graph.Graph, prev *Partition, workers int) *Partition 
 		workers = len(nodes)
 	}
 	if workers <= 1 {
-		return bisimStep(g, prev)
+		return bisimStep(g, prev, sc)
 	}
-	keys := make([]string, len(nodes))
+	sc.offs = resizeI32(sc.offs, len(nodes)+1)
+	sc.lens = resizeI32(sc.lens, len(nodes))
+	sc.offs[0] = 0
+	for i, v := range nodes {
+		sc.offs[i+1] = sc.offs[i] + 1 + int32(g.InDegree(v))
+	}
+	sc.flat = resizeI32(sc.flat, int(sc.offs[len(nodes)]))
 	chunk := (len(nodes) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -144,27 +166,29 @@ func bisimStepParallel(g *graph.Graph, prev *Partition, workers int) *Partition 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var scratch []int32
-			var buf []byte
 			for idx := lo; idx < hi; idx++ {
-				buf, scratch = bisimKey(buf, scratch, g, prev, nodes[idx])
-				keys[idx] = string(buf)
+				// Three-index slice: appends stay inside this node's region.
+				region := sc.flat[sc.offs[idx]:sc.offs[idx]:sc.offs[idx+1]]
+				sc.lens[idx] = int32(len(bisimSig(region, g, prev, nodes[idx])))
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
 	p := NewPartition(graph.NodeID(prev.Len()))
-	keyOf := make(map[string]int32, len(nodes))
-	next := int32(0)
+	sc.tab.Reset()
+	sc.tab.Grow(len(nodes))
 	for idx, v := range nodes {
-		id, ok := keyOf[keys[idx]]
-		if !ok {
-			id = next
-			next++
-			keyOf[keys[idx]] = id
-		}
+		id, _ := sc.tab.Intern(sc.flat[sc.offs[idx] : sc.offs[idx]+sc.lens[idx]])
 		p.SetBlock(v, id)
 	}
-	p.SetNumBlocks(int(next))
+	p.SetNumBlocks(sc.tab.Len())
 	return p
+}
+
+// resizeI32 returns s with length n, reallocating only on capacity growth.
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }

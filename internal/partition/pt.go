@@ -9,6 +9,12 @@ import "structix/internal/graph"
 // records r(w, S) = |parents of w in X-block S| that let the "split by
 // Succ(S−B)" half run without ever scanning S−B. Worst-case O(m log n).
 //
+// The state is laid out flat: out-edges in CSR form, count records in an
+// int32 arena with a free list, and the per-step scratch (new records,
+// hit blocks, splitter snapshot) in dense epoch-stamped arrays reused
+// across steps — a step allocates only when a buffer outgrows its high-
+// water mark.
+//
 // Both engines are kept: this one for the complexity guarantee and
 // fidelity to the construction the paper builds on, the worklist one for
 // its simplicity; the test suite holds them equal on randomized graphs.
@@ -26,17 +32,12 @@ func CoarsestStablePT(g *graph.Graph, init *Partition) *Partition {
 	return s.partition()
 }
 
-// rec is a shared count record: the number of parents a node has inside
-// one X-block. Every edge whose source lies in that X-block points to the
-// sink's record.
-type rec struct {
-	count int32
-}
-
-// ptEdge is one data edge with its current count record r(dst, X(src)).
-type ptEdge struct {
-	dst graph.NodeID
-	rec *rec
+// ptHit is the per-step classification of one hit P-block: the nodes whose
+// parents lie in B only versus in both B and x−B. The member slices keep
+// their capacity across steps.
+type ptHit struct {
+	only []graph.NodeID // count(w,B) == count(w,x-old)
+	both []graph.NodeID // parents in B and in x−B
 }
 
 type ptState struct {
@@ -55,7 +56,28 @@ type ptState struct {
 	worklist []int32 // compound X-blocks to process
 	queued   []bool
 
-	outEdges [][]ptEdge // per source node
+	// Out-edges in CSR form: node u's edges are dst/eRec[eStart[u]:eStart[u+1]].
+	// eRec[i] indexes the count-record arena: recCount[eRec[i]] is
+	// r(dst[i], X(src)) for the source's current X-block.
+	eStart []int32
+	eDst   []graph.NodeID
+	eRec   []int32
+
+	// Count-record arena. A record whose count reaches zero during
+	// migration has no referencing edges left and returns to the free list.
+	recCount []int32
+	recFree  []int32
+
+	// Per-step scratch, epoch-stamped so nothing is cleared between steps.
+	epoch    uint32
+	newStamp []uint32 // per node: newRecOf valid this step
+	newRecOf []int32  // per node: record index for the detached X-block
+	newNodes []graph.NodeID
+	hitStamp []uint32 // per P-block: hitOf valid this step
+	hitOf    []int32
+	hits     []ptHit
+	order    []int32 // hit P-blocks in first-touch order
+	snap     []graph.NodeID
 }
 
 func newPTState(g *graph.Graph, init *Partition) *ptState {
@@ -64,7 +86,8 @@ func newPTState(g *graph.Graph, init *Partition) *ptState {
 		g:        g,
 		blockOf:  make([]int32, n),
 		pos:      make([]int32, n),
-		outEdges: make([][]ptEdge, n),
+		newStamp: make([]uint32, n),
+		newRecOf: make([]int32, n),
 	}
 	for i := range s.blockOf {
 		s.blockOf[i] = -1
@@ -103,17 +126,46 @@ func newPTState(g *graph.Graph, init *Partition) *ptState {
 		s.worklist = append(s.worklist, 0)
 		s.queued[0] = true
 	}
-	// One record per sink for the universal X-block: count = in-degree.
-	recs := make([]*rec, n)
+	s.hitStamp = make([]uint32, len(s.members))
+	s.hitOf = make([]int32, len(s.members))
+	// One record per sink for the universal X-block (count = in-degree;
+	// record index == NodeID for this initial layout), and the CSR edge
+	// array pointing every edge into w at w's record.
+	s.recCount = make([]int32, n)
 	g.EachNode(func(v graph.NodeID) {
-		recs[v] = &rec{count: int32(g.InDegree(v))}
+		s.recCount[v] = int32(g.InDegree(v))
 	})
+	s.eStart = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		s.eStart[u+1] = s.eStart[u]
+		if s.blockOf[u] >= 0 {
+			s.eStart[u+1] += int32(g.OutDegree(graph.NodeID(u)))
+		}
+	}
+	s.eDst = make([]graph.NodeID, s.eStart[n])
+	s.eRec = make([]int32, s.eStart[n])
+	fill := append([]int32(nil), s.eStart[:n]...)
 	g.EachNode(func(u graph.NodeID) {
 		g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
-			s.outEdges[u] = append(s.outEdges[u], ptEdge{dst: w, rec: recs[w]})
+			i := fill[u]
+			fill[u]++
+			s.eDst[i] = w
+			s.eRec[i] = int32(w)
 		})
 	})
 	return s
+}
+
+// allocRec returns a zeroed record index, reusing freed slots.
+func (s *ptState) allocRec() int32 {
+	if k := len(s.recFree); k > 0 {
+		ri := s.recFree[k-1]
+		s.recFree = s.recFree[:k-1]
+		s.recCount[ri] = 0
+		return ri
+	}
+	s.recCount = append(s.recCount, 0)
+	return int32(len(s.recCount) - 1)
 }
 
 // step removes a small P-block B from compound X-block x and performs the
@@ -138,57 +190,62 @@ func (s *ptState) step(x int32) {
 		s.worklist = append(s.worklist, x)
 	}
 
+	s.epoch++
 	// Pass 1: count parents in B per sink (the records for the new
-	// X-block T), via one scan of B's out-edges.
-	newRec := make(map[graph.NodeID]*rec)
-	snapshot := append([]graph.NodeID(nil), s.members[b]...)
-	for _, u := range snapshot {
-		for i := range s.outEdges[u] {
-			w := s.outEdges[u][i].dst
-			r, ok := newRec[w]
-			if !ok {
-				r = &rec{}
-				newRec[w] = r
+	// X-block T), via one scan of B's out-edges. The snapshot shields the
+	// scan from B's membership changing mid-split.
+	s.snap = append(s.snap[:0], s.members[b]...)
+	s.newNodes = s.newNodes[:0]
+	for _, u := range s.snap {
+		for i := s.eStart[u]; i < s.eStart[u+1]; i++ {
+			w := s.eDst[i]
+			if s.newStamp[w] != s.epoch {
+				s.newStamp[w] = s.epoch
+				s.newRecOf[w] = s.allocRec()
+				s.newNodes = append(s.newNodes, w)
 			}
-			r.count++
+			s.recCount[s.newRecOf[w]]++
 		}
 	}
 
-	// Pass 2: three-way split of every P-block hit by Succ(B).
-	type hit struct {
-		only []graph.NodeID // parents in B only  (count(w,B) == count(w,x-old))
-		both []graph.NodeID // parents in B and in x−B
-	}
-	hits := make(map[int32]*hit)
-	var order []int32
-	for _, u := range snapshot {
-		for i := range s.outEdges[u] {
-			e := &s.outEdges[u][i]
-			w := e.dst
-			r := newRec[w]
-			if r.count < 0 {
+	// Pass 2: three-way split of every P-block hit by Succ(B). A record
+	// count is negated once its sink is classified and restored afterwards.
+	s.order = s.order[:0]
+	nHits := 0
+	for _, u := range s.snap {
+		for i := s.eStart[u]; i < s.eStart[u+1]; i++ {
+			w := s.eDst[i]
+			ri := s.newRecOf[w]
+			if s.recCount[ri] < 0 {
 				continue // already classified via another edge
 			}
 			d := s.blockOf[w]
-			h, ok := hits[d]
-			if !ok {
-				h = &hit{}
-				hits[d] = h
-				order = append(order, d)
+			if s.hitStamp[d] != s.epoch {
+				s.hitStamp[d] = s.epoch
+				if nHits == len(s.hits) {
+					s.hits = append(s.hits, ptHit{})
+				}
+				s.hits[nHits].only = s.hits[nHits].only[:0]
+				s.hits[nHits].both = s.hits[nHits].both[:0]
+				s.hitOf[d] = int32(nHits)
+				nHits++
+				s.order = append(s.order, d)
 			}
-			if r.count == e.rec.count {
+			h := &s.hits[s.hitOf[d]]
+			if s.recCount[ri] == s.recCount[s.eRec[i]] {
 				h.only = append(h.only, w)
 			} else {
 				h.both = append(h.both, w)
 			}
-			r.count = -r.count // mark classified; restored in pass 3
+			s.recCount[ri] = -s.recCount[ri]
 		}
 	}
-	for _, r := range newRec {
-		r.count = -r.count
+	for _, w := range s.newNodes {
+		ri := s.newRecOf[w]
+		s.recCount[ri] = -s.recCount[ri]
 	}
-	for _, d := range order {
-		h := hits[d]
+	for _, d := range s.order {
+		h := &s.hits[s.hitOf[d]]
 		rest := len(s.members[d]) - len(h.only) - len(h.both)
 		// Parts: only-B, both, rest. The unhit part keeps d's id when
 		// nonempty; otherwise the largest moved part keeps it.
@@ -219,6 +276,8 @@ func (s *ptState) step(x int32) {
 			s.members = append(s.members, nil)
 			s.xOf = append(s.xOf, xd)
 			s.xpos = append(s.xpos, int32(len(s.xblocks[xd])))
+			s.hitStamp = append(s.hitStamp, 0)
+			s.hitOf = append(s.hitOf, 0)
 			s.xblocks[xd] = append(s.xblocks[xd], nb)
 			for _, w := range part {
 				s.detach(w)
@@ -234,12 +293,17 @@ func (s *ptState) step(x int32) {
 	}
 
 	// Pass 3: migrate records — edges out of B now source from X-block T.
-	for _, u := range snapshot {
-		for i := range s.outEdges[u] {
-			e := &s.outEdges[u][i]
-			if r := newRec[e.dst]; e.rec != r {
-				e.rec.count--
-				e.rec = r
+	// An old record drained to zero has no referencing edges left and goes
+	// back on the free list.
+	for _, u := range s.snap {
+		for i := s.eStart[u]; i < s.eStart[u+1]; i++ {
+			ri := s.newRecOf[s.eDst[i]]
+			if old := s.eRec[i]; old != ri {
+				s.recCount[old]--
+				if s.recCount[old] == 0 {
+					s.recFree = append(s.recFree, old)
+				}
+				s.eRec[i] = ri
 			}
 		}
 	}

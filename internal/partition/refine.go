@@ -45,7 +45,17 @@ func RefineWrt(g *graph.Graph, p, q *Partition) *Partition {
 	return r.partition()
 }
 
-// refiner holds the mutable block structure during refinement.
+// refHit is one block partially covered by the current splitter's
+// successor set; moved keeps its capacity across split rounds.
+type refHit struct {
+	block int32
+	moved []graph.NodeID
+}
+
+// refiner holds the mutable block structure during refinement. The
+// per-round scratch (marked successors, hit-block grouping, splitter
+// snapshot) lives on the struct in epoch-stamped dense arrays, so a round
+// allocates only when a buffer outgrows its high-water mark.
 type refiner struct {
 	g       *graph.Graph
 	blockOf []int32
@@ -55,6 +65,13 @@ type refiner struct {
 	queue   []int32
 	track   bool   // re-enqueue split halves (CoarsestStable mode)
 	mark    []bool // scratch: marked successors
+
+	epoch    uint32
+	hitStamp []uint32 // per block id: hitOf valid this round
+	hitOf    []int32
+	hits     []refHit
+	marked   []graph.NodeID
+	snap     []graph.NodeID
 }
 
 func newRefiner(g *graph.Graph, init *Partition) *refiner {
@@ -85,6 +102,8 @@ func newRefiner(g *graph.Graph, init *Partition) *refiner {
 			r.pos[v] = int32(j)
 		}
 	}
+	r.hitStamp = make([]uint32, len(r.members))
+	r.hitOf = make([]int32, len(r.members))
 	return r
 }
 
@@ -99,49 +118,53 @@ func (r *refiner) enqueue(b int32) {
 func (r *refiner) splitBy(b int32) {
 	// Snapshot: the splitter's own membership may change if it splits
 	// itself (a node in b with a parent in b).
-	snapshot := append([]graph.NodeID(nil), r.members[b]...)
-	r.splitByMembers(snapshot)
+	r.snap = append(r.snap[:0], r.members[b]...)
+	r.splitByMembers(r.snap)
 }
 
 // splitByMembers splits every block that partially intersects Succ(set).
 func (r *refiner) splitByMembers(set []graph.NodeID) {
 	// Mark Succ(set), deduplicated.
-	var marked []graph.NodeID
+	r.marked = r.marked[:0]
 	for _, u := range set {
 		r.g.EachSucc(u, func(w graph.NodeID, _ graph.EdgeKind) {
 			if !r.mark[w] {
 				r.mark[w] = true
-				marked = append(marked, w)
+				r.marked = append(r.marked, w)
 			}
 		})
 	}
 	// Group marked nodes by block.
-	type hit struct {
-		block int32
-		moved []graph.NodeID
-	}
-	hitIdx := make(map[int32]int)
-	var hits []hit
-	for _, w := range marked {
+	r.epoch++
+	nHits := 0
+	for _, w := range r.marked {
 		blk := r.blockOf[w]
 		if blk == NoBlock {
 			continue
 		}
-		i, ok := hitIdx[blk]
-		if !ok {
-			i = len(hits)
-			hitIdx[blk] = i
-			hits = append(hits, hit{block: blk})
+		if r.hitStamp[blk] != r.epoch {
+			r.hitStamp[blk] = r.epoch
+			if nHits == len(r.hits) {
+				r.hits = append(r.hits, refHit{})
+			}
+			r.hits[nHits].block = blk
+			r.hits[nHits].moved = r.hits[nHits].moved[:0]
+			r.hitOf[blk] = int32(nHits)
+			nHits++
 		}
-		hits[i].moved = append(hits[i].moved, w)
+		h := &r.hits[r.hitOf[blk]]
+		h.moved = append(h.moved, w)
 	}
-	for _, h := range hits {
+	for i := 0; i < nHits; i++ {
+		h := &r.hits[i]
 		if len(h.moved) == len(r.members[h.block]) {
 			continue // whole block in Succ(set): stable, no split
 		}
 		nb := int32(len(r.members))
 		r.members = append(r.members, nil)
 		r.pending = append(r.pending, false)
+		r.hitStamp = append(r.hitStamp, 0)
+		r.hitOf = append(r.hitOf, 0)
 		for _, w := range h.moved {
 			r.detach(w)
 			r.blockOf[w] = nb
@@ -155,7 +178,7 @@ func (r *refiner) splitByMembers(set []graph.NodeID) {
 			r.enqueue(nb)
 		}
 	}
-	for _, w := range marked {
+	for _, w := range r.marked {
 		r.mark[w] = false
 	}
 }

@@ -1,7 +1,7 @@
 package query
 
 import (
-	"sort"
+	"slices"
 
 	"structix/internal/akindex"
 	"structix/internal/graph"
@@ -51,9 +51,13 @@ func EvalOneIndex(p *Path, x *oneindex.Index) []graph.NodeID {
 		return filterByAllPredicates(p, x.Graph(), EvalOneIndex(p.Skeleton(), x))
 	}
 	res := run(p, &oneNav{x: x, root: x.INodeOf(root)})
-	var out []graph.NodeID
+	total := 0
 	for _, n := range res {
-		out = append(out, x.Extent(oneindex.INodeID(n))...)
+		total += x.ExtentSize(oneindex.INodeID(n))
+	}
+	out := make([]graph.NodeID, 0, total)
+	for _, n := range res {
+		out = x.AppendExtent(out, oneindex.INodeID(n))
 	}
 	sortNodes(out)
 	return out
@@ -86,9 +90,13 @@ func EvalAk(p *Path, x *akindex.Index) []graph.NodeID {
 	}
 	p = p.Skeleton()
 	res := run(p, &akNav{x: x, root: x.INodeOf(root)})
-	var out []graph.NodeID
+	total := 0
 	for _, n := range res {
-		out = append(out, x.Extent(akindex.INodeID(n))...)
+		total += x.ExtentSize(akindex.INodeID(n))
+	}
+	out := make([]graph.NodeID, 0, total)
+	for _, n := range res {
+		out = x.AppendExtent(out, akindex.INodeID(n))
 	}
 	sortNodes(out)
 	return out
@@ -126,9 +134,13 @@ func EvalAkLevel(p *Path, x *akindex.Index, l int) []graph.NodeID {
 	}
 	p = p.Skeleton()
 	res := run(p, &akLevelNav{x: x, root: x.LevelINodeOf(root, l)})
-	var out []graph.NodeID
+	total := 0
 	for _, n := range res {
-		out = append(out, x.Extent(akindex.INodeID(n))...)
+		total += x.ExtentSize(akindex.INodeID(n))
+	}
+	out := make([]graph.NodeID, 0, total)
+	for _, n := range res {
+		out = x.AppendExtent(out, akindex.INodeID(n))
 	}
 	sortNodes(out)
 	return out
@@ -328,5 +340,5 @@ func (va *validator) ancestorSearch(v graph.NodeID, prev int) bool {
 }
 
 func sortNodes(s []graph.NodeID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

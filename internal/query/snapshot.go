@@ -1,6 +1,8 @@
 package query
 
 import (
+	"slices"
+
 	"structix/internal/akindex"
 	"structix/internal/graph"
 	"structix/internal/oneindex"
@@ -18,19 +20,34 @@ import (
 // predicates are checked per candidate against the snapshot's frozen
 // graph.
 func EvalOneSnapshot(p *Path, s *oneindex.Snapshot) []graph.NodeID {
+	return EvalOneSnapshotInto(nil, p, s)
+}
+
+// EvalOneSnapshotInto is EvalOneSnapshot assembling the result into buf
+// (overwritten from the start, grown as needed) and returning it. A caller
+// issuing many queries against successive snapshots reuses one buffer —
+// and thereby the sort scratch — across calls instead of allocating a
+// fresh union slice per query. The buffer must not be shared between
+// goroutines; the snapshot itself may be.
+func EvalOneSnapshotInto(buf []graph.NodeID, p *Path, s *oneindex.Snapshot) []graph.NodeID {
+	buf = buf[:0]
 	if s.RootINode() == oneindex.NoINode {
-		return nil
+		return buf
 	}
 	if p.HasPredicates() {
-		return filterByAllPredicates(p, s.Data(), EvalOneSnapshot(p.Skeleton(), s))
+		return filterByAllPredicates(p, s.Data(), EvalOneSnapshotInto(buf, p.Skeleton(), s))
 	}
 	res := run(p, &oneSnapNav{s: s})
-	var out []graph.NodeID
+	total := 0
 	for _, n := range res {
-		out = append(out, s.Extent(oneindex.INodeID(n))...)
+		total += s.ExtentSize(oneindex.INodeID(n))
 	}
-	sortNodes(out)
-	return out
+	buf = slices.Grow(buf, total)
+	for _, n := range res {
+		buf = append(buf, s.Extent(oneindex.INodeID(n))...)
+	}
+	sortNodes(buf)
+	return buf
 }
 
 // CountOneSnapshot returns the exact number of dnodes matching p,
@@ -68,10 +85,17 @@ func (n *oneSnapNav) labelMatches(v int64, label string) bool {
 // are checked per candidate — the snapshot counterpart of
 // EvalAkValidated.
 func EvalAkSnapshot(p *Path, s *akindex.Snapshot) []graph.NodeID {
+	return EvalAkSnapshotInto(nil, p, s)
+}
+
+// EvalAkSnapshotInto is EvalAkSnapshot assembling the result into buf
+// (overwritten from the start, grown as needed) and returning it — the
+// buffer-reuse contract of EvalOneSnapshotInto.
+func EvalAkSnapshotInto(buf []graph.NodeID, p *Path, s *akindex.Snapshot) []graph.NodeID {
 	if p.HasPredicates() {
-		return filterByAllPredicates(p, s.Data(), EvalAkSnapshot(p.Skeleton(), s))
+		return filterByAllPredicates(p, s.Data(), EvalAkSnapshotInto(buf, p.Skeleton(), s))
 	}
-	candidates := evalAkSnapshotRaw(p, s)
+	candidates := evalAkSnapshotRaw(buf, p, s)
 	if !NeedsValidation(p, s.K()) {
 		return candidates
 	}
@@ -100,19 +124,24 @@ func CountAkSnapshot(p *Path, s *akindex.Snapshot) int {
 }
 
 // evalAkSnapshotRaw is the safe (possibly over-approximate) skeleton
-// evaluation over the snapshot's intra-iedges.
-func evalAkSnapshotRaw(p *Path, s *akindex.Snapshot) []graph.NodeID {
+// evaluation over the snapshot's intra-iedges, assembling into buf.
+func evalAkSnapshotRaw(buf []graph.NodeID, p *Path, s *akindex.Snapshot) []graph.NodeID {
+	buf = buf[:0]
 	if s.RootINode() == akindex.NoINode {
-		return nil
+		return buf
 	}
 	p = p.Skeleton()
 	res := run(p, &akSnapNav{s: s})
-	var out []graph.NodeID
+	total := 0
 	for _, n := range res {
-		out = append(out, s.Extent(akindex.INodeID(n))...)
+		total += s.ExtentSize(akindex.INodeID(n))
 	}
-	sortNodes(out)
-	return out
+	buf = slices.Grow(buf, total)
+	for _, n := range res {
+		buf = append(buf, s.Extent(akindex.INodeID(n))...)
+	}
+	sortNodes(buf)
+	return buf
 }
 
 type akSnapNav struct{ s *akindex.Snapshot }
