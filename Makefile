@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race stress cover bench bench-batch bench-snapshot bench-memlayout bench-smoke fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress serve-stress serve-smoke cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-smoke fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -25,6 +25,17 @@ race:
 # and RWMutex wrappers under batch + subgraph churn.
 stress:
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
+
+# Race-enabled stress of the serving layer: readers against the
+# group-commit loop, graceful shutdown under load, admission control.
+serve-stress:
+	$(GO) test -race -count=2 -run 'TestServer|TestCommitter' ./internal/server/
+
+# End-to-end smoke of xsiserve on an ephemeral port: client round-trip
+# (health, query, atomic update, typed rejection, stats), graceful
+# shutdown with persistence, reload + Validate.
+serve-smoke:
+	$(GO) run ./cmd/xsiserve -smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -49,6 +60,12 @@ bench-snapshot:
 bench-memlayout:
 	$(GO) run ./cmd/xsibench -exp memlayout -json BENCH_memlayout.json $(if $(BASELINE),-baseline $(BASELINE))
 
+# HTTP serving benchmark: read-only baseline vs 90/10 mix over loopback;
+# see BENCH_serve.json for the committed run and EXPERIMENTS.md for the
+# read-degradation gate.
+bench-serve:
+	$(GO) run ./cmd/xsibench -exp serve -json BENCH_serve.json
+
 # One-iteration pass over every benchmark in the module: keeps them
 # compiling and running without paying for stable timings (CI runs this).
 bench-smoke:
@@ -62,6 +79,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzBatchOps -fuzztime=20s ./internal/akindex/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/xmlload/
 	$(GO) test -fuzz=FuzzLoaderMultiDoc -fuzztime=10s ./internal/xmlload/
+	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=10s ./internal/server/
+	$(GO) test -fuzz=FuzzDecodeUpdate -fuzztime=10s ./internal/server/
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -78,11 +97,13 @@ experiments:
 	$(GO) run ./cmd/xsibench -exp all -scale 16
 
 # What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests,
-# the concurrent-stress pass, and a one-iteration smoke pass over every
-# benchmark in the module.
+# the concurrent-stress and server-stress passes, the xsiserve smoke, and
+# a one-iteration smoke pass over every benchmark in the module.
 ci: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
+	$(GO) test -race -count=2 -run 'TestServer|TestCommitter' ./internal/server/
+	$(GO) run ./cmd/xsiserve -smoke
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 clean:

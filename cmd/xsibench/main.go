@@ -17,6 +17,7 @@
 //	xsibench -exp batch                    # ApplyBatch vs per-edge updates
 //	xsibench -exp snapshot                 # read latency: RWMutex vs epoch snapshots
 //	xsibench -exp memlayout                # flat-layout build/batch/alloc costs
+//	xsibench -exp serve                    # HTTP serving: 90/10 mix over loopback
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
@@ -102,6 +103,7 @@ func main() {
 		r.batch()
 		r.snapshot()
 		r.memlayout()
+		r.serve()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -126,6 +128,8 @@ func main() {
 		r.snapshot()
 	case "memlayout":
 		r.memlayout()
+	case "serve":
+		r.serve()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -355,6 +359,34 @@ func (r runner) snapshot() {
 		}
 		defer f.Close()
 		if err := experiments.WriteSnapshotJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) serve() {
+	d := experiments.Dataset{Name: "XMark(1)", Cyclicity: 1}
+	cfg := experiments.DefaultServeConfig(r.seed)
+	// The writers draw update batches from the absent-IDREF pool; cap the
+	// reduction so every worker gets a full slice.
+	scale := r.scale
+	if scale > 8 {
+		scale = 8
+	}
+	res, err := experiments.RunServe(d.Name, d.Build(scale, r.seed), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsibench: serve: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.ReportServe(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteServeJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"structix"
+	"structix/internal/client"
+	"structix/internal/graph"
+	"structix/internal/opscript"
+	"structix/internal/server"
+)
+
+// runSmoke is the end-to-end self-test behind -smoke: ephemeral loopback
+// port, full client round trip, graceful shutdown with persistence, and a
+// Validate pass over the reloaded database. It exercises exactly the path
+// `make serve-smoke` gates in CI.
+func runSmoke() error {
+	dir, err := os.MkdirTemp("", "xsiserve-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dbPath := filepath.Join(dir, "smoke.db")
+
+	g := structix.GenerateXMark(structix.DefaultXMark(256, 1, 42))
+	idx := structix.BuildOneIndex(g)
+	srv := server.New(structix.NewSnapshotOneIndex(idx), server.Config{
+		PersistPath: dbPath,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://" + ln.Addr().String())
+
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+
+	const expr = "//person/name"
+	res, err := c.Query(ctx, expr)
+	if err != nil {
+		return fmt.Errorf("query %s: %w", expr, err)
+	}
+	n, err := c.Count(ctx, expr)
+	if err != nil {
+		return fmt.Errorf("count %s: %w", expr, err)
+	}
+	if n != res.Count || n != len(res.Nodes) {
+		return fmt.Errorf("count mismatch: query says %d (%d nodes), count says %d",
+			res.Count, len(res.Nodes), n)
+	}
+	if n == 0 {
+		return fmt.Errorf("query %s matched nothing on the smoke dataset", expr)
+	}
+
+	// Atomic update: link two result nodes with an idref edge, then undo it.
+	u, v := res.Nodes[0], res.Nodes[len(res.Nodes)-1]
+	if u == v {
+		return fmt.Errorf("smoke dataset too small: single-node result")
+	}
+	up, err := c.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: u, V: v, Edge: graph.IDRef}})
+	if err != nil {
+		return fmt.Errorf("insert %d->%d: %w", u, v, err)
+	}
+	if up.Inserted != 1 {
+		return fmt.Errorf("insert reported %d insertions, want 1", up.Inserted)
+	}
+
+	// Typed rejection: inserting the same edge again must surface the
+	// in-process *graph.BatchError with the right sentinel and op index.
+	_, err = c.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: u, V: v, Edge: graph.IDRef}})
+	var be *graph.BatchError
+	if !errors.As(err, &be) {
+		return fmt.Errorf("duplicate insert: got %v, want *graph.BatchError", err)
+	}
+	if !errors.Is(be, graph.ErrEdgeExists) || be.OpIndex != 0 {
+		return fmt.Errorf("duplicate insert: got op %d cause %v, want op 0 ErrEdgeExists", be.OpIndex, be.Err)
+	}
+
+	if err := c.DeleteEdge(ctx, u, v); err != nil {
+		return fmt.Errorf("delete %d->%d: %w", u, v, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Updates < 3 || st.Queries < 2 {
+		return fmt.Errorf("stats undercount: %d updates, %d queries", st.Updates, st.Queries)
+	}
+
+	// Graceful shutdown persists; Serve must return cleanly.
+	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shCancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// The persisted database must reload and pass full invariant checking,
+	// and the round-tripped index must answer the query identically.
+	f, err := os.Open(dbPath)
+	if err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+	defer f.Close()
+	db, err := structix.LoadDatabaseAuto(f)
+	if err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+	if db.One == nil {
+		return fmt.Errorf("persisted database has no 1-index")
+	}
+	if err := db.One.Validate(); err != nil {
+		return fmt.Errorf("reloaded index invalid: %w", err)
+	}
+	p, err := structix.ParsePath(expr)
+	if err != nil {
+		return err
+	}
+	if got := len(structix.EvalOneIndex(p, db.One)); got != n {
+		return fmt.Errorf("reloaded index answers %d for %s, served answer was %d", got, expr, n)
+	}
+	fmt.Printf("xsiserve: smoke: %d nodes, %s -> %d matches, persisted %s validates\n",
+		db.Graph.NumNodes(), expr, n, dbPath)
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package client is the Go client for the structix serving layer
+// (internal/server): path-expression queries, batched updates, stats and
+// health over plain HTTP/JSON.
+//
+// Error fidelity is the point of having a typed client: a rejected atomic
+// edge batch comes back as a real *graph.BatchError — same op index
+// (relative to the request's ops slice), same op, and a cause that
+// satisfies errors.Is against the graph sentinels (ErrEdgeExists,
+// ErrNoEdge, ErrSelfLoop, ErrDeadNode) — so code handling update failures
+// is identical whether the index is in-process or across the network. A
+// failed script op likewise round-trips as *opscript.OpError, and
+// admission-control rejections surface as *APIError with Overloaded()
+// true and the server's Retry-After hint.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"structix/internal/graph"
+	"structix/internal/opscript"
+	"structix/internal/server"
+)
+
+// Client talks to one serving endpoint. The zero value is not usable; use
+// New. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a base URL such as "http://127.0.0.1:8080".
+// Deadlines come from the per-call contexts, not a client-wide timeout.
+func New(base string) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// NewWithHTTPClient is New with a caller-supplied http.Client (custom
+// transports, timeouts, test doubles).
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	c := New(base)
+	c.hc = hc
+	return c
+}
+
+// APIError is a non-2xx reply that does not reconstruct to a typed
+// in-process error: bad requests, overload shedding, draining, internal
+// failures.
+type APIError struct {
+	Status     int    // HTTP status code
+	Code       string // wire code (server.Code*)
+	Message    string
+	RetryAfter time.Duration // server backoff hint on 429/503, 0 if absent
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (http %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// Overloaded reports whether the request was shed by admission control
+// (retry after e.RetryAfter).
+func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
+
+// ShuttingDown reports whether the server was draining.
+func (e *APIError) ShuttingDown() bool { return e.Code == server.CodeShuttingDown }
+
+// QueryResult is a query answer.
+type QueryResult struct {
+	Epoch     uint64
+	Count     int
+	Nodes     []graph.NodeID
+	Truncated bool
+}
+
+// Query evaluates a path expression and returns the matched nodes.
+func (c *Client) Query(ctx context.Context, expr string) (QueryResult, error) {
+	return c.query(ctx, server.QueryRequest{Expr: expr})
+}
+
+// QueryLimit is Query returning at most limit nodes (Count stays exact).
+func (c *Client) QueryLimit(ctx context.Context, expr string, limit int) (QueryResult, error) {
+	return c.query(ctx, server.QueryRequest{Expr: expr, Limit: limit})
+}
+
+// Count returns the exact result size without transferring the node list.
+func (c *Client) Count(ctx context.Context, expr string) (int, error) {
+	res, err := c.query(ctx, server.QueryRequest{Expr: expr, CountOnly: true})
+	return res.Count, err
+}
+
+func (c *Client) query(ctx context.Context, req server.QueryRequest) (QueryResult, error) {
+	var rep server.QueryReply
+	if err := c.post(ctx, "/v1/query", req, &rep); err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Epoch: rep.Epoch, Count: rep.Count, Nodes: rep.Nodes, Truncated: rep.Truncated}, nil
+}
+
+// UpdateResult is a committed update.
+type UpdateResult struct {
+	Epoch    uint64
+	Applied  int
+	Inserted int
+	Deleted  int
+	NewNodes []graph.NodeID
+	Removed  int
+	// BatchSize is the size of the group commit that carried the request
+	// (larger than len(ops) when coalesced with concurrent updates).
+	BatchSize int
+}
+
+// Update applies a script of operations. An edge-only script is atomic:
+// it either fully commits (possibly group-committed with concurrent
+// requests) or returns a *graph.BatchError naming the offending op —
+// exactly the in-process ApplyBatch contract. Scripts with node/subtree
+// ops stop at the first failing op (*opscript.OpError).
+func (c *Client) Update(ctx context.Context, ops []opscript.Op) (UpdateResult, error) {
+	var rep server.UpdateReply
+	if err := c.post(ctx, "/v1/update", server.UpdateRequest{Ops: ops}, &rep); err != nil {
+		return UpdateResult{}, err
+	}
+	return UpdateResult{
+		Epoch:    rep.Epoch,
+		Applied:  rep.Applied,
+		Inserted: rep.Inserted,
+		Deleted:  rep.Deleted,
+		NewNodes: rep.NewNodes,
+		Removed:  rep.Removed,
+
+		BatchSize: rep.BatchSize,
+	}, nil
+}
+
+// InsertEdge is a one-op atomic Update.
+func (c *Client) InsertEdge(ctx context.Context, u, v graph.NodeID, kind graph.EdgeKind) error {
+	_, err := c.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: u, V: v, Edge: kind}})
+	return err
+}
+
+// DeleteEdge is a one-op atomic Update.
+func (c *Client) DeleteEdge(ctx context.Context, u, v graph.NodeID) error {
+	_, err := c.Update(ctx, []opscript.Op{{Kind: opscript.Delete, U: u, V: v}})
+	return err
+}
+
+// Stats fetches the server's operational counters.
+func (c *Client) Stats(ctx context.Context) (server.StatsReply, error) {
+	var rep server.StatsReply
+	err := c.get(ctx, "/v1/stats", &rep)
+	return rep, err
+}
+
+// Health reports nil when the server answers /healthz with 200.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Code: server.CodeShuttingDown, Message: "unhealthy"}
+	}
+	return nil
+}
+
+// ---- transport plumbing ----
+
+func drain(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<16))
+	_ = body.Close()
+}
+
+func (c *Client) post(ctx context.Context, path string, body, reply any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, reply)
+}
+
+func (c *Client) get(ctx context.Context, path string, reply any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, reply)
+}
+
+func (c *Client) do(req *http.Request, reply any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return json.Unmarshal(raw, reply)
+	}
+	return decodeError(resp, raw)
+}
+
+// decodeError turns a non-2xx reply into the most faithful error
+// available: *graph.BatchError and *opscript.OpError when the wire
+// carries one, *APIError otherwise.
+func decodeError(resp *http.Response, raw []byte) error {
+	var rep server.ErrorReply
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return &APIError{Status: resp.StatusCode, Code: "internal",
+			Message: fmt.Sprintf("undecodable error body: %.100s", raw)}
+	}
+	switch rep.Code {
+	case server.CodeBatchRejected:
+		if be, err := server.BatchErrorOf(rep); err == nil {
+			return be
+		}
+	case server.CodeOpFailed:
+		if rep.OpIndex != nil && rep.Op != nil {
+			return &opscript.OpError{Index: *rep.OpIndex, Op: *rep.Op,
+				Err: server.CauseError(rep.Cause, rep.Error)}
+		}
+	}
+	apiErr := &APIError{Status: resp.StatusCode, Code: rep.Code, Message: rep.Error}
+	if rep.RetryAfterSeconds > 0 {
+		apiErr.RetryAfter = time.Duration(rep.RetryAfterSeconds) * time.Second
+	} else if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}

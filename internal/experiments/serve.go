@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"structix"
+	"structix/internal/client"
+	"structix/internal/graph"
+	"structix/internal/opscript"
+	"structix/internal/server"
+)
+
+// ServeConfig drives the serving benchmark: a real HTTP server on an
+// ephemeral loopback port, first under a read-only client fleet (the
+// baseline) and then under a 90/10 read/write mix, so the committed
+// numbers show what group-committed maintenance costs the readers.
+type ServeConfig struct {
+	// Workers is the number of concurrent client goroutines per phase.
+	Workers int
+	// WriteFrac is the fraction of mixed-phase requests that are updates.
+	WriteFrac float64
+	// BatchOps is the number of edge ops per update request.
+	BatchOps int
+	// Duration is the measured window per phase.
+	Duration time.Duration
+	// Window is the server's group-commit flush deadline.
+	Window time.Duration
+	Seed   int64
+}
+
+// DefaultServeConfig mirrors the committed benchmark: 8 workers, 10%
+// writes in 8-op requests, 500ms per phase, a 1ms commit window.
+func DefaultServeConfig(seed int64) ServeConfig {
+	return ServeConfig{
+		Workers:   8,
+		WriteFrac: 0.1,
+		BatchOps:  8,
+		Duration:  500 * time.Millisecond,
+		Window:    time.Millisecond,
+		Seed:      seed,
+	}
+}
+
+// ServePhaseResult is one phase of the workload as the clients saw it.
+type ServePhaseResult struct {
+	Phase       string  `json:"phase"` // "read-only" or "mixed"
+	Reads       int     `json:"reads"`
+	ReadP50Ns   int64   `json:"read_p50_ns"`
+	ReadP99Ns   int64   `json:"read_p99_ns"`
+	Writes      int     `json:"writes"`
+	WriteP50Ns  int64   `json:"write_p50_ns"`
+	WriteP99Ns  int64   `json:"write_p99_ns"`
+	QPS         float64 `json:"qps"` // reads + writes per second
+	ReadsPerSec float64 `json:"reads_per_sec"`
+}
+
+// ServeResult is the full serving benchmark (BENCH_serve.json).
+type ServeResult struct {
+	Dataset    string             `json:"dataset"`
+	Nodes      int                `json:"nodes"`
+	Edges      int                `json:"edges"`
+	INodes     int                `json:"inodes"`
+	Workers    int                `json:"workers"`
+	WriteFrac  float64            `json:"write_frac"`
+	BatchOps   int                `json:"batch_ops"`
+	DurationMs int64              `json:"duration_ms"`
+	WindowUs   int64              `json:"commit_window_us"`
+	Phases     []ServePhaseResult `json:"phases"`
+	// Group-commit effectiveness, from the server's own counters.
+	Batches       int64   `json:"batches"`
+	BatchedOps    int64   `json:"batched_ops"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	// Read latency with the writers active relative to the read-only
+	// baseline (mixed / baseline; 1.0 = no degradation).
+	ReadDegradationP50 float64 `json:"read_degradation_p50"`
+	ReadDegradationP99 float64 `json:"read_degradation_p99"`
+}
+
+// RunServe boots the serving layer over g on a loopback port, runs the
+// read-only baseline and the mixed phase, and returns the measurements.
+func RunServe(name string, g *graph.Graph, cfg ServeConfig) (ServeResult, error) {
+	pool := batchEdgePool(g, cfg.Seed)
+	perWorker := len(pool) / cfg.Workers
+	if perWorker > 4*cfg.BatchOps {
+		perWorker = 4 * cfg.BatchOps
+	}
+	if perWorker < cfg.BatchOps {
+		return ServeResult{}, fmt.Errorf("experiments: serve: edge pool too small (%d edges for %d workers × %d ops)",
+			len(pool), cfg.Workers, cfg.BatchOps)
+	}
+
+	idx := structix.BuildOneIndex(g)
+	res := ServeResult{
+		Dataset:    name,
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		INodes:     idx.Size(),
+		Workers:    cfg.Workers,
+		WriteFrac:  cfg.WriteFrac,
+		BatchOps:   cfg.BatchOps,
+		DurationMs: cfg.Duration.Milliseconds(),
+		WindowUs:   cfg.Window.Microseconds(),
+	}
+
+	srv := server.New(structix.NewSnapshotOneIndex(idx), server.Config{Window: cfg.Window})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	cli := client.New("http://" + ln.Addr().String())
+
+	baseline, err := runServePhase(cli, pool, cfg, 0)
+	if err != nil {
+		return res, err
+	}
+	baseline.Phase = "read-only"
+	mixed, err := runServePhase(cli, pool, cfg, cfg.WriteFrac)
+	if err != nil {
+		return res, err
+	}
+	mixed.Phase = "mixed"
+	res.Phases = []ServePhaseResult{baseline, mixed}
+
+	st, err := cli.Stats(context.Background())
+	if err != nil {
+		return res, err
+	}
+	res.Batches = st.Batches
+	res.BatchedOps = st.BatchedOps
+	res.MeanBatchSize = st.MeanBatchSize
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return res, err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return res, err
+	}
+	if err := idx.Validate(); err != nil {
+		return res, fmt.Errorf("experiments: serve: index invalid after workload: %w", err)
+	}
+
+	if baseline.ReadP50Ns > 0 {
+		res.ReadDegradationP50 = float64(mixed.ReadP50Ns) / float64(baseline.ReadP50Ns)
+	}
+	if baseline.ReadP99Ns > 0 {
+		res.ReadDegradationP99 = float64(mixed.ReadP99Ns) / float64(baseline.ReadP99Ns)
+	}
+	return res, nil
+}
+
+// runServePhase runs one measured window with the given write fraction.
+// Each worker owns a disjoint slice of the absent-edge pool and alternates
+// insert-all/delete-all requests over it, so every update is valid no
+// matter how the group commits interleave; the phase drains its own
+// outstanding inserts before returning so the next phase starts clean.
+func runServePhase(cli *client.Client, pool [][2]graph.NodeID, cfg ServeConfig, writeFrac float64) (ServePhaseResult, error) {
+	ctx := context.Background()
+	queries := []string{
+		"//person/name",
+		"/site/people/person",
+		"//open_auction//person",
+	}
+	perWorker := len(pool) / cfg.Workers
+	if perWorker > 4*cfg.BatchOps {
+		perWorker = 4 * cfg.BatchOps
+	}
+
+	type workerLat struct {
+		reads, writes []int64
+		err           error
+	}
+	lats := make([]workerLat, cfg.Workers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			mine := pool[w*perWorker : w*perWorker+cfg.BatchOps]
+			ins := make([]opscript.Op, len(mine))
+			del := make([]opscript.Op, len(mine))
+			for i, e := range mine {
+				ins[i] = opscript.Op{Kind: opscript.Insert, U: e[0], V: e[1], Edge: graph.IDRef}
+				del[i] = opscript.Op{Kind: opscript.Delete, U: e[0], V: e[1]}
+			}
+			inserted := false
+			lat := &lats[w]
+			for i := 0; ; i++ {
+				if writeFrac > 0 && rng.Float64() < writeFrac {
+					ops := ins
+					if inserted {
+						ops = del
+					}
+					start := time.Now()
+					if _, err := cli.Update(ctx, ops); err != nil {
+						lat.err = fmt.Errorf("worker %d update: %w", w, err)
+						return
+					}
+					lat.writes = append(lat.writes, time.Since(start).Nanoseconds())
+					inserted = !inserted
+				} else {
+					expr := queries[(w+i)%len(queries)]
+					start := time.Now()
+					// Evaluation is exact (Count covers the full result);
+					// the transferred node list is capped like a paginated
+					// API would, so the wire cost stays bounded.
+					if _, err := cli.QueryLimit(ctx, expr, 128); err != nil {
+						lat.err = fmt.Errorf("worker %d query: %w", w, err)
+						return
+					}
+					lat.reads = append(lat.reads, time.Since(start).Nanoseconds())
+				}
+				select {
+				case <-stop:
+					// Leave the pool slice in its initial (absent) state.
+					if inserted {
+						if _, err := cli.Update(ctx, del); err != nil {
+							lat.err = fmt.Errorf("worker %d drain: %w", w, err)
+						}
+					}
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+
+	var reads, writes []int64
+	for i := range lats {
+		if lats[i].err != nil {
+			return ServePhaseResult{}, lats[i].err
+		}
+		reads = append(reads, lats[i].reads...)
+		writes = append(writes, lats[i].writes...)
+	}
+	r := ServePhaseResult{
+		Reads:       len(reads),
+		Writes:      len(writes),
+		QPS:         float64(len(reads)+len(writes)) / cfg.Duration.Seconds(),
+		ReadsPerSec: float64(len(reads)) / cfg.Duration.Seconds(),
+	}
+	r.ReadP50Ns, r.ReadP99Ns = percentiles(reads)
+	r.WriteP50Ns, r.WriteP99Ns = percentiles(writes)
+	return r, nil
+}
+
+func percentiles(ns []int64) (p50, p99 int64) {
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns[len(ns)/2], ns[len(ns)*99/100]
+}
+
+// ReportServe prints the serving benchmark as a table.
+func ReportServe(w io.Writer, res ServeResult) {
+	fmt.Fprintf(w, "\nServing benchmark on %s (%d dnodes, %d dedges, %d inodes; %d workers, %.0f%% writes in %d-op requests, %dms per phase, %dµs commit window)\n",
+		res.Dataset, res.Nodes, res.Edges, res.INodes, res.Workers,
+		res.WriteFrac*100, res.BatchOps, res.DurationMs, res.WindowUs)
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %8s %10s %10s %10s\n",
+		"phase", "reads", "reads/s", "read-p50", "read-p99", "writes", "write-p50", "write-p99", "qps")
+	for _, p := range res.Phases {
+		fmt.Fprintf(w, "%-10s %8d %10.0f %8.1fµs %8.1fµs %8d %8.1fµs %8.1fµs %10.0f\n",
+			p.Phase, p.Reads, p.ReadsPerSec,
+			float64(p.ReadP50Ns)/1e3, float64(p.ReadP99Ns)/1e3,
+			p.Writes, float64(p.WriteP50Ns)/1e3, float64(p.WriteP99Ns)/1e3, p.QPS)
+	}
+	fmt.Fprintf(w, "group commit: %d ops in %d batches (mean %.2f ops/commit)\n",
+		res.BatchedOps, res.Batches, res.MeanBatchSize)
+	fmt.Fprintf(w, "read latency with writers active: p50 ×%.2f, p99 ×%.2f vs read-only baseline\n",
+		res.ReadDegradationP50, res.ReadDegradationP99)
+}
+
+// WriteServeJSON emits the result as indented JSON (BENCH_serve.json).
+func WriteServeJSON(w io.Writer, res ServeResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,87 @@
+package opscript
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+)
+
+func TestOpJSONRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, U: 0, V: 2, Edge: graph.Tree},
+		{Kind: Insert, U: 3, V: 4, Edge: graph.IDRef},
+		{Kind: Delete, U: 5, V: 6},
+		{Kind: AddNode, Label: "person", V: 7},
+		{Kind: DelNode, U: 8},
+		{Kind: DelSub, U: 9},
+	}
+	data, err := json.Marshal(ops)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []Op
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(ops, back) {
+		t.Fatalf("round trip mismatch:\n  sent %v\n  got  %v\n  wire %s", ops, back, data)
+	}
+}
+
+func TestOpJSONWireNames(t *testing.T) {
+	data, err := json.Marshal(Op{Kind: Insert, U: 1, V: 2, Edge: graph.IDRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"op":"insert"`, `"u":1`, `"v":2`, `"kind":"idref"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("wire %s missing %s", data, want)
+		}
+	}
+}
+
+func TestOpJSONRejects(t *testing.T) {
+	for _, body := range []string{
+		`{"op":"explode","u":1,"v":2}`,
+		`{"op":"insert","u":1}`,
+		`{"op":"insert","u":1,"v":2,"kind":"warp"}`,
+		`{"op":"addnode","parent":3}`,
+		`{"op":"delnode"}`,
+		`{"op":"delete","v":2}`,
+		`[1,2]`,
+	} {
+		var op Op
+		if err := json.Unmarshal([]byte(body), &op); err == nil {
+			t.Errorf("unmarshal %s: want error, got %v", body, op)
+		}
+	}
+}
+
+func TestApplyReturnsTypedOpError(t *testing.T) {
+	g := graph.New()
+	r := g.AddRoot()
+	a := g.AddNode("a")
+	if err := g.AddEdge(r, a, graph.Tree); err != nil {
+		t.Fatal(err)
+	}
+	x := oneindex.Build(g)
+	_, err := Apply(x, []Op{
+		{Kind: Insert, U: a, V: r, Edge: graph.IDRef},
+		{Kind: Delete, U: r, V: r}, // no such edge
+	})
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OpError, got %T: %v", err, err)
+	}
+	if oe.Index != 1 || oe.Op.Kind != Delete {
+		t.Errorf("OpError names op %d (%s), want 1 (delete)", oe.Index, oe.Op.Kind)
+	}
+	if !errors.Is(err, graph.ErrNoEdge) {
+		t.Errorf("cause %v, want ErrNoEdge", oe.Err)
+	}
+}

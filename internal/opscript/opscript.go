@@ -204,6 +204,25 @@ func GenerateMixed(g *graph.Graph, pairs int, seed int64) []Op {
 	return ops
 }
 
+// OpError reports the script operation that made Apply (or ApplyShared)
+// stop: Index is the 0-based position in the ops slice, Op the operation,
+// and Err the underlying cause (graph.ErrEdgeExists, graph.ErrNoEdge, ...,
+// retrievable with errors.Is/errors.As). Operations before Index have been
+// applied; scripts are a stream, not an atomic batch — use the index
+// ApplyBatch entry points when all-or-nothing semantics are required.
+type OpError struct {
+	Index int
+	Op    Op
+	Err   error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("opscript: op %d (%s): %v", e.Index+1, e.Op.Kind, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (e *OpError) Unwrap() error { return e.Err }
+
 // Result summarizes an application run.
 type Result struct {
 	Applied  int
@@ -246,13 +265,34 @@ var (
 // every index is maintained incrementally through its Note entry points.
 // Only Insert and Delete operations are supported in shared mode; node and
 // subtree operations require the single-index Apply.
+// guardOp rejects an op naming a dead (or never-allocated) node before it
+// reaches the graph layer: the graph's mutators treat invalid ids as caller
+// bugs and panic, but scripts arrive from untrusted sources (files, the
+// network), so liveness is a script error, not a programming error.
+func guardOp(g *graph.Graph, op Op) error {
+	switch op.Kind {
+	case Insert, Delete:
+		if !g.Alive(op.U) || !g.Alive(op.V) {
+			return graph.ErrDeadNode
+		}
+	case DelNode, DelSub:
+		if !g.Alive(op.U) {
+			return graph.ErrDeadNode
+		}
+	}
+	return nil
+}
+
 func ApplyShared(g *graph.Graph, ops []Op, targets ...EdgeTarget) (Result, error) {
 	var res Result
 	for i, op := range ops {
+		if err := guardOp(g, op); err != nil {
+			return res, &OpError{Index: i, Op: op, Err: err}
+		}
 		switch op.Kind {
 		case Insert:
 			if err := g.AddEdge(op.U, op.V, op.Edge); err != nil {
-				return res, fmt.Errorf("opscript: op %d (insert): %w", i+1, err)
+				return res, &OpError{Index: i, Op: op, Err: err}
 			}
 			for _, t := range targets {
 				t.NoteEdgeInserted(op.U, op.V, op.Edge)
@@ -260,7 +300,7 @@ func ApplyShared(g *graph.Graph, ops []Op, targets ...EdgeTarget) (Result, error
 			res.Inserted++
 		case Delete:
 			if err := g.DeleteEdge(op.U, op.V); err != nil {
-				return res, fmt.Errorf("opscript: op %d (delete): %w", i+1, err)
+				return res, &OpError{Index: i, Op: op, Err: err}
 			}
 			for _, t := range targets {
 				t.NoteEdgeDeleted(op.U, op.V)
@@ -280,6 +320,9 @@ func Apply(x Target, ops []Op) (Result, error) {
 	var res Result
 	g := x.Graph()
 	for i, op := range ops {
+		if err := guardOp(g, op); err != nil {
+			return res, &OpError{Index: i, Op: op, Err: err}
+		}
 		var err error
 		switch op.Kind {
 		case Insert:
@@ -306,7 +349,7 @@ func Apply(x Target, ops []Op) (Result, error) {
 			}
 		}
 		if err != nil {
-			return res, fmt.Errorf("opscript: op %d (%s): %w", i+1, op.Kind, err)
+			return res, &OpError{Index: i, Op: op, Err: err}
 		}
 		res.Applied++
 	}

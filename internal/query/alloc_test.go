@@ -1,0 +1,57 @@
+package query
+
+import (
+	"testing"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+)
+
+// Threading a context through the snapshot evaluators must not cost the
+// nil-context path anything: the non-Ctx entry points (what the in-process
+// API and the hot server path use for plain evaluation) must allocate
+// exactly as much as the Ctx variants given a nil context. Guarding the
+// equality rather than an absolute count keeps the gate robust to future
+// evaluator changes while still catching a ctx plumbing regression.
+func TestSnapshotCtxNilAllocParity(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	one := oneindex.Build(g).Freeze(g.Freeze())
+	ak := akindex.Build(g, 2).Freeze(g.Freeze())
+
+	for _, expr := range []string{"/a/b", "//c", "//b//c"} {
+		p := MustParse(expr)
+		buf := make([]graph.NodeID, 0, g.NumNodes())
+
+		plain := testing.AllocsPerRun(200, func() {
+			buf = EvalOneSnapshotInto(buf, p, one)
+		})
+		withNil := testing.AllocsPerRun(200, func() {
+			buf, _ = EvalOneSnapshotIntoCtx(nil, buf, p, one)
+		})
+		if withNil > plain {
+			t.Errorf("%s: one eval allocs/op: nil-ctx %.1f > plain %.1f", expr, withNil, plain)
+		}
+
+		plainAk := testing.AllocsPerRun(200, func() {
+			buf = EvalAkSnapshotInto(buf, p, ak)
+		})
+		withNilAk := testing.AllocsPerRun(200, func() {
+			buf, _ = EvalAkSnapshotIntoCtx(nil, buf, p, ak)
+		})
+		if withNilAk > plainAk {
+			t.Errorf("%s: ak eval allocs/op: nil-ctx %.1f > plain %.1f", expr, withNilAk, plainAk)
+		}
+
+		plainC := testing.AllocsPerRun(200, func() {
+			CountOneSnapshot(p, one)
+		})
+		withNilC := testing.AllocsPerRun(200, func() {
+			CountOneSnapshotCtx(nil, p, one)
+		})
+		if withNilC > plainC {
+			t.Errorf("%s: one count allocs/op: nil-ctx %.1f > plain %.1f", expr, withNilC, plainC)
+		}
+	}
+}

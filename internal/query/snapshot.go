@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"slices"
 
 	"structix/internal/akindex"
@@ -13,6 +14,21 @@ import (
 // immutable index snapshot and its frozen data graph. Nothing here reads
 // mutable state, so any number of goroutines may call these while the
 // live index is being maintained.
+//
+// Every evaluator has a Ctx variant that observes cancellation: the
+// context is checked between extent unions and between validation
+// candidates, so an abandoned request (e.g. an HTTP client that hung up)
+// stops paying for its result set mid-assembly. A nil context — which is
+// what the non-Ctx entry points pass — disables the checks entirely and
+// keeps the original behavior and allocation profile.
+
+// ctxErr returns ctx.Err(), treating a nil context as never cancelled.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // EvalOneSnapshot evaluates the expression on a 1-index snapshot and
 // returns the matched dnodes, sorted. Exactly like EvalOneIndex, the
@@ -23,6 +39,13 @@ func EvalOneSnapshot(p *Path, s *oneindex.Snapshot) []graph.NodeID {
 	return EvalOneSnapshotInto(nil, p, s)
 }
 
+// EvalOneSnapshotCtx is EvalOneSnapshot under a context: evaluation stops
+// with ctx.Err() as soon as cancellation is observed (between extent
+// unions), returning no partial result.
+func EvalOneSnapshotCtx(ctx context.Context, p *Path, s *oneindex.Snapshot) ([]graph.NodeID, error) {
+	return evalOneSnapshotInto(ctx, nil, p, s)
+}
+
 // EvalOneSnapshotInto is EvalOneSnapshot assembling the result into buf
 // (overwritten from the start, grown as needed) and returning it. A caller
 // issuing many queries against successive snapshots reuses one buffer —
@@ -30,12 +53,31 @@ func EvalOneSnapshot(p *Path, s *oneindex.Snapshot) []graph.NodeID {
 // fresh union slice per query. The buffer must not be shared between
 // goroutines; the snapshot itself may be.
 func EvalOneSnapshotInto(buf []graph.NodeID, p *Path, s *oneindex.Snapshot) []graph.NodeID {
+	out, _ := evalOneSnapshotInto(nil, buf, p, s)
+	return out
+}
+
+// EvalOneSnapshotIntoCtx combines the buffer-reuse contract of
+// EvalOneSnapshotInto with the cancellation contract of
+// EvalOneSnapshotCtx.
+func EvalOneSnapshotIntoCtx(ctx context.Context, buf []graph.NodeID, p *Path, s *oneindex.Snapshot) ([]graph.NodeID, error) {
+	return evalOneSnapshotInto(ctx, buf, p, s)
+}
+
+func evalOneSnapshotInto(ctx context.Context, buf []graph.NodeID, p *Path, s *oneindex.Snapshot) ([]graph.NodeID, error) {
 	buf = buf[:0]
 	if s.RootINode() == oneindex.NoINode {
-		return buf
+		return buf, ctxErr(ctx)
 	}
 	if p.HasPredicates() {
-		return filterByAllPredicates(p, s.Data(), EvalOneSnapshotInto(buf, p.Skeleton(), s))
+		cand, err := evalOneSnapshotInto(ctx, buf, p.Skeleton(), s)
+		if err != nil {
+			return cand[:0], err
+		}
+		return filterByAllPredicates(p, s.Data(), cand), ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return buf, err
 	}
 	res := run(p, &oneSnapNav{s: s})
 	total := 0
@@ -44,28 +86,41 @@ func EvalOneSnapshotInto(buf []graph.NodeID, p *Path, s *oneindex.Snapshot) []gr
 	}
 	buf = slices.Grow(buf, total)
 	for _, n := range res {
+		if err := ctxErr(ctx); err != nil {
+			return buf[:0], err
+		}
 		buf = append(buf, s.Extent(oneindex.INodeID(n))...)
 	}
 	sortNodes(buf)
-	return buf
+	return buf, ctxErr(ctx)
 }
 
 // CountOneSnapshot returns the exact number of dnodes matching p,
 // computed from a 1-index snapshot (extent sizes alone for predicate-free
 // expressions).
 func CountOneSnapshot(p *Path, s *oneindex.Snapshot) int {
+	n, _ := CountOneSnapshotCtx(nil, p, s)
+	return n
+}
+
+// CountOneSnapshotCtx is CountOneSnapshot under a context.
+func CountOneSnapshotCtx(ctx context.Context, p *Path, s *oneindex.Snapshot) (int, error) {
 	if s.RootINode() == oneindex.NoINode {
-		return 0
+		return 0, ctxErr(ctx)
 	}
 	if p.HasPredicates() {
-		return len(EvalOneSnapshot(p, s))
+		out, err := EvalOneSnapshotCtx(ctx, p, s)
+		return len(out), err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
 	}
 	res := run(p, &oneSnapNav{s: s})
 	n := 0
 	for _, id := range res {
 		n += s.ExtentSize(oneindex.INodeID(id))
 	}
-	return n
+	return n, ctxErr(ctx)
 }
 
 type oneSnapNav struct{ s *oneindex.Snapshot }
@@ -88,47 +143,87 @@ func EvalAkSnapshot(p *Path, s *akindex.Snapshot) []graph.NodeID {
 	return EvalAkSnapshotInto(nil, p, s)
 }
 
+// EvalAkSnapshotCtx is EvalAkSnapshot under a context: cancellation is
+// observed between extent unions and between validation candidates, and
+// stops evaluation with ctx.Err() and no partial result.
+func EvalAkSnapshotCtx(ctx context.Context, p *Path, s *akindex.Snapshot) ([]graph.NodeID, error) {
+	return evalAkSnapshotInto(ctx, nil, p, s)
+}
+
 // EvalAkSnapshotInto is EvalAkSnapshot assembling the result into buf
 // (overwritten from the start, grown as needed) and returning it — the
 // buffer-reuse contract of EvalOneSnapshotInto.
 func EvalAkSnapshotInto(buf []graph.NodeID, p *Path, s *akindex.Snapshot) []graph.NodeID {
+	out, _ := evalAkSnapshotInto(nil, buf, p, s)
+	return out
+}
+
+// EvalAkSnapshotIntoCtx combines the buffer-reuse contract of
+// EvalAkSnapshotInto with the cancellation contract of EvalAkSnapshotCtx.
+func EvalAkSnapshotIntoCtx(ctx context.Context, buf []graph.NodeID, p *Path, s *akindex.Snapshot) ([]graph.NodeID, error) {
+	return evalAkSnapshotInto(ctx, buf, p, s)
+}
+
+func evalAkSnapshotInto(ctx context.Context, buf []graph.NodeID, p *Path, s *akindex.Snapshot) ([]graph.NodeID, error) {
 	if p.HasPredicates() {
-		return filterByAllPredicates(p, s.Data(), EvalAkSnapshotInto(buf, p.Skeleton(), s))
+		cand, err := evalAkSnapshotInto(ctx, buf, p.Skeleton(), s)
+		if err != nil {
+			return cand[:0], err
+		}
+		return filterByAllPredicates(p, s.Data(), cand), ctxErr(ctx)
 	}
-	candidates := evalAkSnapshotRaw(buf, p, s)
+	candidates, err := evalAkSnapshotRaw(ctx, buf, p, s)
+	if err != nil {
+		return candidates[:0], err
+	}
 	if !NeedsValidation(p, s.K()) {
-		return candidates
+		return candidates, nil
 	}
 	va := newValidator(p, s.Data())
 	out := candidates[:0]
 	for _, c := range candidates {
+		if err := ctxErr(ctx); err != nil {
+			return out[:0], err
+		}
 		if va.matches(c) {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CountAkSnapshot returns an upper bound on the number of dnodes matching
 // p, computed from the snapshot alone (the counterpart of CountAk).
 func CountAkSnapshot(p *Path, s *akindex.Snapshot) int {
+	n, _ := CountAkSnapshotCtx(nil, p, s)
+	return n
+}
+
+// CountAkSnapshotCtx is CountAkSnapshot under a context.
+func CountAkSnapshotCtx(ctx context.Context, p *Path, s *akindex.Snapshot) (int, error) {
 	if s.RootINode() == akindex.NoINode {
-		return 0
+		return 0, ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
 	}
 	res := run(p.Skeleton(), &akSnapNav{s: s})
 	n := 0
 	for _, id := range res {
 		n += s.ExtentSize(akindex.INodeID(id))
 	}
-	return n
+	return n, ctxErr(ctx)
 }
 
 // evalAkSnapshotRaw is the safe (possibly over-approximate) skeleton
 // evaluation over the snapshot's intra-iedges, assembling into buf.
-func evalAkSnapshotRaw(buf []graph.NodeID, p *Path, s *akindex.Snapshot) []graph.NodeID {
+func evalAkSnapshotRaw(ctx context.Context, buf []graph.NodeID, p *Path, s *akindex.Snapshot) ([]graph.NodeID, error) {
 	buf = buf[:0]
 	if s.RootINode() == akindex.NoINode {
-		return buf
+		return buf, ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return buf, err
 	}
 	p = p.Skeleton()
 	res := run(p, &akSnapNav{s: s})
@@ -138,10 +233,13 @@ func evalAkSnapshotRaw(buf []graph.NodeID, p *Path, s *akindex.Snapshot) []graph
 	}
 	buf = slices.Grow(buf, total)
 	for _, n := range res {
+		if err := ctxErr(ctx); err != nil {
+			return buf[:0], err
+		}
 		buf = append(buf, s.Extent(akindex.INodeID(n))...)
 	}
 	sortNodes(buf)
-	return buf
+	return buf, ctxErr(ctx)
 }
 
 type akSnapNav struct{ s *akindex.Snapshot }

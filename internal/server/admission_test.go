@@ -1,0 +1,140 @@
+package server
+
+// White-box tests for the admission and shutdown plumbing: these construct
+// committers directly (no run loop) so queue-full and shutdown races are
+// deterministic rather than timing-dependent.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"structix"
+	"structix/internal/gtest"
+)
+
+// stalledCommitter builds a committer whose loop never runs, with a queue
+// of the given capacity: submissions land in the queue and stay there.
+func stalledCommitter(queueCap int) *committer {
+	return &committer{
+		queue:   make(chan *updateReq, queueCap),
+		closing: make(chan struct{}),
+		quit:    make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+}
+
+func TestCommitterAdmission(t *testing.T) {
+	c := stalledCommitter(1)
+	if err := c.submit(&updateReq{done: make(chan updateOutcome, 1)}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// The queue is full and the loop is not draining: shed, don't block.
+	if err := c.submit(&updateReq{done: make(chan updateOutcome, 1)}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit on full queue: got %v, want ErrOverloaded", err)
+	}
+	c.beginClose()
+	if err := c.submit(&updateReq{done: make(chan updateOutcome, 1)}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after beginClose: got %v, want ErrShuttingDown", err)
+	}
+	// beginClose is idempotent.
+	c.beginClose()
+}
+
+func TestCommitterWaitPrefersBufferedOutcome(t *testing.T) {
+	// A request whose commit raced shutdown: the outcome was delivered and
+	// the loop exited. wait must report the real outcome, not a rejection.
+	c := stalledCommitter(1)
+	close(c.doneCh)
+	req := &updateReq{done: make(chan updateOutcome, 1)}
+	req.done <- updateOutcome{epoch: 7, batchSize: 3}
+	if out := c.wait(req); out.err != nil || out.epoch != 7 {
+		t.Fatalf("wait with buffered outcome: got %+v, want epoch 7", out)
+	}
+	// Same race without an outcome: the request never committed.
+	req2 := &updateReq{done: make(chan updateOutcome, 1)}
+	if out := c.wait(req2); !errors.Is(out.err, ErrShuttingDown) {
+		t.Fatalf("wait after loop exit: got %+v, want ErrShuttingDown", out)
+	}
+}
+
+func TestCommitterCloseDrainsQueue(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	store := structix.NewSnapshotOneIndex(structix.BuildOneIndex(g))
+	c := newCommitter(store, 8, 256, time.Millisecond, newMetrics())
+	// Queue a valid edge insert, then close: the drain pass must still
+	// resolve the waiter with a committed outcome.
+	req := &updateReq{
+		edges: []structix.EdgeOp{structix.InsertOp(2, 4, structix.Tree)},
+		done:  make(chan updateOutcome, 1),
+	}
+	if err := c.submit(req); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	c.close()
+	out := c.wait(req)
+	if out.err != nil {
+		t.Fatalf("queued update lost across close: %v", out.err)
+	}
+	found := false
+	store.Snapshot().Data().EachSucc(2, func(w structix.NodeID, _ structix.EdgeKind) {
+		if w == 4 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("drained update did not reach the published snapshot")
+	}
+}
+
+func TestUpdateOverloadOverHTTP(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	s := New(structix.NewSnapshotOneIndex(structix.BuildOneIndex(g)), Config{RetryAfter: 3 * time.Second})
+	s.com.close()
+	// Swap in a stalled committer with its only slot occupied so the next
+	// submission deterministically hits admission control.
+	full := stalledCommitter(1)
+	full.queue <- &updateReq{}
+	s.com = full
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/update",
+		strings.NewReader(`{"ops":[{"op":"insert","u":2,"v":4,"kind":"tree"}]}`))
+	s.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+	var rep ErrorReply
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	if rep.Code != CodeOverloaded || rep.RetryAfterSeconds != 3 {
+		t.Fatalf("error reply %+v, want code %s retry 3", rep, CodeOverloaded)
+	}
+}
+
+func TestHealthzWhileDraining(t *testing.T) {
+	g, _, _, _ := gtest.Fig2()
+	s := New(structix.NewSnapshotOneIndex(structix.BuildOneIndex(g)), Config{})
+	defer s.com.close()
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", rec.Code)
+	}
+	s.draining.Store(true)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", rec.Code)
+	}
+}

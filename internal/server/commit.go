@@ -1,0 +1,261 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"structix"
+	"structix/internal/graph"
+	"structix/internal/opscript"
+)
+
+// The group-commit pipeline. Concurrent update requests land in a bounded
+// admission queue; a single committer goroutine drains it, coalescing
+// edge-only requests into one ApplyBatch per commit window (flushed when
+// the pooled ops reach MaxBatch or when the window deadline expires), so
+// the split phase, the deferred merge pass, and the snapshot publication
+// are all paid once per window instead of once per request. Each waiter
+// gets its own outcome back: when a coalesced batch is rejected, the
+// committer falls back to applying every member request alone, in arrival
+// order, so one invalid request costs its neighbors one extra validation
+// pass, never their commit.
+
+// Errors surfaced by submit (mapped to 429/503 by the HTTP layer).
+var (
+	// ErrOverloaded is returned when the admission queue is full: the
+	// client should back off and retry (429 + Retry-After on the wire).
+	ErrOverloaded = errors.New("server: update queue full")
+	// ErrShuttingDown is returned once draining has begun: no new updates
+	// are admitted, but everything already queued will commit.
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// updateReq is one admitted update waiting for the commit loop. Exactly
+// one of edges/script is set: edge-only requests coalesce, scripts apply
+// alone.
+type updateReq struct {
+	edges  []graph.EdgeOp
+	script []opscript.Op
+	done   chan updateOutcome // buffered(1): the committer never blocks on it
+}
+
+// updateOutcome is what the committer hands back to a waiter.
+type updateOutcome struct {
+	err       error
+	res       opscript.Result
+	epoch     uint64
+	batchSize int // ops in the group commit that carried the request
+}
+
+type committer struct {
+	store  *structix.SnapshotOneIndex
+	queue  chan *updateReq
+	window time.Duration
+	maxOps int
+	m      *metrics
+
+	closing chan struct{} // closed by beginClose: reject new submissions
+	quit    chan struct{} // closed by close: drain and exit
+	doneCh  chan struct{} // closed when the loop has exited
+}
+
+func newCommitter(store *structix.SnapshotOneIndex, queueDepth, maxOps int, window time.Duration, m *metrics) *committer {
+	c := &committer{
+		store:   store,
+		queue:   make(chan *updateReq, queueDepth),
+		window:  window,
+		maxOps:  maxOps,
+		m:       m,
+		closing: make(chan struct{}),
+		quit:    make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// submit admits a request or sheds it. It never blocks: a full queue is
+// load the server cannot absorb, and the right answer is 429 now rather
+// than unbounded latency later.
+func (c *committer) submit(req *updateReq) error {
+	select {
+	case <-c.closing:
+		return ErrShuttingDown
+	default:
+	}
+	select {
+	case c.queue <- req:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// wait blocks until the committer resolves req. If the committer exits
+// first (shutdown raced the submission), the request is reported as
+// cleanly rejected — it has either fully committed (in which case the
+// buffered outcome wins below) or never touched the store.
+func (c *committer) wait(req *updateReq) updateOutcome {
+	select {
+	case out := <-req.done:
+		return out
+	case <-c.doneCh:
+		select {
+		case out := <-req.done:
+			return out
+		default:
+			return updateOutcome{err: ErrShuttingDown}
+		}
+	}
+}
+
+// beginClose stops admission; already-queued requests still commit.
+func (c *committer) beginClose() {
+	select {
+	case <-c.closing:
+	default:
+		close(c.closing)
+	}
+}
+
+// close drains the queue (flushing any final partial window) and stops the
+// loop. Callers must have stopped all submitters first (beginClose + HTTP
+// shutdown) — close does not synchronize with concurrent submit calls.
+func (c *committer) close() {
+	c.beginClose()
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+	<-c.doneCh
+}
+
+func (c *committer) run() {
+	defer close(c.doneCh)
+	for {
+		select {
+		case req := <-c.queue:
+			c.dispatch(req)
+		case <-c.quit:
+			// Drain whatever was admitted before quit; nothing new can
+			// arrive because beginClose precedes quit.
+			for {
+				select {
+				case req := <-c.queue:
+					c.dispatch(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// dispatch routes one request: scripts go alone, edge requests open a
+// commit window and coalesce.
+func (c *committer) dispatch(req *updateReq) {
+	if req.script != nil {
+		c.applyScript(req)
+		return
+	}
+	batch, interrupted := c.collect(req)
+	c.commitEdges(batch)
+	if interrupted != nil {
+		c.applyScript(interrupted)
+	}
+}
+
+// collect coalesces edge requests into the current commit window until the
+// pooled op count reaches maxOps, the window deadline expires, or a script
+// request interrupts (returned separately; it applies after the window
+// commits, preserving arrival order).
+func (c *committer) collect(first *updateReq) (batch []*updateReq, interrupted *updateReq) {
+	batch = []*updateReq{first}
+	n := len(first.edges)
+	if n >= c.maxOps {
+		return batch, nil
+	}
+	timer := time.NewTimer(c.window)
+	defer timer.Stop()
+	for n < c.maxOps {
+		select {
+		case req := <-c.queue:
+			if req.script != nil {
+				return batch, req
+			}
+			batch = append(batch, req)
+			n += len(req.edges)
+		case <-timer.C:
+			return batch, nil
+		case <-c.quit:
+			// Final flush: take what is already queued, then let run's
+			// drain loop see quit again.
+			for {
+				select {
+				case req := <-c.queue:
+					if req.script != nil {
+						return batch, req
+					}
+					batch = append(batch, req)
+				default:
+					return batch, nil
+				}
+			}
+		}
+	}
+	return batch, nil
+}
+
+// commitEdges applies one coalesced window. The fast path is a single
+// ApplyBatch over the concatenated ops; on rejection every member request
+// retries alone so each waiter gets its own typed outcome with op indexes
+// in its own coordinate space.
+func (c *committer) commitEdges(batch []*updateReq) {
+	total := 0
+	for _, r := range batch {
+		total += len(r.edges)
+	}
+	ops := make([]graph.EdgeOp, 0, total)
+	for _, r := range batch {
+		ops = append(ops, r.edges...)
+	}
+	if err := c.store.ApplyBatch(ops); err == nil {
+		epoch := c.m.bumpEpoch()
+		c.m.batches.Add(1)
+		c.m.batchedOps.Add(int64(total))
+		for _, r := range batch {
+			r.done <- updateOutcome{epoch: epoch, batchSize: total}
+		}
+		return
+	}
+	// The window contained at least one invalid request. ApplyBatch
+	// validated before mutating, so nothing has been applied; re-run each
+	// request as its own atomic batch, in arrival order.
+	for _, r := range batch {
+		err := c.store.ApplyBatch(r.edges)
+		if err == nil {
+			epoch := c.m.bumpEpoch()
+			c.m.batches.Add(1)
+			c.m.batchedOps.Add(int64(len(r.edges)))
+			r.done <- updateOutcome{epoch: epoch, batchSize: len(r.edges)}
+			continue
+		}
+		r.done <- updateOutcome{err: err, epoch: c.m.epoch.Load()}
+	}
+}
+
+// applyScript runs a node/subtree script alone under the writer lock with
+// stop-at-first-error semantics (the opscript contract); the snapshot the
+// wrapper publishes afterwards reflects exactly the applied prefix.
+func (c *committer) applyScript(req *updateReq) {
+	var res opscript.Result
+	err := c.store.Update(func(x *structix.OneIndex) error {
+		var e error
+		res, e = opscript.Apply(x, req.script)
+		return e
+	})
+	epoch := c.m.bumpEpoch()
+	c.m.scripts.Add(1)
+	req.done <- updateOutcome{err: err, res: res, epoch: epoch, batchSize: len(req.script)}
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's observability state: request counters, latency
+// histograms, commit-pipeline gauges, and the snapshot epoch/age pair.
+// Everything is lock-free (atomic counters), so the hot paths pay a few
+// atomic adds per request and /metrics never blocks serving.
+
+// latency histogram buckets: powers of two from 1µs to ~4s, then +Inf.
+const histBuckets = 23
+
+var histBoundNs = func() [histBuckets]int64 {
+	var b [histBuckets]int64
+	ns := int64(1000) // 1µs
+	for i := 0; i < histBuckets; i++ {
+		b[i] = ns
+		ns *= 2
+	}
+	return b
+}()
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // counts[i] covers (bound[i-1], bound[i]]; last is +Inf
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.sumNs.Add(ns)
+	h.n.Add(1)
+	for i := 0; i < histBuckets; i++ {
+		if ns <= histBoundNs[i] {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[histBuckets].Add(1)
+}
+
+// writeProm emits the histogram in Prometheus exposition format with
+// cumulative buckets.
+func (h *histogram) writeProm(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, float64(histBoundNs[i])/1e9, cum)
+	}
+	cum += h.counts[histBuckets].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.n.Load())
+}
+
+type metrics struct {
+	started time.Time
+
+	queries     atomic.Int64 // /v1/query requests answered (any status)
+	updates     atomic.Int64 // /v1/update requests admitted and answered
+	rejected    atomic.Int64 // 429s from admission control
+	badRequests atomic.Int64 // 400s from the decoders
+	canceled    atomic.Int64 // queries abandoned via context cancellation
+
+	queryLat  histogram
+	updateLat histogram
+
+	batches    atomic.Int64 // committed ApplyBatch calls
+	batchedOps atomic.Int64 // edge ops across all committed batches
+	scripts    atomic.Int64 // node/subtree scripts applied standalone
+
+	epoch       atomic.Uint64
+	publishedNs atomic.Int64 // unix nanos of the last snapshot publication
+}
+
+func newMetrics() *metrics {
+	m := &metrics{started: time.Now()}
+	m.publishedNs.Store(time.Now().UnixNano())
+	return m
+}
+
+// bumpEpoch records a snapshot publication and returns the new epoch.
+func (m *metrics) bumpEpoch() uint64 {
+	m.publishedNs.Store(time.Now().UnixNano())
+	return m.epoch.Add(1)
+}
+
+func (m *metrics) snapshotAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - m.publishedNs.Load())
+}
+
+func (m *metrics) meanBatchSize() float64 {
+	b := m.batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(m.batchedOps.Load()) / float64(b)
+}
+
+// writeProm emits every metric in Prometheus exposition format.
+func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("structix_query_requests_total", "path-expression queries served", m.queries.Load())
+	counter("structix_update_requests_total", "update requests admitted", m.updates.Load())
+	counter("structix_rejected_requests_total", "updates shed by admission control (429)", m.rejected.Load())
+	counter("structix_bad_requests_total", "malformed requests (400)", m.badRequests.Load())
+	counter("structix_canceled_queries_total", "queries abandoned by the client mid-evaluation", m.canceled.Load())
+
+	fmt.Fprintf(w, "# HELP structix_request_duration_seconds request latency by handler\n")
+	fmt.Fprintf(w, "# TYPE structix_request_duration_seconds histogram\n")
+	m.queryLat.writeProm(w, "structix_request_duration_seconds", `handler="query"`)
+	m.updateLat.writeProm(w, "structix_request_duration_seconds", `handler="update"`)
+
+	counter("structix_commit_batches_total", "group commits applied via ApplyBatch", m.batches.Load())
+	counter("structix_commit_ops_total", "edge ops across all group commits", m.batchedOps.Load())
+	counter("structix_commit_scripts_total", "node/subtree scripts applied standalone", m.scripts.Load())
+	gauge("structix_commit_batch_size_mean", "mean ops per group commit", m.meanBatchSize())
+
+	gauge("structix_snapshot_epoch", "commit epoch of the published snapshot", float64(m.epoch.Load()))
+	gauge("structix_snapshot_age_seconds", "age of the published snapshot", m.snapshotAge().Seconds())
+
+	gauge("structix_update_queue_depth", "updates waiting for the commit loop", float64(queueDepth))
+	gauge("structix_update_queue_capacity", "admission queue capacity", float64(queueCap))
+	gauge("structix_uptime_seconds", "time since the server started", time.Since(m.started).Seconds())
+}

@@ -1,0 +1,386 @@
+// Package server is the network serving layer: a stdlib-only HTTP server
+// exposing path-expression queries and incremental updates over a
+// snapshot-served 1-index.
+//
+// Reads (POST /v1/query) are served lock-free off the pinned epoch
+// snapshot — one atomic pointer load per request, never blocked by
+// maintenance — with request-context cancellation threaded through the
+// evaluator. Writes (POST /v1/update) go through a group-commit pipeline:
+// concurrent edge-update requests coalesce into one ApplyBatch per commit
+// window (flushed on size or deadline), each waiter gets its per-request
+// outcome (a rejected atomic batch round-trips the offending op index and
+// cause, reconstructible as a typed *graph.BatchError by internal/client),
+// and a bounded admission queue sheds overload with 429 + Retry-After
+// instead of collapsing.
+//
+// The remaining endpoints are operational: GET /v1/stats (JSON), GET
+// /healthz, GET /metrics (Prometheus text exposition), and /debug/pprof.
+// Shutdown drains the admission queue, flushes the in-flight commit
+// window, optionally persists the database, and leaves every in-flight
+// update either fully committed or cleanly rejected.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"structix"
+	"structix/internal/graph"
+	"structix/internal/opscript"
+)
+
+// Config tunes the serving layer; the zero value serves with defaults.
+type Config struct {
+	// Window is the group-commit flush deadline: how long the committer
+	// waits for more update requests after the first one opens a window.
+	// Default 2ms.
+	Window time.Duration
+	// MaxBatch flushes the window early once this many edge ops have
+	// pooled. Default 256.
+	MaxBatch int
+	// QueueDepth bounds the admission queue; a full queue sheds updates
+	// with 429. Default 1024.
+	QueueDepth int
+	// MaxBodyBytes caps request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint on 429/503. Default 1s.
+	RetryAfter time.Duration
+	// PersistPath, when set, saves the database (graph + 1-index) there
+	// during Shutdown, after the commit pipeline has drained.
+	PersistPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server serves one snapshot-wrapped 1-index over HTTP.
+type Server struct {
+	store *structix.SnapshotOneIndex
+	cfg   Config
+	com   *committer
+	m     *metrics
+	mux   *http.ServeMux
+	hs    *http.Server
+
+	draining atomic.Bool
+}
+
+// New builds a server over a snapshot-wrapped index and starts its commit
+// loop; the index and its graph must not be touched directly while the
+// server is live (use the HTTP surface, or Shutdown first).
+func New(store *structix.SnapshotOneIndex, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		store: store,
+		cfg:   cfg,
+		m:     newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.com = newCommitter(store, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m)
+
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler exposes the route table (httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown; like http.Serve it
+// returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error { return s.hs.Serve(ln) }
+
+// ListenAndServe binds addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: admission closes first (new
+// updates get 503 + Retry-After), the HTTP server stops accepting and
+// waits for in-flight handlers within ctx, the commit loop flushes
+// everything admitted, and — when configured — the quiesced database is
+// persisted. Every admitted update has fully committed by the time
+// Shutdown returns; everything after admission closed was cleanly
+// rejected.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.com.beginClose()
+	httpErr := s.hs.Shutdown(ctx)
+	s.com.close()
+	var persistErr error
+	if s.cfg.PersistPath != "" {
+		persistErr = s.persist()
+	}
+	if httpErr != nil {
+		return httpErr
+	}
+	return persistErr
+}
+
+// persist saves graph + index under the writer lock (the commit loop has
+// already exited, so this cannot race maintenance).
+func (s *Server) persist() error {
+	return s.store.Update(func(x *structix.OneIndex) error {
+		return saveDatabase(s.cfg.PersistPath, x)
+	})
+}
+
+// ---- request handling ----
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, rep ErrorReply) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		rep.RetryAfterSeconds = secs
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, rep)
+}
+
+// decodeBody strictly decodes a JSON body into dst: unknown fields,
+// trailing garbage, and oversize bodies are all 400s, never panics.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.m.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorReply{Error: err.Error(), Code: CodeBadRequest})
+		return false
+	}
+	if dec.More() {
+		s.m.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorReply{Error: "trailing data after JSON body", Code: CodeBadRequest})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, ErrorReply{Error: "POST only", Code: CodeBadRequest})
+		return
+	}
+	var req QueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	p, err := structix.ParsePath(req.Expr)
+	if err != nil {
+		s.m.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorReply{Error: err.Error(), Code: CodeBadRequest})
+		return
+	}
+	start := time.Now()
+	// One atomic load pins the epoch snapshot for the whole request;
+	// concurrent commits publish new epochs without touching it.
+	snap := s.store.Snapshot()
+	epoch := s.m.epoch.Load()
+	rep := QueryReply{Epoch: epoch}
+	if req.CountOnly {
+		rep.Count, err = structix.CountOneSnapshotCtx(r.Context(), p, snap)
+	} else {
+		var nodes []graph.NodeID
+		nodes, err = structix.EvalOneSnapshotCtx(r.Context(), p, snap)
+		rep.Count = len(nodes)
+		if req.Limit > 0 && len(nodes) > req.Limit {
+			nodes = nodes[:req.Limit]
+			rep.Truncated = true
+		}
+		rep.Nodes = nodes
+	}
+	s.m.queries.Add(1)
+	s.m.queryLat.observe(time.Since(start))
+	if err != nil {
+		// The client went away mid-evaluation; the status is written for
+		// completeness (and for tests driving the handler directly).
+		s.m.canceled.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, ErrorReply{Error: err.Error(), Code: CodeCanceled})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, ErrorReply{Error: "POST only", Code: CodeBadRequest})
+		return
+	}
+	var req UpdateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		s.m.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorReply{Error: "empty ops", Code: CodeBadRequest})
+		return
+	}
+
+	ur := &updateReq{done: make(chan updateOutcome, 1)}
+	edges := make([]graph.EdgeOp, 0, len(req.Ops))
+	for _, op := range req.Ops {
+		if eop, ok := EdgeOpOf(op); ok {
+			edges = append(edges, eop)
+		} else {
+			edges = nil
+			break
+		}
+	}
+	if edges != nil {
+		ur.edges = edges
+	} else {
+		ur.script = req.Ops
+	}
+
+	start := time.Now()
+	if err := s.com.submit(ur); err != nil {
+		s.m.rejected.Add(1)
+		if errors.Is(err, ErrShuttingDown) {
+			s.writeError(w, http.StatusServiceUnavailable, ErrorReply{Error: err.Error(), Code: CodeShuttingDown})
+		} else {
+			s.writeError(w, http.StatusTooManyRequests, ErrorReply{Error: err.Error(), Code: CodeOverloaded})
+		}
+		return
+	}
+	// Once admitted an update is not abandoned on client disconnect: it
+	// will commit (or be rejected) regardless, so the outcome below is
+	// always authoritative.
+	out := s.com.wait(ur)
+	s.m.updates.Add(1)
+	s.m.updateLat.observe(time.Since(start))
+	s.respondUpdate(w, ur, req.Ops, out)
+}
+
+// respondUpdate renders a commit outcome on the wire.
+func (s *Server) respondUpdate(w http.ResponseWriter, ur *updateReq, ops []opscript.Op, out updateOutcome) {
+	if out.err == nil {
+		rep := UpdateReply{Epoch: out.epoch, BatchSize: out.batchSize}
+		if ur.edges != nil {
+			rep.Applied = len(ur.edges)
+			for _, op := range ur.edges {
+				if op.Insert {
+					rep.Inserted++
+				} else {
+					rep.Deleted++
+				}
+			}
+		} else {
+			rep.Applied = out.res.Applied
+			rep.Inserted = out.res.Inserted
+			rep.Deleted = out.res.Deleted
+			rep.NewNodes = out.res.NewNodes
+			rep.Removed = out.res.Removed
+		}
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	var be *graph.BatchError
+	if errors.As(out.err, &be) {
+		s.writeError(w, http.StatusConflict, BatchErrorReply(be))
+		return
+	}
+	var oe *opscript.OpError
+	if errors.As(out.err, &oe) {
+		i := oe.Index
+		op := oe.Op
+		s.writeError(w, http.StatusConflict, ErrorReply{
+			Error:   oe.Error(),
+			Code:    CodeOpFailed,
+			OpIndex: &i,
+			Op:      &op,
+			Cause:   CauseString(oe.Err),
+			Applied: out.res.Applied,
+		})
+		return
+	}
+	if errors.Is(out.err, ErrShuttingDown) {
+		s.writeError(w, http.StatusServiceUnavailable, ErrorReply{Error: out.err.Error(), Code: CodeShuttingDown})
+		return
+	}
+	s.writeError(w, http.StatusInternalServerError, ErrorReply{Error: out.err.Error(), Code: "internal"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	data := snap.Data()
+	rep := StatsReply{
+		Nodes:         data.NumNodes(),
+		Edges:         frozenEdges(data),
+		INodes:        snap.Size(),
+		Epoch:         s.m.epoch.Load(),
+		SnapshotAgeMs: s.m.snapshotAge().Milliseconds(),
+		QueueDepth:    len(s.com.queue),
+		QueueCap:      cap(s.com.queue),
+		Batches:       s.m.batches.Load(),
+		BatchedOps:    s.m.batchedOps.Load(),
+		MeanBatchSize: s.m.meanBatchSize(),
+		Queries:       s.m.queries.Load(),
+		Updates:       s.m.updates.Load(),
+		Rejected:      s.m.rejected.Load(),
+		UptimeMs:      time.Since(s.m.started).Milliseconds(),
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.writeProm(w, len(s.com.queue), cap(s.com.queue))
+}

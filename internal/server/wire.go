@@ -1,0 +1,206 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"structix/internal/graph"
+	"structix/internal/opscript"
+)
+
+// Wire DTOs shared by the HTTP server and internal/client. Everything is
+// plain encoding/json over the opscript vocabulary (see opscript's JSON
+// format), so a curl invocation and the Go client speak the same bytes.
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Expr is a path expression, e.g. "/site//person/name".
+	Expr string `json:"expr"`
+	// CountOnly asks for the exact result size without materializing the
+	// node list (served from extent sizes alone when possible).
+	CountOnly bool `json:"count_only,omitempty"`
+	// Limit truncates the returned node list (0 = no limit). Count still
+	// reports the full result size.
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryReply is the body of a successful query.
+type QueryReply struct {
+	// Epoch is the commit epoch the answer was served from.
+	Epoch uint64 `json:"epoch"`
+	// Count is the exact result size.
+	Count int `json:"count"`
+	// Nodes is the sorted matched node list (absent for CountOnly, and
+	// truncated to Limit when set).
+	Nodes []graph.NodeID `json:"nodes,omitempty"`
+	// Truncated reports that Nodes was cut short by Limit.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// UpdateRequest is the body of POST /v1/update: a script of operations in
+// the opscript JSON vocabulary. A request consisting solely of edge
+// operations (insert/delete) is applied atomically — all ops commit in one
+// group-commit window or none do — and may be coalesced with concurrent
+// requests into one ApplyBatch. A request containing node or subtree
+// operations is applied alone with script (stop-at-first-error) semantics.
+type UpdateRequest struct {
+	Ops []opscript.Op `json:"ops"`
+}
+
+// UpdateReply is the body of a successful update.
+type UpdateReply struct {
+	// Epoch is the commit epoch that made the update visible to queries.
+	Epoch    uint64         `json:"epoch"`
+	Applied  int            `json:"applied"`
+	Inserted int            `json:"inserted,omitempty"`
+	Deleted  int            `json:"deleted,omitempty"`
+	NewNodes []graph.NodeID `json:"new_nodes,omitempty"`
+	Removed  int            `json:"removed,omitempty"`
+	// BatchSize is the total op count of the group commit that carried
+	// this request (≥ len(Ops) when coalesced with neighbors).
+	BatchSize int `json:"batch_size,omitempty"`
+}
+
+// Error codes carried by ErrorReply.Code.
+const (
+	CodeBadRequest    = "bad_request"    // malformed body, unparsable expression (400)
+	CodeBatchRejected = "batch_rejected" // atomic edge batch refused; nothing applied (409)
+	CodeOpFailed      = "op_failed"      // script op failed; earlier ops applied (409)
+	CodeOverloaded    = "overloaded"     // admission queue full; retry later (429)
+	CodeShuttingDown  = "shutting_down"  // server is draining (503)
+	CodeCanceled      = "canceled"       // request context expired during evaluation (499-ish, reported as 503)
+)
+
+// Cause strings for ErrorReply.Cause, round-tripping the graph sentinel
+// errors across the wire.
+const (
+	causeEdgeExists = "edge_exists"
+	causeNoEdge     = "no_edge"
+	causeSelfLoop   = "self_loop"
+	causeDeadNode   = "dead_node"
+)
+
+// ErrorReply is the body of every non-2xx response. For a rejected atomic
+// edge batch (Code == CodeBatchRejected) OpIndex, Op and Cause round-trip
+// the in-process *graph.BatchError: the op index is the position in the
+// *request's* ops slice (re-based from the coalesced group commit), and
+// Cause names the sentinel error, so a client can reconstruct a typed
+// error with errors.Is fidelity. CodeOpFailed carries the same fields for
+// a failed script op, plus Applied for how far the script got.
+type ErrorReply struct {
+	Error   string       `json:"error"`
+	Code    string       `json:"code"`
+	OpIndex *int         `json:"op_index,omitempty"`
+	Op      *opscript.Op `json:"op,omitempty"`
+	Cause   string       `json:"cause,omitempty"`
+	Applied int          `json:"applied,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// StatsReply is the body of GET /v1/stats.
+type StatsReply struct {
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	INodes int `json:"inodes"`
+
+	Epoch         uint64 `json:"epoch"`
+	SnapshotAgeMs int64  `json:"snapshot_age_ms"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	Batches       int64   `json:"batches"`
+	BatchedOps    int64   `json:"batched_ops"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+
+	Queries  int64 `json:"queries"`
+	Updates  int64 `json:"updates"`
+	Rejected int64 `json:"rejected"`
+
+	UptimeMs int64 `json:"uptime_ms"`
+}
+
+// CauseString names err for the wire ("" when err is not one of the graph
+// sentinels).
+func CauseString(err error) string {
+	switch {
+	case errors.Is(err, graph.ErrEdgeExists):
+		return causeEdgeExists
+	case errors.Is(err, graph.ErrNoEdge):
+		return causeNoEdge
+	case errors.Is(err, graph.ErrSelfLoop):
+		return causeSelfLoop
+	case errors.Is(err, graph.ErrDeadNode):
+		return causeDeadNode
+	}
+	return ""
+}
+
+// CauseError maps a wire cause back to the graph sentinel it names, so
+// errors.Is works on reconstructed errors; an unknown cause becomes an
+// opaque error carrying the fallback message.
+func CauseError(cause, fallback string) error {
+	switch cause {
+	case causeEdgeExists:
+		return graph.ErrEdgeExists
+	case causeNoEdge:
+		return graph.ErrNoEdge
+	case causeSelfLoop:
+		return graph.ErrSelfLoop
+	case causeDeadNode:
+		return graph.ErrDeadNode
+	}
+	if fallback == "" {
+		fallback = "remote operation failed"
+	}
+	return errors.New(fallback)
+}
+
+// EdgeOpOf converts an edge-kind script op to the graph.EdgeOp ApplyBatch
+// vocabulary; ok is false for node/subtree ops.
+func EdgeOpOf(op opscript.Op) (graph.EdgeOp, bool) {
+	switch op.Kind {
+	case opscript.Insert:
+		return graph.InsertOp(op.U, op.V, op.Edge), true
+	case opscript.Delete:
+		return graph.DeleteOp(op.U, op.V), true
+	}
+	return graph.EdgeOp{}, false
+}
+
+// ScriptOpOf is the inverse of EdgeOpOf: the opscript rendering of a
+// graph.EdgeOp, used when a *graph.BatchError is sent over the wire.
+func ScriptOpOf(op graph.EdgeOp) opscript.Op {
+	if op.Insert {
+		return opscript.Op{Kind: opscript.Insert, U: op.U, V: op.V, Edge: op.Kind}
+	}
+	return opscript.Op{Kind: opscript.Delete, U: op.U, V: op.V}
+}
+
+// BatchErrorReply renders a rejected atomic batch as its wire form; the
+// caller has already re-based OpIndex into the request's own ops slice.
+func BatchErrorReply(be *graph.BatchError) ErrorReply {
+	i := be.OpIndex
+	op := ScriptOpOf(be.Op)
+	return ErrorReply{
+		Error:   be.Error(),
+		Code:    CodeBatchRejected,
+		OpIndex: &i,
+		Op:      &op,
+		Cause:   CauseString(be.Err),
+	}
+}
+
+// BatchErrorOf reconstructs the in-process *graph.BatchError from its wire
+// form: op index, op, and an errors.Is-compatible cause.
+func BatchErrorOf(rep ErrorReply) (*graph.BatchError, error) {
+	if rep.Code != CodeBatchRejected || rep.OpIndex == nil || rep.Op == nil {
+		return nil, fmt.Errorf("server: reply is not a batch rejection (code %q)", rep.Code)
+	}
+	eop, ok := EdgeOpOf(*rep.Op)
+	if !ok {
+		return nil, fmt.Errorf("server: batch rejection names non-edge op %v", rep.Op.Kind)
+	}
+	return &graph.BatchError{OpIndex: *rep.OpIndex, Op: eop, Err: CauseError(rep.Cause, rep.Error)}, nil
+}

@@ -1,6 +1,7 @@
 package structix
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -37,10 +38,34 @@ func EvalOneSnapshot(p *Path, s *OneSnapshot) []NodeID { return query.EvalOneSna
 // snapshot.
 func CountOneSnapshot(p *Path, s *OneSnapshot) int { return query.CountOneSnapshot(p, s) }
 
+// EvalOneSnapshotCtx is EvalOneSnapshot under a context: cancellation is
+// observed between extent unions, and evaluation stops with ctx.Err() and
+// no partial result. Passing context.Background() (or nil) keeps the
+// uncancellable behavior and allocation profile of EvalOneSnapshot.
+func EvalOneSnapshotCtx(ctx context.Context, p *Path, s *OneSnapshot) ([]NodeID, error) {
+	return query.EvalOneSnapshotCtx(ctx, p, s)
+}
+
+// CountOneSnapshotCtx is CountOneSnapshot under a context.
+func CountOneSnapshotCtx(ctx context.Context, p *Path, s *OneSnapshot) (int, error) {
+	return query.CountOneSnapshotCtx(ctx, p, s)
+}
+
 // EvalAkSnapshot evaluates a path expression against an A(k) snapshot
 // with validation and predicate filtering over the snapshot's frozen
 // graph: the exact result, with no access to mutable state.
 func EvalAkSnapshot(p *Path, s *AkSnapshot) []NodeID { return query.EvalAkSnapshot(p, s) }
+
+// EvalAkSnapshotCtx is EvalAkSnapshot under a context: cancellation is
+// observed between extent unions and between validation candidates.
+func EvalAkSnapshotCtx(ctx context.Context, p *Path, s *AkSnapshot) ([]NodeID, error) {
+	return query.EvalAkSnapshotCtx(ctx, p, s)
+}
+
+// CountAkSnapshotCtx is CountAkSnapshot under a context.
+func CountAkSnapshotCtx(ctx context.Context, p *Path, s *AkSnapshot) (int, error) {
+	return query.CountAkSnapshotCtx(ctx, p, s)
+}
 
 // CountAkSnapshot returns an upper bound on the result size of p from an
 // A(k) snapshot.
@@ -199,10 +224,23 @@ func (c *SnapshotOneIndex) Eval(p *Path) []NodeID {
 	return query.EvalOneSnapshot(p, c.cur.Load())
 }
 
+// EvalCtx is Eval under a context: an abandoned request (a cancelled or
+// timed-out ctx) stops evaluating and returns ctx.Err(). This is the
+// entry point network servers use to cancel work for clients that hung
+// up; context.Background() behaves exactly like Eval.
+func (c *SnapshotOneIndex) EvalCtx(ctx context.Context, p *Path) ([]NodeID, error) {
+	return query.EvalOneSnapshotCtx(ctx, p, c.cur.Load())
+}
+
 // Count returns the exact result size from the current snapshot without
 // locking.
 func (c *SnapshotOneIndex) Count(p *Path) int {
 	return query.CountOneSnapshot(p, c.cur.Load())
+}
+
+// CountCtx is Count under a context.
+func (c *SnapshotOneIndex) CountCtx(ctx context.Context, p *Path) (int, error) {
+	return query.CountOneSnapshotCtx(ctx, p, c.cur.Load())
 }
 
 // Size returns the inode count of the current snapshot without locking.
@@ -345,10 +383,21 @@ func (c *SnapshotAkIndex) Eval(p *Path) []NodeID {
 	return query.EvalAkSnapshot(p, c.cur.Load())
 }
 
+// EvalCtx is Eval under a context: cancellation stops evaluation (between
+// extent unions and validation candidates) with ctx.Err().
+func (c *SnapshotAkIndex) EvalCtx(ctx context.Context, p *Path) ([]NodeID, error) {
+	return query.EvalAkSnapshotCtx(ctx, p, c.cur.Load())
+}
+
 // Count returns an upper bound on the result size from the current
 // snapshot without locking.
 func (c *SnapshotAkIndex) Count(p *Path) int {
 	return query.CountAkSnapshot(p, c.cur.Load())
+}
+
+// CountCtx is Count under a context.
+func (c *SnapshotAkIndex) CountCtx(ctx context.Context, p *Path) (int, error) {
+	return query.CountAkSnapshotCtx(ctx, p, c.cur.Load())
 }
 
 // Size returns the level-k inode count of the current snapshot without
