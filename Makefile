@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race stress serve-stress serve-smoke cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-smoke fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress serve-stress serve-smoke cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-smoke fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -66,6 +66,12 @@ bench-memlayout:
 bench-serve:
 	$(GO) run ./cmd/xsibench -exp serve -json BENCH_serve.json
 
+# Query read path: compiled automata + epoch-keyed result cache vs the
+# per-step interpreter, at the eval layer and end-to-end over HTTP; see
+# BENCH_query.json for the committed run.
+bench-query:
+	$(GO) run ./cmd/xsibench -exp query -json BENCH_query.json
+
 # One-iteration pass over every benchmark in the module: keeps them
 # compiling and running without paying for stable timings (CI runs this).
 bench-smoke:
@@ -81,6 +87,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoaderMultiDoc -fuzztime=10s ./internal/xmlload/
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=10s ./internal/server/
 	$(GO) test -fuzz=FuzzDecodeUpdate -fuzztime=10s ./internal/server/
+	$(GO) test -fuzz=FuzzParsePath -fuzztime=10s ./internal/query/
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -97,13 +104,16 @@ experiments:
 	$(GO) run ./cmd/xsibench -exp all -scale 16
 
 # What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests,
-# the concurrent-stress and server-stress passes, the xsiserve smoke, and
-# a one-iteration smoke pass over every benchmark in the module.
+# the concurrent-stress and server-stress passes, the xsiserve smoke, a
+# short path-parser fuzz pass, the query-bench smoke, and a one-iteration
+# smoke pass over every benchmark in the module.
 ci: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
 	$(GO) test -race -count=2 -run 'TestServer|TestCommitter' ./internal/server/
 	$(GO) run ./cmd/xsiserve -smoke
+	$(GO) test -fuzz=FuzzParsePath -fuzztime=10s ./internal/query/
+	$(GO) run ./cmd/xsibench -exp query
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 clean:

@@ -18,14 +18,15 @@
 //	xsibench -exp snapshot                 # read latency: RWMutex vs epoch snapshots
 //	xsibench -exp memlayout                # flat-layout build/batch/alloc costs
 //	xsibench -exp serve                    # HTTP serving: 90/10 mix over loopback
+//	xsibench -exp query                    # compiled automata + result cache vs interpreter
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
 // and -subgraphs override the update counts; -csv DIR additionally writes
 // the quality curves as CSV for plotting; -json FILE writes the batch,
-// snapshot, or memlayout experiment's machine-readable result
-// (BENCH_batch.json, BENCH_snapshot.json, BENCH_memlayout.json — invoke the
-// experiments separately to keep each). -baseline FILE merges a previous
+// snapshot, memlayout, serve, or query experiment's machine-readable result
+// (BENCH_batch.json, BENCH_snapshot.json, BENCH_memlayout.json,
+// BENCH_query.json — invoke the experiments separately to keep each). -baseline FILE merges a previous
 // memlayout JSON as the "before" column so a layout change can be compared
 // against the run captured before it. -cpuprofile/-memprofile write pprof
 // profiles covering the selected experiment.
@@ -52,7 +53,7 @@ func main() {
 		subgraphs  = flag.Int("subgraphs", 0, "subgraph count for fig12 (0 = paper default scaled)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		csvDir     = flag.String("csv", "", "also write quality curves as CSV files into this directory")
-		jsonPath   = flag.String("json", "", "write the batch/snapshot/memlayout experiment result as JSON to this file")
+		jsonPath   = flag.String("json", "", "write the batch/snapshot/memlayout/serve/query experiment result as JSON to this file")
 		basePath   = flag.String("baseline", "", "previous memlayout JSON to merge as the before column")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
@@ -104,6 +105,7 @@ func main() {
 		r.snapshot()
 		r.memlayout()
 		r.serve()
+		r.query()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -130,6 +132,8 @@ func main() {
 		r.memlayout()
 	case "serve":
 		r.serve()
+	case "query":
+		r.query()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -387,6 +391,34 @@ func (r runner) serve() {
 		}
 		defer f.Close()
 		if err := experiments.WriteServeJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) query() {
+	d := experiments.Dataset{Name: "XMark(1)", Cyclicity: 1}
+	cfg := experiments.DefaultQueryBenchConfig(r.seed)
+	// Same pool constraint as serve: the mixed-phase writers draw from the
+	// absent-IDREF pool.
+	scale := r.scale
+	if scale > 8 {
+		scale = 8
+	}
+	res, err := experiments.RunQueryBench(d.Name, d.Build(scale, r.seed), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsibench: query: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.ReportQueryBench(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteQueryJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

@@ -1,0 +1,57 @@
+package akindex
+
+import (
+	"reflect"
+	"testing"
+
+	"structix/internal/graph"
+	"structix/internal/gtest"
+)
+
+// Changed must report exactly the slots whose records differ from the
+// predecessor snapshot: a full freeze has no known delta, a patch lists
+// every differing slot, and an empty commit yields an empty delta.
+func TestSnapshotChanged(t *testing.T) {
+	g, u, v, _ := gtest.Fig2()
+	x := Build(g, 2)
+	s0 := x.Freeze(g.Freeze())
+	if _, ok := s0.Changed(); ok {
+		t.Fatal("full freeze claims a known delta")
+	}
+
+	if err := x.ApplyBatch([]graph.EdgeOp{graph.InsertOp(u, v, graph.Tree)}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := x.PatchSnapshot(s0, x.Graph().Freeze())
+	changed, ok := s1.Changed()
+	if !ok || len(changed) == 0 {
+		t.Fatalf("patched snapshot delta: %v ok=%v", changed, ok)
+	}
+	in := make(map[INodeID]bool, len(changed))
+	for _, i := range changed {
+		in[i] = true
+	}
+	// Completeness: every slot whose observable record differs must be in
+	// the delta — this is what the result cache's targeted invalidation
+	// relies on.
+	slots := s1.Slots()
+	if s0.Slots() > slots {
+		slots = s0.Slots()
+	}
+	for i := 0; i < slots; i++ {
+		I := INodeID(i)
+		same := s0.Live(I) == s1.Live(I) &&
+			s0.LabelName(I) == s1.LabelName(I) &&
+			reflect.DeepEqual(s0.ISucc(I), s1.ISucc(I)) &&
+			reflect.DeepEqual(s0.Extent(I), s1.Extent(I))
+		if !same && !in[I] {
+			t.Errorf("slot %d differs between snapshots but is not in the delta %v", i, changed)
+		}
+	}
+
+	// A patch over a quiescent index reports an empty (but known) delta.
+	s2 := x.PatchSnapshot(s1, x.Graph().Freeze())
+	if changed, ok := s2.Changed(); !ok || len(changed) != 0 {
+		t.Fatalf("quiescent patch delta: %v ok=%v", changed, ok)
+	}
+}

@@ -27,6 +27,12 @@ type Snapshot struct {
 	succs   [][]INodeID
 	extents [][]graph.NodeID
 	size    int
+
+	// changed is the set of inode slots whose records differ from the
+	// predecessor snapshot (the dirty set PatchSnapshot consumed); partial
+	// is false for full freezes, where the delta is unknown.
+	changed []INodeID
+	partial bool
 }
 
 // Freeze builds a complete Snapshot of the family's current level-k state
@@ -73,6 +79,8 @@ func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
 	copy(s.names, prev.names)
 	copy(s.succs, prev.succs)
 	copy(s.extents, prev.extents)
+	s.changed = append([]INodeID(nil), x.dirtyIDs...)
+	s.partial = true
 	for _, i := range x.dirtyIDs {
 		s.fill(x, i)
 	}
@@ -117,6 +125,20 @@ func (x *Index) resetDirty() {
 
 // Data returns the frozen data graph the snapshot was paired with.
 func (s *Snapshot) Data() *graph.Frozen { return s.data }
+
+// Changed returns the inode slots whose records differ from the snapshot
+// this one was patched from, and ok=true when that delta is known. A full
+// Freeze has no predecessor, so it reports ok=false and callers must
+// assume every slot changed. The slice is owned by the snapshot:
+// read-only.
+func (s *Snapshot) Changed() (slots []INodeID, ok bool) {
+	return s.changed, s.partial
+}
+
+// Slots returns the size of the inode slot space (dense INodeID range;
+// dead and non-level-k slots included), the bound evaluation scratch
+// state is sized to.
+func (s *Snapshot) Slots() int { return len(s.live) }
 
 // K returns the locality parameter of the snapshotted family.
 func (s *Snapshot) K() int { return s.k }

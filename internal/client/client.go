@@ -79,6 +79,8 @@ type QueryResult struct {
 	Count     int
 	Nodes     []graph.NodeID
 	Truncated bool
+	// Cached reports that the server answered from its result cache.
+	Cached bool
 }
 
 // Query evaluates a path expression and returns the matched nodes.
@@ -102,7 +104,7 @@ func (c *Client) query(ctx context.Context, req server.QueryRequest) (QueryResul
 	if err := c.post(ctx, "/v1/query", req, &rep); err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Epoch: rep.Epoch, Count: rep.Count, Nodes: rep.Nodes, Truncated: rep.Truncated}, nil
+	return QueryResult{Epoch: rep.Epoch, Count: rep.Count, Nodes: rep.Nodes, Truncated: rep.Truncated, Cached: rep.Cached}, nil
 }
 
 // UpdateResult is a committed update.

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"structix"
+	"structix/internal/client"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+	"structix/internal/qcache"
+	"structix/internal/query"
+	"structix/internal/server"
+)
+
+// The query-path benchmark (BENCH_query.json): what compiling path
+// expressions into automata, and caching their results across snapshot
+// epochs, buys the read path. Two layers are measured. The eval layer
+// compares the per-step interpreter against the compiled automaton on the
+// same 1-index snapshot, per expression, with per-op p50/p99. The serve
+// layer boots the real HTTP server twice — once forced to the interpreter
+// with the cache off (the pre-compilation read path), once with the
+// compiled+cached engine — and runs the standard read-only and 90/10
+// mixed phases against each, so the committed numbers show the end-to-end
+// effect including cache invalidation traffic from concurrent writers.
+
+// QueryBenchConfig drives RunQueryBench.
+type QueryBenchConfig struct {
+	// Exprs is the eval-layer expression set.
+	Exprs []string
+	// Reps is the per-expression repetition count for the eval layer.
+	Reps int
+	// Serve parameterizes the two serving modes (shared worker fleet,
+	// duration, commit window, write mix).
+	Serve ServeConfig
+}
+
+// DefaultQueryBenchConfig mirrors the committed benchmark.
+func DefaultQueryBenchConfig(seed int64) QueryBenchConfig {
+	return QueryBenchConfig{
+		Exprs: []string{
+			"/site/people/person",
+			"/site/people/person/name",
+			"//person/name",
+			"//person//watch/open_auction",
+			"//item/incategory/category/name",
+			"/site/*/person/name",
+		},
+		Reps:  64,
+		Serve: DefaultServeConfig(seed),
+	}
+}
+
+// QueryExprResult is the eval-layer comparison for one expression.
+type QueryExprResult struct {
+	Expr    string `json:"expr"`
+	Results int    `json:"results"`
+	// Automaton shape: NFA states and DFA states (0 = NFA fixpoint walk).
+	NFAStates int `json:"nfa_states"`
+	DFAStates int `json:"dfa_states"`
+
+	InterpP50Ns   int64 `json:"interp_p50_ns"`
+	InterpP99Ns   int64 `json:"interp_p99_ns"`
+	CompiledP50Ns int64 `json:"compiled_p50_ns"`
+	CompiledP99Ns int64 `json:"compiled_p99_ns"`
+	// SpeedupP50 is interpreter p50 / compiled p50 (>1 = compiled faster).
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// QueryServeMode is one serving mode of the end-to-end comparison.
+type QueryServeMode struct {
+	Mode   string             `json:"mode"` // "interpreter" or "compiled+cache"
+	Phases []ServePhaseResult `json:"phases"`
+	// Result-cache counters after both phases (zero in interpreter mode).
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheInvalidated int64   `json:"cache_invalidated"`
+}
+
+// QueryBenchResult is the full query-path benchmark (BENCH_query.json).
+type QueryBenchResult struct {
+	Dataset string `json:"dataset"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	INodes  int    `json:"inodes"`
+	Reps    int    `json:"reps"`
+
+	Exprs []QueryExprResult `json:"exprs"`
+	// WarmHitAllocs is allocations per warm cache hit (must be 0: the gate
+	// the unit tests also assert).
+	WarmHitAllocs float64 `json:"warm_hit_allocs"`
+
+	Serve []QueryServeMode `json:"serve"`
+	// Read latency of the compiled+cached server relative to the
+	// interpreter baseline (interpreter / compiled; >1 = compiled faster),
+	// for the read-only and mixed phases.
+	ReadSpeedupP50      float64 `json:"read_speedup_p50"`
+	ReadSpeedupP99      float64 `json:"read_speedup_p99"`
+	MixedReadSpeedupP50 float64 `json:"mixed_read_speedup_p50"`
+	MixedReadSpeedupP99 float64 `json:"mixed_read_speedup_p99"`
+}
+
+// RunQueryBench measures the eval layer, the cache hot path, and the two
+// serving modes. Every compiled result is cross-checked against the
+// interpreter; a mismatch panics (it would mean a compiler bug, and a
+// benchmark must never bless one).
+func RunQueryBench(name string, g *graph.Graph, cfg QueryBenchConfig) (QueryBenchResult, error) {
+	one := oneindex.Build(g)
+	snap := one.Freeze(one.Graph().Freeze())
+	res := QueryBenchResult{
+		Dataset: name,
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		INodes:  one.Size(),
+		Reps:    cfg.Reps,
+	}
+
+	var sc query.Scratch
+	buf := make([]graph.NodeID, 0, 1024)
+	for _, expr := range cfg.Exprs {
+		p := query.MustParse(expr)
+		c := query.MustCompile(p)
+		r := QueryExprResult{Expr: expr}
+		r.NFAStates, r.DFAStates = c.States()
+
+		interp := make([]int64, cfg.Reps)
+		var viaInterp []graph.NodeID
+		for i := range interp {
+			start := time.Now()
+			viaInterp = query.EvalOneSnapshotInto(viaInterp, p, snap)
+			interp[i] = time.Since(start).Nanoseconds()
+		}
+		compiled := make([]int64, cfg.Reps)
+		for i := range compiled {
+			start := time.Now()
+			buf = c.EvalOneSnapshotInto(buf, &sc, snap)
+			compiled[i] = time.Since(start).Nanoseconds()
+		}
+		if len(buf) != len(viaInterp) {
+			panic(fmt.Sprintf("experiments: query %q: compiled %d results, interpreter %d",
+				expr, len(buf), len(viaInterp)))
+		}
+		r.Results = len(buf)
+		r.InterpP50Ns, r.InterpP99Ns = percentiles(interp)
+		r.CompiledP50Ns, r.CompiledP99Ns = percentiles(compiled)
+		if r.CompiledP50Ns > 0 {
+			r.SpeedupP50 = float64(r.InterpP50Ns) / float64(r.CompiledP50Ns)
+		}
+		res.Exprs = append(res.Exprs, r)
+	}
+
+	// The cache hot path: a warm hit must be allocation-free.
+	cache := qcache.New(16)
+	tag := snap
+	cache.Advance(tag, nil, true)
+	cache.Put("/bench", tag, buf, nil, true)
+	res.WarmHitAllocs, _, _ = measureAllocs(200, func() {
+		if _, ok := cache.Get("/bench", tag); !ok {
+			panic("experiments: query: warm cache miss")
+		}
+	})
+
+	// End-to-end: interpreter baseline vs the compiled+cached engine.
+	for _, mode := range []struct {
+		name string
+		scfg server.Config
+	}{
+		{"interpreter", server.Config{Window: cfg.Serve.Window, InterpretQueries: true}},
+		{"compiled+cache", server.Config{Window: cfg.Serve.Window}},
+	} {
+		m, err := runQueryServeMode(mode.name, g.Clone(), cfg.Serve, mode.scfg)
+		if err != nil {
+			return res, err
+		}
+		res.Serve = append(res.Serve, m)
+	}
+	base, comp := res.Serve[0], res.Serve[1]
+	speedup := func(a, b int64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	res.ReadSpeedupP50 = speedup(base.Phases[0].ReadP50Ns, comp.Phases[0].ReadP50Ns)
+	res.ReadSpeedupP99 = speedup(base.Phases[0].ReadP99Ns, comp.Phases[0].ReadP99Ns)
+	res.MixedReadSpeedupP50 = speedup(base.Phases[1].ReadP50Ns, comp.Phases[1].ReadP50Ns)
+	res.MixedReadSpeedupP99 = speedup(base.Phases[1].ReadP99Ns, comp.Phases[1].ReadP99Ns)
+	return res, nil
+}
+
+// runQueryServeMode boots the serving layer in one engine mode and runs
+// the read-only and mixed phases against it.
+func runQueryServeMode(mode string, g *graph.Graph, cfg ServeConfig, scfg server.Config) (QueryServeMode, error) {
+	m := QueryServeMode{Mode: mode}
+	pool := batchEdgePool(g, cfg.Seed)
+	if len(pool)/cfg.Workers < cfg.BatchOps {
+		return m, fmt.Errorf("experiments: query: edge pool too small (%d edges for %d workers × %d ops)",
+			len(pool), cfg.Workers, cfg.BatchOps)
+	}
+	idx := structix.BuildOneIndex(g)
+	srv := server.New(structix.NewSnapshotOneIndex(idx), scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return m, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	cli := client.New("http://" + ln.Addr().String())
+
+	readOnly, err := runServePhase(cli, pool, cfg, defaultServeQueries, 0)
+	if err != nil {
+		return m, err
+	}
+	readOnly.Phase = "read-only"
+	mixed, err := runServePhase(cli, pool, cfg, defaultServeQueries, cfg.WriteFrac)
+	if err != nil {
+		return m, err
+	}
+	mixed.Phase = "mixed"
+	m.Phases = []ServePhaseResult{readOnly, mixed}
+
+	st, err := cli.Stats(context.Background())
+	if err != nil {
+		return m, err
+	}
+	m.CacheHits = st.CacheHits
+	m.CacheMisses = st.CacheMisses
+	m.CacheHitRate = st.CacheHitRate
+	m.CacheInvalidated = st.CacheInvalidated
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return m, err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return m, err
+	}
+	if err := idx.Validate(); err != nil {
+		return m, fmt.Errorf("experiments: query: index invalid after %s workload: %w", mode, err)
+	}
+	return m, nil
+}
+
+// ReportQueryBench prints the benchmark as tables.
+func ReportQueryBench(w io.Writer, res QueryBenchResult) {
+	fmt.Fprintf(w, "\nQuery path benchmark on %s (%d dnodes, %d dedges, %d inodes; %d reps)\n",
+		res.Dataset, res.Nodes, res.Edges, res.INodes, res.Reps)
+	fmt.Fprintf(w, "%-36s %7s %5s %5s %10s %10s %10s %10s %8s\n",
+		"expr", "results", "nfa", "dfa", "int-p50", "int-p99", "cmp-p50", "cmp-p99", "speedup")
+	for _, r := range res.Exprs {
+		fmt.Fprintf(w, "%-36s %7d %5d %5d %8.1fµs %8.1fµs %8.1fµs %8.1fµs %7.2fx\n",
+			r.Expr, r.Results, r.NFAStates, r.DFAStates,
+			float64(r.InterpP50Ns)/1e3, float64(r.InterpP99Ns)/1e3,
+			float64(r.CompiledP50Ns)/1e3, float64(r.CompiledP99Ns)/1e3, r.SpeedupP50)
+	}
+	fmt.Fprintf(w, "warm cache hit: %.1f allocs/op\n", res.WarmHitAllocs)
+	for _, m := range res.Serve {
+		fmt.Fprintf(w, "serve [%s]:\n", m.Mode)
+		for _, p := range m.Phases {
+			fmt.Fprintf(w, "  %-10s %6d reads  p50 %8.1fµs  p99 %8.1fµs  %6d writes\n",
+				p.Phase, p.Reads, float64(p.ReadP50Ns)/1e3, float64(p.ReadP99Ns)/1e3, p.Writes)
+		}
+		if m.CacheHits+m.CacheMisses > 0 {
+			fmt.Fprintf(w, "  cache: %d hits / %d misses (%.0f%% hit rate), %d invalidated by commits\n",
+				m.CacheHits, m.CacheMisses, m.CacheHitRate*100, m.CacheInvalidated)
+		}
+	}
+	fmt.Fprintf(w, "read latency vs interpreter baseline: read-only p50 ×%.2f p99 ×%.2f, mixed p50 ×%.2f p99 ×%.2f\n",
+		res.ReadSpeedupP50, res.ReadSpeedupP99, res.MixedReadSpeedupP50, res.MixedReadSpeedupP99)
+}
+
+// WriteQueryJSON emits the result as indented JSON (BENCH_query.json).
+func WriteQueryJSON(w io.Writer, res QueryBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -121,12 +121,12 @@ func RunServe(name string, g *graph.Graph, cfg ServeConfig) (ServeResult, error)
 	go func() { errc <- srv.Serve(ln) }()
 	cli := client.New("http://" + ln.Addr().String())
 
-	baseline, err := runServePhase(cli, pool, cfg, 0)
+	baseline, err := runServePhase(cli, pool, cfg, defaultServeQueries, 0)
 	if err != nil {
 		return res, err
 	}
 	baseline.Phase = "read-only"
-	mixed, err := runServePhase(cli, pool, cfg, cfg.WriteFrac)
+	mixed, err := runServePhase(cli, pool, cfg, defaultServeQueries, cfg.WriteFrac)
 	if err != nil {
 		return res, err
 	}
@@ -162,18 +162,21 @@ func RunServe(name string, g *graph.Graph, cfg ServeConfig) (ServeResult, error)
 	return res, nil
 }
 
-// runServePhase runs one measured window with the given write fraction.
+// defaultServeQueries is the read mix of the serving benchmarks.
+var defaultServeQueries = []string{
+	"//person/name",
+	"/site/people/person",
+	"//open_auction//person",
+}
+
+// runServePhase runs one measured window with the given write fraction and
+// read mix.
 // Each worker owns a disjoint slice of the absent-edge pool and alternates
 // insert-all/delete-all requests over it, so every update is valid no
 // matter how the group commits interleave; the phase drains its own
 // outstanding inserts before returning so the next phase starts clean.
-func runServePhase(cli *client.Client, pool [][2]graph.NodeID, cfg ServeConfig, writeFrac float64) (ServePhaseResult, error) {
+func runServePhase(cli *client.Client, pool [][2]graph.NodeID, cfg ServeConfig, queries []string, writeFrac float64) (ServePhaseResult, error) {
 	ctx := context.Background()
-	queries := []string{
-		"//person/name",
-		"/site/people/person",
-		"//open_auction//person",
-	}
 	perWorker := len(pool) / cfg.Workers
 	if perWorker > 4*cfg.BatchOps {
 		perWorker = 4 * cfg.BatchOps

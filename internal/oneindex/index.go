@@ -190,11 +190,30 @@ func (x *Index) Graph() *graph.Graph { return x.g }
 // Size returns the number of inodes.
 func (x *Index) Size() int { return x.numLive }
 
+// NumNodes returns the number of live dnodes in the underlying graph.
+func (x *Index) NumNodes() int { return x.g.NumNodes() }
+
 // INodeOf returns the inode containing dnode v.
 func (x *Index) INodeOf(v graph.NodeID) INodeID { return x.inodeOf[v] }
 
+// RootINode returns the inode containing the data root, NoINode when the
+// graph has no root — the live-index counterpart of Snapshot.RootINode.
+func (x *Index) RootINode() INodeID {
+	r := x.g.Root()
+	if r == graph.InvalidNode {
+		return NoINode
+	}
+	return x.inodeOf[r]
+}
+
 // Label returns the (shared) label of the dnodes in inode I.
 func (x *Index) Label(I INodeID) graph.LabelID { return x.inodes[I].label }
+
+// LabelName returns I's label string — the live-index counterpart of
+// Snapshot.LabelName.
+func (x *Index) LabelName(I INodeID) string {
+	return x.g.Labels().Name(x.inodes[I].label)
+}
 
 // ExtentSize returns |extent(I)|.
 func (x *Index) ExtentSize(I INodeID) int { return len(x.inodes[I].extent) }

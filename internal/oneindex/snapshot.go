@@ -26,6 +26,12 @@ type Snapshot struct {
 	succs   [][]INodeID
 	extents [][]graph.NodeID
 	size    int
+
+	// changed is the set of inode slots whose records differ from the
+	// predecessor snapshot (the dirty set PatchSnapshot consumed); partial
+	// is false for full freezes, where the delta is unknown.
+	changed []INodeID
+	partial bool
 }
 
 // Freeze builds a complete Snapshot of the index's current state (the
@@ -73,6 +79,8 @@ func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
 	copy(s.names, prev.names)
 	copy(s.succs, prev.succs)
 	copy(s.extents, prev.extents)
+	s.changed = append([]INodeID(nil), x.dirtyIDs...)
+	s.partial = true
 	for _, i := range x.dirtyIDs {
 		if x.inodes[i] != nil {
 			s.fill(x, i)
@@ -114,6 +122,22 @@ func (x *Index) resetDirty() {
 
 // Data returns the frozen data graph the snapshot was paired with.
 func (s *Snapshot) Data() *graph.Frozen { return s.data }
+
+// Changed returns the inode slots whose records differ from the snapshot
+// this one was patched from, and ok=true when that delta is known. A full
+// Freeze has no predecessor, so it reports ok=false and callers must
+// assume every slot changed. The slice is owned by the snapshot:
+// read-only.
+func (s *Snapshot) Changed() (slots []INodeID, ok bool) {
+	return s.changed, s.partial
+}
+
+// Slots returns the size of the inode slot space (dense INodeID range;
+// dead slots included), the bound evaluation scratch state is sized to.
+func (s *Snapshot) Slots() int { return len(s.live) }
+
+// NumNodes returns the number of live dnodes in the frozen data graph.
+func (s *Snapshot) NumNodes() int { return s.data.NumNodes() }
 
 // RootINode returns the inode containing the data root (NoINode if the
 // graph had no root at freeze time).

@@ -1,0 +1,157 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+
+	"structix/internal/graph"
+)
+
+// Distinct tag values standing in for published snapshots.
+type tag struct{ n int }
+
+func nodes(ids ...graph.NodeID) []graph.NodeID { return ids }
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(8)
+	t1 := &tag{1}
+	c.Advance(t1, nil, true) // set the initial tag
+
+	if _, ok := c.Get("/a", t1); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put("/a", t1, nodes(1, 2, 3), []int32{0, 4}, true)
+	got, ok := c.Get("/a", t1)
+	if !ok || len(got) != 3 {
+		t.Fatalf("get after put: %v %v", got, ok)
+	}
+	// A reader holding an older snapshot must never be served the new
+	// tag's entries.
+	if _, ok := c.Get("/a", &tag{1}); ok {
+		t.Fatal("hit under a foreign tag")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if hr := st.HitRate(); hr <= 0.3 || hr >= 0.4 {
+		t.Fatalf("hit rate %.2f, want 1/3", hr)
+	}
+}
+
+func TestCachePreciseInvalidation(t *testing.T) {
+	c := New(8)
+	t1, t2 := &tag{1}, &tag{2}
+	c.Advance(t1, nil, true)
+	c.Put("/a", t1, nodes(1), []int32{2, 5, 9}, true)
+	c.Put("/b", t1, nodes(2), []int32{7}, true)
+	c.Put("/pred", t1, nodes(3), nil, false) // imprecise: predicate-bearing
+
+	// Commit dirtying inode 5: inside /a's footprint, outside /b's. The
+	// imprecise entry goes regardless.
+	c.Advance(t2, []int32{5, 100}, false)
+	if _, ok := c.Get("/a", t2); ok {
+		t.Fatal("entry with a dirtied footprint survived")
+	}
+	if got, ok := c.Get("/b", t2); !ok || got[0] != 2 {
+		t.Fatal("entry with a disjoint footprint was flushed")
+	}
+	if _, ok := c.Get("/pred", t2); ok {
+		t.Fatal("imprecise entry survived a commit")
+	}
+	if st := c.Stats(); st.Invalidated != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 2 invalidated, 1 entry", st)
+	}
+
+	// A full flush (unknown delta) takes everything, disjoint or not.
+	c.Advance(&tag{3}, nil, true)
+	if c.Len() != 0 {
+		t.Fatalf("%d entries after a full flush", c.Len())
+	}
+}
+
+func TestCacheStalePut(t *testing.T) {
+	c := New(8)
+	t1, t2 := &tag{1}, &tag{2}
+	c.Advance(t1, nil, true)
+	c.Advance(t2, nil, true)
+	// A result computed against the superseded snapshot must be dropped,
+	// not served under the new tag.
+	c.Put("/a", t1, nodes(1), nil, true)
+	if _, ok := c.Get("/a", t2); ok {
+		t.Fatal("stale put was cached")
+	}
+	if st := c.Stats(); st.StalePuts != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v, want 1 stale put", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(3)
+	t1 := &tag{1}
+	c.Advance(t1, nil, true)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("/q%d", i), t1, nodes(graph.NodeID(i)), nil, true)
+	}
+	c.Get("/q0", t1) // refresh q0: q1 becomes the LRU victim
+	c.Put("/q3", t1, nodes(3), nil, true)
+	if _, ok := c.Get("/q1", t1); ok {
+		t.Fatal("LRU victim survived")
+	}
+	for _, k := range []string{"/q0", "/q2", "/q3"} {
+		if _, ok := c.Get(k, t1); !ok {
+			t.Fatalf("%s evicted, want only /q1", k)
+		}
+	}
+	if st := c.Stats(); st.Evicted != 1 || st.Entries != 3 {
+		t.Fatalf("stats %+v, want 1 evicted, 3 entries", st)
+	}
+	// Replacing an existing key is not an eviction.
+	c.Put("/q0", t1, nodes(9), []int32{1}, true)
+	if got, _ := c.Get("/q0", t1); got[0] != 9 {
+		t.Fatal("replace did not update the entry")
+	}
+	if st := c.Stats(); st.Evicted != 1 || st.Entries != 3 {
+		t.Fatalf("stats after replace %+v", st)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	if c := New(0); c.max != DefaultMaxEntries {
+		t.Fatalf("max %d, want %d", c.max, DefaultMaxEntries)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want bool
+	}{
+		{nil, nil, false},
+		{[]int32{1, 2}, nil, false},
+		{[]int32{1, 3, 5}, []int32{2, 4, 6}, false},
+		{[]int32{1, 3, 5}, []int32{5}, true},
+		{[]int32{7}, []int32{1, 7, 9}, true},
+	}
+	for _, tc := range cases {
+		if got := intersects(tc.a, tc.b); got != tc.want {
+			t.Errorf("intersects(%v, %v) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+// The hot-path lookup is allocation-free: a warm hit costs a map probe and
+// a list move, nothing else.
+func TestCacheGetZeroAlloc(t *testing.T) {
+	c := New(8)
+	t1 := &tag{1}
+	c.Advance(t1, nil, true)
+	c.Put("/a", t1, nodes(1, 2, 3), []int32{0}, true)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := c.Get("/a", t1); !ok {
+			t.Fatal("miss")
+		}
+	}); n != 0 {
+		t.Errorf("warm Get allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,384 @@
+package query
+
+import (
+	"context"
+	"slices"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+)
+
+// Automaton evaluation: one product-construction walk of (index graph ×
+// compiled automaton) replaces the per-step frontier maps of run(). All
+// mutable walk state lives in a Scratch of flat, epoch-stamped slot
+// arrays, so a caller that reuses one Scratch (and one result buffer)
+// across queries evaluates without allocating at all.
+
+const symUnknown = 0xFF
+
+const (
+	flagAccept uint8 = 1 << iota // slot already appended to the accept list
+	flagQueued                   // slot is on the NFA fixpoint worklist
+)
+
+// Scratch is the reusable per-goroutine evaluation state for compiled
+// queries. The zero value is ready to use; it grows to the largest slot
+// space it has seen and is reset in O(slots touched) per evaluation via
+// epoch stamps, never cleared wholesale. A Scratch must not be shared
+// between goroutines; it may be reused freely across different Compiled
+// programs and snapshots.
+type Scratch struct {
+	epoch uint32
+	stamp []uint32 // per-slot epoch of last touch
+	mask  []uint64 // visited DFA states, or the NFA state set, of the slot
+	sym   []uint8  // cached alphabet symbol of the slot's label
+	flag  []uint8
+
+	queue   []int64
+	acc     []int32 // accepting slots, in discovery order
+	touched []int32 // every slot inspected this evaluation (the footprint)
+}
+
+// begin starts a new evaluation over a slot space of size n.
+func (sc *Scratch) begin(n int) {
+	if len(sc.stamp) < n {
+		sc.grow(n)
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		clear(sc.stamp)
+		sc.epoch = 1
+	}
+	sc.queue = sc.queue[:0]
+	sc.acc = sc.acc[:0]
+	sc.touched = sc.touched[:0]
+}
+
+func (sc *Scratch) grow(n int) {
+	stamp := make([]uint32, n)
+	copy(stamp, sc.stamp)
+	sc.stamp = stamp
+	mask := make([]uint64, n)
+	copy(mask, sc.mask)
+	sc.mask = mask
+	sym := make([]uint8, n)
+	copy(sym, sc.sym)
+	sc.sym = sym
+	flag := make([]uint8, n)
+	copy(flag, sc.flag)
+	sc.flag = flag
+}
+
+// touch brings a slot into the current epoch, zeroed.
+func (sc *Scratch) touch(slot int32) {
+	if int(slot) >= len(sc.stamp) {
+		sc.grow(int(slot) + 1)
+	}
+	if sc.stamp[slot] != sc.epoch {
+		sc.stamp[slot] = sc.epoch
+		sc.mask[slot] = 0
+		sc.sym[slot] = symUnknown
+		sc.flag[slot] = 0
+		sc.touched = append(sc.touched, slot)
+	}
+}
+
+// autoGraph is the index-graph surface the walk needs, implemented by
+// small value adapters so the generic instantiation devirtualizes every
+// call.
+type autoGraph[ID ~int32] interface {
+	rootSlot() int32
+	numSlots() int
+	succs(slot int32) []ID
+	label(slot int32) string
+}
+
+type oneAutoGraph struct{ s *oneindex.Snapshot }
+
+func (g oneAutoGraph) rootSlot() int32                   { return int32(g.s.RootINode()) }
+func (g oneAutoGraph) numSlots() int                     { return g.s.Slots() }
+func (g oneAutoGraph) succs(i int32) []oneindex.INodeID  { return g.s.ISucc(oneindex.INodeID(i)) }
+func (g oneAutoGraph) label(i int32) string              { return g.s.LabelName(oneindex.INodeID(i)) }
+
+type akAutoGraph struct{ s *akindex.Snapshot }
+
+func (g akAutoGraph) rootSlot() int32                  { return int32(g.s.RootINode()) }
+func (g akAutoGraph) numSlots() int                    { return g.s.Slots() }
+func (g akAutoGraph) succs(i int32) []akindex.INodeID  { return g.s.ISucc(akindex.INodeID(i)) }
+func (g akAutoGraph) label(i int32) string             { return g.s.LabelName(akindex.INodeID(i)) }
+
+// autoWalk runs the compiled automaton over an index graph and returns the
+// accepting slots (aliasing sc.acc). The DFA product walk is preferred;
+// expressions whose determinization was declined use the NFA bitmask
+// fixpoint, which visits a slot once per state-set growth instead of once
+// per state but computes the same accepting set.
+func autoWalk[ID ~int32, G autoGraph[ID]](c *Compiled, sc *Scratch, g G) []int32 {
+	sc.begin(g.numSlots())
+	root := g.rootSlot()
+	if root < 0 {
+		return sc.acc
+	}
+	sc.touch(root)
+	if c.dfaNext != nil {
+		return autoWalkDFA[ID](c, sc, g, root)
+	}
+	return autoWalkNFA[ID](c, sc, g, root)
+}
+
+func (sc *Scratch) symFor(c *Compiled, slot int32, label string) uint8 {
+	sy := sc.sym[slot]
+	if sy == symUnknown {
+		sy = c.symOf(label)
+		sc.sym[slot] = sy
+	}
+	return sy
+}
+
+func autoWalkDFA[ID ~int32, G autoGraph[ID]](c *Compiled, sc *Scratch, g G, root int32) []int32 {
+	sc.mask[root] = 1 // DFA start state 0 visited
+	sc.queue = append(sc.queue, int64(root)<<8)
+	for len(sc.queue) > 0 {
+		item := sc.queue[len(sc.queue)-1]
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		slot, st := int32(item>>8), int(item&0xFF)
+		row := c.dfaNext[st*c.numSyms : (st+1)*c.numSyms]
+		for _, j := range g.succs(slot) {
+			js := int32(j)
+			sc.touch(js)
+			ns := row[sc.symFor(c, js, g.label(js))]
+			if ns < 0 {
+				continue
+			}
+			bit := uint64(1) << uint(ns)
+			if sc.mask[js]&bit != 0 {
+				continue
+			}
+			sc.mask[js] |= bit
+			sc.queue = append(sc.queue, int64(js)<<8|int64(ns))
+			if c.dfaAccept[ns] && sc.flag[js]&flagAccept == 0 {
+				sc.flag[js] |= flagAccept
+				sc.acc = append(sc.acc, js)
+			}
+		}
+	}
+	return sc.acc
+}
+
+func autoWalkNFA[ID ~int32, G autoGraph[ID]](c *Compiled, sc *Scratch, g G, root int32) []int32 {
+	sc.mask[root] = 1 // NFA start set {q0}
+	sc.flag[root] |= flagQueued
+	sc.queue = append(sc.queue, int64(root))
+	for len(sc.queue) > 0 {
+		slot := int32(sc.queue[len(sc.queue)-1])
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		sc.flag[slot] &^= flagQueued
+		m := sc.mask[slot]
+		for _, j := range g.succs(slot) {
+			js := int32(j)
+			sc.touch(js)
+			nm := c.step(m, sc.symFor(c, js, g.label(js)))
+			if nm&^sc.mask[js] == 0 {
+				continue
+			}
+			sc.mask[js] |= nm
+			if sc.mask[js]&c.accept != 0 && sc.flag[js]&flagAccept == 0 {
+				sc.flag[js] |= flagAccept
+				sc.acc = append(sc.acc, js)
+			}
+			if sc.flag[js]&flagQueued == 0 {
+				sc.flag[js] |= flagQueued
+				sc.queue = append(sc.queue, int64(js))
+			}
+		}
+	}
+	return sc.acc
+}
+
+// ---- 1-index snapshot evaluation ----
+
+// EvalOneSnapshot evaluates the compiled expression on a 1-index snapshot
+// and returns the matched dnodes, sorted — the compiled counterpart of
+// EvalOneSnapshot(p, s), with the identical (exact) result contract.
+func (c *Compiled) EvalOneSnapshot(s *oneindex.Snapshot) []graph.NodeID {
+	return c.EvalOneSnapshotInto(nil, nil, s)
+}
+
+// EvalOneSnapshotInto is EvalOneSnapshot assembling the result into buf
+// and reusing sc across calls: with a warm buffer and scratch the whole
+// evaluation allocates nothing. A nil sc uses a throwaway scratch; neither
+// buf nor sc may be shared between goroutines.
+func (c *Compiled) EvalOneSnapshotInto(buf []graph.NodeID, sc *Scratch, s *oneindex.Snapshot) []graph.NodeID {
+	out, _ := c.evalOne(nil, buf, sc, s)
+	return out
+}
+
+// EvalOneSnapshotIntoCtx is EvalOneSnapshotInto under a context,
+// observing cancellation between extent unions.
+func (c *Compiled) EvalOneSnapshotIntoCtx(ctx context.Context, buf []graph.NodeID, sc *Scratch, s *oneindex.Snapshot) ([]graph.NodeID, error) {
+	return c.evalOne(ctx, buf, sc, s)
+}
+
+// EvalOneSnapshotFootprint evaluates like EvalOneSnapshotIntoCtx but also
+// returns the evaluation's inode footprint: a sorted, freshly allocated
+// set of every inode slot the walk inspected. Precise is true when the
+// result depends on nothing outside that footprint — any later index
+// change that leaves the footprint slots untouched provably leaves the
+// result unchanged, which is the contract the result cache's targeted
+// invalidation relies on. Expressions with predicates read the data graph
+// below their candidates, so they report precise=false. The returned node
+// slice is freshly allocated and safe to retain.
+func (c *Compiled) EvalOneSnapshotFootprint(ctx context.Context, sc *Scratch, s *oneindex.Snapshot) (nodes []graph.NodeID, footprint []int32, precise bool, err error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	nodes, err = c.evalOne(ctx, nil, sc, s)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	footprint = append([]int32(nil), sc.touched...)
+	slices.Sort(footprint)
+	return nodes, footprint, !c.path.HasPredicates(), nil
+}
+
+func (c *Compiled) evalOne(ctx context.Context, buf []graph.NodeID, sc *Scratch, s *oneindex.Snapshot) ([]graph.NodeID, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	buf = buf[:0]
+	if err := ctxErr(ctx); err != nil {
+		return buf, err
+	}
+	acc := autoWalk[oneindex.INodeID](c, sc, oneAutoGraph{s})
+	total := 0
+	for _, i := range acc {
+		total += s.ExtentSize(oneindex.INodeID(i))
+	}
+	buf = slices.Grow(buf, total)
+	for _, i := range acc {
+		if err := ctxErr(ctx); err != nil {
+			return buf[:0], err
+		}
+		buf = append(buf, s.Extent(oneindex.INodeID(i))...)
+	}
+	sortNodes(buf)
+	if c.path.HasPredicates() {
+		return filterByAllPredicates(c.path, s.Data(), buf), ctxErr(ctx)
+	}
+	return buf, ctxErr(ctx)
+}
+
+// ---- A(k)-index snapshot evaluation ----
+
+// EvalAkSnapshot evaluates the compiled expression on an A(k)-index
+// snapshot and returns the exact result, sorted — the compiled
+// counterpart of EvalAkSnapshot(p, s): skeleton candidates from the
+// automaton walk, backward validation when the expression needs it, then
+// predicate checks.
+func (c *Compiled) EvalAkSnapshot(s *akindex.Snapshot) []graph.NodeID {
+	return c.EvalAkSnapshotInto(nil, nil, s)
+}
+
+// EvalAkSnapshotInto is EvalAkSnapshot with the buffer- and scratch-reuse
+// contract of EvalOneSnapshotInto.
+func (c *Compiled) EvalAkSnapshotInto(buf []graph.NodeID, sc *Scratch, s *akindex.Snapshot) []graph.NodeID {
+	out, _ := c.evalAk(nil, buf, sc, s)
+	return out
+}
+
+// EvalAkSnapshotIntoCtx is EvalAkSnapshotInto under a context.
+func (c *Compiled) EvalAkSnapshotIntoCtx(ctx context.Context, buf []graph.NodeID, sc *Scratch, s *akindex.Snapshot) ([]graph.NodeID, error) {
+	return c.evalAk(ctx, buf, sc, s)
+}
+
+func (c *Compiled) evalAk(ctx context.Context, buf []graph.NodeID, sc *Scratch, s *akindex.Snapshot) ([]graph.NodeID, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	buf = buf[:0]
+	if err := ctxErr(ctx); err != nil {
+		return buf, err
+	}
+	acc := autoWalk[akindex.INodeID](c, sc, akAutoGraph{s})
+	total := 0
+	for _, i := range acc {
+		total += s.ExtentSize(akindex.INodeID(i))
+	}
+	buf = slices.Grow(buf, total)
+	for _, i := range acc {
+		if err := ctxErr(ctx); err != nil {
+			return buf[:0], err
+		}
+		buf = append(buf, s.Extent(akindex.INodeID(i))...)
+	}
+	sortNodes(buf)
+	if NeedsValidation(c.skel, s.K()) {
+		va := newValidator(c.skel, s.Data())
+		out := buf[:0]
+		for _, cand := range buf {
+			if err := ctxErr(ctx); err != nil {
+				return out[:0], err
+			}
+			if va.matches(cand) {
+				out = append(out, cand)
+			}
+		}
+		buf = out
+	}
+	if c.path.HasPredicates() {
+		return filterByAllPredicates(c.path, s.Data(), buf), ctxErr(ctx)
+	}
+	return buf, ctxErr(ctx)
+}
+
+// ---- data-graph evaluation ----
+
+// EvalSource evaluates the compiled expression directly on a data graph —
+// the compiled counterpart of EvalGraph, used as the reference in
+// equivalence tests. It always runs the NFA fixpoint (data graphs are not
+// slot-bounded up front, and this path is not performance-critical).
+func (c *Compiled) EvalSource(g Source) []graph.NodeID {
+	sc := &Scratch{}
+	sc.begin(0)
+	root := g.Root()
+	if root == graph.InvalidNode {
+		return nil
+	}
+	rs := int32(root)
+	sc.touch(rs)
+	sc.mask[rs] = 1
+	sc.flag[rs] |= flagQueued
+	sc.queue = append(sc.queue, int64(rs))
+	for len(sc.queue) > 0 {
+		slot := int32(sc.queue[len(sc.queue)-1])
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		sc.flag[slot] &^= flagQueued
+		m := sc.mask[slot]
+		g.EachSucc(graph.NodeID(slot), func(w graph.NodeID, _ graph.EdgeKind) {
+			js := int32(w)
+			sc.touch(js)
+			nm := c.step(m, sc.symFor(c, js, g.LabelName(w)))
+			if nm&^sc.mask[js] == 0 {
+				return
+			}
+			sc.mask[js] |= nm
+			if sc.mask[js]&c.accept != 0 && sc.flag[js]&flagAccept == 0 {
+				sc.flag[js] |= flagAccept
+				sc.acc = append(sc.acc, js)
+			}
+			if sc.flag[js]&flagQueued == 0 {
+				sc.flag[js] |= flagQueued
+				sc.queue = append(sc.queue, int64(js))
+			}
+		})
+	}
+	out := make([]graph.NodeID, 0, len(sc.acc))
+	for _, s := range sc.acc {
+		out = append(out, graph.NodeID(s))
+	}
+	sortNodes(out)
+	if c.path.HasPredicates() {
+		return filterByAllPredicates(c.path, g, out)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package query
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Query compilation: a Path is compiled once into a small automaton and
+// then evaluated any number of times with a single product-construction
+// walk over an index graph, instead of the per-step frontier interpreter
+// in run(). The automaton shape follows the structural self-index
+// literature: states mirror the location steps, descendant steps become
+// self-loops over the whole alphabet, and wildcard labels accept every
+// symbol.
+//
+// The alphabet is tiny — the distinct labels the expression names, plus
+// one OTHER symbol standing for every label the expression does not
+// mention — so transition tables stay a few cache lines. With at most
+// maxSteps steps the NFA state set fits a uint64 bitmask, which makes
+// subset construction and the fallback on-the-fly evaluation branch-free
+// bit arithmetic.
+
+const (
+	// maxSteps bounds the compilable expression length so NFA state sets
+	// (one state per step plus the start state) fit a uint64.
+	maxSteps = 63
+	// maxDFAStates caps eager subset construction. The cap also keeps the
+	// per-inode visited-state set a uint64 during evaluation; expressions
+	// whose determinization would exceed it are evaluated with the NFA
+	// bitmask fixpoint instead.
+	maxDFAStates = 64
+)
+
+// symOther is the symbol for every label the expression does not name.
+const symOther = 0
+
+// Compiled is an immutable compiled form of a path expression. It is safe
+// for concurrent use by any number of goroutines; all per-evaluation
+// mutable state lives in a Scratch.
+type Compiled struct {
+	path *Path  // the full expression, predicates included
+	skel *Path  // predicate-free skeleton the automaton encodes
+	expr string // canonical form (path.String())
+
+	// alphabet holds the distinct non-wildcard labels of the skeleton;
+	// label alphabet[i] is symbol i+1, everything else is symOther.
+	alphabet []string
+	numSyms  int
+
+	// nfa is the flattened transition table: nfa[q*numSyms+sym] is the
+	// successor-state bitmask from state q on sym. State 0 is the start
+	// state (before any step); state i+1 is "matched steps 0..i".
+	nfa    []uint64
+	accept uint64 // bitmask of the single accepting NFA state
+
+	// dfa is the determinized table, nil when subset construction hit
+	// maxDFAStates (possible for expressions dense in descendant steps).
+	dfaNext   []int32 // dfaNext[st*numSyms+sym]; -1 is the dead state
+	dfaAccept []bool
+}
+
+// Compile builds the evaluation automaton for p. It fails only for
+// expressions longer than maxSteps steps; callers that must accept
+// arbitrary input fall back to the interpreter on error.
+func Compile(p *Path) (*Compiled, error) {
+	if p.Len() == 0 {
+		return nil, fmt.Errorf("query: cannot compile empty path")
+	}
+	if p.Len() > maxSteps {
+		return nil, fmt.Errorf("query: path has %d steps, compiler supports at most %d", p.Len(), maxSteps)
+	}
+	c := &Compiled{path: p, skel: p.Skeleton(), expr: p.String()}
+	for _, st := range c.skel.steps {
+		if st.Label == "*" {
+			continue
+		}
+		if c.symOf(st.Label) == symOther {
+			c.alphabet = append(c.alphabet, st.Label)
+		}
+	}
+	c.numSyms = len(c.alphabet) + 1
+	c.buildNFA()
+	c.buildDFA()
+	return c, nil
+}
+
+// MustCompile is Compile for known-good expressions; it panics on error.
+func MustCompile(p *Path) *Compiled {
+	c, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Expr returns the canonical form of the compiled expression — the cache
+// key two textually different but equivalent spellings share.
+func (c *Compiled) Expr() string { return c.expr }
+
+// Path returns the compiled expression.
+func (c *Compiled) Path() *Path { return c.path }
+
+// States returns the NFA state count and the DFA state count (0 when
+// determinization was declined and evaluation uses the NFA fixpoint).
+func (c *Compiled) States() (nfa, dfa int) {
+	return c.skel.Len() + 1, len(c.dfaAccept)
+}
+
+// symOf maps a label to its symbol. The alphabet is at most maxSteps
+// entries, so a linear scan (with the length pre-check Go string
+// comparison does anyway) beats hashing the label.
+func (c *Compiled) symOf(label string) uint8 {
+	for i, name := range c.alphabet {
+		if name == label {
+			return uint8(i + 1)
+		}
+	}
+	return symOther
+}
+
+func (c *Compiled) buildNFA() {
+	n := c.skel.Len()
+	c.nfa = make([]uint64, (n+1)*c.numSyms)
+	c.accept = 1 << uint(n)
+	for i, st := range c.skel.steps {
+		row := c.nfa[i*c.numSyms : (i+1)*c.numSyms]
+		to := uint64(1) << uint(i+1)
+		if st.Label == "*" {
+			for sym := range row {
+				row[sym] |= to
+			}
+		} else {
+			row[c.symOf(st.Label)] |= to
+		}
+		if st.Descendant {
+			// The descendant gap admits any number of intermediate edges
+			// before the step's own child edge: a self-loop on every
+			// symbol, exactly the closure() the interpreter runs.
+			self := uint64(1) << uint(i)
+			for sym := range row {
+				row[sym] |= self
+			}
+		}
+	}
+}
+
+// step advances an NFA state set by one symbol.
+func (c *Compiled) step(mask uint64, sym uint8) uint64 {
+	var out uint64
+	base := int(sym)
+	for m := mask; m != 0; m &= m - 1 {
+		q := bits.TrailingZeros64(m)
+		out |= c.nfa[q*c.numSyms+base]
+	}
+	return out
+}
+
+// buildDFA runs eager subset construction from the start set {q0}. The
+// construction aborts (leaving dfaNext nil) once it would exceed
+// maxDFAStates; evaluation then falls back to the NFA fixpoint.
+func (c *Compiled) buildDFA() {
+	idx := map[uint64]int32{1: 0}
+	masks := []uint64{1}
+	next := make([]int32, 0, c.numSyms*4)
+	accept := []bool{1&c.accept != 0}
+	for st := 0; st < len(masks); st++ {
+		for sym := 0; sym < c.numSyms; sym++ {
+			nm := c.step(masks[st], uint8(sym))
+			if nm == 0 {
+				next = append(next, -1)
+				continue
+			}
+			j, ok := idx[nm]
+			if !ok {
+				if len(masks) >= maxDFAStates {
+					return
+				}
+				j = int32(len(masks))
+				idx[nm] = j
+				masks = append(masks, nm)
+				accept = append(accept, nm&c.accept != 0)
+			}
+			next = append(next, j)
+		}
+	}
+	c.dfaNext = next
+	c.dfaAccept = accept
+}
+
+func (c *Compiled) String() string {
+	nfa, dfa := c.States()
+	mode := "nfa"
+	if dfa > 0 {
+		mode = "dfa"
+	}
+	return fmt.Sprintf("compiled{%s: %d nfa states, %d dfa states, %d symbols, %s walk}",
+		c.expr, nfa, dfa, c.numSyms, mode)
+}

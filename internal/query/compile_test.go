@@ -1,0 +1,207 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"structix/internal/akindex"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+)
+
+func TestCompileBasics(t *testing.T) {
+	c := MustCompile(MustParse("/a//b/*/a"))
+	if c.Expr() != "/a//b/*/a" {
+		t.Errorf("Expr = %q", c.Expr())
+	}
+	// Distinct non-wildcard labels only: {a, b} plus the OTHER symbol.
+	if c.numSyms != 3 {
+		t.Errorf("numSyms = %d, want 3", c.numSyms)
+	}
+	nfa, dfa := c.States()
+	if nfa != 5 {
+		t.Errorf("nfa states = %d, want 5", nfa)
+	}
+	if dfa == 0 {
+		t.Errorf("determinization declined for a 4-step expression: %s", c)
+	}
+	if !strings.Contains(c.String(), "dfa walk") {
+		t.Errorf("String = %q, want dfa walk", c)
+	}
+
+	if _, err := Compile(&Path{}); err == nil {
+		t.Error("Compile accepted an empty path")
+	}
+	long := strings.Repeat("/a", maxSteps+1)
+	if _, err := Compile(MustParse(long)); err == nil {
+		t.Errorf("Compile accepted a %d-step path", maxSteps+1)
+	}
+	if c, err := Compile(MustParse(strings.Repeat("/a", maxSteps))); err != nil || c == nil {
+		t.Errorf("Compile rejected a %d-step path: %v", maxSteps, err)
+	}
+}
+
+// The compiled automaton over the data graph must agree with the
+// interpreter on every expression, including predicates.
+func TestCompiledEvalSourceMatchesInterpreter(t *testing.T) {
+	g := load(t)
+	for _, expr := range []string{
+		"/site/people/person", "//name", "//person//name", "/site/*/*",
+		"//watch/auction/seller", "//auction//name", "//nonexistent",
+		"/site/people/person[name='Alice']", "//person[watches/watch]/name",
+		"//auction[name='lot']", "//person[name]",
+	} {
+		p := MustParse(expr)
+		want := EvalGraph(p, g)
+		got := MustCompile(p).EvalSource(g)
+		if !equalIDs(got, want) {
+			t.Errorf("%q: compiled %v != interpreter %v", expr, got, want)
+		}
+	}
+}
+
+func TestCompiledEvalSourceMatchesInterpreterRandom(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 60, 40)
+		for q := 0; q < 30; q++ {
+			p := MustParse(randomExpr(rng))
+			want := EvalGraph(p, g)
+			got := MustCompile(p).EvalSource(g)
+			if !equalIDs(got, want) {
+				t.Fatalf("seed %d %q: compiled %v != interpreter %v", seed, p, got, want)
+			}
+		}
+	}
+}
+
+// Compiled snapshot evaluation must be indistinguishable from the
+// interpreter's snapshot evaluation across randomized graphs, expressions,
+// maintenance rounds, and both index families — and the NFA-fixpoint
+// fallback must compute the same answers as the DFA product walk.
+func TestCompiledSnapshotsMatchInterpreter(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gtest.RandomCyclic(rng, 50, 35)
+		one := oneindex.Build(g)
+		k := 1 + int(seed%3)
+		ak := akindex.Build(g.Clone(), k)
+
+		oneSnap := one.Freeze(one.Graph().Freeze())
+		akSnap := ak.Freeze(ak.Graph().Freeze())
+		var sc Scratch
+		var buf []graph.NodeID
+		check := func(round int) {
+			for q := 0; q < 12; q++ {
+				p := MustParse(randomExpr(rng))
+				c := MustCompile(p)
+				wantOne := EvalOneSnapshot(p, oneSnap)
+				buf = c.EvalOneSnapshotInto(buf, &sc, oneSnap)
+				if !equalIDs(buf, wantOne) {
+					t.Fatalf("seed %d round %d %q: compiled one %v != interpreter %v", seed, round, p, buf, wantOne)
+				}
+				wantAk := EvalAkSnapshot(p, akSnap)
+				buf = c.EvalAkSnapshotInto(buf, &sc, akSnap)
+				if !equalIDs(buf, wantAk) {
+					t.Fatalf("seed %d round %d %q: compiled ak %v != interpreter %v", seed, round, p, buf, wantAk)
+				}
+				// Strip the DFA: the NFA bitmask fixpoint must agree.
+				c.dfaNext, c.dfaAccept = nil, nil
+				buf = c.EvalOneSnapshotInto(buf, &sc, oneSnap)
+				if !equalIDs(buf, wantOne) {
+					t.Fatalf("seed %d round %d %q: NFA-fallback one %v != interpreter %v", seed, round, p, buf, wantOne)
+				}
+				buf = c.EvalAkSnapshotInto(buf, &sc, akSnap)
+				if !equalIDs(buf, wantAk) {
+					t.Fatalf("seed %d round %d %q: NFA-fallback ak %v != interpreter %v", seed, round, p, buf, wantAk)
+				}
+			}
+		}
+		check(-1)
+		simOne := one.Graph().Clone()
+		simAk := ak.Graph().Clone()
+		for round := 0; round < 3; round++ {
+			if err := one.ApplyBatch(gtest.RandomOpBatch(rng, simOne, 8, false)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ak.ApplyBatch(gtest.RandomOpBatch(rng, simAk, 8, false)); err != nil {
+				t.Fatal(err)
+			}
+			oneSnap = one.PatchSnapshot(oneSnap, one.Graph().Freeze())
+			akSnap = ak.PatchSnapshot(akSnap, ak.Graph().Freeze())
+			check(round)
+		}
+	}
+}
+
+// The footprint contract: every inode whose extent contributed to the
+// result is in the footprint, the footprint is sorted, and precision is
+// claimed exactly for predicate-free expressions.
+func TestCompiledFootprint(t *testing.T) {
+	g := load(t)
+	one := oneindex.Build(g)
+	snap := one.Freeze(one.Graph().Freeze())
+
+	c := MustCompile(MustParse("//person/name"))
+	nodes, fp, precise, err := c.EvalOneSnapshotFootprint(nil, nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !precise {
+		t.Error("predicate-free expression reported imprecise")
+	}
+	if !equalIDs(nodes, EvalOneSnapshot(c.Path(), snap)) {
+		t.Errorf("footprint eval result diverges: %v", nodes)
+	}
+	if len(fp) == 0 {
+		t.Fatal("empty footprint for a non-empty walk")
+	}
+	for i := 1; i < len(fp); i++ {
+		if fp[i-1] >= fp[i] {
+			t.Fatalf("footprint not sorted/unique: %v", fp)
+		}
+	}
+	// Every accepting inode (its extent was read) must be in the footprint.
+	inFp := func(s int32) bool {
+		for _, x := range fp {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range nodes {
+		slot := int32(one.INodeOf(v))
+		if !inFp(slot) {
+			t.Errorf("result node %d's inode %d missing from footprint %v", v, slot, fp)
+		}
+	}
+
+	// Predicates read the data graph: the entry must declare itself
+	// imprecise so the cache flushes it on every commit.
+	cp := MustCompile(MustParse("//person[name='Alice']"))
+	if _, _, precise, err := cp.EvalOneSnapshotFootprint(nil, nil, snap); err != nil || precise {
+		t.Errorf("predicate expression reported precise (err %v)", err)
+	}
+}
+
+// Warm compiled evaluation is allocation-free: with a reused Scratch and
+// result buffer, the whole walk + extent union runs without allocating.
+func TestCompiledEvalZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gtest.RandomCyclic(rng, 200, 120)
+	one := oneindex.Build(g)
+	snap := one.Freeze(one.Graph().Freeze())
+	c := MustCompile(MustParse("//a//b"))
+
+	var sc Scratch
+	buf := make([]graph.NodeID, 0, g.NumNodes())
+	buf = c.EvalOneSnapshotInto(buf, &sc, snap) // warm scratch and buffer
+	if n := testing.AllocsPerRun(50, func() {
+		buf = c.EvalOneSnapshotInto(buf, &sc, snap)
+	}); n != 0 {
+		t.Errorf("warm compiled evaluation allocates %.1f/op, want 0", n)
+	}
+}

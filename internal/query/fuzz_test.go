@@ -1,0 +1,55 @@
+package query
+
+import (
+	"testing"
+
+	"structix/internal/xmlload"
+)
+
+// FuzzParsePath throws arbitrary byte strings at the parser; whatever it
+// accepts must round-trip through String, survive predicate reordering,
+// and — when compilable — evaluate identically under the interpreter and
+// the compiled automaton.
+func FuzzParsePath(f *testing.F) {
+	for _, seed := range []string{
+		"/a", "//a", "/a/b/c", "/a//b/*", "//*//*",
+		"/site/people/person", "//person//name",
+		"/site/people/person[name='Alice']",
+		"//person[watches/watch]/name",
+		"/a[b][c='x']/d", "/a[b//c][d]",
+		"", "/", "//", "/a//", "/a b", "///(", "/a[", "/a[]", "/a['x']",
+	} {
+		f.Add(seed)
+	}
+	g, err := xmlload.ParseString(doc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Parse(expr)
+		if err != nil {
+			return // rejected input: nothing to check
+		}
+		// String must render a canonical form the parser accepts and fixes.
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but reparse of String %q failed: %v", expr, s, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String not a fixpoint: %q -> %q", s, s2)
+		}
+		want := EvalGraph(p, g)
+		// Predicate reordering is an equivalence (conjunction).
+		if got := EvalGraph(OrderPredicates(p), g); !equalIDs(got, want) {
+			t.Fatalf("%q: reordered predicates changed the result: %v != %v", expr, got, want)
+		}
+		c, err := Compile(p)
+		if err != nil {
+			return // over the step bound: interpreter-only expression
+		}
+		if got := c.EvalSource(g); !equalIDs(got, want) {
+			t.Fatalf("%q: compiled %v != interpreter %v", expr, got, want)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 
 	"structix/internal/akindex"
 	"structix/internal/graph"
@@ -71,62 +72,107 @@ type Planner struct {
 	Values ValueAccelerator
 }
 
-// Plan chooses a strategy for the expression. The heuristics follow the
-// cost model the paper's evaluation establishes: evaluation cost tracks
-// the number of (index) nodes the automaton touches, so prefer the
-// smallest structure that answers the expression precisely; fall back to
-// validated evaluation when the small structure is imprecise but much
-// smaller, and to the 1-index or the data graph otherwise.
+// costedPlan is one strategy candidate with its estimated cost, in units
+// of nodes the evaluator would touch.
+type costedPlan struct {
+	plan Plan
+	cost float64
+}
+
+// Plan chooses the cheapest strategy for the expression by estimated
+// cost. The cost model follows the paper's evaluation: evaluation cost
+// tracks the number of (index) nodes the automaton touches, plus — for
+// imprecise routes — the per-candidate validation work, so the ranking
+// uses the index sizes as walk bounds, Selectivity (index-only counting)
+// for the result and candidate volumes, and the graph's mean in-degree
+// for the validation fan-out. Ties break in the fixed Strategy order.
 func (pl *Planner) Plan(p *Path) Plan {
+	best := pl.rank(p)[0]
+	return best.plan
+}
+
+// rank returns every available strategy candidate costed for p, cheapest
+// first (ties in Strategy order).
+func (pl *Planner) rank(p *Path) []costedPlan {
 	sk := p.Skeleton()
 	anchored := !NeedsValidation(sk, 1<<30) // no descendant steps at all
-	n := pl.Graph.NumNodes()
-
-	if pl.Values != nil && valueAccelerable(p) {
-		return Plan{
-			Strategy: StrategyValueIndex,
-			Reason:   "final-step value predicate: drive from the value lookup",
-		}
+	n := float64(pl.Graph.NumNodes())
+	e := float64(pl.Graph.NumEdges())
+	fanIn := 1.0
+	if n > 0 && e > n {
+		fanIn = e / n
 	}
 
+	// Estimated result size, from the best synopsis available: exact from
+	// the 1-index, an upper bound from the A(k)-index, a guess otherwise.
+	result := n / 8
+	switch {
+	case pl.One != nil:
+		result = float64(CountOne(sk, pl.One))
+	case pl.Ak != nil:
+		result = float64(CountAk(sk, pl.Ak))
+	}
+
+	var cands []costedPlan
+	add := func(plan Plan, cost float64) {
+		plan.Reason += fmt.Sprintf(" (est. cost %.0f)", cost)
+		cands = append(cands, costedPlan{plan: plan, cost: cost})
+	}
+
+	if pl.Values != nil && valueAccelerable(p) {
+		// A value probe reads only its hit list; charge the lookup plus a
+		// structural check per hit (hits ≤ result candidates by far in the
+		// common case — result/4 keeps the estimate sub-linear in it).
+		add(Plan{
+			Strategy: StrategyValueIndex,
+			Reason:   "final-step value predicate: drive from the value lookup",
+		}, 1+result/4)
+	}
 	if pl.Ak != nil {
 		k := pl.Ak.K()
 		if anchored && sk.Len() <= k {
-			// Precise at level = length: the smallest precise structure.
-			return Plan{
+			// Precise at level = length: walk bound is the level size.
+			add(Plan{
 				Strategy: StrategyAkLevel,
 				Level:    sk.Len(),
 				Reason: fmt.Sprintf("anchored %d-step expression ≤ k=%d: A(%d) level is precise (%d inodes)",
 					sk.Len(), k, sk.Len(), pl.Ak.SizeAt(sk.Len())),
+			}, float64(pl.Ak.SizeAt(sk.Len()))+result)
+		} else {
+			// Walk the A(k) graph, then validate each candidate with a
+			// backward search: ~length × fan-in data nodes per candidate.
+			akCands := float64(CountAk(sk, pl.Ak))
+			valCost := 0.0
+			if NeedsValidation(sk, k) {
+				valCost = akCands * float64(sk.Len()) * fanIn
 			}
-		}
-		// Imprecise on A(k): worth validating when the A(k) graph is much
-		// smaller than both the data graph and the 1-index.
-		akSize := pl.Ak.Size()
-		oneSize := n
-		if pl.One != nil {
-			oneSize = pl.One.Size()
-		}
-		if akSize*4 <= oneSize {
-			return Plan{
+			add(Plan{
 				Strategy: StrategyAkValidated,
 				Level:    k,
-				Reason: fmt.Sprintf("A(%d) has %d inodes vs %d: validation overhead beats walking the larger structure",
-					k, akSize, oneSize),
-			}
+				Reason: fmt.Sprintf("A(%d) has %d inodes, ~%.0f candidates to validate",
+					k, pl.Ak.Size(), akCands),
+			}, float64(pl.Ak.Size())+valCost+result)
 		}
 	}
-	if pl.One != nil && pl.One.Size()*2 <= n {
-		return Plan{
+	if pl.One != nil {
+		add(Plan{
 			Strategy: StrategyOneIndex,
-			Reason: fmt.Sprintf("1-index is precise and has %d inodes vs %d dnodes",
+			Reason: fmt.Sprintf("1-index is precise and has %d inodes vs %.0f dnodes",
 				pl.One.Size(), n),
-		}
+		}, float64(pl.One.Size())+result)
 	}
-	return Plan{
+	add(Plan{
 		Strategy: StrategyDirect,
-		Reason:   "no index is materially smaller than the data graph",
-	}
+		Reason:   "direct traversal touches the whole data graph",
+	}, n+e)
+
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].plan.Strategy < cands[j].plan.Strategy
+	})
+	return cands
 }
 
 // valueAccelerable mirrors the shape check of the value index: predicates
@@ -149,8 +195,65 @@ func valueAccelerable(p *Path) bool {
 	return false
 }
 
+// predCost ranks one predicate by the work a single check costs: the
+// relative path's length, with descendant steps charged extra for their
+// closure walk. Value comparisons tie-break ahead of bare existence
+// tests — same traversal, but the equality test prunes harder, and a
+// failed cheap check skips every later predicate on the step.
+func predCost(pr *Predicate) int {
+	c := 0
+	for _, st := range pr.Rel.steps {
+		c += 2
+		if st.Descendant {
+			c += 6
+		}
+	}
+	if pr.HasValue {
+		c--
+	}
+	return c
+}
+
+// OrderPredicates returns p with each step's predicates sorted
+// cheapest-first (predCost), so candidate filtering fails fast on the
+// inexpensive checks. Predicates are conjunctive, so reordering never
+// changes the result. p itself is returned, untouched, when every step is
+// already in cost order.
+func OrderPredicates(p *Path) *Path {
+	ordered := func(preds []*Predicate) bool {
+		for i := 1; i < len(preds); i++ {
+			if predCost(preds[i-1]) > predCost(preds[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	dirty := false
+	for _, st := range p.steps {
+		if !ordered(st.Predicates) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return p
+	}
+	steps := make([]Step, len(p.steps))
+	copy(steps, p.steps)
+	for i := range steps {
+		if ordered(steps[i].Predicates) {
+			continue
+		}
+		preds := append([]*Predicate(nil), steps[i].Predicates...)
+		sort.SliceStable(preds, func(a, b int) bool { return predCost(preds[a]) < predCost(preds[b]) })
+		steps[i].Predicates = preds
+	}
+	return &Path{steps: steps}
+}
+
 // Eval plans and executes in one step, always returning the exact result.
 func (pl *Planner) Eval(p *Path) ([]graph.NodeID, Plan) {
+	p = OrderPredicates(p)
 	plan := pl.Plan(p)
 	switch plan.Strategy {
 	case StrategyValueIndex:

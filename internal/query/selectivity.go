@@ -12,24 +12,67 @@ import (
 // gives exact counts for this package's expression language, the
 // A(k)-index an upper bound whose slack shrinks as k grows.
 
+// OneView is the uniform read surface of a 1-index that counting and
+// planning need: the index graph (root, iedges, labels), extent sizes,
+// and the scale of the underlying data. Both the live *oneindex.Index and
+// the immutable *oneindex.Snapshot satisfy it, so the planner can cost
+// expressions against a frozen snapshot without touching — or locking —
+// the live index.
+type OneView interface {
+	RootINode() oneindex.INodeID
+	EachISucc(I oneindex.INodeID, fn func(J oneindex.INodeID))
+	LabelName(I oneindex.INodeID) string
+	ExtentSize(I oneindex.INodeID) int
+	Size() int
+	NumNodes() int
+}
+
+var (
+	_ OneView = (*oneindex.Index)(nil)
+	_ OneView = (*oneindex.Snapshot)(nil)
+)
+
+// oneViewNav adapts any OneView to the interpreter's navigator surface.
+type oneViewNav struct{ v OneView }
+
+func (n *oneViewNav) start() []int64 { return []int64{int64(n.v.RootINode())} }
+func (n *oneViewNav) succ(i int64, fn func(int64)) {
+	n.v.EachISucc(oneindex.INodeID(i), func(j oneindex.INodeID) { fn(int64(j)) })
+}
+func (n *oneViewNav) labelMatches(i int64, label string) bool {
+	return label == "*" || n.v.LabelName(oneindex.INodeID(i)) == label
+}
+
+// CountOne returns the number of dnodes matching p's skeleton, computed
+// from any 1-index view alone (extent sizes of the matched inodes, no
+// data access). The count is exact for the skeleton: predicates — which
+// the view cannot check — are ignored, so for predicate-bearing
+// expressions this is the upper bound planning wants, not the exact
+// answer CountOneIndex gives.
+func CountOne(p *Path, v OneView) int {
+	if v.RootINode() == oneindex.NoINode {
+		return 0
+	}
+	res := run(p.Skeleton(), &oneViewNav{v: v})
+	n := 0
+	for _, id := range res {
+		n += v.ExtentSize(oneindex.INodeID(id))
+	}
+	return n
+}
+
 // CountOneIndex returns the exact number of dnodes matching p. For
 // predicate-free expressions the count comes from the 1-index alone
 // (extent sizes of the matched inodes, no data access); predicates force
 // per-candidate checks against the data graph.
 func CountOneIndex(p *Path, x *oneindex.Index) int {
-	root := x.Graph().Root()
-	if root == graph.InvalidNode {
-		return 0
-	}
 	if p.HasPredicates() {
+		if x.Graph().Root() == graph.InvalidNode {
+			return 0
+		}
 		return len(EvalOneIndex(p, x))
 	}
-	res := run(p, &oneNav{x: x, root: x.INodeOf(root)})
-	n := 0
-	for _, id := range res {
-		n += x.ExtentSize(oneindex.INodeID(id))
-	}
-	return n
+	return CountOne(p, x)
 }
 
 // CountAk returns an upper bound on the number of dnodes matching p,
@@ -51,12 +94,13 @@ func CountAk(p *Path, x *akindex.Index) int {
 	return n
 }
 
-// Selectivity returns the fraction of dnodes matching p, estimated exactly
-// from the 1-index.
-func Selectivity(p *Path, x *oneindex.Index) float64 {
-	n := x.Graph().NumNodes()
+// Selectivity returns the fraction of dnodes matching p's skeleton,
+// estimated exactly from any 1-index view — the live index or a frozen
+// snapshot.
+func Selectivity(p *Path, v OneView) float64 {
+	n := v.NumNodes()
 	if n == 0 {
 		return 0
 	}
-	return float64(CountOneIndex(p, x)) / float64(n)
+	return float64(CountOne(p, v)) / float64(n)
 }

@@ -65,7 +65,7 @@ func TestCommitterWaitPrefersBufferedOutcome(t *testing.T) {
 func TestCommitterCloseDrainsQueue(t *testing.T) {
 	g, _, _, _ := gtest.Fig2()
 	store := structix.NewSnapshotOneIndex(structix.BuildOneIndex(g))
-	c := newCommitter(store, 8, 256, time.Millisecond, newMetrics())
+	c := newCommitter(store, 8, 256, time.Millisecond, newMetrics(), nil)
 	// Queue a valid edge insert, then close: the drain pass must still
 	// resolve the waiter with a committed outcome.
 	req := &updateReq{

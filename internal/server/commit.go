@@ -53,25 +53,38 @@ type committer struct {
 	window time.Duration
 	maxOps int
 	m      *metrics
+	eng    *engine // advanced after every publication (may be nil in tests)
 
 	closing chan struct{} // closed by beginClose: reject new submissions
 	quit    chan struct{} // closed by close: drain and exit
 	doneCh  chan struct{} // closed when the loop has exited
 }
 
-func newCommitter(store *structix.SnapshotOneIndex, queueDepth, maxOps int, window time.Duration, m *metrics) *committer {
+func newCommitter(store *structix.SnapshotOneIndex, queueDepth, maxOps int, window time.Duration, m *metrics, eng *engine) *committer {
 	c := &committer{
 		store:   store,
 		queue:   make(chan *updateReq, queueDepth),
 		window:  window,
 		maxOps:  maxOps,
 		m:       m,
+		eng:     eng,
 		closing: make(chan struct{}),
 		quit:    make(chan struct{}),
 		doneCh:  make(chan struct{}),
 	}
 	go c.run()
 	return c
+}
+
+// published records one snapshot publication: the result cache advances
+// to the new snapshot (evicting what the commit's dirty set invalidates)
+// before the epoch gauge moves. This goroutine is the only publisher, so
+// cache advances are totally ordered with publications.
+func (c *committer) published() uint64 {
+	if c.eng != nil {
+		c.eng.advance()
+	}
+	return c.m.bumpEpoch()
 }
 
 // submit admits a request or sheds it. It never blocks: a full queue is
@@ -221,7 +234,7 @@ func (c *committer) commitEdges(batch []*updateReq) {
 		ops = append(ops, r.edges...)
 	}
 	if err := c.store.ApplyBatch(ops); err == nil {
-		epoch := c.m.bumpEpoch()
+		epoch := c.published()
 		c.m.batches.Add(1)
 		c.m.batchedOps.Add(int64(total))
 		for _, r := range batch {
@@ -235,7 +248,7 @@ func (c *committer) commitEdges(batch []*updateReq) {
 	for _, r := range batch {
 		err := c.store.ApplyBatch(r.edges)
 		if err == nil {
-			epoch := c.m.bumpEpoch()
+			epoch := c.published()
 			c.m.batches.Add(1)
 			c.m.batchedOps.Add(int64(len(r.edges)))
 			r.done <- updateOutcome{epoch: epoch, batchSize: len(r.edges)}
@@ -255,7 +268,7 @@ func (c *committer) applyScript(req *updateReq) {
 		res, e = opscript.Apply(x, req.script)
 		return e
 	})
-	epoch := c.m.bumpEpoch()
+	epoch := c.published()
 	c.m.scripts.Add(1)
 	req.done <- updateOutcome{err: err, res: res, epoch: epoch, batchSize: len(req.script)}
 }

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"structix"
+	"structix/internal/graph"
+	"structix/internal/qcache"
+	"structix/internal/query"
+)
+
+// engine is the server's query evaluation core: a bounded compiled-program
+// cache (raw expression → compiled automaton, so hot expressions skip the
+// parser entirely), a per-request scratch pool for allocation-free
+// automaton walks, and the epoch-keyed result cache. The engine owns the
+// read path; the committer calls advance after every snapshot publication
+// so cached results can never outlive the epoch they were computed in.
+type engine struct {
+	store     *structix.SnapshotOneIndex
+	cache     *qcache.Cache // nil when the result cache is disabled
+	interpret bool          // evaluate with the per-step interpreter (baseline mode)
+
+	progs     sync.Map // raw expr string → *program
+	progCount atomic.Int64
+	progCap   int
+
+	scratch sync.Pool // *query.Scratch
+}
+
+// program is one parsed-and-compiled expression. compiled is nil when the
+// expression exceeds the compiler's step bound; evaluation then falls
+// back to the interpreter (and, having no footprint, caches imprecisely).
+type program struct {
+	path     *query.Path
+	compiled *query.Compiled
+	key      string // canonical cache key (predicate-ordered String form)
+}
+
+// maxPrograms bounds the program cache; expressions beyond the bound are
+// parsed per request rather than evicting (real workloads have a small
+// hot set, and an adversarial stream of unique expressions should not
+// churn it).
+const maxPrograms = 4096
+
+func newEngine(store *structix.SnapshotOneIndex, cacheEntries int, interpret bool) *engine {
+	e := &engine{store: store, interpret: interpret, progCap: maxPrograms}
+	e.scratch.New = func() any { return &query.Scratch{} }
+	if cacheEntries >= 0 && !interpret {
+		e.cache = qcache.New(cacheEntries)
+		// Set the initial tag so results computed against the boot
+		// snapshot are cacheable before the first commit.
+		e.cache.Advance(store.Snapshot(), nil, true)
+	}
+	return e
+}
+
+// program parses (and compiles) expr, serving repeats from the cache.
+func (e *engine) program(expr string) (*program, error) {
+	if v, ok := e.progs.Load(expr); ok {
+		return v.(*program), nil
+	}
+	p, err := structix.ParsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	p = query.OrderPredicates(p)
+	pr := &program{path: p, key: p.String()}
+	if c, err := query.Compile(p); err == nil {
+		pr.compiled = c
+	}
+	if e.progCount.Load() < int64(e.progCap) {
+		if _, loaded := e.progs.LoadOrStore(expr, pr); !loaded {
+			e.progCount.Add(1)
+		}
+	}
+	return pr, nil
+}
+
+// run evaluates pr against snap, consulting the result cache first. The
+// returned slice is shared (a cache entry or a fresh allocation the cache
+// now owns): read-only, but always safe to retain and re-slice.
+func (e *engine) run(ctx context.Context, pr *program, snap *structix.OneSnapshot) (nodes []graph.NodeID, cached bool, err error) {
+	if e.cache != nil {
+		if nodes, ok := e.cache.Get(pr.key, snap); ok {
+			return nodes, true, nil
+		}
+	}
+	if pr.compiled == nil || e.interpret {
+		nodes, err = structix.EvalOneSnapshotCtx(ctx, pr.path, snap)
+		if err != nil {
+			return nil, false, err
+		}
+		if e.cache != nil {
+			// No footprint from the interpreter: cache, but invalidate on
+			// every epoch.
+			e.cache.Put(pr.key, snap, nodes, nil, false)
+		}
+		return nodes, false, nil
+	}
+	sc := e.scratch.Get().(*query.Scratch)
+	defer e.scratch.Put(sc)
+	if e.cache == nil {
+		nodes, err = pr.compiled.EvalOneSnapshotIntoCtx(ctx, nil, sc, snap)
+		return nodes, false, err
+	}
+	nodes, footprint, precise, err := pr.compiled.EvalOneSnapshotFootprint(ctx, sc, snap)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.Put(pr.key, snap, nodes, footprint, precise)
+	return nodes, false, nil
+}
+
+// advance re-keys the result cache to the just-published snapshot,
+// evicting exactly the entries the commit's dirty-inode set could have
+// affected. Called only from the committer goroutine (all publications
+// are sequential there), plus once at construction.
+func (e *engine) advance() {
+	if e.cache == nil {
+		return
+	}
+	snap := e.store.Snapshot()
+	changed, ok := snap.Changed()
+	var dirty []int32
+	if ok {
+		dirty = make([]int32, len(changed))
+		for i, c := range changed {
+			dirty[i] = int32(c)
+		}
+	}
+	e.cache.Advance(snap, dirty, !ok)
+}
+
+// cacheStats returns result-cache counters (zero Stats when disabled).
+func (e *engine) cacheStats() qcache.Stats {
+	if e.cache == nil {
+		return qcache.Stats{}
+	}
+	return e.cache.Stats()
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"structix/internal/qcache"
 )
 
 // metrics is the server's observability state: request counters, latency
@@ -133,4 +135,23 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap int) {
 	gauge("structix_update_queue_depth", "updates waiting for the commit loop", float64(queueDepth))
 	gauge("structix_update_queue_capacity", "admission queue capacity", float64(queueCap))
 	gauge("structix_uptime_seconds", "time since the server started", time.Since(m.started).Seconds())
+}
+
+// writeCacheProm emits the query-result-cache and compiled-program
+// counters (all zero when the cache is disabled).
+func writeCacheProm(w io.Writer, cs qcache.Stats, programs int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("structix_qcache_hits_total", "queries served from the result cache", cs.Hits)
+	counter("structix_qcache_misses_total", "result-cache lookups that evaluated", cs.Misses)
+	counter("structix_qcache_invalidated_total", "cache entries evicted by commits", cs.Invalidated)
+	counter("structix_qcache_evicted_total", "cache entries evicted by the LRU bound", cs.Evicted)
+	counter("structix_qcache_stale_puts_total", "results dropped for racing a commit", cs.StalePuts)
+	gauge("structix_qcache_entries", "live result-cache entries", float64(cs.Entries))
+	gauge("structix_qcache_hit_rate", "hits / lookups since start", cs.HitRate())
+	gauge("structix_compiled_programs", "compiled path automata cached", float64(programs))
 }

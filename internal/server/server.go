@@ -56,6 +56,13 @@ type Config struct {
 	// PersistPath, when set, saves the database (graph + 1-index) there
 	// during Shutdown, after the commit pipeline has drained.
 	PersistPath string
+	// QueryCacheEntries bounds the epoch-keyed result cache. 0 uses the
+	// default (qcache.DefaultMaxEntries); negative disables the cache.
+	QueryCacheEntries int
+	// InterpretQueries serves queries with the per-step interpreter
+	// instead of compiled automata, and disables the result cache — the
+	// pre-compilation read path, kept selectable for benchmarking.
+	InterpretQueries bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +89,7 @@ type Server struct {
 	store *structix.SnapshotOneIndex
 	cfg   Config
 	com   *committer
+	eng   *engine
 	m     *metrics
 	mux   *http.ServeMux
 	hs    *http.Server
@@ -100,7 +108,8 @@ func New(store *structix.SnapshotOneIndex, cfg Config) *Server {
 		m:     newMetrics(),
 		mux:   http.NewServeMux(),
 	}
-	s.com = newCommitter(store, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m)
+	s.eng = newEngine(store, cfg.QueryCacheEntries, cfg.InterpretQueries)
+	s.com = newCommitter(store, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m, s.eng)
 
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/update", s.handleUpdate)
@@ -213,7 +222,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	p, err := structix.ParsePath(req.Expr)
+	pr, err := s.eng.program(req.Expr)
 	if err != nil {
 		s.m.badRequests.Add(1)
 		s.writeError(w, http.StatusBadRequest, ErrorReply{Error: err.Error(), Code: CodeBadRequest})
@@ -221,21 +230,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	// One atomic load pins the epoch snapshot for the whole request;
-	// concurrent commits publish new epochs without touching it.
+	// concurrent commits publish new epochs without touching it. The
+	// snapshot pointer doubles as the result cache's validity tag, so
+	// cache lookups can never cross epochs.
 	snap := s.store.Snapshot()
 	epoch := s.m.epoch.Load()
 	rep := QueryReply{Epoch: epoch}
-	if req.CountOnly {
-		rep.Count, err = structix.CountOneSnapshotCtx(r.Context(), p, snap)
-	} else {
-		var nodes []graph.NodeID
-		nodes, err = structix.EvalOneSnapshotCtx(r.Context(), p, snap)
+	var nodes []graph.NodeID
+	nodes, rep.Cached, err = s.eng.run(r.Context(), pr, snap)
+	if err == nil {
 		rep.Count = len(nodes)
-		if req.Limit > 0 && len(nodes) > req.Limit {
-			nodes = nodes[:req.Limit]
-			rep.Truncated = true
+		if !req.CountOnly {
+			if req.Limit > 0 && len(nodes) > req.Limit {
+				nodes = nodes[:req.Limit]
+				rep.Truncated = true
+			}
+			rep.Nodes = nodes
 		}
-		rep.Nodes = nodes
 	}
 	s.m.queries.Add(1)
 	s.m.queryLat.observe(time.Since(start))
@@ -368,6 +379,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:      s.m.rejected.Load(),
 		UptimeMs:      time.Since(s.m.started).Milliseconds(),
 	}
+	cs := s.eng.cacheStats()
+	rep.CacheHits = cs.Hits
+	rep.CacheMisses = cs.Misses
+	rep.CacheHitRate = cs.HitRate()
+	rep.CacheEntries = cs.Entries
+	rep.CacheInvalidated = cs.Invalidated
+	rep.CompiledPrograms = int(s.eng.progCount.Load())
 	writeJSON(w, http.StatusOK, rep)
 }
 
@@ -383,4 +401,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.m.writeProm(w, len(s.com.queue), cap(s.com.queue))
+	writeCacheProm(w, s.eng.cacheStats(), int(s.eng.progCount.Load()))
 }

@@ -35,6 +35,9 @@ type QueryReply struct {
 	Nodes []graph.NodeID `json:"nodes,omitempty"`
 	// Truncated reports that Nodes was cut short by Limit.
 	Truncated bool `json:"truncated,omitempty"`
+	// Cached reports that the answer was served from the result cache
+	// (same epoch, same canonical expression, footprint untouched since).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // UpdateRequest is the body of POST /v1/update: a script of operations in
@@ -117,6 +120,15 @@ type StatsReply struct {
 	Queries  int64 `json:"queries"`
 	Updates  int64 `json:"updates"`
 	Rejected int64 `json:"rejected"`
+
+	// Result-cache counters (zero when the cache is disabled).
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheEntries     int     `json:"cache_entries"`
+	CacheInvalidated int64   `json:"cache_invalidated"`
+	// CompiledPrograms is the number of cached compiled automata.
+	CompiledPrograms int `json:"compiled_programs"`
 
 	UptimeMs int64 `json:"uptime_ms"`
 }

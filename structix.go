@@ -20,7 +20,8 @@
 //   - a path-expression engine (labels, *, //, predicates) that evaluates
 //     directly, via the 1-index (precise), via any A(l) level with
 //     validation, or value-first through an inverted value index — with a
-//     Planner choosing the cheapest exact route per expression;
+//     cost-based Planner ranking the exact routes per expression, and an
+//     automaton compiler (CompilePath) for the snapshot read path;
 //   - persistence (versioned binary, optional gzip), write-ahead-style op
 //     journals for snapshot+replay recovery, textual update scripts, and
 //     two concurrency wrappers: RWMutex (concurrent queries, serialized
@@ -217,9 +218,9 @@ func EvalAkLevelValidated(p *Path, x *AkIndex, l int) []NodeID {
 	return query.EvalAkLevelValidated(p, x, l)
 }
 
-// Planner picks the cheapest exact evaluation route (A(l) level, validated
-// A(k), 1-index, or direct traversal) for each expression, given whichever
-// indexes exist.
+// Planner ranks the exact evaluation routes (value index, A(l) level,
+// validated A(k), 1-index, direct traversal) by estimated cost for each
+// expression, given whichever indexes exist, and picks the cheapest.
 type Planner = query.Planner
 
 // QueryPlan is a chosen strategy with an EXPLAIN-style rationale.
@@ -249,9 +250,20 @@ func CountOneIndex(p *Path, x *OneIndex) int { return query.CountOneIndex(p, x) 
 // A(k)-index alone.
 func CountAk(p *Path, x *AkIndex) int { return query.CountAk(p, x) }
 
-// Selectivity returns the exact fraction of dnodes matching p, from the
-// 1-index.
+// Selectivity returns the fraction of dnodes matching p's skeleton
+// (predicates stripped — an upper bound when p carries any), computed
+// exactly from the 1-index without touching the data graph.
 func Selectivity(p *Path, x *OneIndex) float64 { return query.Selectivity(p, x) }
+
+// CompiledPath is a path expression compiled to an automaton (DFA with an
+// NFA fallback) for repeated evaluation over epoch snapshots; see
+// query.Compile for the evaluation methods and limits.
+type CompiledPath = query.Compiled
+
+// CompilePath compiles p for the snapshot read path. Expressions beyond
+// the compiler's step bound return an error; callers fall back to the
+// interpreting evaluators.
+func CompilePath(p *Path) (*CompiledPath, error) { return query.Compile(p) }
 
 // ---- DataGuide ----
 
