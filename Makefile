@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race stress serve-stress serve-smoke cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-smoke fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress serve-stress serve-smoke crash-test cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-wal bench-smoke fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ serve-stress:
 # shutdown with persistence, reload + Validate.
 serve-smoke:
 	$(GO) run ./cmd/xsiserve -smoke
+
+# Crash-recovery gates: journal-replay bit-identity, crash-injection
+# property tests (random tail damage recovers a commit prefix, never a
+# partial batch), the kill -9 re-exec test (zero acked commits lost
+# under fsync=always), and the subtree-frame replay-equivalence pin.
+crash-test:
+	$(GO) test -race -count=1 -run 'TestCrash|TestKill9|TestRecovery|TestSubgraphFrame|TestDeleteSubtreeSurvives' .
 
 cover:
 	$(GO) test -cover ./...
@@ -72,6 +79,12 @@ bench-serve:
 bench-query:
 	$(GO) run ./cmd/xsibench -exp query -json BENCH_query.json
 
+# Durability benchmark: commit latency/throughput per journal fsync
+# policy plus recovery time vs journal length; see BENCH_wal.json for
+# the committed run and DESIGN.md §8 for the commit protocol.
+bench-wal:
+	$(GO) run ./cmd/xsibench -exp wal -json BENCH_wal.json
+
 # One-iteration pass over every benchmark in the module: keeps them
 # compiling and running without paying for stable timings (CI runs this).
 bench-smoke:
@@ -104,16 +117,19 @@ experiments:
 	$(GO) run ./cmd/xsibench -exp all -scale 16
 
 # What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests,
-# the concurrent-stress and server-stress passes, the xsiserve smoke, a
-# short path-parser fuzz pass, the query-bench smoke, and a one-iteration
-# smoke pass over every benchmark in the module.
+# the concurrent-stress and server-stress passes, the crash-recovery
+# gates, the xsiserve smoke, a short path-parser fuzz pass, the
+# query-bench and wal-bench smokes, and a one-iteration smoke pass over
+# every benchmark in the module.
 ci: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
 	$(GO) test -race -count=2 -run 'TestServer|TestCommitter' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestCrash|TestKill9|TestRecovery|TestSubgraphFrame|TestDeleteSubtreeSurvives' .
 	$(GO) run ./cmd/xsiserve -smoke
 	$(GO) test -fuzz=FuzzParsePath -fuzztime=10s ./internal/query/
 	$(GO) run ./cmd/xsibench -exp query
+	$(GO) run ./cmd/xsibench -exp wal
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 clean:

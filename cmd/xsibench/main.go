@@ -19,6 +19,7 @@
 //	xsibench -exp memlayout                # flat-layout build/batch/alloc costs
 //	xsibench -exp serve                    # HTTP serving: 90/10 mix over loopback
 //	xsibench -exp query                    # compiled automata + result cache vs interpreter
+//	xsibench -exp wal                      # journal fsync policies + crash-recovery time
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
@@ -106,6 +107,7 @@ func main() {
 		r.memlayout()
 		r.serve()
 		r.query()
+		r.wal()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -134,6 +136,8 @@ func main() {
 		r.serve()
 	case "query":
 		r.query()
+	case "wal":
+		r.wal()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -419,6 +423,34 @@ func (r runner) query() {
 		}
 		defer f.Close()
 		if err := experiments.WriteQueryJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) wal() {
+	d := experiments.Dataset{Name: "XMark(1)", Cyclicity: 1}
+	cfg := experiments.DefaultWalConfig(r.seed)
+	// The commit workload draws from the absent-IDREF pool like the other
+	// write benchmarks; cap the reduction so the batches stay full width.
+	scale := r.scale
+	if scale > 8 {
+		scale = 8
+	}
+	res, err := experiments.RunWal(d.Name, d.Build(scale, r.seed), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsibench: wal: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.ReportWal(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteWalJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

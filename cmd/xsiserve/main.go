@@ -1,37 +1,49 @@
 // Command xsiserve serves a structural-index database over HTTP: lock-free
 // path-expression queries off epoch snapshots, group-committed incremental
-// updates, admission control, metrics, and graceful persistence — the
-// serving shape incremental maintenance exists for (no rebuild anywhere).
+// updates journaled to a write-ahead log, admission control, metrics, and
+// crash recovery — the serving shape incremental maintenance exists for
+// (no rebuild anywhere).
 //
 // Usage:
 //
-//	xsiserve -load db.bin -addr :8080 -persist db.bin
+//	xsiserve -data /var/lib/structix -addr :8080
+//	xsiserve -data ./state -fsync always
 //	xsiserve -xmark 64 -seed 7 -addr 127.0.0.1:8080
 //	xsiserve -smoke
 //
-// With -load the database (graph + 1-index) comes from a file written by
-// SaveDatabase (the 1-index is built on the spot if the file carries only
-// a graph); otherwise an XMark-shaped dataset is generated at -xmark
-// scale. On SIGINT/SIGTERM the server drains: in-flight updates commit,
-// new ones are rejected with Retry-After, and with -persist the
-// maintained database is saved before exit.
+// With -data the store is durable: structix.Open recovers the last
+// snapshot plus the journal tail (discarding a torn tail frame if the
+// previous process crashed), every committed update window is journaled
+// before its clients are acknowledged, a background compactor keeps the
+// journal short, and a clean shutdown seals the state into a fresh
+// snapshot. A fresh -data directory is bootstrapped from -load (a
+// SaveDatabase file) when given, else from a generated XMark-shaped
+// dataset at -xmark scale. -fsync picks the journal fsync policy:
+// "window" (default; one fsync per group-commit window, acknowledgments
+// wait for it), "always", "interval", or "none".
+//
+// Without -data the store is in-memory; -load/-persist give the legacy
+// file-based save/restore (deprecated — prefer -data, which owns the
+// lifecycle end to end).
 //
 // Endpoints:
 //
 //	POST /v1/query    {"expr":"//person/name","count_only":false,"limit":0}
 //	POST /v1/update   {"ops":[{"op":"insert","u":1,"v":2,"kind":"idref"}]}
-//	GET  /v1/stats    operational counters (JSON)
+//	GET  /v1/stats    operational + durability counters (JSON)
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     Prometheus text exposition
 //	GET  /debug/pprof profiling
 //
-// -smoke runs the self-test: boot a small dataset on an ephemeral
-// loopback port, drive a client round trip (health, query, count, atomic
-// update, typed batch rejection, stats), shut down gracefully with
-// persistence, and validate the persisted database.
+// -smoke runs the self-test: boot a durable store in a temp directory on
+// an ephemeral loopback port, drive a client round trip (health, query,
+// count, atomic update, typed batch rejection, durability stats), shut
+// down gracefully, then reopen the directory and verify recovery
+// reproduces the served state.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -48,14 +60,16 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		load      = flag.String("load", "", "load a persisted database (SaveDatabase format, gzip ok)")
+		data      = flag.String("data", "", "durable store directory (snapshots + write-ahead log)")
+		fsync     = flag.String("fsync", "window", "journal fsync policy: always|window|interval|none")
+		load      = flag.String("load", "", "bootstrap/load a persisted database (SaveDatabase format, gzip ok)")
 		xmark     = flag.Int("xmark", 64, "XMark scale divisor for the bootstrap dataset (when no -load)")
 		cyclicity = flag.Float64("cyclicity", 1, "bootstrap dataset cyclicity")
 		seed      = flag.Int64("seed", 7, "bootstrap dataset seed")
 		window    = flag.Duration("window", 2*time.Millisecond, "group-commit flush deadline")
 		maxBatch  = flag.Int("maxbatch", 256, "flush the commit window at this many pooled edge ops")
 		queue     = flag.Int("queue", 1024, "admission queue depth (full queue sheds updates with 429)")
-		persist   = flag.String("persist", "", "save the maintained database here on graceful shutdown")
+		persist   = flag.String("persist", "", "deprecated: save the database here on shutdown (prefer -data)")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		smoke     = flag.Bool("smoke", false, "run the self-test and exit")
 	)
@@ -70,20 +84,27 @@ func main() {
 		return
 	}
 
-	idx, err := loadIndex(*load, *xmark, *cyclicity, *seed)
+	db, err := openStore(*data, *fsync, *load, *xmark, *cyclicity, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xsiserve: %v\n", err)
 		os.Exit(1)
 	}
-	g := idx.Graph()
-	fmt.Printf("xsiserve: serving %d dnodes, %d dedges, 1-index %d inodes on %s\n",
-		g.NumNodes(), g.NumEdges(), idx.Size(), *addr)
+	snap := db.Snapshot()
+	fmt.Printf("xsiserve: serving %d dnodes, 1-index %d inodes on %s\n",
+		snap.Data().NumNodes(), snap.Size(), *addr)
+	if ds := db.Stats(); ds.Durable {
+		fmt.Printf("xsiserve: durable store %s (fsync=%s)", ds.Dir, ds.Policy)
+		if ds.ReplayedRecords > 0 || ds.TornBytesDropped > 0 {
+			fmt.Printf(", recovered %d journal records (%d torn bytes dropped)",
+				ds.ReplayedRecords, ds.TornBytesDropped)
+		}
+		fmt.Println()
+	}
 
-	srv := server.New(structix.NewSnapshotOneIndex(idx), server.Config{
-		Window:      *window,
-		MaxBatch:    *maxBatch,
-		QueueDepth:  *queue,
-		PersistPath: *persist,
+	srv := server.New(db, server.Config{
+		Window:     *window,
+		MaxBatch:   *maxBatch,
+		QueueDepth: *queue,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -110,28 +131,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xsiserve: shutdown: %v\n", err)
 		os.Exit(1)
 	}
-	if *persist != "" {
+	if *persist != "" && *data == "" {
+		if err := saveTo(*persist, db); err != nil {
+			fmt.Fprintf(os.Stderr, "xsiserve: persist: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("xsiserve: persisted database to %s\n", *persist)
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "xsiserve: close: %v\n", err)
+		os.Exit(1)
+	}
+	if *data != "" {
+		fmt.Printf("xsiserve: sealed store %s\n", *data)
 	}
 }
 
-// loadIndex restores a persisted database or bootstraps a generated one.
-func loadIndex(load string, xmark int, cyclicity float64, seed int64) (*structix.OneIndex, error) {
-	if load == "" {
+// openStore builds the DB handle: durable (structix.Open over -data) or
+// in-memory (legacy -load / generated dataset).
+func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int64) (*structix.DB, error) {
+	bootstrap := func() (*structix.Database, error) {
+		if load != "" {
+			return loadFile(load)
+		}
 		g := structix.GenerateXMark(structix.DefaultXMark(xmark, cyclicity, seed))
-		return structix.BuildOneIndex(g), nil
+		return &structix.Database{Graph: g}, nil
 	}
-	f, err := os.Open(load)
+	if data != "" {
+		policy, err := structix.ParseSyncPolicy(fsync)
+		if err != nil {
+			return nil, err
+		}
+		return structix.Open(data, structix.Options{Sync: policy, Bootstrap: bootstrap})
+	}
+	db, err := bootstrap()
+	if err != nil {
+		return nil, err
+	}
+	idx := db.One
+	if idx == nil {
+		idx = structix.BuildOneIndex(db.Graph)
+	}
+	return structix.NewDB(idx), nil
+}
+
+func loadFile(path string) (*structix.Database, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	db, err := structix.LoadDatabaseAuto(f)
+	return structix.LoadDatabaseAuto(f)
+}
+
+// saveTo writes the in-memory store's state to a SaveDatabase file (the
+// deprecated -persist path; the commit loop has already drained).
+func saveTo(path string, db *structix.DB) error {
+	f, err := os.Create(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if db.One != nil {
-		return db.One, nil
+	bw := bufio.NewWriter(f)
+	if err := structix.SaveSnapshot(bw, db.Snapshot()); err != nil {
+		f.Close()
+		return err
 	}
-	return structix.BuildOneIndex(db.Graph), nil
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

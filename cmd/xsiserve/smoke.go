@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"path/filepath"
 	"time"
 
 	"structix"
@@ -17,23 +16,28 @@ import (
 	"structix/internal/server"
 )
 
-// runSmoke is the end-to-end self-test behind -smoke: ephemeral loopback
-// port, full client round trip, graceful shutdown with persistence, and a
-// Validate pass over the reloaded database. It exercises exactly the path
-// `make serve-smoke` gates in CI.
+// runSmoke is the end-to-end self-test behind -smoke: a durable store in
+// a temp directory on an ephemeral loopback port, full client round trip,
+// graceful shutdown, then a recovery pass — reopen the directory and
+// check the store answers exactly what it served before exit. It
+// exercises exactly the path `make serve-smoke` gates in CI.
 func runSmoke() error {
 	dir, err := os.MkdirTemp("", "xsiserve-smoke-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	dbPath := filepath.Join(dir, "smoke.db")
 
-	g := structix.GenerateXMark(structix.DefaultXMark(256, 1, 42))
-	idx := structix.BuildOneIndex(g)
-	srv := server.New(structix.NewSnapshotOneIndex(idx), server.Config{
-		PersistPath: dbPath,
+	db, err := structix.Open(dir, structix.Options{
+		Sync: structix.SyncAlways,
+		Bootstrap: func() (*structix.Database, error) {
+			return &structix.Database{Graph: structix.GenerateXMark(structix.DefaultXMark(256, 1, 42))}, nil
+		},
 	})
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	srv := server.New(db, server.Config{})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -102,8 +106,25 @@ func runSmoke() error {
 	if st.Updates < 3 || st.Queries < 2 {
 		return fmt.Errorf("stats undercount: %d updates, %d queries", st.Updates, st.Queries)
 	}
+	if !st.Durable || st.FsyncPolicy != "always" {
+		return fmt.Errorf("stats report durable=%v policy=%q, want a durable fsync=always store",
+			st.Durable, st.FsyncPolicy)
+	}
+	// Every acknowledged update is on disk under fsync=always: the commit
+	// epoch (2 committed updates) must be covered by the durable seq.
+	if st.DurableSeq < st.AppliedSeq || st.AppliedSeq == 0 {
+		return fmt.Errorf("durability lag under fsync=always: applied %d, durable %d",
+			st.AppliedSeq, st.DurableSeq)
+	}
+	epoch, err := c.ServerEpoch(ctx)
+	if err != nil {
+		return fmt.Errorf("server epoch: %w", err)
+	}
+	if epoch != st.Epoch {
+		return fmt.Errorf("ServerEpoch says %d, stats say %d", epoch, st.Epoch)
+	}
 
-	// Graceful shutdown persists; Serve must return cleanly.
+	// Graceful shutdown; Serve must return cleanly, Close seals the store.
 	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer shCancel()
 	if err := srv.Shutdown(shCtx); err != nil {
@@ -112,32 +133,28 @@ func runSmoke() error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
 	}
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
 
-	// The persisted database must reload and pass full invariant checking,
-	// and the round-tripped index must answer the query identically.
-	f, err := os.Open(dbPath)
+	// Recovery: reopening the directory must reproduce the served state
+	// and pass full invariant checking.
+	db2, err := structix.Open(dir, structix.Options{})
 	if err != nil {
-		return fmt.Errorf("reload: %w", err)
+		return fmt.Errorf("reopen: %w", err)
 	}
-	defer f.Close()
-	db, err := structix.LoadDatabaseAuto(f)
-	if err != nil {
-		return fmt.Errorf("reload: %w", err)
-	}
-	if db.One == nil {
-		return fmt.Errorf("persisted database has no 1-index")
-	}
-	if err := db.One.Validate(); err != nil {
-		return fmt.Errorf("reloaded index invalid: %w", err)
+	defer db2.Close()
+	if err := db2.Validate(); err != nil {
+		return fmt.Errorf("recovered store invalid: %w", err)
 	}
 	p, err := structix.ParsePath(expr)
 	if err != nil {
 		return err
 	}
-	if got := len(structix.EvalOneIndex(p, db.One)); got != n {
-		return fmt.Errorf("reloaded index answers %d for %s, served answer was %d", got, expr, n)
+	if got := len(db2.Eval(p)); got != n {
+		return fmt.Errorf("recovered store answers %d for %s, served answer was %d", got, expr, n)
 	}
-	fmt.Printf("xsiserve: smoke: %d nodes, %s -> %d matches, persisted %s validates\n",
-		db.Graph.NumNodes(), expr, n, dbPath)
+	fmt.Printf("xsiserve: smoke: %d nodes, %s -> %d matches, store %s recovers\n",
+		db2.Snapshot().Data().NumNodes(), expr, n, dir)
 	return nil
 }

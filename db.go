@@ -1,0 +1,771 @@
+package structix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"structix/internal/graph"
+	"structix/internal/oneindex"
+	"structix/internal/opscript"
+	"structix/internal/persist"
+	"structix/internal/query"
+	"structix/internal/wal"
+)
+
+// DB is the durable store: a snapshot-served 1-index whose every write is
+// journaled to a write-ahead log before it is acknowledged, so the state
+// survives crashes. Open loads the last durable snapshot, replays the
+// journal tail (discarding a torn tail frame), and returns a handle whose
+// reads are lock-free epoch snapshots — exactly the SnapshotOneIndex
+// serving model — and whose writes follow the commit protocol
+//
+//	apply → journal append → (fsync per policy) → publish snapshot → return
+//
+// so a write the caller has seen return is recoverable (under SyncAlways
+// and SyncWindow it is already on disk), and recovery can never surface a
+// partially applied batch: the journal record is the unit of atomicity.
+//
+// A background compactor periodically persists the current snapshot and
+// truncates the journal below it; both run off immutable views, so
+// neither readers nor the write path block on compaction.
+//
+// NewDB builds the same handle without a directory: an in-memory store
+// with journaling disabled, for tests and benchmarks that want the one
+// API without durability.
+//
+// The wrapped index and graph must not be touched directly while the DB
+// is in use.
+type DB struct {
+	dir  string
+	opts Options
+	log  *wal.Log // nil for an in-memory DB
+
+	mu         sync.Mutex // serializes writers; journal order == apply order
+	idx        *OneIndex
+	cur        atomic.Pointer[OneSnapshot]
+	appliedSeq uint64 // journal seq of the last applied record (under mu)
+	sinceSnap  int    // records since the last on-disk snapshot (under mu)
+	closed     bool
+
+	snapSeq     atomic.Uint64 // journal coverage of the newest on-disk snapshot
+	compactions atomic.Int64
+	compactErr  error // last compaction failure (under mu)
+
+	replayed  int   // journal records replayed by Open
+	tornBytes int64 // torn-tail bytes discarded by Open
+
+	compactReq  chan struct{}
+	compactDone chan struct{}
+}
+
+// SyncPolicy selects when journal appends are fsynced; see the wal
+// package for the full semantics of each policy.
+type SyncPolicy = wal.SyncPolicy
+
+// Fsync policies for Options.Sync.
+const (
+	// SyncWindow fsyncs once per commit window (the default): durability
+	// piggybacks on group commit, one fsync covers every write in the
+	// window, and the window's writers are acknowledged only after it.
+	SyncWindow = wal.SyncWindow
+	// SyncAlways fsyncs inside every journal append.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a background ticker (Options.SyncInterval):
+	// acknowledgments do not wait, loss after a crash is bounded by the
+	// interval.
+	SyncInterval = wal.SyncInterval
+	// SyncNone never fsyncs; the OS page cache decides.
+	SyncNone = wal.SyncNone
+)
+
+// ParseSyncPolicy reads a policy name ("always", "window", "interval",
+// "none") as spelled on command lines.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// Options tunes Open; the zero value is a SyncWindow store with default
+// segment size and compaction cadence.
+type Options struct {
+	// Sync is the journal fsync policy. Default SyncWindow.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval.
+	// Default 100ms.
+	SyncInterval time.Duration
+	// SegmentBytes rolls the journal to a new segment beyond this size.
+	// Default 64 MiB.
+	SegmentBytes int64
+	// CompactEvery triggers a background snapshot + journal truncation
+	// after this many journal records. Default 4096; negative disables
+	// background compaction (Close still writes a final snapshot).
+	CompactEvery int
+	// Bootstrap supplies the initial state for a directory that has no
+	// snapshot yet (a brand-new store). When nil, the store starts as an
+	// empty graph with a root node. The bootstrapped state is snapshotted
+	// during Open, before any journaling, so Bootstrap is never re-run on
+	// recovery.
+	Bootstrap func() (*Database, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 4096
+	}
+	return o
+}
+
+// ErrClosed is returned by every operation on a closed DB.
+var ErrClosed = errors.New("structix: database is closed")
+
+const (
+	walSubdir  = "wal"
+	snapPrefix = "snap-"
+	snapSuffix = ".sx"
+)
+
+func snapName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	if len(name) != len(snapPrefix)+16+len(snapSuffix) ||
+		name[:len(snapPrefix)] != snapPrefix || name[len(name)-len(snapSuffix):] != snapSuffix {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name[len(snapPrefix):len(name)-len(snapSuffix)], "%016x", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open opens (or creates) the durable store in dir and recovers its
+// state: the newest readable snapshot is loaded and the journal tail
+// replayed on top, truncating a torn final frame if the previous process
+// died mid-write. The returned DB owns dir until Close.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("structix: %w", err)
+	}
+
+	// Newest readable snapshot wins; an unreadable newest one (a crash
+	// can't produce this — snapshots appear by atomic rename — but disks
+	// can) falls back to its predecessor, which the journal still covers
+	// because segments are only truncated below *written* snapshots.
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	var base *Database
+	baseSeq := uint64(0)
+	hadSnap := false
+	for i := len(seqs) - 1; i >= 0 && base == nil; i-- {
+		f, err := os.Open(filepath.Join(dir, snapName(seqs[i])))
+		if err != nil {
+			return nil, fmt.Errorf("structix: %w", err)
+		}
+		db, lerr := persist.LoadDatabaseAuto(f)
+		f.Close()
+		if lerr != nil {
+			err = fmt.Errorf("structix: snapshot %s: %w", snapName(seqs[i]), lerr)
+			if i == 0 {
+				return nil, err
+			}
+			continue
+		}
+		base, baseSeq, hadSnap = db, seqs[i], true
+	}
+	if base == nil {
+		if opts.Bootstrap != nil {
+			if base, err = opts.Bootstrap(); err != nil {
+				return nil, fmt.Errorf("structix: bootstrap: %w", err)
+			}
+			if base == nil || base.Graph == nil {
+				return nil, errors.New("structix: bootstrap returned no graph")
+			}
+		} else {
+			g := graph.New()
+			g.AddRoot()
+			base = &Database{Graph: g}
+		}
+	}
+	idx := base.One
+	if idx == nil {
+		idx = oneindex.Build(base.Graph)
+	}
+
+	log, err := wal.Open(filepath.Join(dir, walSubdir), wal.Options{
+		Policy:       opts.Sync,
+		Interval:     opts.SyncInterval,
+		SegmentBytes: opts.SegmentBytes,
+		FirstSeq:     baseSeq + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	db := &DB{dir: dir, opts: opts, log: log, idx: idx}
+	db.appliedSeq = baseSeq
+	db.snapSeq.Store(baseSeq)
+	db.tornBytes = log.TruncatedBytes()
+	if err := log.Replay(baseSeq+1, func(rec *wal.Record) error {
+		if err := replayRecord(idx, rec); err != nil {
+			return err
+		}
+		db.appliedSeq = rec.Seq
+		db.replayed++
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("structix: replaying journal: %w", err)
+	}
+	db.cur.Store(idx.Freeze(idx.Graph().Freeze()))
+
+	// A brand-new store pins its initial state on disk before the first
+	// write, so recovery never depends on re-running Bootstrap; the same
+	// write also covers the snapshotless-journal case (replayed > 0).
+	if !hadSnap {
+		if err := db.writeSnapshot(db.appliedSeq, db.cur.Load()); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+
+	if opts.CompactEvery > 0 {
+		db.compactReq = make(chan struct{}, 1)
+		db.compactDone = make(chan struct{})
+		go db.compactLoop()
+	}
+	return db, nil
+}
+
+// NewDB wraps an already-built index as an in-memory DB: the same handle
+// and serving model, journaling disabled. Open is the durable variant.
+func NewDB(idx *OneIndex) *DB {
+	db := &DB{idx: idx}
+	db.cur.Store(idx.Freeze(idx.Graph().Freeze()))
+	return db
+}
+
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("structix: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSnapName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// replayRecord applies one journal record to the live index. Application
+// is deterministic (NodeIDs are assigned densely in order, labels are
+// re-interned by name), so replaying the journal against the snapshot it
+// was written on top of reproduces the pre-crash state exactly; any
+// failure here means the journal and snapshot disagree and recovery must
+// stop rather than guess.
+func replayRecord(x *OneIndex, rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.RecEdges:
+		if err := x.ApplyBatch(rec.Edges); err != nil {
+			return fmt.Errorf("record %d: %w", rec.Seq, err)
+		}
+	case wal.RecScript:
+		res, err := opscript.Apply(x, rec.Script)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", rec.Seq, err)
+		}
+		if res.Applied != len(rec.Script) {
+			return fmt.Errorf("record %d: script stopped at op %d of %d", rec.Seq, res.Applied, len(rec.Script))
+		}
+	case wal.RecSubgraph:
+		in := x.Graph().Labels()
+		sg := &Subgraph{
+			Labels:    make([]graph.LabelID, len(rec.Sub.Labels)),
+			Values:    rec.Sub.Values,
+			Edges:     rec.Sub.Edges,
+			EdgeKinds: rec.Sub.EdgeKinds,
+			CrossIn:   rec.Sub.CrossIn,
+			CrossOut:  rec.Sub.CrossOut,
+		}
+		for i, name := range rec.Sub.Labels {
+			sg.Labels[i] = in.Intern(name)
+		}
+		if _, err := x.AddSubgraph(sg); err != nil {
+			return fmt.Errorf("record %d: %w", rec.Seq, err)
+		}
+	default:
+		return fmt.Errorf("record %d: unknown kind %v", rec.Seq, rec.Kind)
+	}
+	return nil
+}
+
+// ---- write path ----
+
+// publishPatch and publishFull mirror SnapshotOneIndex: copy-on-write
+// epoch publication, full re-freeze for structural operations. Callers
+// hold db.mu.
+func (db *DB) publishPatch(touched []NodeID) {
+	prev := db.cur.Load()
+	data := prev.Data().Rebuild(db.idx.Graph(), touched)
+	db.cur.Store(db.idx.PatchSnapshot(prev, data))
+}
+
+func (db *DB) publishFull() {
+	db.cur.Store(db.idx.PatchSnapshot(db.cur.Load(), db.idx.Graph().Freeze()))
+}
+
+// noteRecord accounts one journaled record and pokes the compactor when
+// the cadence is due. Callers hold db.mu.
+func (db *DB) noteRecord(seq uint64) {
+	db.appliedSeq = seq
+	db.sinceSnap++
+	if db.compactReq != nil && db.sinceSnap >= db.opts.CompactEvery {
+		db.sinceSnap = 0
+		select {
+		case db.compactReq <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ApplyBatchWindowed applies a batch of edge updates atomically, journals
+// it as one record, and publishes the snapshot — WITHOUT the end-of-window
+// durability barrier. This is the group-commit building block: the
+// committer applies every request of a window through the Windowed entry
+// points, then calls EndWindow once before acknowledging any of them.
+// A rejected batch (*BatchError) applies, journals and publishes nothing.
+func (db *DB) ApplyBatchWindowed(ops []EdgeOp) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.idx.ApplyBatch(ops); err != nil {
+		return err
+	}
+	var jerr error
+	if db.log != nil {
+		var seq uint64
+		if seq, jerr = db.log.AppendEdges(ops); jerr == nil {
+			db.noteRecord(seq)
+		}
+	}
+	touched := make([]NodeID, 0, 2*len(ops))
+	for _, op := range ops {
+		touched = append(touched, op.U, op.V)
+	}
+	db.publishPatch(touched)
+	return jerr
+}
+
+// ApplyScriptWindowed runs a script with stop-at-first-error semantics,
+// journals exactly the applied prefix, and publishes the snapshot —
+// without the end-of-window barrier (see ApplyBatchWindowed).
+func (db *DB) ApplyScriptWindowed(ops []ScriptOp) (OpResult, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return OpResult{}, ErrClosed
+	}
+	res, aerr := opscript.Apply(db.idx, ops)
+	if res.Applied == 0 {
+		return res, aerr
+	}
+	if db.log != nil {
+		if seq, jerr := db.log.AppendScript(ops[:res.Applied]); jerr == nil {
+			db.noteRecord(seq)
+		} else if aerr == nil {
+			aerr = jerr
+		}
+	}
+	db.publishFull()
+	return res, aerr
+}
+
+// EndWindow is the end-of-commit-window durability barrier: under
+// SyncWindow it fsyncs everything the window appended (one fsync for the
+// whole window); under the other policies appends are already durable
+// (SyncAlways) or deliberately not awaited (SyncInterval, SyncNone), so
+// it is a no-op. Callers acknowledge a window's writers only after it.
+func (db *DB) EndWindow() error {
+	if db.log == nil || db.log.Policy() != wal.SyncWindow {
+		return nil
+	}
+	return db.log.Sync()
+}
+
+// ApplyBatch applies a batch of edge updates atomically, as its own
+// commit window: when ApplyBatch returns, the batch is applied, published
+// and — under SyncAlways and SyncWindow — durable.
+func (db *DB) ApplyBatch(ops []EdgeOp) error {
+	if err := db.ApplyBatchWindowed(ops); err != nil {
+		return err
+	}
+	return db.EndWindow()
+}
+
+// ApplyScript runs a script as its own commit window (see ApplyBatch).
+// Stop-at-first-error semantics: the applied prefix commits and is
+// journaled; the failing op and everything after it do not.
+func (db *DB) ApplyScript(ops []ScriptOp) (OpResult, error) {
+	res, err := db.ApplyScriptWindowed(ops)
+	if serr := db.EndWindow(); serr != nil && err == nil {
+		err = serr
+	}
+	return res, err
+}
+
+// InsertEdge inserts a dedge as its own commit window.
+func (db *DB) InsertEdge(u, v NodeID, kind EdgeKind) error {
+	_, err := db.ApplyScript([]ScriptOp{{Kind: opscript.Insert, U: u, V: v, Edge: kind}})
+	return unwrapOpError(err)
+}
+
+// DeleteEdge deletes a dedge as its own commit window.
+func (db *DB) DeleteEdge(u, v NodeID) error {
+	_, err := db.ApplyScript([]ScriptOp{{Kind: opscript.Delete, U: u, V: v}})
+	return unwrapOpError(err)
+}
+
+// InsertNode adds a node labeled label under parent (tree edge) as its
+// own commit window.
+func (db *DB) InsertNode(label string, parent NodeID) (NodeID, error) {
+	res, err := db.ApplyScript([]ScriptOp{{Kind: opscript.AddNode, Label: label, V: parent}})
+	if err != nil {
+		return InvalidNode, unwrapOpError(err)
+	}
+	return res.NewNodes[0], nil
+}
+
+// DeleteNode removes a node and its edges as its own commit window.
+func (db *DB) DeleteNode(v NodeID) error {
+	_, err := db.ApplyScript([]ScriptOp{{Kind: opscript.DelNode, U: v}})
+	return unwrapOpError(err)
+}
+
+// DeleteSubtree removes the subtree rooted at root (following tree edges
+// only, the §7.1 workload convention) as its own commit window.
+func (db *DB) DeleteSubtree(root NodeID) (*Subgraph, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	sg, err := db.idx.DeleteSubgraph(root, true)
+	if err != nil {
+		return nil, err
+	}
+	var jerr error
+	if db.log != nil {
+		var seq uint64
+		if seq, jerr = db.log.AppendScript([]ScriptOp{{Kind: opscript.DelSub, U: root}}); jerr == nil {
+			db.noteRecord(seq)
+		}
+	}
+	db.publishFull()
+	if jerr == nil {
+		jerr = db.EndWindow()
+	}
+	return sg, jerr
+}
+
+// AddSubgraph grafts a subgraph as its own commit window. This is the
+// operation the textual script syntax cannot express (the re-add half of
+// the subtree round trip): the journal record carries the full payload —
+// label names, values, internal and boundary-crossing edges — so replay
+// re-grafts the identical subtree.
+func (db *DB) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	ids, err := db.idx.AddSubgraph(sg)
+	if err != nil {
+		return nil, err
+	}
+	var jerr error
+	if db.log != nil {
+		in := db.idx.Graph().Labels()
+		p := &wal.SubgraphPayload{
+			Labels:    make([]string, len(sg.Labels)),
+			Values:    sg.Values,
+			Edges:     sg.Edges,
+			EdgeKinds: sg.EdgeKinds,
+			CrossIn:   sg.CrossIn,
+			CrossOut:  sg.CrossOut,
+		}
+		for i, l := range sg.Labels {
+			p.Labels[i] = in.Name(l)
+		}
+		var seq uint64
+		if seq, jerr = db.log.AppendSubgraph(p); jerr == nil {
+			db.noteRecord(seq)
+		}
+	}
+	db.publishFull()
+	if jerr == nil {
+		jerr = db.EndWindow()
+	}
+	return ids, jerr
+}
+
+// unwrapOpError strips the single-op script wrapper from the convenience
+// entry points, surfacing the graph sentinel directly (errors.Is works
+// either way; direct callers expect the bare cause).
+func unwrapOpError(err error) error {
+	var oe *opscript.OpError
+	if errors.As(err, &oe) {
+		return oe.Err
+	}
+	return err
+}
+
+// Update runs fn with exclusive access to the live index — available only
+// on an in-memory DB, because the journal cannot capture what fn did. On
+// a durable DB it fails without running fn; use the typed write methods.
+func (db *DB) Update(fn func(*OneIndex) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.log != nil {
+		return errors.New("structix: Update bypasses the journal; use the typed write methods on a durable DB")
+	}
+	err := fn(db.idx)
+	db.publishFull()
+	return err
+}
+
+// Sync is an explicit durability barrier: it fsyncs every journaled
+// record, whatever the policy. No-op on an in-memory DB.
+func (db *DB) Sync() error {
+	if db.log == nil {
+		return nil
+	}
+	return db.log.Sync()
+}
+
+// ---- read path (lock-free epoch snapshots) ----
+
+// Snapshot returns the current epoch snapshot: one atomic load, never
+// blocks, remains valid indefinitely.
+func (db *DB) Snapshot() *OneSnapshot { return db.cur.Load() }
+
+// Eval evaluates a path expression against the current snapshot.
+func (db *DB) Eval(p *Path) []NodeID { return query.EvalOneSnapshot(p, db.cur.Load()) }
+
+// EvalCtx is Eval under a context; cancellation stops evaluation.
+func (db *DB) EvalCtx(ctx context.Context, p *Path) ([]NodeID, error) {
+	return query.EvalOneSnapshotCtx(ctx, p, db.cur.Load())
+}
+
+// Count returns the exact result size from the current snapshot.
+func (db *DB) Count(p *Path) int { return query.CountOneSnapshot(p, db.cur.Load()) }
+
+// CountCtx is Count under a context.
+func (db *DB) CountCtx(ctx context.Context, p *Path) (int, error) {
+	return query.CountOneSnapshotCtx(ctx, p, db.cur.Load())
+}
+
+// Size returns the inode count of the current snapshot.
+func (db *DB) Size() int { return db.cur.Load().Size() }
+
+// View runs fn against the current immutable snapshot; fn may retain it.
+func (db *DB) View(fn func(*OneSnapshot)) { fn(db.cur.Load()) }
+
+// Validate checks graph and index invariants under the writer lock.
+func (db *DB) Validate() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.idx.Graph().Validate(); err != nil {
+		return err
+	}
+	return db.idx.Validate()
+}
+
+// ---- compaction ----
+
+func (db *DB) compactLoop() {
+	defer close(db.compactDone)
+	for range db.compactReq {
+		err := db.compactOnce()
+		db.mu.Lock()
+		db.compactErr = err
+		db.mu.Unlock()
+	}
+}
+
+// compactOnce writes the current snapshot to disk and truncates the
+// journal below it. Everything slow happens against immutable state: the
+// lock is held only to pair the snapshot pointer with its journal
+// coverage.
+func (db *DB) compactOnce() error {
+	db.mu.Lock()
+	snap := db.cur.Load()
+	seq := db.appliedSeq
+	db.mu.Unlock()
+	if seq <= db.snapSeq.Load() {
+		return nil
+	}
+	if err := db.writeSnapshot(seq, snap); err != nil {
+		return err
+	}
+	return db.log.RemoveBelow(seq + 1)
+}
+
+// writeSnapshot persists snap as the snapshot covering journal seq:
+// write + fsync a temp file, rename into place, fsync the directory —
+// the snapshot either exists completely or not at all. Older snapshot
+// files beyond one fallback are pruned.
+func (db *DB) writeSnapshot(seq uint64, snap *OneSnapshot) error {
+	tmp := filepath.Join(db.dir, snapName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("structix: %w", err)
+	}
+	if err := persist.SaveSnapshotCompressed(f, snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("structix: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("structix: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("structix: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapName(seq))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("structix: %w", err)
+	}
+	if err := syncDir(db.dir); err != nil {
+		return err
+	}
+	db.snapSeq.Store(seq)
+	db.compactions.Add(1)
+	// Keep the newest snapshot plus one fallback.
+	if seqs, err := listSnapshots(db.dir); err == nil && len(seqs) > 2 {
+		for _, s := range seqs[:len(seqs)-2] {
+			os.Remove(filepath.Join(db.dir, snapName(s)))
+		}
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("structix: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("structix: %w", err)
+	}
+	return nil
+}
+
+// Close seals the store: writes stop, a final snapshot pins the current
+// state (making the next Open a snapshot load with an empty tail), and
+// the journal is fsynced and closed. Close is idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+
+	if db.compactReq != nil {
+		close(db.compactReq)
+		<-db.compactDone
+	}
+	if db.log == nil {
+		return nil
+	}
+	err := db.compactOnce()
+	if cerr := db.log.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- observability ----
+
+// DBStats is a point-in-time durability report for /v1/stats and the
+// benchmarks.
+type DBStats struct {
+	// Durable is false for an in-memory DB (NewDB); everything below it
+	// is zero there.
+	Durable bool   `json:"durable"`
+	Dir     string `json:"dir,omitempty"`
+	// Policy is the journal fsync policy ("always", "window", ...).
+	Policy string `json:"policy,omitempty"`
+	// AppliedSeq is the journal seq of the last applied record;
+	// DurableSeq is the newest seq known fsynced; SnapshotSeq is the
+	// coverage of the newest on-disk snapshot.
+	AppliedSeq  uint64 `json:"applied_seq"`
+	DurableSeq  uint64 `json:"durable_seq"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Journal shape and traffic.
+	JournalSegments int   `json:"journal_segments"`
+	JournalBytes    int64 `json:"journal_bytes"`
+	JournalAppends  int64 `json:"journal_appends"`
+	JournalSyncs    int64 `json:"journal_syncs"`
+	// Compactions counts background + Close snapshots written.
+	Compactions int64 `json:"compactions"`
+	// Recovery evidence from Open: records replayed on top of the loaded
+	// snapshot, and torn-tail bytes discarded.
+	ReplayedRecords  int   `json:"replayed_records"`
+	TornBytesDropped int64 `json:"torn_bytes_dropped"`
+	// CompactError is the last background-compaction failure ("" = none).
+	CompactError string `json:"compact_error,omitempty"`
+}
+
+// Stats returns current durability counters; safe alongside writes.
+func (db *DB) Stats() DBStats {
+	if db.log == nil {
+		return DBStats{}
+	}
+	ls := db.log.Stats()
+	st := DBStats{
+		Durable:          true,
+		Dir:              db.dir,
+		Policy:           ls.Policy.String(),
+		DurableSeq:       ls.DurableSeq,
+		SnapshotSeq:      db.snapSeq.Load(),
+		JournalSegments:  ls.Segments,
+		JournalBytes:     ls.Bytes,
+		JournalAppends:   ls.Appends,
+		JournalSyncs:     ls.Syncs,
+		Compactions:      db.compactions.Load(),
+		ReplayedRecords:  db.replayed,
+		TornBytesDropped: db.tornBytes,
+	}
+	db.mu.Lock()
+	st.AppliedSeq = db.appliedSeq
+	if db.compactErr != nil {
+		st.CompactError = db.compactErr.Error()
+	}
+	db.mu.Unlock()
+	return st
+}
+
+// Dir returns the store directory ("" for an in-memory DB).
+func (db *DB) Dir() string { return db.dir }

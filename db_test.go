@@ -1,0 +1,501 @@
+package structix
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"structix/internal/datagen"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+	"structix/internal/oneindex"
+	"structix/internal/opscript"
+	"structix/internal/persist"
+)
+
+// insertBatch picks up to n distinct non-edges for one atomic batch.
+func insertBatch(rng *rand.Rand, g *Graph, n int) []EdgeOp {
+	var ops []EdgeOp
+	seen := map[[2]NodeID]bool{}
+	for i := 0; i < n; i++ {
+		u, v, ok := gtest.RandomNonEdge(rng, g)
+		if !ok || seen[[2]NodeID{u, v}] {
+			continue
+		}
+		seen[[2]NodeID{u, v}] = true
+		ops = append(ops, graph.InsertOp(u, v, graph.IDRef))
+	}
+	return ops
+}
+
+func xmarkBootstrap(objects int) func() (*Database, error) {
+	return func() (*Database, error) {
+		return &Database{Graph: datagen.XMark(datagen.DefaultXMark(objects, 1, 2))}, nil
+	}
+}
+
+// snapshotBytes is the bit-identical fingerprint used by the recovery
+// tests: the canonical persisted form of a snapshot. Two stores whose
+// fingerprints match have identical NodeID spaces, labels, values,
+// edges and index partitions.
+func snapshotBytes(t *testing.T, snap *OneSnapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := persist.SaveSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestOpenFreshBootstrapAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Bootstrap: xmarkBootstrap(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, db.Snapshot())
+	size := db.Size()
+	if size == 0 {
+		t.Fatal("bootstrap produced an empty index")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a Bootstrap that must NOT run again: the initial state
+	// was snapshotted during the first Open.
+	db2, err := Open(dir, Options{Bootstrap: func() (*Database, error) {
+		t.Error("bootstrap re-ran on a non-empty directory")
+		return nil, errors.New("unreachable")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := snapshotBytes(t, db2.Snapshot()); !bytes.Equal(got, want) {
+		t.Error("reopened state differs from the bootstrapped state")
+	}
+	if db2.Size() != size {
+		t.Errorf("index size changed across reopen: %d vs %d", db2.Size(), size)
+	}
+}
+
+func TestOpenEmptyDefaultsToRootOnly(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	snap := db.Snapshot()
+	if snap.Data().NumNodes() != 1 || snap.Data().Root() == InvalidNode {
+		t.Fatalf("want a single root node, got %d nodes", snap.Data().NumNodes())
+	}
+	if !db.Stats().Durable {
+		t.Error("Open must report a durable store")
+	}
+}
+
+// applyWorkload drives the same mixed write sequence against any DB so
+// the recovery tests can compare a recovered store with a crash-free
+// twin op for op.
+func applyWorkload(t *testing.T, db *DB, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // single insert via script path
+			g := db.idx.Graph()
+			if u, v, ok := gtest.RandomNonEdge(rng, g); ok {
+				if err := db.InsertEdge(u, v, graph.IDRef); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		case 4, 5, 6: // edge batch
+			ops := insertBatch(rng, db.idx.Graph(), 4)
+			if len(ops) == 0 {
+				continue
+			}
+			if err := db.ApplyBatch(ops); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		case 7: // node insert
+			nodes := db.idx.Graph().Nodes()
+			parent := nodes[rng.Intn(len(nodes))]
+			if _, err := db.InsertNode("extra", parent); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		case 8: // subtree round trip: delete then re-graft
+			nodes := db.idx.Graph().Nodes()
+			victim := nodes[rng.Intn(len(nodes))]
+			if victim == db.idx.Graph().Root() {
+				continue
+			}
+			sg, err := db.DeleteSubtree(victim)
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if _, err := db.AddSubgraph(sg); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		case 9: // script with several ops
+			g := db.idx.Graph()
+			var ops []ScriptOp
+			for j := 0; j < 3; j++ {
+				if u, v, ok := gtest.RandomNonEdge(rng, g); ok {
+					ops = append(ops, ScriptOp{Kind: opscript.Insert, U: u, V: v, Edge: graph.IDRef})
+				}
+			}
+			if len(ops) == 0 {
+				continue
+			}
+			if _, err := db.ApplyScript(ops); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// Recovery must reproduce the crash-free state bit-identically: a store
+// that is abandoned without Close (journal only, no final snapshot)
+// reopens to exactly the state of an in-memory twin that ran the same
+// ops — NodeIDs, labels, edges and partition all equal.
+func TestRecoveryBitIdentical(t *testing.T) {
+	const seed, nops = 42, 120
+	dir := t.TempDir()
+	db, err := Open(dir, Options{
+		Sync:         SyncAlways,
+		CompactEvery: -1, // keep the whole tail in the journal
+		Bootstrap:    xmarkBootstrap(48),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, db, seed, nops)
+	want := snapshotBytes(t, db.Snapshot())
+	// Abandon without Close: the journal is the only record of the ops.
+	if db.Stats().ReplayedRecords != 0 {
+		t.Fatal("fresh store claims replayed records")
+	}
+
+	db2, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st := db2.Stats()
+	if st.ReplayedRecords == 0 {
+		t.Error("recovery replayed nothing; journal was lost")
+	}
+	if got := snapshotBytes(t, db2.Snapshot()); !bytes.Equal(got, want) {
+		t.Error("recovered state differs from the pre-crash state")
+	}
+	if err := db2.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	// The crash-free twin: same bootstrap, same workload, no durability.
+	g := datagen.XMark(datagen.DefaultXMark(48, 1, 2))
+	twin := NewDB(oneindex.Build(g))
+	applyWorkload(t, twin, seed, nops)
+	if got := snapshotBytes(t, twin.Snapshot()); !bytes.Equal(got, want) {
+		t.Error("crash-free twin state differs from the recovered state")
+	}
+}
+
+// canonExtents is the order-insensitive partition fingerprint: extents
+// sorted internally, the extent list sorted lexicographically. Snapshot
+// persistence renumbers inode slots densely, so recovery through a
+// mid-stream snapshot preserves the partition as a set of blocks but not
+// the slot order; tests crossing a compaction boundary compare this form.
+func canonExtents(s *OneSnapshot) [][]NodeID {
+	var ext [][]NodeID
+	for i := 0; i < s.Slots(); i++ {
+		I := oneindex.INodeID(i)
+		if !s.Live(I) {
+			continue
+		}
+		e := append([]NodeID(nil), s.Extent(I)...)
+		sort.Slice(e, func(a, b int) bool { return e[a] < e[b] })
+		ext = append(ext, e)
+	}
+	sort.Slice(ext, func(a, b int) bool {
+		x, y := ext[a], ext[b]
+		for k := 0; k < len(x) && k < len(y); k++ {
+			if x[k] != y[k] {
+				return x[k] < y[k]
+			}
+		}
+		return len(x) < len(y)
+	})
+	return ext
+}
+
+// assertSameState fails unless two snapshots hold the identical graph
+// (NodeIDs, labels, values, edge lists in order) and the same partition
+// up to slot renumbering.
+func assertSameState(t *testing.T, a, b *OneSnapshot) {
+	t.Helper()
+	fa, fb := a.Data(), b.Data()
+	if fa.Root() != fb.Root() || fa.MaxNodeID() != fb.MaxNodeID() || fa.NumNodes() != fb.NumNodes() {
+		t.Fatalf("graph shape differs: root %d/%d max %d/%d live %d/%d",
+			fa.Root(), fb.Root(), fa.MaxNodeID(), fb.MaxNodeID(), fa.NumNodes(), fb.NumNodes())
+	}
+	for v := NodeID(0); v < fa.MaxNodeID(); v++ {
+		if fa.Alive(v) != fb.Alive(v) || fa.LabelName(v) != fb.LabelName(v) || fa.Value(v) != fb.Value(v) {
+			t.Fatalf("node %d differs", v)
+		}
+		var ea, eb []graph.Edge
+		fa.EachSucc(v, func(w NodeID, k EdgeKind) { ea = append(ea, graph.Edge{To: w, Kind: k}) })
+		fb.EachSucc(v, func(w NodeID, k EdgeKind) { eb = append(eb, graph.Edge{To: w, Kind: k}) })
+		if len(ea) != len(eb) {
+			t.Fatalf("node %d edge count differs: %d vs %d", v, len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("node %d edge %d differs: %v vs %v", v, i, ea[i], eb[i])
+			}
+		}
+	}
+	xa, xb := canonExtents(a), canonExtents(b)
+	if len(xa) != len(xb) {
+		t.Fatalf("partition block count differs: %d vs %d", len(xa), len(xb))
+	}
+	for i := range xa {
+		if len(xa[i]) != len(xb[i]) {
+			t.Fatalf("partition block %d size differs", i)
+		}
+		for j := range xa[i] {
+			if xa[i][j] != xb[i][j] {
+				t.Fatalf("partition block %d differs", i)
+			}
+		}
+	}
+}
+
+// Background compaction must not change the recovered state, only how
+// much journal the next Open replays.
+func TestCompactionPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{CompactEvery: 8, Bootstrap: xmarkBootstrap(48)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, db, 7, 100)
+	if err := db.Close(); err != nil { // Close compacts: tail becomes empty
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Compactions == 0 {
+		t.Error("no compactions ran")
+	}
+	if st.CompactError != "" {
+		t.Errorf("compaction failed: %s", st.CompactError)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Stats().ReplayedRecords; got != 0 {
+		t.Errorf("clean Close left %d journal records to replay", got)
+	}
+	assertSameState(t, db.Snapshot(), db2.Snapshot())
+}
+
+func TestInMemoryDB(t *testing.T) {
+	g := datagen.XMark(datagen.DefaultXMark(32, 1, 1))
+	db := NewDB(oneindex.Build(g))
+	if db.Stats().Durable {
+		t.Error("NewDB must not report durable")
+	}
+	if err := db.Update(func(x *OneIndex) error { return nil }); err != nil {
+		t.Errorf("Update on an in-memory DB: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	u, v, _ := gtest.RandomNonEdge(rng, db.idx.Graph())
+	before := db.Snapshot()
+	if err := db.InsertEdge(u, v, graph.IDRef); err != nil {
+		t.Fatal(err)
+	}
+	if db.Snapshot() == before {
+		t.Error("write did not publish a new snapshot")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertEdge(u, v, graph.IDRef); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after Close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestUpdateRejectedOnDurableDB(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ran := false
+	if err := db.Update(func(x *OneIndex) error { ran = true; return nil }); err == nil {
+		t.Error("Update on a durable DB must fail")
+	}
+	if ran {
+		t.Error("Update ran fn despite refusing")
+	}
+}
+
+func TestDeleteSubtreeSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways, CompactEvery: -1, Bootstrap: xmarkBootstrap(32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim NodeID
+	db.View(func(s *OneSnapshot) {
+		f := s.Data()
+		f.EachSucc(f.Root(), func(w NodeID, kind EdgeKind) {
+			if victim == 0 && kind == graph.Tree {
+				victim = w
+			}
+		})
+	})
+	if victim == 0 {
+		t.Fatal("no subtree to delete")
+	}
+	if _, err := db.DeleteSubtree(victim); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, db.Snapshot())
+
+	db2, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Snapshot().Data().Alive(victim) {
+		t.Error("deleted subtree root came back after recovery")
+	}
+	if got := snapshotBytes(t, db2.Snapshot()); !bytes.Equal(got, want) {
+		t.Error("recovered state differs after subtree deletion")
+	}
+}
+
+func TestScriptAppliedPrefixJournaled(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways, CompactEvery: -1, Bootstrap: xmarkBootstrap(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	u, v, ok := gtest.RandomNonEdge(rng, db.idx.Graph())
+	if !ok {
+		t.Fatal("no non-edge available")
+	}
+	// Second op fails (duplicate edge): the applied prefix must commit
+	// and be exactly what recovery reproduces.
+	ops := []ScriptOp{
+		{Kind: opscript.Insert, U: u, V: v, Edge: graph.IDRef},
+		{Kind: opscript.Insert, U: u, V: v, Edge: graph.IDRef},
+	}
+	res, err := db.ApplyScript(ops)
+	if err == nil || res.Applied != 1 {
+		t.Fatalf("want 1 applied op + error, got %d, %v", res.Applied, err)
+	}
+	want := snapshotBytes(t, db.Snapshot())
+
+	db2, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := snapshotBytes(t, db2.Snapshot()); !bytes.Equal(got, want) {
+		t.Error("recovered state differs: applied prefix was not journaled exactly")
+	}
+}
+
+func TestRejectedBatchJournalsNothing(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: SyncAlways, CompactEvery: -1, Bootstrap: xmarkBootstrap(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	before := db.Stats()
+	rng := rand.New(rand.NewSource(4))
+	u, v, _ := gtest.RandomNonEdge(rng, db.idx.Graph())
+	ops := []EdgeOp{
+		{Insert: true, U: u, V: v, Kind: graph.IDRef},
+		{Insert: true, U: u, V: v, Kind: graph.IDRef}, // duplicate: batch rejected
+	}
+	var be *BatchError
+	if err := db.ApplyBatch(ops); !errors.As(err, &be) {
+		t.Fatalf("want *BatchError, got %v", err)
+	}
+	if after := db.Stats(); after.JournalAppends != before.JournalAppends {
+		t.Error("rejected batch reached the journal")
+	}
+}
+
+func TestSnapshotFallbackOnCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{CompactEvery: -1, Bootstrap: xmarkBootstrap(24)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, db, 9, 40)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, db.Snapshot())
+
+	// Corrupt the newest snapshot file; Open must fall back to the older
+	// one and replay the journal over it.
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 2 {
+		t.Fatalf("want 2 snapshot files (initial + Close), got %d", len(seqs))
+	}
+	newest := filepath.Join(dir, snapName(seqs[len(seqs)-1]))
+	if err := corruptFile(newest); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Stats().ReplayedRecords == 0 {
+		t.Error("fallback open replayed nothing")
+	}
+	if got := snapshotBytes(t, db2.Snapshot()); !bytes.Equal(got, want) {
+		t.Error("fallback recovery lost state")
+	}
+}
+
+// corruptFile flips a byte in the middle of the file.
+func corruptFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	off := fi.Size() / 2
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		return err
+	}
+	b[0] ^= 0xff
+	_, err = f.WriteAt(b, off)
+	return err
+}

@@ -154,11 +154,52 @@ func (c *Client) DeleteEdge(ctx context.Context, u, v graph.NodeID) error {
 	return err
 }
 
-// Stats fetches the server's operational counters.
+// Stats fetches the server's operational counters (including the store's
+// durability group — see server.StatsReply).
 func (c *Client) Stats(ctx context.Context) (server.StatsReply, error) {
 	var rep server.StatsReply
 	err := c.get(ctx, "/v1/stats", &rep)
 	return rep, err
+}
+
+// ServerEpoch returns the server's current commit epoch: the tag carried
+// by every QueryResult, so a caller can tell whether an answer predates a
+// commit it is waiting on.
+func (c *Client) ServerEpoch(ctx context.Context) (uint64, error) {
+	st, err := c.Stats(ctx)
+	return st.Epoch, err
+}
+
+// Durability summarizes the server store's durability state from one
+// stats call.
+type Durability struct {
+	// Durable is false when the server fronts an in-memory store; the
+	// remaining fields are zero then.
+	Durable bool
+	// Policy is the journal fsync policy ("always", "window", ...).
+	Policy string
+	// AppliedSeq is the newest journal record applied; DurableSeq the
+	// newest known fsynced. AppliedSeq - DurableSeq is the crash-loss
+	// window under policies other than "always".
+	AppliedSeq, DurableSeq uint64
+	// SnapshotSeq is the journal coverage of the newest on-disk snapshot;
+	// AppliedSeq - SnapshotSeq bounds the replay work a recovery would do.
+	SnapshotSeq uint64
+}
+
+// Durability fetches the store's durability status.
+func (c *Client) Durability(ctx context.Context) (Durability, error) {
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return Durability{}, err
+	}
+	return Durability{
+		Durable:     st.Durable,
+		Policy:      st.FsyncPolicy,
+		AppliedSeq:  st.AppliedSeq,
+		DurableSeq:  st.DurableSeq,
+		SnapshotSeq: st.SnapshotSeq,
+	}, nil
 }
 
 // Health reports nil when the server answers /healthz with 200.

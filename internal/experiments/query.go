@@ -205,7 +205,7 @@ func runQueryServeMode(mode string, g *graph.Graph, cfg ServeConfig, scfg server
 			len(pool), cfg.Workers, cfg.BatchOps)
 	}
 	idx := structix.BuildOneIndex(g)
-	srv := server.New(structix.NewSnapshotOneIndex(idx), scfg)
+	srv := server.New(structix.NewDB(idx), scfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return m, err

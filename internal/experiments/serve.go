@@ -112,7 +112,7 @@ func RunServe(name string, g *graph.Graph, cfg ServeConfig) (ServeResult, error)
 		WindowUs:   cfg.Window.Microseconds(),
 	}
 
-	srv := server.New(structix.NewSnapshotOneIndex(idx), server.Config{Window: cfg.Window})
+	srv := server.New(structix.NewDB(idx), server.Config{Window: cfg.Window})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return res, err

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"structix"
+	"structix/internal/graph"
+)
+
+// WalConfig drives the durability benchmark: the same group-committed
+// write workload under every journal fsync policy (plus an in-memory
+// baseline), and a recovery-time curve — how long structix.Open takes to
+// replay journal tails of increasing length.
+type WalConfig struct {
+	// Policies lists the fsync policies to compare (always, window,
+	// interval, none). An in-memory row is always included as baseline.
+	Policies []string
+	// BatchOps is the number of edge ops per commit (one journal record).
+	BatchOps int
+	// Batches is the number of commits per policy run.
+	Batches int
+	// Interval is the background fsync period for policy "interval".
+	Interval time.Duration
+	// RecoveryLengths lists journal lengths (records) for the recovery
+	// curve: the store is crashed (abandoned without Close) after that
+	// many commits and the reopen is timed.
+	RecoveryLengths []int
+	Seed            int64
+}
+
+// DefaultWalConfig mirrors the committed benchmark: 256 8-op commits per
+// policy and recovery at 256 / 1024 / 4096 journal records.
+func DefaultWalConfig(seed int64) WalConfig {
+	return WalConfig{
+		Policies:        []string{"always", "window", "interval", "none"},
+		BatchOps:        8,
+		Batches:         256,
+		Interval:        10 * time.Millisecond,
+		RecoveryLengths: []int{256, 1024, 4096},
+		Seed:            seed,
+	}
+}
+
+// WalPolicyResult is the write side of one fsync policy: what one
+// committed window costs end to end (apply + journal append + whatever
+// durability barrier the policy imposes before acknowledgment).
+type WalPolicyResult struct {
+	Policy      string  `json:"policy"` // "memory" for the no-journal baseline
+	Commits     int     `json:"commits"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	CommitP50Ns int64   `json:"commit_p50_ns"`
+	CommitP99Ns int64   `json:"commit_p99_ns"`
+	// Journal traffic over the run (zero for the memory baseline).
+	Syncs        int64 `json:"syncs"`
+	JournalBytes int64 `json:"journal_bytes"`
+	// DurableLag is applied_seq - durable_seq at the end of the run: the
+	// crash-loss window the policy leaves open (0 under always/window).
+	DurableLag uint64 `json:"durable_lag"`
+}
+
+// WalRecoveryResult is one point of the recovery curve: time to reopen a
+// crashed store whose journal tail holds Records commits.
+type WalRecoveryResult struct {
+	Records     int   `json:"records"`
+	Replayed    int   `json:"replayed"`
+	RecoverNs   int64 `json:"recover_ns"`
+	NsPerRecord int64 `json:"ns_per_record"`
+}
+
+// WalResult is the full durability benchmark (BENCH_wal.json).
+type WalResult struct {
+	Dataset  string              `json:"dataset"`
+	Nodes    int                 `json:"nodes"`
+	Edges    int                 `json:"edges"`
+	BatchOps int                 `json:"batch_ops"`
+	Policies []WalPolicyResult   `json:"policies"`
+	Recovery []WalRecoveryResult `json:"recovery"`
+}
+
+// RunWal measures commit latency/throughput per fsync policy and recovery
+// time versus journal length, all on durable stores in throwaway temp
+// directories. The workload alternates insert-all/delete-all over a fixed
+// slice of absent IDREF edges, so every commit is valid regardless of how
+// many ran before it and the journal grows by exactly one record per
+// commit.
+func RunWal(name string, g *graph.Graph, cfg WalConfig) (WalResult, error) {
+	pool := batchEdgePool(g, cfg.Seed)
+	if len(pool) < cfg.BatchOps {
+		return WalResult{}, fmt.Errorf("experiments: wal: edge pool too small (%d edges, need %d)",
+			len(pool), cfg.BatchOps)
+	}
+	res := WalResult{
+		Dataset:  name,
+		Nodes:    g.NumNodes(),
+		Edges:    g.NumEdges(),
+		BatchOps: cfg.BatchOps,
+	}
+
+	ins := make([]structix.EdgeOp, cfg.BatchOps)
+	del := make([]structix.EdgeOp, cfg.BatchOps)
+	for i, e := range pool[:cfg.BatchOps] {
+		ins[i] = structix.InsertOp(e[0], e[1], graph.IDRef)
+		del[i] = structix.DeleteOp(e[0], e[1])
+	}
+	bootstrap := func() (*structix.Database, error) {
+		return &structix.Database{Graph: g.Clone()}, nil
+	}
+
+	// Write side: the in-memory baseline first, then every policy.
+	mem := structix.NewDB(structix.BuildOneIndex(g.Clone()))
+	pr, err := runWalCommits(mem, ins, del, cfg.Batches)
+	if err != nil {
+		return res, err
+	}
+	pr.Policy = "memory"
+	res.Policies = append(res.Policies, pr)
+
+	for _, pol := range cfg.Policies {
+		policy, err := structix.ParseSyncPolicy(pol)
+		if err != nil {
+			return res, err
+		}
+		dir, err := os.MkdirTemp("", "structix-wal-bench-*")
+		if err != nil {
+			return res, err
+		}
+		db, err := structix.Open(dir, structix.Options{
+			Sync:         policy,
+			SyncInterval: cfg.Interval,
+			Bootstrap:    bootstrap,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return res, fmt.Errorf("experiments: wal: open %s: %w", pol, err)
+		}
+		pr, err := runWalCommits(db, ins, del, cfg.Batches)
+		if err == nil {
+			ds := db.Stats()
+			pr.Policy = pol
+			pr.Syncs = ds.JournalSyncs
+			pr.JournalBytes = ds.JournalBytes
+			pr.DurableLag = ds.AppliedSeq - ds.DurableSeq
+			res.Policies = append(res.Policies, pr)
+			err = db.Close()
+		}
+		os.RemoveAll(dir)
+		if err != nil {
+			return res, fmt.Errorf("experiments: wal: policy %s: %w", pol, err)
+		}
+	}
+
+	// Recovery side: crash (abandon without Close) after N commits with
+	// compaction disabled, so the whole history sits in the journal tail,
+	// then time the reopen. fsync=none keeps the write phase out of the
+	// measurement — recovery replays the same records either way.
+	for _, n := range cfg.RecoveryLengths {
+		rr, err := runWalRecovery(bootstrap, ins, del, n)
+		if err != nil {
+			return res, fmt.Errorf("experiments: wal: recovery at %d records: %w", n, err)
+		}
+		res.Recovery = append(res.Recovery, rr)
+	}
+	return res, nil
+}
+
+// runWalCommits drives n alternating insert/delete commits and returns
+// latency percentiles and throughput. Each ApplyBatch is one journaled,
+// fsync-barriered commit — the same unit the server acknowledges.
+func runWalCommits(db *structix.DB, ins, del []structix.EdgeOp, n int) (WalPolicyResult, error) {
+	lat := make([]int64, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ops := ins
+		if i%2 == 1 {
+			ops = del
+		}
+		t0 := time.Now()
+		if err := db.ApplyBatch(ops); err != nil {
+			return WalPolicyResult{}, fmt.Errorf("commit %d: %w", i, err)
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+	}
+	elapsed := time.Since(start)
+	r := WalPolicyResult{
+		Commits:   n,
+		OpsPerSec: float64(n*len(ins)) / elapsed.Seconds(),
+	}
+	r.CommitP50Ns, r.CommitP99Ns = percentiles(lat)
+	return r, nil
+}
+
+// runWalRecovery builds a store whose journal holds exactly records
+// commits past the initial snapshot, abandons it un-Closed (the crash),
+// and times the recovering Open.
+func runWalRecovery(bootstrap func() (*structix.Database, error), ins, del []structix.EdgeOp, records int) (WalRecoveryResult, error) {
+	dir, err := os.MkdirTemp("", "structix-wal-recover-*")
+	if err != nil {
+		return WalRecoveryResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := structix.Open(dir, structix.Options{
+		Sync:         structix.SyncNone,
+		CompactEvery: -1, // keep every record in the journal tail
+		Bootstrap:    bootstrap,
+	})
+	if err != nil {
+		return WalRecoveryResult{}, err
+	}
+	for i := 0; i < records; i++ {
+		ops := ins
+		if i%2 == 1 {
+			ops = del
+		}
+		if err := db.ApplyBatch(ops); err != nil {
+			return WalRecoveryResult{}, fmt.Errorf("commit %d: %w", i, err)
+		}
+	}
+	if err := db.Sync(); err != nil { // make the tail readable, then crash
+		return WalRecoveryResult{}, err
+	}
+
+	start := time.Now()
+	db2, err := structix.Open(dir, structix.Options{CompactEvery: -1})
+	if err != nil {
+		return WalRecoveryResult{}, err
+	}
+	rr := WalRecoveryResult{
+		Records:   records,
+		Replayed:  db2.Stats().ReplayedRecords,
+		RecoverNs: time.Since(start).Nanoseconds(),
+	}
+	if records > 0 {
+		rr.NsPerRecord = rr.RecoverNs / int64(records)
+	}
+	if rr.Replayed != records {
+		return rr, fmt.Errorf("recovered %d records, journal held %d", rr.Replayed, records)
+	}
+	err = db2.Close()
+	return rr, err
+}
+
+// ReportWal prints the durability benchmark as two tables.
+func ReportWal(w io.Writer, res WalResult) {
+	fmt.Fprintf(w, "\nDurability benchmark on %s (%d dnodes, %d dedges; %d-op commits)\n",
+		res.Dataset, res.Nodes, res.Edges, res.BatchOps)
+	fmt.Fprintf(w, "%-10s %8s %12s %12s %12s %7s %10s %6s\n",
+		"fsync", "commits", "ops/s", "commit-p50", "commit-p99", "syncs", "journal", "lag")
+	for _, p := range res.Policies {
+		fmt.Fprintf(w, "%-10s %8d %12.0f %10.1fµs %10.1fµs %7d %9.1fK %6d\n",
+			p.Policy, p.Commits, p.OpsPerSec,
+			float64(p.CommitP50Ns)/1e3, float64(p.CommitP99Ns)/1e3,
+			p.Syncs, float64(p.JournalBytes)/1024, p.DurableLag)
+	}
+	fmt.Fprintf(w, "\nRecovery time vs journal length (snapshot + tail replay)\n")
+	fmt.Fprintf(w, "%-10s %10s %12s %14s\n", "records", "replayed", "recover", "per-record")
+	for _, r := range res.Recovery {
+		fmt.Fprintf(w, "%-10d %10d %10.2fms %12.2fµs\n",
+			r.Records, r.Replayed, float64(r.RecoverNs)/1e6, float64(r.NsPerRecord)/1e3)
+	}
+}
+
+// WriteWalJSON emits the result as indented JSON (BENCH_wal.json).
+func WriteWalJSON(w io.Writer, res WalResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -14,9 +14,10 @@ package graph
 // O(MaxNodeID) pointer copies plus the adjacency of the ~2n touched
 // endpoints — not a full O(V+E) re-freeze.
 type Frozen struct {
-	root     NodeID
-	numAlive int
-	nodes    []*frozenNode // indexed by NodeID; nil for dead slots
+	root       NodeID
+	numAlive   int
+	allowLoops bool
+	nodes      []*frozenNode // indexed by NodeID; nil for dead slots
 }
 
 // frozenNode is one immutable node record. The succ/pred slices are owned
@@ -31,9 +32,10 @@ type frozenNode struct {
 // Freeze builds a complete immutable copy of the graph's current state.
 func (g *Graph) Freeze() *Frozen {
 	f := &Frozen{
-		root:     g.root,
-		numAlive: g.numAlive,
-		nodes:    make([]*frozenNode, len(g.nodes)),
+		root:       g.root,
+		numAlive:   g.numAlive,
+		allowLoops: g.allowLoops,
+		nodes:      make([]*frozenNode, len(g.nodes)),
 	}
 	for i := range g.nodes {
 		if g.nodes[i].alive {
@@ -62,9 +64,10 @@ func (g *Graph) freezeNode(v NodeID) *frozenNode {
 // the touched set is known exactly. Duplicate entries are harmless.
 func (f *Frozen) Rebuild(g *Graph, touched []NodeID) *Frozen {
 	nf := &Frozen{
-		root:     g.root,
-		numAlive: g.numAlive,
-		nodes:    make([]*frozenNode, len(g.nodes)),
+		root:       g.root,
+		numAlive:   g.numAlive,
+		allowLoops: g.allowLoops,
+		nodes:      make([]*frozenNode, len(g.nodes)),
 	}
 	copy(nf.nodes, f.nodes)
 	for _, v := range touched {
@@ -79,6 +82,10 @@ func (f *Frozen) Rebuild(g *Graph, touched []NodeID) *Frozen {
 
 // Root returns the root node at freeze time (InvalidNode if none).
 func (f *Frozen) Root() NodeID { return f.root }
+
+// AllowSelfLoops reports the graph's self-loop policy at freeze time —
+// persistence must carry it so a reloaded graph accepts the same edges.
+func (f *Frozen) AllowSelfLoops() bool { return f.allowLoops }
 
 // Alive reports whether v was live at freeze time.
 func (f *Frozen) Alive(v NodeID) bool {

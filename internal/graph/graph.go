@@ -233,6 +233,9 @@ var ErrSelfLoop = errors.New("graph: self-loop rejected")
 // *index* graphs (e.g. during reconstruction), not XML data graphs.
 func (g *Graph) SetAllowSelfLoops(allow bool) { g.allowLoops = allow }
 
+// AllowSelfLoops reports whether self-loop edges are accepted.
+func (g *Graph) AllowSelfLoops() bool { return g.allowLoops }
+
 // ErrNoEdge is returned by DeleteEdge when the edge is absent.
 var ErrNoEdge = errors.New("graph: no such edge")
 

@@ -9,13 +9,14 @@ import (
 
 // Journal is a write-ahead-style op log: edge updates are applied to a
 // maintained index and, on success, appended to a writer in the textual
-// script format. Together with package persist this gives the standard
-// recovery story — periodic snapshot plus journal tail:
+// script format. Together with package persist this gives a snapshot +
+// journal-tail recovery story for human-readable op streams.
 //
-//	snapshot  = persist.SaveDatabase(...)     // at time T
-//	journal   = every op applied after T
-//	recovery  = LoadDatabase(snapshot) then Replay(journal)
-//
+// Deprecated in favor of structix.Open and internal/wal for durability:
+// the binary WAL covers every op the store accepts — including grafted
+// subtrees, whose payload the textual syntax cannot express (see
+// DeleteSubgraph below) — and adds CRC framing, torn-tail truncation
+// and fsync policies. Journal remains for interchange and tooling.
 // Since split/merge maintenance is deterministic given the op stream, the
 // recovered index is identical to the lost one (tested in
 // TestJournalRecovery).

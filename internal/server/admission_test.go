@@ -64,7 +64,7 @@ func TestCommitterWaitPrefersBufferedOutcome(t *testing.T) {
 
 func TestCommitterCloseDrainsQueue(t *testing.T) {
 	g, _, _, _ := gtest.Fig2()
-	store := structix.NewSnapshotOneIndex(structix.BuildOneIndex(g))
+	store := structix.NewDB(structix.BuildOneIndex(g))
 	c := newCommitter(store, 8, 256, time.Millisecond, newMetrics(), nil)
 	// Queue a valid edge insert, then close: the drain pass must still
 	// resolve the waiter with a committed outcome.
@@ -93,7 +93,7 @@ func TestCommitterCloseDrainsQueue(t *testing.T) {
 
 func TestUpdateOverloadOverHTTP(t *testing.T) {
 	g, _, _, _ := gtest.Fig2()
-	s := New(structix.NewSnapshotOneIndex(structix.BuildOneIndex(g)), Config{RetryAfter: 3 * time.Second})
+	s := New(structix.NewDB(structix.BuildOneIndex(g)), Config{RetryAfter: 3 * time.Second})
 	s.com.close()
 	// Swap in a stalled committer with its only slot occupied so the next
 	// submission deterministically hits admission control.
@@ -123,7 +123,7 @@ func TestUpdateOverloadOverHTTP(t *testing.T) {
 
 func TestHealthzWhileDraining(t *testing.T) {
 	g, _, _, _ := gtest.Fig2()
-	s := New(structix.NewSnapshotOneIndex(structix.BuildOneIndex(g)), Config{})
+	s := New(structix.NewDB(structix.BuildOneIndex(g)), Config{})
 	defer s.com.close()
 
 	rec := httptest.NewRecorder()

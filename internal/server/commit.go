@@ -19,6 +19,16 @@ import (
 // committer falls back to applying every member request alone, in arrival
 // order, so one invalid request costs its neighbors one extra validation
 // pass, never their commit.
+//
+// Durability rides the same batching: the store's Windowed entry points
+// apply and journal without fsyncing, and the committer calls EndWindow
+// once per commit window — after every member has applied, before any
+// waiter is acknowledged. Under fsync=window the group commit is thus
+// also a group fsync (one disk flush amortized over the window); under
+// fsync=always each append already synced and EndWindow is a no-op; and
+// in every policy no waiter is told "committed" before the policy's
+// durability point. A journal failure surfaces in each affected waiter's
+// outcome instead of an ack.
 
 // Errors surfaced by submit (mapped to 429/503 by the HTTP layer).
 var (
@@ -48,7 +58,7 @@ type updateOutcome struct {
 }
 
 type committer struct {
-	store  *structix.SnapshotOneIndex
+	store  *structix.DB
 	queue  chan *updateReq
 	window time.Duration
 	maxOps int
@@ -60,7 +70,7 @@ type committer struct {
 	doneCh  chan struct{} // closed when the loop has exited
 }
 
-func newCommitter(store *structix.SnapshotOneIndex, queueDepth, maxOps int, window time.Duration, m *metrics, eng *engine) *committer {
+func newCommitter(store *structix.DB, queueDepth, maxOps int, window time.Duration, m *metrics, eng *engine) *committer {
 	c := &committer{
 		store:   store,
 		queue:   make(chan *updateReq, queueDepth),
@@ -233,42 +243,61 @@ func (c *committer) commitEdges(batch []*updateReq) {
 	for _, r := range batch {
 		ops = append(ops, r.edges...)
 	}
-	if err := c.store.ApplyBatch(ops); err == nil {
+	if err := c.store.ApplyBatchWindowed(ops); err == nil {
 		epoch := c.published()
 		c.m.batches.Add(1)
 		c.m.batchedOps.Add(int64(total))
+		// The durability barrier comes before any acknowledgment: once a
+		// waiter hears "committed" the ops are applied, journaled, and —
+		// under fsync=window — on disk. One fsync covers the whole window.
+		if serr := c.store.EndWindow(); serr != nil {
+			for _, r := range batch {
+				r.done <- updateOutcome{err: serr, epoch: epoch}
+			}
+			return
+		}
 		for _, r := range batch {
 			r.done <- updateOutcome{epoch: epoch, batchSize: total}
 		}
 		return
 	}
 	// The window contained at least one invalid request. ApplyBatch
-	// validated before mutating, so nothing has been applied; re-run each
-	// request as its own atomic batch, in arrival order.
-	for _, r := range batch {
-		err := c.store.ApplyBatch(r.edges)
+	// validated before mutating, so nothing has been applied (and nothing
+	// was journaled); re-run each request as its own atomic batch, in
+	// arrival order, collecting outcomes so one EndWindow still covers
+	// every successful member before anyone is acknowledged.
+	outs := make([]updateOutcome, len(batch))
+	for i, r := range batch {
+		err := c.store.ApplyBatchWindowed(r.edges)
 		if err == nil {
 			epoch := c.published()
 			c.m.batches.Add(1)
 			c.m.batchedOps.Add(int64(len(r.edges)))
-			r.done <- updateOutcome{epoch: epoch, batchSize: len(r.edges)}
+			outs[i] = updateOutcome{epoch: epoch, batchSize: len(r.edges)}
 			continue
 		}
-		r.done <- updateOutcome{err: err, epoch: c.m.epoch.Load()}
+		outs[i] = updateOutcome{err: err, epoch: c.m.epoch.Load()}
+	}
+	serr := c.store.EndWindow()
+	for i, r := range batch {
+		if serr != nil && outs[i].err == nil {
+			outs[i] = updateOutcome{err: serr, epoch: outs[i].epoch}
+		}
+		r.done <- outs[i]
 	}
 }
 
 // applyScript runs a node/subtree script alone under the writer lock with
-// stop-at-first-error semantics (the opscript contract); the snapshot the
-// wrapper publishes afterwards reflects exactly the applied prefix.
+// stop-at-first-error semantics (the opscript contract); the store
+// journals exactly the applied prefix and publishes a snapshot reflecting
+// it. The script is its own commit window, so the durability barrier runs
+// before the waiter hears the outcome.
 func (c *committer) applyScript(req *updateReq) {
-	var res opscript.Result
-	err := c.store.Update(func(x *structix.OneIndex) error {
-		var e error
-		res, e = opscript.Apply(x, req.script)
-		return e
-	})
+	res, err := c.store.ApplyScriptWindowed(req.script)
 	epoch := c.published()
 	c.m.scripts.Add(1)
+	if serr := c.store.EndWindow(); serr != nil && err == nil {
+		err = serr
+	}
 	req.done <- updateOutcome{err: err, res: res, epoch: epoch, batchSize: len(req.script)}
 }

@@ -18,7 +18,7 @@ import (
 // read path; the committer calls advance after every snapshot publication
 // so cached results can never outlive the epoch they were computed in.
 type engine struct {
-	store     *structix.SnapshotOneIndex
+	store     *structix.DB
 	cache     *qcache.Cache // nil when the result cache is disabled
 	interpret bool          // evaluate with the per-step interpreter (baseline mode)
 
@@ -44,7 +44,7 @@ type program struct {
 // churn it).
 const maxPrograms = 4096
 
-func newEngine(store *structix.SnapshotOneIndex, cacheEntries int, interpret bool) *engine {
+func newEngine(store *structix.DB, cacheEntries int, interpret bool) *engine {
 	e := &engine{store: store, interpret: interpret, progCap: maxPrograms}
 	e.scratch.New = func() any { return &query.Scratch{} }
 	if cacheEntries >= 0 && !interpret {

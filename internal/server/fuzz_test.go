@@ -18,7 +18,7 @@ import (
 
 func fuzzHandler() http.Handler {
 	g, _, _, _ := gtest.Fig2()
-	return server.New(structix.NewSnapshotOneIndex(structix.BuildOneIndex(g)), server.Config{}).Handler()
+	return server.New(structix.NewDB(structix.BuildOneIndex(g)), server.Config{}).Handler()
 }
 
 func FuzzDecodeQuery(f *testing.F) {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"structix"
 	"structix/internal/qcache"
 )
 
@@ -154,4 +155,28 @@ func writeCacheProm(w io.Writer, cs qcache.Stats, programs int) {
 	gauge("structix_qcache_entries", "live result-cache entries", float64(cs.Entries))
 	gauge("structix_qcache_hit_rate", "hits / lookups since start", cs.HitRate())
 	gauge("structix_compiled_programs", "compiled path automata cached", float64(programs))
+}
+
+// writeDurabilityProm emits the store's write-ahead-log counters; a
+// single 0 gauge when the server fronts an in-memory DB.
+func writeDurabilityProm(w io.Writer, ds structix.DBStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	if !ds.Durable {
+		gauge("structix_durable", "1 when the store journals to a write-ahead log", 0)
+		return
+	}
+	gauge("structix_durable", "1 when the store journals to a write-ahead log", 1)
+	gauge("structix_wal_applied_seq", "journal seq of the last applied record", float64(ds.AppliedSeq))
+	gauge("structix_wal_durable_seq", "newest journal seq known fsynced", float64(ds.DurableSeq))
+	gauge("structix_wal_snapshot_seq", "journal coverage of the newest on-disk snapshot", float64(ds.SnapshotSeq))
+	gauge("structix_wal_segments", "live journal segment files", float64(ds.JournalSegments))
+	gauge("structix_wal_bytes", "bytes across live journal segments", float64(ds.JournalBytes))
+	counter("structix_wal_appends_total", "journal records appended", ds.JournalAppends)
+	counter("structix_wal_syncs_total", "journal fsyncs issued", ds.JournalSyncs)
+	counter("structix_compactions_total", "snapshots written by the compactor", ds.Compactions)
 }

@@ -1,31 +1,8 @@
 package server
 
 import (
-	"bufio"
-	"os"
-
-	"structix"
 	"structix/internal/graph"
 )
-
-// saveDatabase writes the graph and its maintained 1-index to path; the
-// caller holds the writer lock (store.Update), so the state is quiescent.
-func saveDatabase(path string, x *structix.OneIndex) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	if err := structix.SaveDatabase(bw, &structix.Database{Graph: x.Graph(), One: x}); err != nil {
-		f.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
 
 // frozenEdges counts the edges of a frozen graph (the frozen view has no
 // cached edge count; stats calls are rare enough that a linear walk is

@@ -13,11 +13,22 @@
 // and a bounded admission queue sheds overload with 429 + Retry-After
 // instead of collapsing.
 //
-// The remaining endpoints are operational: GET /v1/stats (JSON), GET
-// /healthz, GET /metrics (Prometheus text exposition), and /debug/pprof.
-// Shutdown drains the admission queue, flushes the in-flight commit
-// window, optionally persists the database, and leaves every in-flight
-// update either fully committed or cleanly rejected.
+// The server serves a *structix.DB — the durable-store handle — so
+// durability is the store's concern, not the server's: when the DB was
+// opened with structix.Open, every commit window is journaled to the
+// write-ahead log before its waiters are acknowledged (the committer
+// applies the window through the Windowed entry points and calls
+// EndWindow once per window, making group commit and group fsync the
+// same batch), and crash recovery is whatever structix.Open does. An
+// in-memory DB (structix.NewDB) serves identically with durability off.
+//
+// The remaining endpoints are operational: GET /v1/stats (JSON, including
+// the store's durability counters), GET /healthz, GET /metrics
+// (Prometheus text exposition), and /debug/pprof. Shutdown drains the
+// admission queue, flushes the in-flight commit window, seals the journal
+// with a final fsync, and leaves every in-flight update either fully
+// committed or cleanly rejected; closing the DB itself (snapshotting the
+// final state) remains the owner's call after Shutdown returns.
 package server
 
 import (
@@ -53,9 +64,6 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the Retry-After hint on 429/503. Default 1s.
 	RetryAfter time.Duration
-	// PersistPath, when set, saves the database (graph + 1-index) there
-	// during Shutdown, after the commit pipeline has drained.
-	PersistPath string
 	// QueryCacheEntries bounds the epoch-keyed result cache. 0 uses the
 	// default (qcache.DefaultMaxEntries); negative disables the cache.
 	QueryCacheEntries int
@@ -84,9 +92,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves one snapshot-wrapped 1-index over HTTP.
+// Server serves one store over HTTP.
 type Server struct {
-	store *structix.SnapshotOneIndex
+	store *structix.DB
 	cfg   Config
 	com   *committer
 	eng   *engine
@@ -97,19 +105,23 @@ type Server struct {
 	draining atomic.Bool
 }
 
-// New builds a server over a snapshot-wrapped index and starts its commit
-// loop; the index and its graph must not be touched directly while the
-// server is live (use the HTTP surface, or Shutdown first).
-func New(store *structix.SnapshotOneIndex, cfg Config) *Server {
+// New builds a server over a store handle and starts its commit loop. The
+// DB is the single source of truth: durable if it came from structix.Open
+// (the commit pipeline journals every window before acknowledging it),
+// in-memory if it came from structix.NewDB. The handle's index and graph
+// must not be touched directly while the server is live (use the HTTP
+// surface, or Shutdown first); the caller keeps ownership of the DB and
+// closes it after Shutdown.
+func New(db *structix.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		store: store,
+		store: db,
 		cfg:   cfg,
 		m:     newMetrics(),
 		mux:   http.NewServeMux(),
 	}
-	s.eng = newEngine(store, cfg.QueryCacheEntries, cfg.InterpretQueries)
-	s.com = newCommitter(store, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m, s.eng)
+	s.eng = newEngine(db, cfg.QueryCacheEntries, cfg.InterpretQueries)
+	s.com = newCommitter(db, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m, s.eng)
 
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/update", s.handleUpdate)
@@ -145,31 +157,21 @@ func (s *Server) ListenAndServe(addr string) error {
 // Shutdown drains the server gracefully: admission closes first (new
 // updates get 503 + Retry-After), the HTTP server stops accepting and
 // waits for in-flight handlers within ctx, the commit loop flushes
-// everything admitted, and — when configured — the quiesced database is
-// persisted. Every admitted update has fully committed by the time
-// Shutdown returns; everything after admission closed was cleanly
-// rejected.
+// everything admitted, and the journal is sealed with a final fsync so
+// every acknowledged update is durable whatever the fsync policy. Every
+// admitted update has fully committed by the time Shutdown returns;
+// everything after admission closed was cleanly rejected. The DB itself
+// stays open — Close it after Shutdown to snapshot the final state.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.com.beginClose()
 	httpErr := s.hs.Shutdown(ctx)
 	s.com.close()
-	var persistErr error
-	if s.cfg.PersistPath != "" {
-		persistErr = s.persist()
-	}
+	syncErr := s.store.Sync()
 	if httpErr != nil {
 		return httpErr
 	}
-	return persistErr
-}
-
-// persist saves graph + index under the writer lock (the commit loop has
-// already exited, so this cannot race maintenance).
-func (s *Server) persist() error {
-	return s.store.Update(func(x *structix.OneIndex) error {
-		return saveDatabase(s.cfg.PersistPath, x)
-	})
+	return syncErr
 }
 
 // ---- request handling ----
@@ -386,6 +388,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rep.CacheEntries = cs.Entries
 	rep.CacheInvalidated = cs.Invalidated
 	rep.CompiledPrograms = int(s.eng.progCount.Load())
+	ds := s.store.Stats()
+	rep.Durable = ds.Durable
+	rep.FsyncPolicy = ds.Policy
+	rep.AppliedSeq = ds.AppliedSeq
+	rep.DurableSeq = ds.DurableSeq
+	rep.SnapshotSeq = ds.SnapshotSeq
+	rep.JournalSegments = ds.JournalSegments
+	rep.JournalBytes = ds.JournalBytes
+	rep.JournalSyncs = ds.JournalSyncs
+	rep.Compactions = ds.Compactions
+	rep.ReplayedRecords = ds.ReplayedRecords
+	rep.TornBytesDropped = ds.TornBytesDropped
 	writeJSON(w, http.StatusOK, rep)
 }
 
@@ -402,4 +416,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.m.writeProm(w, len(s.com.queue), cap(s.com.queue))
 	writeCacheProm(w, s.eng.cacheStats(), int(s.eng.progCount.Load()))
+	writeDurabilityProm(w, s.store.Stats())
 }

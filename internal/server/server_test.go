@@ -12,7 +12,6 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -32,18 +31,24 @@ import (
 
 type testServer struct {
 	srv  *server.Server
+	db   *structix.DB
 	idx  *structix.OneIndex
 	cli  *client.Client
 	url  string
 	errc chan error
 }
 
-// startServer serves idx on an ephemeral loopback port via the real
-// listener path (not httptest), so Shutdown exercises the full drain
-// ordering the binary uses.
+// startServer serves idx (as an in-memory DB) on an ephemeral loopback
+// port via the real listener path (not httptest), so Shutdown exercises
+// the full drain ordering the binary uses.
 func startServer(t *testing.T, idx *structix.OneIndex, cfg server.Config) *testServer {
 	t.Helper()
-	srv := server.New(structix.NewSnapshotOneIndex(idx), cfg)
+	return startServerOn(t, structix.NewDB(idx), idx, cfg)
+}
+
+func startServerOn(t *testing.T, db *structix.DB, idx *structix.OneIndex, cfg server.Config) *testServer {
+	t.Helper()
+	srv := server.New(db, cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
@@ -51,7 +56,7 @@ func startServer(t *testing.T, idx *structix.OneIndex, cfg server.Config) *testS
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	url := "http://" + ln.Addr().String()
-	return &testServer{srv: srv, idx: idx, cli: client.New(url), url: url, errc: errc}
+	return &testServer{srv: srv, db: db, idx: idx, cli: client.New(url), url: url, errc: errc}
 }
 
 func (ts *testServer) shutdown(t *testing.T) {
@@ -353,18 +358,23 @@ func TestServerReadersVsCommitLoop(t *testing.T) {
 }
 
 // TestServerGracefulShutdownUnderLoad shuts the server down while workers
-// hammer it with updates: every update must either fully commit or fail
-// with a clean typed error, and the persisted database must validate and
-// agree exactly with the per-request outcomes.
+// hammer a durable store with updates: every update must either fully
+// commit or fail with a clean typed error, and reopening the store
+// directory must recover a state that agrees exactly with the
+// per-request outcomes (acknowledged == durable).
 func TestServerGracefulShutdownUnderLoad(t *testing.T) {
 	g := xmarkTree(256, 9)
 	baseEdges := g.NumEdges()
 	pairs := freshPairs(g, 300, 13)
-	dbPath := filepath.Join(t.TempDir(), "shutdown.db")
-	ts := startServer(t, structix.BuildOneIndex(g), server.Config{
-		Window:      time.Millisecond,
-		PersistPath: dbPath,
+	dataDir := filepath.Join(t.TempDir(), "store")
+	db, err := structix.Open(dataDir, structix.Options{
+		Sync:      structix.SyncWindow,
+		Bootstrap: func() (*structix.Database, error) { return &structix.Database{Graph: g}, nil },
 	})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	ts := startServerOn(t, db, nil, server.Config{Window: time.Millisecond})
 	ctx := context.Background()
 
 	var (
@@ -416,43 +426,68 @@ func TestServerGracefulShutdownUnderLoad(t *testing.T) {
 		t.Fatal("shutdown raced too early: nothing committed before drain")
 	}
 
-	f, err := os.Open(dbPath)
+	servedEdges := 0
+	ts.db.View(func(s *structix.OneSnapshot) { servedEdges = countFrozenEdges(s.Data()) })
+	if err := ts.db.Close(); err != nil {
+		t.Fatalf("close store: %v", err)
+	}
+
+	// Recovery: every acknowledged commit must be in the reopened store
+	// (Shutdown sealed the journal before the waiters could observe it),
+	// every clean rejection must not be.
+	rec, err := structix.Open(dataDir, structix.Options{})
 	if err != nil {
-		t.Fatalf("persisted database missing: %v", err)
+		t.Fatalf("reopen store: %v", err)
 	}
-	defer f.Close()
-	db, err := structix.LoadDatabaseAuto(f)
-	if err != nil {
-		t.Fatalf("load persisted database: %v", err)
+	defer rec.Close()
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("recovered store invalid: %v", err)
 	}
-	if db.One == nil {
-		t.Fatal("persisted database has no 1-index")
-	}
-	if err := db.One.Validate(); err != nil {
-		t.Fatalf("persisted index invalid: %v", err)
+	snap := rec.Snapshot().Data()
+	hasEdge := func(p [2]graph.NodeID) bool {
+		found := false
+		snap.EachSucc(p[0], func(w graph.NodeID, _ graph.EdgeKind) {
+			if w == p[1] {
+				found = true
+			}
+		})
+		return found
 	}
 	for _, p := range committed {
-		if !db.Graph.HasEdge(p[0], p[1]) {
-			t.Fatalf("committed insert %v missing from persisted graph", p)
+		if !hasEdge(p) {
+			t.Fatalf("committed insert %v missing from recovered store", p)
 		}
 	}
 	for _, p := range rejected {
-		if db.Graph.HasEdge(p[0], p[1]) {
-			t.Fatalf("cleanly rejected insert %v present in persisted graph", p)
+		if hasEdge(p) {
+			t.Fatalf("cleanly rejected insert %v present in recovered store", p)
 		}
 	}
 	present := 0
 	for _, p := range ambiguous {
-		if db.Graph.HasEdge(p[0], p[1]) {
+		if hasEdge(p) {
 			present++
 		}
 	}
-	if got, want := db.Graph.NumEdges(), baseEdges+len(committed)+present; got != want {
-		t.Fatalf("persisted edge count %d, want %d (base %d + committed %d + ambiguous-present %d)",
-			got, want, baseEdges, len(committed), present)
+	recEdges := countFrozenEdges(snap)
+	if want := baseEdges + len(committed) + present; recEdges != want {
+		t.Fatalf("recovered edge count %d, want %d (base %d + committed %d + ambiguous-present %d)",
+			recEdges, want, baseEdges, len(committed), present)
 	}
-	// The persisted state is the in-memory state.
-	if got := ts.idx.Graph().NumEdges(); got != db.Graph.NumEdges() {
-		t.Fatalf("in-memory graph (%d edges) diverges from persisted (%d)", got, db.Graph.NumEdges())
+	// The recovered state is the served state.
+	if recEdges != servedEdges {
+		t.Fatalf("served graph (%d edges) diverges from recovered (%d)", servedEdges, recEdges)
 	}
+}
+
+// countFrozenEdges walks a frozen graph's successor lists.
+func countFrozenEdges(f *graph.Frozen) int {
+	n := 0
+	for v := graph.NodeID(0); v < f.MaxNodeID(); v++ {
+		if !f.Alive(v) {
+			continue
+		}
+		f.EachSucc(v, func(graph.NodeID, graph.EdgeKind) { n++ })
+	}
+	return n
 }

@@ -130,6 +130,23 @@ type StatsReply struct {
 	// CompiledPrograms is the number of cached compiled automata.
 	CompiledPrograms int `json:"compiled_programs"`
 
+	// Durability counters from the store (see structix.DBStats). Durable
+	// is false when the server fronts an in-memory DB; every other field
+	// in the group is zero/absent then. DurableSeq lagging AppliedSeq is
+	// normal under fsync policies other than always — the gap is the
+	// window of acknowledged-but-not-yet-fsynced records.
+	Durable          bool   `json:"durable"`
+	FsyncPolicy      string `json:"fsync_policy,omitempty"`
+	AppliedSeq       uint64 `json:"applied_seq,omitempty"`
+	DurableSeq       uint64 `json:"durable_seq,omitempty"`
+	SnapshotSeq      uint64 `json:"snapshot_seq,omitempty"`
+	JournalSegments  int    `json:"journal_segments,omitempty"`
+	JournalBytes     int64  `json:"journal_bytes,omitempty"`
+	JournalSyncs     int64  `json:"journal_syncs,omitempty"`
+	Compactions      int64  `json:"compactions,omitempty"`
+	ReplayedRecords  int    `json:"replayed_records,omitempty"`
+	TornBytesDropped int64  `json:"torn_bytes_dropped,omitempty"`
+
 	UptimeMs int64 `json:"uptime_ms"`
 }
 

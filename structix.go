@@ -343,16 +343,38 @@ func MinimumAkIndexSize(g *Graph, k int) int {
 }
 
 // ---- persistence ----
+//
+// The free functions below are the file-format layer: explicit one-shot
+// save/load of a database stream. For a store that stays durable while
+// serving — write-ahead journaling, crash recovery, background
+// compaction — use Open, which owns the whole lifecycle; these remain
+// for import/export and as the snapshot format Open itself writes.
 
 // Database bundles a graph with its (optional) indexes for persistence.
 type Database = persist.Database
 
 // SaveDatabase writes a graph and its indexes to a versioned binary stream.
+//
+// Deprecated-ish: for durable serving use Open (which persists
+// automatically); SaveDatabase remains the explicit export format.
 func SaveDatabase(w io.Writer, db *Database) error { return persist.SaveDatabase(w, db) }
 
 // LoadDatabase reads a stream written by SaveDatabase; the loaded indexes
 // are bound to the loaded graph and ready for maintained updates.
+//
+// Deprecated-ish: for durable serving use Open (which recovers
+// automatically); LoadDatabase remains the explicit import path.
 func LoadDatabase(r io.Reader) (*Database, error) { return persist.LoadDatabase(r) }
+
+// SaveSnapshot writes a database stream (LoadDatabase-compatible) from an
+// immutable epoch snapshot instead of live structures — no lock needed
+// for the duration of the write. This is what DB's compactor uses.
+func SaveSnapshot(w io.Writer, snap *OneSnapshot) error { return persist.SaveSnapshot(w, snap) }
+
+// SaveSnapshotCompressed is SaveSnapshot through gzip.
+func SaveSnapshotCompressed(w io.Writer, snap *OneSnapshot) error {
+	return persist.SaveSnapshotCompressed(w, snap)
+}
 
 // SaveDatabaseCompressed is SaveDatabase through gzip.
 func SaveDatabaseCompressed(w io.Writer, db *Database) error {
@@ -401,17 +423,26 @@ func ApplyOpsShared(g *Graph, ops []ScriptOp, targets ...opscript.EdgeTarget) (O
 	return opscript.ApplyShared(g, ops, targets...)
 }
 
-// Journal wraps a maintained index with a write-ahead-style op log;
-// snapshot (SaveDatabase) + journal replay (ReplayOps) reconstructs lost
-// state exactly.
+// Journal wraps a maintained index with a textual op log; snapshot
+// (SaveDatabase) + journal replay (ReplayOps) reconstructs lost state for
+// the operations the script syntax can express.
+//
+// Deprecated: use Open. The textual journal cannot carry subtree re-add
+// payloads (AddSubgraph) and leaves fsync/recovery/compaction to the
+// caller; the DB's binary write-ahead log (internal/wal) covers every
+// operation and Open replays it automatically.
 type Journal = opscript.Journal
 
 // NewJournal attaches an op log to a maintained index.
+//
+// Deprecated: use Open (see Journal).
 func NewJournal(target opscript.Target, w io.Writer) *Journal {
 	return opscript.NewJournal(target, w)
 }
 
 // ReplayOps applies a journal stream to a snapshot-restored index.
+//
+// Deprecated: use Open (see Journal).
 func ReplayOps(x opscript.Target, r io.Reader) (OpResult, error) {
 	return opscript.Replay(x, r)
 }
