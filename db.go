@@ -53,6 +53,7 @@ type DB struct {
 	appliedSeq uint64 // journal seq of the last applied record (under mu)
 	sinceSnap  int    // records since the last on-disk snapshot (under mu)
 	closed     bool
+	failed     error // sticky: a journal append failed after apply; store is read-only (under mu)
 
 	snapSeq     atomic.Uint64 // journal coverage of the newest on-disk snapshot
 	compactions atomic.Int64
@@ -157,7 +158,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	// Newest readable snapshot wins; an unreadable newest one (a crash
 	// can't produce this — snapshots appear by atomic rename — but disks
 	// can) falls back to its predecessor, which the journal still covers
-	// because segments are only truncated below *written* snapshots.
+	// because compaction truncates only below the *older* of the two
+	// retained snapshots (see compactOnce). If the journal nevertheless
+	// cannot reach back to the fallback, replay fails with wal.ErrGap and
+	// Open reports it instead of recovering a silently partial state.
 	seqs, err := listSnapshots(dir)
 	if err != nil {
 		return nil, err
@@ -339,6 +343,28 @@ func (db *DB) noteRecord(seq uint64) {
 	}
 }
 
+// journalFailed freezes the store after a journal append failed for a
+// mutation already applied to the live index: the in-memory state has
+// diverged from the durable history, so the mutation is NOT published
+// (readers keep seeing the last journaled state), every later write
+// fails with the original cause, and no further snapshot is written
+// (Close included) — otherwise a write the caller was told failed could
+// become durable. Callers hold db.mu.
+func (db *DB) journalFailed(err error) error {
+	if db.failed == nil {
+		db.failed = err
+	}
+	return db.failed
+}
+
+// writeErr gates the write entry points. Callers hold db.mu.
+func (db *DB) writeErr() error {
+	if db.closed {
+		return ErrClosed
+	}
+	return db.failed
+}
+
 // ApplyBatchWindowed applies a batch of edge updates atomically, journals
 // it as one record, and publishes the snapshot — WITHOUT the end-of-window
 // durability barrier. This is the group-commit building block: the
@@ -348,25 +374,25 @@ func (db *DB) noteRecord(seq uint64) {
 func (db *DB) ApplyBatchWindowed(ops []EdgeOp) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	if err := db.writeErr(); err != nil {
+		return err
 	}
 	if err := db.idx.ApplyBatch(ops); err != nil {
 		return err
 	}
-	var jerr error
 	if db.log != nil {
-		var seq uint64
-		if seq, jerr = db.log.AppendEdges(ops); jerr == nil {
-			db.noteRecord(seq)
+		seq, jerr := db.log.AppendEdges(ops)
+		if jerr != nil {
+			return db.journalFailed(jerr)
 		}
+		db.noteRecord(seq)
 	}
 	touched := make([]NodeID, 0, 2*len(ops))
 	for _, op := range ops {
 		touched = append(touched, op.U, op.V)
 	}
 	db.publishPatch(touched)
-	return jerr
+	return nil
 }
 
 // ApplyScriptWindowed runs a script with stop-at-first-error semantics,
@@ -375,19 +401,19 @@ func (db *DB) ApplyBatchWindowed(ops []EdgeOp) error {
 func (db *DB) ApplyScriptWindowed(ops []ScriptOp) (OpResult, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return OpResult{}, ErrClosed
+	if err := db.writeErr(); err != nil {
+		return OpResult{}, err
 	}
 	res, aerr := opscript.Apply(db.idx, ops)
 	if res.Applied == 0 {
 		return res, aerr
 	}
 	if db.log != nil {
-		if seq, jerr := db.log.AppendScript(ops[:res.Applied]); jerr == nil {
-			db.noteRecord(seq)
-		} else if aerr == nil {
-			aerr = jerr
+		seq, jerr := db.log.AppendScript(ops[:res.Applied])
+		if jerr != nil {
+			return res, db.journalFailed(jerr)
 		}
+		db.noteRecord(seq)
 	}
 	db.publishFull()
 	return res, aerr
@@ -459,25 +485,22 @@ func (db *DB) DeleteNode(v NodeID) error {
 func (db *DB) DeleteSubtree(root NodeID) (*Subgraph, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return nil, ErrClosed
+	if err := db.writeErr(); err != nil {
+		return nil, err
 	}
 	sg, err := db.idx.DeleteSubgraph(root, true)
 	if err != nil {
 		return nil, err
 	}
-	var jerr error
 	if db.log != nil {
-		var seq uint64
-		if seq, jerr = db.log.AppendScript([]ScriptOp{{Kind: opscript.DelSub, U: root}}); jerr == nil {
-			db.noteRecord(seq)
+		seq, jerr := db.log.AppendScript([]ScriptOp{{Kind: opscript.DelSub, U: root}})
+		if jerr != nil {
+			return nil, db.journalFailed(jerr)
 		}
+		db.noteRecord(seq)
 	}
 	db.publishFull()
-	if jerr == nil {
-		jerr = db.EndWindow()
-	}
-	return sg, jerr
+	return sg, db.EndWindow()
 }
 
 // AddSubgraph grafts a subgraph as its own commit window. This is the
@@ -488,14 +511,13 @@ func (db *DB) DeleteSubtree(root NodeID) (*Subgraph, error) {
 func (db *DB) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return nil, ErrClosed
+	if err := db.writeErr(); err != nil {
+		return nil, err
 	}
 	ids, err := db.idx.AddSubgraph(sg)
 	if err != nil {
 		return nil, err
 	}
-	var jerr error
 	if db.log != nil {
 		in := db.idx.Graph().Labels()
 		p := &wal.SubgraphPayload{
@@ -509,16 +531,14 @@ func (db *DB) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
 		for i, l := range sg.Labels {
 			p.Labels[i] = in.Name(l)
 		}
-		var seq uint64
-		if seq, jerr = db.log.AppendSubgraph(p); jerr == nil {
-			db.noteRecord(seq)
+		seq, jerr := db.log.AppendSubgraph(p)
+		if jerr != nil {
+			return nil, db.journalFailed(jerr)
 		}
+		db.noteRecord(seq)
 	}
 	db.publishFull()
-	if jerr == nil {
-		jerr = db.EndWindow()
-	}
-	return ids, jerr
+	return ids, db.EndWindow()
 }
 
 // unwrapOpError strips the single-op script wrapper from the convenience
@@ -609,11 +629,21 @@ func (db *DB) compactLoop() {
 }
 
 // compactOnce writes the current snapshot to disk and truncates the
-// journal below it. Everything slow happens against immutable state: the
-// lock is held only to pair the snapshot pointer with its journal
-// coverage.
+// journal — only below the *older* of the two retained snapshots, so
+// that if the newest one turns out unreadable, Open can fall back to its
+// predecessor and still replay a complete journal tail over it.
+// Everything slow happens against immutable state: the lock is held only
+// to pair the snapshot pointer with its journal coverage.
 func (db *DB) compactOnce() error {
 	db.mu.Lock()
+	if db.failed != nil {
+		// The live index holds a mutation the journal never recorded (see
+		// journalFailed); snapshotting it would make a write the caller
+		// saw fail durable.
+		err := db.failed
+		db.mu.Unlock()
+		return err
+	}
 	snap := db.cur.Load()
 	seq := db.appliedSeq
 	db.mu.Unlock()
@@ -623,7 +653,11 @@ func (db *DB) compactOnce() error {
 	if err := db.writeSnapshot(seq, snap); err != nil {
 		return err
 	}
-	return db.log.RemoveBelow(seq + 1)
+	keep := seq
+	if seqs, err := listSnapshots(db.dir); err == nil && len(seqs) >= 2 {
+		keep = seqs[len(seqs)-2]
+	}
+	return db.log.RemoveBelow(keep + 1)
 }
 
 // writeSnapshot persists snap as the snapshot covering journal seq:
@@ -736,6 +770,11 @@ type DBStats struct {
 	TornBytesDropped int64 `json:"torn_bytes_dropped"`
 	// CompactError is the last background-compaction failure ("" = none).
 	CompactError string `json:"compact_error,omitempty"`
+	// WriteError is the sticky journal failure that froze the store
+	// read-only ("" = none): a mutation applied but could not be
+	// journaled, so writes stopped to keep the error outcome and the
+	// durable state in agreement.
+	WriteError string `json:"write_error,omitempty"`
 }
 
 // Stats returns current durability counters; safe alongside writes.
@@ -762,6 +801,9 @@ func (db *DB) Stats() DBStats {
 	st.AppliedSeq = db.appliedSeq
 	if db.compactErr != nil {
 		st.CompactError = db.compactErr.Error()
+	}
+	if db.failed != nil {
+		st.WriteError = db.failed.Error()
 	}
 	db.mu.Unlock()
 	return st

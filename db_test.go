@@ -15,6 +15,7 @@ import (
 	"structix/internal/oneindex"
 	"structix/internal/opscript"
 	"structix/internal/persist"
+	"structix/internal/wal"
 )
 
 // insertBatch picks up to n distinct non-edges for one atomic batch.
@@ -476,6 +477,95 @@ func TestSnapshotFallbackOnCorruptNewest(t *testing.T) {
 	}
 	if got := snapshotBytes(t, db2.Snapshot()); !bytes.Equal(got, want) {
 		t.Error("fallback recovery lost state")
+	}
+}
+
+// The fallback path must stay sound once compaction has actually
+// truncated the journal: compactOnce removes segments only below the
+// *older* retained snapshot, so an unreadable newest snapshot still
+// recovers the full state from predecessor + journal tail. Tiny segments
+// force real segment rolls and real RemoveBelow deletions.
+func TestSnapshotFallbackAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{
+		CompactEvery: 8, SegmentBytes: 256, Bootstrap: xmarkBootstrap(24),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, db, 21, 100)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("want newest + fallback snapshot on disk, got %d", len(seqs))
+	}
+	if err := corruptFile(filepath.Join(dir, snapName(seqs[1]))); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Stats().ReplayedRecords == 0 {
+		t.Error("fallback open replayed nothing")
+	}
+	// Mid-history snapshots renumber inode slots densely (see
+	// canonExtents), so compare canonically, not bit-for-bit.
+	assertSameState(t, db.Snapshot(), db2.Snapshot())
+	if err := db2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// When the journal genuinely cannot reach back to the snapshot recovery
+// starts from (here: the fallback snapshot with its oldest covering
+// segment deleted), Open must fail loudly with wal.ErrGap instead of
+// replaying only the surviving tail onto a too-old base.
+func TestOpenFailsOnJournalGap(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{
+		CompactEvery: 8, SegmentBytes: 256, Bootstrap: xmarkBootstrap(24),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWorkload(t, db, 22, 100)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("want 2 snapshots, got %d", len(seqs))
+	}
+	if err := corruptFile(filepath.Join(dir, snapName(seqs[1]))); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, walSubdir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	if len(segs) < 2 {
+		t.Fatalf("workload produced %d segments, need ≥ 2 for a gap", len(segs))
+	}
+	if err := os.Remove(segs[0]); err != nil { // the fallback's coverage
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{CompactEvery: -1}); !errors.Is(err, wal.ErrGap) {
+		t.Fatalf("open on a gapped journal: want wal.ErrGap, got %v", err)
 	}
 }
 

@@ -185,6 +185,9 @@ type Durability struct {
 	// SnapshotSeq is the journal coverage of the newest on-disk snapshot;
 	// AppliedSeq - SnapshotSeq bounds the replay work a recovery would do.
 	SnapshotSeq uint64
+	// WriteError is the store's sticky journal failure ("" = healthy):
+	// when set, the store has frozen itself read-only.
+	WriteError string
 }
 
 // Durability fetches the store's durability status.
@@ -199,6 +202,7 @@ func (c *Client) Durability(ctx context.Context) (Durability, error) {
 		AppliedSeq:  st.AppliedSeq,
 		DurableSeq:  st.DurableSeq,
 		SnapshotSeq: st.SnapshotSeq,
+		WriteError:  st.WriteError,
 	}, nil
 }
 

@@ -400,6 +400,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rep.Compactions = ds.Compactions
 	rep.ReplayedRecords = ds.ReplayedRecords
 	rep.TornBytesDropped = ds.TornBytesDropped
+	rep.WriteError = ds.WriteError
 	writeJSON(w, http.StatusOK, rep)
 }
 

@@ -146,6 +146,9 @@ type StatsReply struct {
 	Compactions      int64  `json:"compactions,omitempty"`
 	ReplayedRecords  int    `json:"replayed_records,omitempty"`
 	TornBytesDropped int64  `json:"torn_bytes_dropped,omitempty"`
+	// WriteError is the store's sticky journal failure ("" = none): the
+	// store froze itself read-only after a journal append failed.
+	WriteError string `json:"write_error,omitempty"`
 
 	UptimeMs int64 `json:"uptime_ms"`
 }

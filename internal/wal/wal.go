@@ -203,6 +203,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // dropping acknowledged history.
 var ErrCorrupt = errors.New("wal: journal corrupt before the final segment tail")
 
+// ErrGap reports that Replay was asked to start below the oldest record
+// the journal still retains: acknowledged history is missing (compacted
+// away or lost), and replaying only the surviving tail onto a too-old
+// base would silently build a wrong state.
+var ErrGap = errors.New("wal: journal does not reach back to the requested replay point")
+
 func segName(first uint64) string {
 	return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix)
 }
@@ -272,6 +278,26 @@ func Open(dir string, opts Options) (*Log, error) {
 		info, torn, err := scanSegment(path, expect, final)
 		if err != nil {
 			return nil, err
+		}
+		if final && info.size < int64(len(segMagic)) {
+			// The segment's own 8-byte magic is torn or missing — the
+			// previous process died during a segment roll, between creating
+			// the file and durably writing the header. Nothing in the file
+			// is recoverable, and keeping it for append would write acked
+			// frames into a magic-less segment that the *next* Open would
+			// discard wholesale. Delete it; the next append recreates it
+			// under the same name (nextSeq is unchanged).
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("wal: removing magic-less segment %s: %w", name, err)
+			}
+			if err := syncDir(dir); err != nil {
+				return nil, err
+			}
+			l.truncated = torn
+			if expect == 0 {
+				expect = info.first
+			}
+			continue
 		}
 		if torn > 0 {
 			// Torn tail on the final segment: truncate to the last intact
@@ -687,13 +713,28 @@ func (l *Log) Close() error {
 
 // Replay streams every record with seq ≥ from, in order, to fn. The
 // segments were validated by Open, so damage here (a file mutated
-// underneath a live Log) is an error, not a torn tail. Replay may run
-// concurrently with appends; it observes at least every record appended
-// before the call.
+// underneath a live Log) is an error, not a torn tail. If records ≥ from
+// exist but the oldest retained record is newer than from, Replay fails
+// with ErrGap rather than silently replaying only the surviving tail.
+// Replay may run concurrently with appends; it observes at least every
+// record appended before the call.
 func (l *Log) Replay(from uint64, fn func(*Record) error) error {
 	l.mu.Lock()
 	segs := append([]segInfo(nil), l.segs...)
+	next := l.nextSeq
 	l.mu.Unlock()
+	if from < next {
+		oldest := next
+		for _, seg := range segs {
+			if seg.last >= seg.first { // first non-empty segment
+				oldest = seg.first
+				break
+			}
+		}
+		if oldest > from {
+			return fmt.Errorf("%w: oldest retained seq is %d, replay wants %d", ErrGap, oldest, from)
+		}
+	}
 	for _, seg := range segs {
 		if seg.last < from {
 			continue

@@ -229,7 +229,12 @@ func TestSegmentRollAndRemoveBelow(t *testing.T) {
 	if err := l.RemoveBelow(30); err != nil {
 		t.Fatal(err)
 	}
-	recs := collect(t, l, 1)
+	// History below the oldest retained segment is gone: replaying from
+	// seq 1 must fail loudly, not silently stream the surviving tail.
+	if err := l.Replay(1, func(*Record) error { return nil }); !errors.Is(err, ErrGap) {
+		t.Fatalf("Replay(1) after RemoveBelow: err = %v, want ErrGap", err)
+	}
+	recs := collect(t, l, 30)
 	if len(recs) == 0 || recs[len(recs)-1].Seq != 40 {
 		t.Fatalf("replay after RemoveBelow: %d records", len(recs))
 	}
