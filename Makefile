@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race stress serve-stress serve-smoke crash-test cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-wal bench-smoke fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress serve-stress serve-smoke crash-test cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-wal bench-shard bench-smoke fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -27,9 +27,10 @@ stress:
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
 
 # Race-enabled stress of the serving layer: readers against the
-# group-commit loop, graceful shutdown under load, admission control.
+# group-commit loop, graceful shutdown under load, admission control,
+# and the sharded scatter-gather/routing surface.
 serve-stress:
-	$(GO) test -race -count=2 -run 'TestServer|TestCommitter' ./internal/server/
+	$(GO) test -race -count=2 -run 'TestServer|TestCommitter|TestSharded|TestCommitMetrics' ./internal/server/
 
 # End-to-end smoke of xsiserve on an ephemeral port: client round-trip
 # (health, query, atomic update, typed rejection, stats), graceful
@@ -39,10 +40,11 @@ serve-smoke:
 
 # Crash-recovery gates: journal-replay bit-identity, crash-injection
 # property tests (random tail damage recovers a commit prefix, never a
-# partial batch), the kill -9 re-exec test (zero acked commits lost
-# under fsync=always), and the subtree-frame replay-equivalence pin.
+# partial batch; on a sharded store, every shard its own prefix), the
+# kill -9 re-exec test (zero acked commits lost under fsync=always),
+# and the subtree-frame replay-equivalence pin.
 crash-test:
-	$(GO) test -race -count=1 -run 'TestCrash|TestKill9|TestRecovery|TestSubgraphFrame|TestDeleteSubtreeSurvives' .
+	$(GO) test -race -count=1 -run 'TestCrash|TestShardedCrash|TestKill9|TestRecovery|TestSubgraphFrame|TestDeleteSubtreeSurvives' .
 
 cover:
 	$(GO) test -cover ./...
@@ -85,6 +87,12 @@ bench-query:
 bench-wal:
 	$(GO) run ./cmd/xsibench -exp wal -json BENCH_wal.json
 
+# Sharded write scale-out: throughput vs shard count (1/2/4/8) plus the
+# 90/10 scatter-gather mix; see BENCH_shard.json for the committed run
+# and DESIGN.md §9 for the partitioning scheme.
+bench-shard:
+	$(GO) run ./cmd/xsibench -exp shard -json BENCH_shard.json
+
 # One-iteration pass over every benchmark in the module: keeps them
 # compiling and running without paying for stable timings (CI runs this).
 bench-smoke:
@@ -117,19 +125,22 @@ experiments:
 	$(GO) run ./cmd/xsibench -exp all -scale 16
 
 # What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests,
-# the concurrent-stress and server-stress passes, the crash-recovery
-# gates, the xsiserve smoke, a short path-parser fuzz pass, the
-# query-bench and wal-bench smokes, and a one-iteration smoke pass over
-# every benchmark in the module.
+# the concurrent-stress and server-stress passes, the sharded-equivalence
+# pass, the crash-recovery gates (sharded included), the xsiserve smoke
+# (which covers a 4-shard boot), a short path-parser fuzz pass, the
+# query-, wal- and shard-bench smokes, and a one-iteration smoke pass
+# over every benchmark in the module.
 ci: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
-	$(GO) test -race -count=2 -run 'TestServer|TestCommitter' ./internal/server/
-	$(GO) test -race -count=1 -run 'TestCrash|TestKill9|TestRecovery|TestSubgraphFrame|TestDeleteSubtreeSurvives' .
+	$(GO) test -race -count=2 -run 'TestServer|TestCommitter|TestSharded|TestCommitMetrics' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestSharded' .
+	$(GO) test -race -count=1 -run 'TestCrash|TestShardedCrash|TestKill9|TestRecovery|TestSubgraphFrame|TestDeleteSubtreeSurvives' .
 	$(GO) run ./cmd/xsiserve -smoke
 	$(GO) test -fuzz=FuzzParsePath -fuzztime=10s ./internal/query/
 	$(GO) run ./cmd/xsibench -exp query
 	$(GO) run ./cmd/xsibench -exp wal
+	$(GO) run ./cmd/xsibench -exp shard -scale 64
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 clean:

@@ -20,6 +20,7 @@
 //	xsibench -exp serve                    # HTTP serving: 90/10 mix over loopback
 //	xsibench -exp query                    # compiled automata + result cache vs interpreter
 //	xsibench -exp wal                      # journal fsync policies + crash-recovery time
+//	xsibench -exp shard                    # sharded write scale-out + 90/10 mix
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
@@ -108,6 +109,7 @@ func main() {
 		r.serve()
 		r.query()
 		r.wal()
+		r.shard()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -138,6 +140,8 @@ func main() {
 		r.query()
 	case "wal":
 		r.wal()
+	case "shard":
+		r.shard()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -451,6 +455,33 @@ func (r runner) wal() {
 		}
 		defer f.Close()
 		if err := experiments.WriteWalJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) shard() {
+	cfg := experiments.DefaultShardConfig(r.seed)
+	// The benchmark builds its own forest of reduced XMark instances; at
+	// higher -scale reductions shrink each instance rather than the forest,
+	// so placement still has enough components to spread.
+	if r.scale > 16 {
+		cfg.Scale = 2 * r.scale
+	}
+	res, err := experiments.RunShard(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsibench: shard: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.ReportShard(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteShardJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

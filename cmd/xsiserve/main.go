@@ -26,6 +26,15 @@
 // file-based save/restore (deprecated — prefer -data, which owns the
 // lifecycle end to end).
 //
+// -shards N (default 1) partitions the graph into N in-process shards,
+// each with its own commit pipeline, epoch snapshots and — under -data —
+// its own WAL directory (shard-00/, shard-01/, ...): writes to different
+// shards commit independently, queries scatter-gather across all of them.
+// A durable directory remembers its shard count; reopen with the same
+// -shards (or leave it at 1 to accept the stored width). Node ids are
+// re-striped across shards when a store is first sharded, so ids from an
+// unsharded run do not carry over; -persist only supports -shards 1.
+//
 // Endpoints:
 //
 //	POST /v1/query    {"expr":"//person/name","count_only":false,"limit":0}
@@ -71,9 +80,19 @@ func main() {
 		queue     = flag.Int("queue", 1024, "admission queue depth (full queue sheds updates with 429)")
 		persist   = flag.String("persist", "", "deprecated: save the database here on shutdown (prefer -data)")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		shards    = flag.Int("shards", 1, "partition the graph into this many in-process shards")
 		smoke     = flag.Bool("smoke", false, "run the self-test and exit")
 	)
 	flag.Parse()
+
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "xsiserve: -shards must be >= 1")
+		os.Exit(2)
+	}
+	if *persist != "" && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "xsiserve: -persist supports only -shards 1 (use -data for a sharded store)")
+		os.Exit(2)
+	}
 
 	if *smoke {
 		if err := runSmoke(); err != nil {
@@ -84,24 +103,41 @@ func main() {
 		return
 	}
 
-	db, err := openStore(*data, *fsync, *load, *xmark, *cyclicity, *seed)
+	sdb, err := openStore(*data, *fsync, *load, *xmark, *cyclicity, *seed, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xsiserve: %v\n", err)
 		os.Exit(1)
 	}
-	snap := db.Snapshot()
-	fmt.Printf("xsiserve: serving %d dnodes, 1-index %d inodes on %s\n",
-		snap.Data().NumNodes(), snap.Size(), *addr)
-	if ds := db.Stats(); ds.Durable {
-		fmt.Printf("xsiserve: durable store %s (fsync=%s)", ds.Dir, ds.Policy)
-		if ds.ReplayedRecords > 0 || ds.TornBytesDropped > 0 {
-			fmt.Printf(", recovered %d journal records (%d torn bytes dropped)",
-				ds.ReplayedRecords, ds.TornBytesDropped)
+	snap := sdb.Snapshot()
+	nodes := 0
+	for s := 0; s < snap.NumShards(); s++ {
+		nodes += snap.Shard(s).Data().NumNodes()
+	}
+	nodes -= snap.NumShards() - 1 // the root replica counts once
+	fmt.Printf("xsiserve: serving %d dnodes, 1-index %d inodes on %s", nodes, snap.Size(), *addr)
+	if n := sdb.NumShards(); n > 1 {
+		fmt.Printf(" (%d shards)", n)
+	}
+	fmt.Println()
+	dss := sdb.ShardStats()
+	if dss[0].Durable {
+		replayed, torn := 0, int64(0)
+		for _, ds := range dss {
+			replayed += ds.ReplayedRecords
+			torn += ds.TornBytesDropped
+		}
+		dir := dss[0].Dir
+		if sdb.NumShards() > 1 {
+			dir = sdb.Dir()
+		}
+		fmt.Printf("xsiserve: durable store %s (fsync=%s)", dir, dss[0].Policy)
+		if replayed > 0 || torn > 0 {
+			fmt.Printf(", recovered %d journal records (%d torn bytes dropped)", replayed, torn)
 		}
 		fmt.Println()
 	}
 
-	srv := server.New(db, server.Config{
+	srv := server.NewSharded(sdb, server.Config{
 		Window:     *window,
 		MaxBatch:   *maxBatch,
 		QueueDepth: *queue,
@@ -132,13 +168,13 @@ func main() {
 		os.Exit(1)
 	}
 	if *persist != "" && *data == "" {
-		if err := saveTo(*persist, db); err != nil {
+		if err := saveTo(*persist, sdb.Shard(0)); err != nil {
 			fmt.Fprintf(os.Stderr, "xsiserve: persist: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("xsiserve: persisted database to %s\n", *persist)
 	}
-	if err := db.Close(); err != nil {
+	if err := sdb.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "xsiserve: close: %v\n", err)
 		os.Exit(1)
 	}
@@ -147,9 +183,12 @@ func main() {
 	}
 }
 
-// openStore builds the DB handle: durable (structix.Open over -data) or
-// in-memory (legacy -load / generated dataset).
-func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int64) (*structix.DB, error) {
+// openStore builds the store handle: durable (structix.Open or, for
+// -shards > 1, structix.OpenSharded over -data) or in-memory (legacy
+// -load / generated dataset, partitioned with NewShardedDB when sharded).
+// An unsharded request always goes down the original single-DB paths and
+// is wrapped at the end, so -shards 1 leaves layouts and ids untouched.
+func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int64, shards int) (*structix.ShardedDB, error) {
 	bootstrap := func() (*structix.Database, error) {
 		if load != "" {
 			return loadFile(load)
@@ -162,17 +201,30 @@ func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int6
 		if err != nil {
 			return nil, err
 		}
-		return structix.Open(data, structix.Options{Sync: policy, Bootstrap: bootstrap})
+		if shards > 1 {
+			return structix.OpenSharded(data, structix.Options{
+				Sync: policy, Shards: shards, Bootstrap: bootstrap,
+			})
+		}
+		db, err := structix.Open(data, structix.Options{Sync: policy, Bootstrap: bootstrap})
+		if err != nil {
+			return nil, err
+		}
+		return structix.WrapDB(db), nil
 	}
 	db, err := bootstrap()
 	if err != nil {
 		return nil, err
 	}
+	if shards > 1 {
+		sdb, _ := structix.NewShardedDB(db.Graph, shards)
+		return sdb, nil
+	}
 	idx := db.One
 	if idx == nil {
 		idx = structix.BuildOneIndex(db.Graph)
 	}
-	return structix.NewDB(idx), nil
+	return structix.WrapDB(structix.NewDB(idx)), nil
 }
 
 func loadFile(path string) (*structix.Database, error) {

@@ -14,6 +14,7 @@ import (
 	"structix/internal/graph"
 	"structix/internal/opscript"
 	"structix/internal/server"
+	"structix/internal/shard"
 )
 
 // runSmoke is the end-to-end self-test behind -smoke: a durable store in
@@ -156,5 +157,154 @@ func runSmoke() error {
 	}
 	fmt.Printf("xsiserve: smoke: %d nodes, %s -> %d matches, store %s recovers\n",
 		db2.Snapshot().Data().NumNodes(), expr, n, dir)
+	return runSmokeSharded()
+}
+
+// smokeForest merges several small XMark instances under one root so the
+// bootstrap splitter has components to spread across shards.
+func smokeForest(instances, scale int, seed int64) *structix.Graph {
+	g := graph.New()
+	root := g.AddRoot()
+	for i := 0; i < instances; i++ {
+		p := structix.GenerateXMark(structix.DefaultXMark(scale, 1, seed+int64(i)))
+		proot := p.Root()
+		idmap := make([]graph.NodeID, p.MaxNodeID()+1)
+		p.EachNode(func(v graph.NodeID) {
+			if v == proot {
+				idmap[v] = root
+				return
+			}
+			idmap[v] = g.AddNode(p.LabelName(v))
+			if val := p.Value(v); val != "" {
+				g.SetValue(idmap[v], val)
+			}
+		})
+		p.EachEdge(func(u, v graph.NodeID, k graph.EdgeKind) {
+			if err := g.AddEdge(idmap[u], idmap[v], k); err != nil {
+				panic(fmt.Sprintf("smoke forest merge: %v", err))
+			}
+		})
+	}
+	return g
+}
+
+// runSmokeSharded repeats the boot/query/update/recover loop against a
+// 4-shard durable store: scatter-gather query, same-shard update, typed
+// cross-shard rejection, per-shard stats, reopen at the stored width.
+func runSmokeSharded() error {
+	dir, err := os.MkdirTemp("", "xsiserve-smoke-shard-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	const shards = 4
+	sdb, err := structix.OpenSharded(dir, structix.Options{
+		Sync:   structix.SyncAlways,
+		Shards: shards,
+		Bootstrap: func() (*structix.Database, error) {
+			return &structix.Database{Graph: smokeForest(6, 512, 43)}, nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("sharded open: %w", err)
+	}
+	srv := server.NewSharded(sdb, server.Config{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://" + ln.Addr().String())
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("sharded health: %w", err)
+	}
+
+	const expr = "//person/name"
+	res, err := c.Query(ctx, expr)
+	if err != nil {
+		return fmt.Errorf("sharded query %s: %w", expr, err)
+	}
+	if res.Count == 0 {
+		return fmt.Errorf("sharded query %s matched nothing", expr)
+	}
+
+	// Same-shard pair (equal id residues): must commit and undo cleanly.
+	// Cross-shard pair: must be refused with the shard sentinel, op 0.
+	var su, sv, cu, cv graph.NodeID = -1, -1, -1, -1
+	for _, a := range res.Nodes {
+		for _, b := range res.Nodes {
+			if a == b {
+				continue
+			}
+			if a%shards == b%shards && su < 0 {
+				su, sv = a, b
+			}
+			if a%shards != b%shards && cu < 0 {
+				cu, cv = a, b
+			}
+		}
+	}
+	if su < 0 || cu < 0 {
+		return fmt.Errorf("sharded smoke dataset has no same+cross shard pairs among %d matches", len(res.Nodes))
+	}
+	if _, err := c.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: su, V: sv, Edge: graph.IDRef}}); err != nil {
+		return fmt.Errorf("sharded insert %d->%d: %w", su, sv, err)
+	}
+	if err := c.DeleteEdge(ctx, su, sv); err != nil {
+		return fmt.Errorf("sharded delete %d->%d: %w", su, sv, err)
+	}
+	_, err = c.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: cu, V: cv, Edge: graph.IDRef}})
+	var be *graph.BatchError
+	if !errors.As(err, &be) || !errors.Is(be, shard.ErrCrossShard) || be.OpIndex != 0 {
+		return fmt.Errorf("cross-shard insert %d->%d: got %v, want op 0 ErrCrossShard", cu, cv, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("sharded stats: %w", err)
+	}
+	if st.Shards != shards || len(st.ShardStats) != shards {
+		return fmt.Errorf("stats report %d shards (%d detailed), want %d", st.Shards, len(st.ShardStats), shards)
+	}
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shCancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("sharded shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("sharded serve: %w", err)
+	}
+	if err := sdb.Close(); err != nil {
+		return fmt.Errorf("sharded close: %w", err)
+	}
+
+	// Reopen without naming the width: the store remembers its shard count.
+	sdb2, err := structix.OpenSharded(dir, structix.Options{})
+	if err != nil {
+		return fmt.Errorf("sharded reopen: %w", err)
+	}
+	defer sdb2.Close()
+	if sdb2.NumShards() != shards {
+		return fmt.Errorf("reopened store has %d shards, want %d", sdb2.NumShards(), shards)
+	}
+	if err := sdb2.Validate(); err != nil {
+		return fmt.Errorf("recovered sharded store invalid: %w", err)
+	}
+	p, err := structix.ParsePath(expr)
+	if err != nil {
+		return err
+	}
+	if got := len(sdb2.Eval(p)); got != res.Count {
+		return fmt.Errorf("recovered sharded store answers %d for %s, served answer was %d", got, expr, res.Count)
+	}
+	fmt.Printf("xsiserve: smoke: sharded(%d): %s -> %d matches, store %s recovers\n",
+		shards, expr, res.Count, dir)
 	return nil
 }

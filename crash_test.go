@@ -128,6 +128,119 @@ func TestCrashInjectionRecoversCommitPrefix(t *testing.T) {
 	}
 }
 
+// Sharded crash-injection property: each shard journals independently, so
+// whatever damage a crash leaves across the per-shard WALs, every shard
+// recovers to some prefix of ITS OWN committed batches — the shards need
+// not agree on a depth, but none may land between commits. Every commit
+// here targets a single shard through the facade, so each shard's legal
+// states are exactly its recorded fingerprints.
+func TestShardedCrashRecoversPerShardPrefixes(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 3
+	boot := func() (*Database, error) { return &Database{Graph: shardForest(21, 9, 8)}, nil }
+	sdb, err := OpenSharded(dir, Options{Sync: SyncNone, CompactEvery: -1, Shards: shards, Bootstrap: boot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sdb.Map()
+
+	// Per-shard prefix fingerprints: bootstrap state, then one entry per
+	// commit routed to that shard.
+	prefixes := make([][][]byte, shards)
+	for s := 0; s < shards; s++ {
+		prefixes[s] = [][]byte{snapshotBytes(t, sdb.Shard(s).Snapshot())}
+	}
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 8; round++ {
+		for s := 0; s < shards; s++ {
+			local := insertBatch(rng, sdb.Shard(s).idx.Graph(), 4)
+			if len(local) < 2 {
+				continue
+			}
+			ops := make([]EdgeOp, len(local))
+			for i, op := range local {
+				ops[i] = graph.InsertOp(m.ToGlobal(s, op.U), m.ToGlobal(s, op.V), op.Kind)
+			}
+			if err := sdb.ApplyBatch(ops); err != nil {
+				t.Fatalf("round %d shard %d: %v", round, s, err)
+			}
+			prefixes[s] = append(prefixes[s], snapshotBytes(t, sdb.Shard(s).Snapshot()))
+		}
+	}
+	if err := sdb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := make([]string, shards)
+	origs := make([][]byte, shards)
+	for s := 0; s < shards; s++ {
+		segs[s] = walSegments(t, filepath.Join(dir, shardDirName(s)))[0]
+		orig, err := os.ReadFile(segs[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orig) < 16 {
+			t.Fatalf("shard %d journal implausibly small: %d bytes", s, len(orig))
+		}
+		origs[s] = orig
+	}
+
+	inj := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 16; trial++ {
+		// Damage every shard's journal independently: different offsets,
+		// different kinds — the crash hit all of them at once.
+		for s := 0; s < shards; s++ {
+			damaged := append([]byte(nil), origs[s]...)
+			off := inj.Intn(len(damaged))
+			if (trial+s)%2 == 0 {
+				damaged[off] ^= 0x40
+			} else {
+				damaged = damaged[:off]
+			}
+			if err := os.WriteFile(segs[s], damaged, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sdb2, err := OpenSharded(dir, Options{Sync: SyncNone, CompactEvery: -1})
+		if err != nil {
+			t.Fatalf("trial %d: reopen: %v", trial, err)
+		}
+		if err := sdb2.Validate(); err != nil {
+			t.Fatalf("trial %d: recovered sharded store invalid: %v", trial, err)
+		}
+		for s := 0; s < shards; s++ {
+			got := snapshotBytes(t, sdb2.Shard(s).Snapshot())
+			match := -1
+			for i, p := range prefixes[s] {
+				if string(got) == string(p) {
+					match = i
+					break
+				}
+			}
+			if match < 0 {
+				t.Fatalf("trial %d: shard %d recovered outside its commit-prefix set (replayed %d records)",
+					trial, s, sdb2.ShardStats()[s].ReplayedRecords)
+			}
+		}
+	}
+
+	// Intact journals: every shard recovers its full committed state.
+	for s := 0; s < shards; s++ {
+		if err := os.WriteFile(segs[s], origs[s], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sdb3, err := OpenSharded(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		if got := snapshotBytes(t, sdb3.Shard(s).Snapshot()); string(got) != string(prefixes[s][len(prefixes[s])-1]) {
+			t.Fatalf("shard %d: intact journal did not recover the full committed state", s)
+		}
+	}
+}
+
 // Under fsync=always every acknowledged commit is on disk before the ack,
 // so a crash that tears an *in-flight* (unacknowledged) append — garbage
 // after the last acked frame — must recover exactly the acked state: the

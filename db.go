@@ -109,8 +109,14 @@ type Options struct {
 	// snapshot yet (a brand-new store). When nil, the store starts as an
 	// empty graph with a root node. The bootstrapped state is snapshotted
 	// during Open, before any journaling, so Bootstrap is never re-run on
-	// recovery.
+	// recovery — except by OpenSharded, which may re-run it to rebuild a
+	// shard that crashed before its first snapshot; it must therefore be
+	// deterministic under OpenSharded.
 	Bootstrap func() (*Database, error)
+	// Shards is the shard count for OpenSharded (default 1). Ignored by
+	// Open. An existing sharded directory pins its count in a manifest;
+	// a non-zero Shards disagreeing with the manifest is an error.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -541,6 +547,91 @@ func (db *DB) AddSubgraph(sg *Subgraph) ([]NodeID, error) {
 	return ids, db.EndWindow()
 }
 
+// ValidateBatch checks that ops would apply cleanly against the current
+// graph, without applying anything: the same overlay pre-validation
+// ApplyBatch itself runs, exposed so a cross-shard coordinator can
+// validate every shard's sub-batch before committing to any of them. A
+// nil return from every shard guarantees the subsequent per-shard applies
+// succeed, provided no other writer intervenes.
+func (db *DB) ValidateBatch(ops []EdgeOp) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.writeErr(); err != nil {
+		return err
+	}
+	return db.idx.Graph().ValidateOps(ops)
+}
+
+// AddSubgraphNamed is AddSubgraph with the labels given by name instead of
+// by this store's LabelIDs — the cross-store transfer form (exactly what
+// the journal's subgraph records carry): sg.Labels is ignored and names
+// re-interned here, so a subtree extracted from one store (or one shard)
+// grafts into another whose interner assigns different ids.
+func (db *DB) AddSubgraphNamed(names []string, sg *Subgraph) ([]NodeID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.writeErr(); err != nil {
+		return nil, err
+	}
+	in := db.idx.Graph().Labels()
+	local := *sg
+	local.Labels = make([]graph.LabelID, len(names))
+	for i, name := range names {
+		local.Labels[i] = in.Intern(name)
+	}
+	ids, err := db.idx.AddSubgraph(&local)
+	if err != nil {
+		return nil, err
+	}
+	if db.log != nil {
+		p := &wal.SubgraphPayload{
+			Labels:    names,
+			Values:    local.Values,
+			Edges:     local.Edges,
+			EdgeKinds: local.EdgeKinds,
+			CrossIn:   local.CrossIn,
+			CrossOut:  local.CrossOut,
+		}
+		seq, jerr := db.log.AppendSubgraph(p)
+		if jerr != nil {
+			return nil, db.journalFailed(jerr)
+		}
+		db.noteRecord(seq)
+	}
+	db.publishFull()
+	return ids, db.EndWindow()
+}
+
+// DeleteSubtreeNamed is DeleteSubtree also returning the label name of
+// each subgraph-local node, resolved under the writer lock — the form a
+// cross-store coordinator needs, since the returned Subgraph's LabelIDs
+// are meaningless outside this store's interner.
+func (db *DB) DeleteSubtreeNamed(root NodeID) ([]string, *Subgraph, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.writeErr(); err != nil {
+		return nil, nil, err
+	}
+	sg, err := db.idx.DeleteSubgraph(root, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if db.log != nil {
+		seq, jerr := db.log.AppendScript([]ScriptOp{{Kind: opscript.DelSub, U: root}})
+		if jerr != nil {
+			return nil, nil, db.journalFailed(jerr)
+		}
+		db.noteRecord(seq)
+	}
+	db.publishFull()
+	in := db.idx.Graph().Labels()
+	names := make([]string, len(sg.Labels))
+	for i, l := range sg.Labels {
+		names[i] = in.Name(l)
+	}
+	return names, sg, db.EndWindow()
+}
+
 // unwrapOpError strips the single-op script wrapper from the convenience
 // entry points, surfacing the graph sentinel directly (errors.Is works
 // either way; direct callers expect the bare cause).
@@ -555,6 +646,12 @@ func unwrapOpError(err error) error {
 // Update runs fn with exclusive access to the live index — available only
 // on an in-memory DB, because the journal cannot capture what fn did. On
 // a durable DB it fails without running fn; use the typed write methods.
+//
+// The snapshot is published only when fn succeeds: a caller that was told
+// its update failed must not have readers observe it anyway. A failing fn
+// must therefore leave the index as it found it (the typed write surfaces
+// all satisfy this); anything it half-did before failing stays invisible
+// until the next successful write republishes.
 func (db *DB) Update(fn func(*OneIndex) error) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -564,9 +661,11 @@ func (db *DB) Update(fn func(*OneIndex) error) error {
 	if db.log != nil {
 		return errors.New("structix: Update bypasses the journal; use the typed write methods on a durable DB")
 	}
-	err := fn(db.idx)
+	if err := fn(db.idx); err != nil {
+		return err
+	}
 	db.publishFull()
-	return err
+	return nil
 }
 
 // Sync is an explicit durability barrier: it fsyncs every journaled

@@ -187,6 +187,16 @@ func (s *Snapshot) Extent(I INodeID) []graph.NodeID {
 	return s.extents[I]
 }
 
+// AppendExtent appends I's extent to dst and returns it — the extent-union
+// primitive of the snapshot evaluators and the sharded scatter-gather
+// merge: with a warm dst the whole union allocates nothing.
+func (s *Snapshot) AppendExtent(dst []graph.NodeID, I INodeID) []graph.NodeID {
+	if !s.Live(I) {
+		return dst
+	}
+	return append(dst, s.extents[I]...)
+}
+
 // ExtentSize returns |extent(I)| at freeze time.
 func (s *Snapshot) ExtentSize(I INodeID) int {
 	if !s.Live(I) {

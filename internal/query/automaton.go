@@ -259,7 +259,7 @@ func (c *Compiled) evalOne(ctx context.Context, buf []graph.NodeID, sc *Scratch,
 		if err := ctxErr(ctx); err != nil {
 			return buf[:0], err
 		}
-		buf = append(buf, s.Extent(oneindex.INodeID(i))...)
+		buf = s.AppendExtent(buf, oneindex.INodeID(i))
 	}
 	sortNodes(buf)
 	if c.path.HasPredicates() {

@@ -89,7 +89,7 @@ func evalOneSnapshotInto(ctx context.Context, buf []graph.NodeID, p *Path, s *on
 		if err := ctxErr(ctx); err != nil {
 			return buf[:0], err
 		}
-		buf = append(buf, s.Extent(oneindex.INodeID(n))...)
+		buf = s.AppendExtent(buf, oneindex.INodeID(n))
 	}
 	sortNodes(buf)
 	return buf, ctxErr(ctx)

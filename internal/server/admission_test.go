@@ -65,7 +65,7 @@ func TestCommitterWaitPrefersBufferedOutcome(t *testing.T) {
 func TestCommitterCloseDrainsQueue(t *testing.T) {
 	g, _, _, _ := gtest.Fig2()
 	store := structix.NewDB(structix.BuildOneIndex(g))
-	c := newCommitter(store, 8, 256, time.Millisecond, newMetrics(), nil)
+	c := newCommitter(store, 0, 8, 256, time.Millisecond, newMetrics(1), nil)
 	// Queue a valid edge insert, then close: the drain pass must still
 	// resolve the waiter with a committed outcome.
 	req := &updateReq{
@@ -94,12 +94,12 @@ func TestCommitterCloseDrainsQueue(t *testing.T) {
 func TestUpdateOverloadOverHTTP(t *testing.T) {
 	g, _, _, _ := gtest.Fig2()
 	s := New(structix.NewDB(structix.BuildOneIndex(g)), Config{RetryAfter: 3 * time.Second})
-	s.com.close()
+	s.coms[0].close()
 	// Swap in a stalled committer with its only slot occupied so the next
 	// submission deterministically hits admission control.
 	full := stalledCommitter(1)
 	full.queue <- &updateReq{}
-	s.com = full
+	s.coms[0] = full
 
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/v1/update",
@@ -124,7 +124,7 @@ func TestUpdateOverloadOverHTTP(t *testing.T) {
 func TestHealthzWhileDraining(t *testing.T) {
 	g, _, _, _ := gtest.Fig2()
 	s := New(structix.NewDB(structix.BuildOneIndex(g)), Config{})
-	defer s.com.close()
+	defer s.coms[0].close()
 
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))

@@ -9,8 +9,11 @@ import (
 	"structix/internal/opscript"
 )
 
-// The group-commit pipeline. Concurrent update requests land in a bounded
-// admission queue; a single committer goroutine drains it, coalescing
+// The group-commit pipeline. The server runs one committer per shard
+// (exactly one for an unsharded store), each owning its shard's writes
+// end to end, so shards commit — and fsync — independently. Concurrent
+// update requests land in a bounded admission queue; the shard's single
+// committer goroutine drains it, coalescing
 // edge-only requests into one ApplyBatch per commit window (flushed when
 // the pooled ops reach MaxBatch or when the window deadline expires), so
 // the split phase, the deferred merge pass, and the snapshot publication
@@ -40,12 +43,17 @@ var (
 	ErrShuttingDown = errors.New("server: shutting down")
 )
 
-// updateReq is one admitted update waiting for the commit loop. Exactly
+// updateReq is one admitted update waiting for a commit loop. Exactly
 // one of edges/script is set: edge-only requests coalesce, scripts apply
-// alone.
+// alone. On a sharded server the ops are already in the target shard's
+// local id space; shard and orig carry what the HTTP layer needs to
+// translate the outcome back (orig is SplitEdges' original-index column
+// for this shard's sub-batch; nil when the indexes already agree).
 type updateReq struct {
 	edges  []graph.EdgeOp
 	script []opscript.Op
+	shard  int
+	orig   []int
 	done   chan updateOutcome // buffered(1): the committer never blocks on it
 }
 
@@ -58,7 +66,8 @@ type updateOutcome struct {
 }
 
 type committer struct {
-	store  *structix.DB
+	store  *structix.DB // the shard's store handle
+	shard  int          // which shard this pipeline commits to
 	queue  chan *updateReq
 	window time.Duration
 	maxOps int
@@ -70,9 +79,10 @@ type committer struct {
 	doneCh  chan struct{} // closed when the loop has exited
 }
 
-func newCommitter(store *structix.DB, queueDepth, maxOps int, window time.Duration, m *metrics, eng *engine) *committer {
+func newCommitter(store *structix.DB, shard int, queueDepth, maxOps int, window time.Duration, m *metrics, eng *engine) *committer {
 	c := &committer{
 		store:   store,
+		shard:   shard,
 		queue:   make(chan *updateReq, queueDepth),
 		window:  window,
 		maxOps:  maxOps,
@@ -86,15 +96,16 @@ func newCommitter(store *structix.DB, queueDepth, maxOps int, window time.Durati
 	return c
 }
 
-// published records one snapshot publication: the result cache advances
-// to the new snapshot (evicting what the commit's dirty set invalidates)
-// before the epoch gauge moves. This goroutine is the only publisher, so
-// cache advances are totally ordered with publications.
+// published records one snapshot publication on this committer's shard:
+// the shard's result cache advances to the new snapshot (evicting what
+// the commit's dirty set invalidates) before the epoch gauges move. This
+// goroutine is the shard's only publisher, so its cache advances are
+// totally ordered with its publications.
 func (c *committer) published() uint64 {
 	if c.eng != nil {
-		c.eng.advance()
+		c.eng.advance(c.shard)
 	}
-	return c.m.bumpEpoch()
+	return c.m.bumpEpoch(c.shard)
 }
 
 // submit admits a request or sheds it. It never blocks: a full queue is
@@ -245,8 +256,6 @@ func (c *committer) commitEdges(batch []*updateReq) {
 	}
 	if err := c.store.ApplyBatchWindowed(ops); err == nil {
 		epoch := c.published()
-		c.m.batches.Add(1)
-		c.m.batchedOps.Add(int64(total))
 		// The durability barrier comes before any acknowledgment: once a
 		// waiter hears "committed" the ops are applied, journaled, and —
 		// under fsync=window — on disk. One fsync covers the whole window.
@@ -256,6 +265,12 @@ func (c *committer) commitEdges(batch []*updateReq) {
 			}
 			return
 		}
+		// Commit counters move only after the barrier: a window whose
+		// fsync failed was not acknowledged as committed, and must not be
+		// counted as one (the mean batch size would drift from what
+		// clients were actually told).
+		c.m.batches.Add(1)
+		c.m.batchedOps.Add(int64(total))
 		for _, r := range batch {
 			r.done <- updateOutcome{epoch: epoch, batchSize: total}
 		}
@@ -267,18 +282,30 @@ func (c *committer) commitEdges(batch []*updateReq) {
 	// arrival order, collecting outcomes so one EndWindow still covers
 	// every successful member before anyone is acknowledged.
 	outs := make([]updateOutcome, len(batch))
+	committed, committedOps := int64(0), int64(0)
 	for i, r := range batch {
 		err := c.store.ApplyBatchWindowed(r.edges)
-		if err == nil {
-			epoch := c.published()
-			c.m.batches.Add(1)
-			c.m.batchedOps.Add(int64(len(r.edges)))
-			outs[i] = updateOutcome{epoch: epoch, batchSize: len(r.edges)}
+		if err != nil {
+			// The rejection epoch is captured here, at this member's own
+			// outcome — later members of the window may still publish, and
+			// their epochs must not leak into an earlier rejection (the
+			// waiter would believe its failure was observed at a snapshot
+			// that postdates it).
+			epoch := c.m.epoch.Load()
+			outs[i] = updateOutcome{err: err, epoch: epoch}
 			continue
 		}
-		outs[i] = updateOutcome{err: err, epoch: c.m.epoch.Load()}
+		epoch := c.published()
+		outs[i] = updateOutcome{epoch: epoch, batchSize: len(r.edges)}
+		committed++
+		committedOps += int64(len(r.edges))
 	}
 	serr := c.store.EndWindow()
+	if serr == nil {
+		// As on the fast path: count commits only once the barrier held.
+		c.m.batches.Add(committed)
+		c.m.batchedOps.Add(committedOps)
+	}
 	for i, r := range batch {
 		if serr != nil && outs[i].err == nil {
 			outs[i] = updateOutcome{err: serr, epoch: outs[i].epoch}
@@ -295,8 +322,10 @@ func (c *committer) commitEdges(batch []*updateReq) {
 func (c *committer) applyScript(req *updateReq) {
 	res, err := c.store.ApplyScriptWindowed(req.script)
 	epoch := c.published()
-	c.m.scripts.Add(1)
-	if serr := c.store.EndWindow(); serr != nil && err == nil {
+	serr := c.store.EndWindow()
+	if serr == nil {
+		c.m.scripts.Add(1)
+	} else if err == nil {
 		err = serr
 	}
 	req.done <- updateOutcome{err: err, res: res, epoch: epoch, batchSize: len(req.script)}

@@ -13,18 +13,34 @@ import (
 
 // engine is the server's query evaluation core: a bounded compiled-program
 // cache (raw expression → compiled automaton, so hot expressions skip the
-// parser entirely), a per-request scratch pool for allocation-free
-// automaton walks, and the epoch-keyed result cache. The engine owns the
-// read path; the committer calls advance after every snapshot publication
-// so cached results can never outlive the epoch they were computed in.
+// parser entirely), a bounded negative cache for unparsable expressions, a
+// per-request scratch pool for allocation-free automaton walks, and one
+// epoch-keyed result cache per shard. The engine owns the read path; each
+// shard's committer calls advance for its shard after every snapshot
+// publication there, so cached results can never outlive the epoch they
+// were computed in.
+//
+// On a sharded store the engine evaluates each shard's snapshot
+// independently (each against its own cache), translates the per-shard
+// results to global ids, and k-way merges the sorted sections — the
+// scatter-gather read path. A 1-shard store takes none of those detours:
+// run is then exactly the unsharded evaluator.
 type engine struct {
-	store     *structix.DB
-	cache     *qcache.Cache // nil when the result cache is disabled
-	interpret bool          // evaluate with the per-step interpreter (baseline mode)
+	store     *structix.ShardedDB
+	caches    []*qcache.Cache // one per shard; nil when the result cache is disabled
+	interpret bool            // evaluate with the per-step interpreter (baseline mode)
 
 	progs     sync.Map // raw expr string → *program
 	progCount atomic.Int64
 	progCap   int
+
+	// The negative program cache: raw expression → parse error. A client
+	// retrying a hot invalid expression costs one map hit per request
+	// instead of a parser run; the bound keeps an adversarial stream of
+	// unique garbage from growing the map without limit.
+	parseErrs   sync.Map // raw expr string → error
+	parseErrCnt atomic.Int64
+	parseErrCap int
 
 	scratch sync.Pool // *query.Scratch
 }
@@ -41,28 +57,65 @@ type program struct {
 // maxPrograms bounds the program cache; expressions beyond the bound are
 // parsed per request rather than evicting (real workloads have a small
 // hot set, and an adversarial stream of unique expressions should not
-// churn it).
-const maxPrograms = 4096
+// churn it). maxParseErrors bounds the negative cache the same way.
+const (
+	maxPrograms    = 4096
+	maxParseErrors = 1024
+)
 
-func newEngine(store *structix.DB, cacheEntries int, interpret bool) *engine {
-	e := &engine{store: store, interpret: interpret, progCap: maxPrograms}
+func newEngine(store *structix.ShardedDB, cacheEntries int, interpret bool) *engine {
+	e := &engine{
+		store:       store,
+		interpret:   interpret,
+		progCap:     maxPrograms,
+		parseErrCap: maxParseErrors,
+	}
 	e.scratch.New = func() any { return &query.Scratch{} }
 	if cacheEntries >= 0 && !interpret {
-		e.cache = qcache.New(cacheEntries)
-		// Set the initial tag so results computed against the boot
-		// snapshot are cacheable before the first commit.
-		e.cache.Advance(store.Snapshot(), nil, true)
+		// One cache per shard (the entry bound is per shard): results are
+		// keyed by the shard's own snapshot pointer, and each shard's
+		// committer advances only its own cache.
+		e.caches = make([]*qcache.Cache, store.NumShards())
+		for s := range e.caches {
+			e.caches[s] = qcache.New(cacheEntries)
+			// Set the initial tag so results computed against the boot
+			// snapshot are cacheable before the first commit.
+			e.caches[s].Advance(store.Shard(s).Snapshot(), nil, true)
+		}
 	}
 	return e
 }
 
-// program parses (and compiles) expr, serving repeats from the cache.
+// reserve bounds a sync.Map insertion without a check-then-act race: the
+// counter is incremented first (claiming a slot), and released again if
+// the cap was exceeded or another goroutine stored the same key. The
+// counter can transiently overshoot cap while claims are in flight, but
+// the map itself never exceeds it.
+func reserve(cnt *atomic.Int64, cap int, store func() (loaded bool)) {
+	if cnt.Add(1) > int64(cap) {
+		cnt.Add(-1)
+		return
+	}
+	if store() {
+		cnt.Add(-1)
+	}
+}
+
+// program parses (and compiles) expr, serving repeats — including repeats
+// of invalid expressions — from the caches.
 func (e *engine) program(expr string) (*program, error) {
 	if v, ok := e.progs.Load(expr); ok {
 		return v.(*program), nil
 	}
+	if v, ok := e.parseErrs.Load(expr); ok {
+		return nil, v.(error)
+	}
 	p, err := structix.ParsePath(expr)
 	if err != nil {
+		reserve(&e.parseErrCnt, e.parseErrCap, func() bool {
+			_, loaded := e.parseErrs.LoadOrStore(expr, err)
+			return loaded
+		})
 		return nil, err
 	}
 	p = query.OrderPredicates(p)
@@ -70,20 +123,58 @@ func (e *engine) program(expr string) (*program, error) {
 	if c, err := query.Compile(p); err == nil {
 		pr.compiled = c
 	}
-	if e.progCount.Load() < int64(e.progCap) {
-		if _, loaded := e.progs.LoadOrStore(expr, pr); !loaded {
-			e.progCount.Add(1)
-		}
-	}
+	reserve(&e.progCount, e.progCap, func() bool {
+		_, loaded := e.progs.LoadOrStore(expr, pr)
+		return loaded
+	})
 	return pr, nil
 }
 
-// run evaluates pr against snap, consulting the result cache first. The
+// programs returns the compiled-program cache size for stats, clamped to
+// the cap (the reservation counter may transiently overshoot it).
+func (e *engine) programs() int {
+	n := int(e.progCount.Load())
+	if n > e.progCap {
+		n = e.progCap
+	}
+	return n
+}
+
+// run evaluates pr against the pinned sharded snapshot. On one shard the
 // returned slice is shared (a cache entry or a fresh allocation the cache
-// now owns): read-only, but always safe to retain and re-slice.
-func (e *engine) run(ctx context.Context, pr *program, snap *structix.OneSnapshot) (nodes []graph.NodeID, cached bool, err error) {
-	if e.cache != nil {
-		if nodes, ok := e.cache.Get(pr.key, snap); ok {
+// now owns): read-only, but always safe to retain and re-slice. On many
+// shards it is a fresh merged slice the caller owns. cached reports that
+// every section came from a result cache.
+func (e *engine) run(ctx context.Context, pr *program, snap *structix.ShardedSnapshot) (nodes []graph.NodeID, cached bool, err error) {
+	if snap.NumShards() == 1 {
+		return e.runShard(ctx, pr, 0, snap.Shard(0))
+	}
+	m := snap.Map()
+	secs := make([][]graph.NodeID, snap.NumShards())
+	total := 0
+	cached = true
+	for s := 0; s < snap.NumShards(); s++ {
+		local, hit, err := e.runShard(ctx, pr, s, snap.Shard(s))
+		if err != nil {
+			return nil, false, err
+		}
+		cached = cached && hit
+		// Translate to global ids into a fresh section: cache entries are
+		// shared read-only and must not be rewritten in place. Striping is
+		// monotone per shard, so each translated section stays sorted.
+		secs[s] = m.AppendGlobal(make([]graph.NodeID, 0, len(local)), s, local)
+		total += len(local)
+	}
+	return structix.MergeShardResults(make([]graph.NodeID, 0, total), secs), cached, nil
+}
+
+// runShard evaluates pr against one shard's snapshot, consulting that
+// shard's result cache first. Results are in the shard's local id space.
+func (e *engine) runShard(ctx context.Context, pr *program, s int, snap *structix.OneSnapshot) (nodes []graph.NodeID, cached bool, err error) {
+	var cache *qcache.Cache
+	if e.caches != nil {
+		cache = e.caches[s]
+		if nodes, ok := cache.Get(pr.key, snap); ok {
 			return nodes, true, nil
 		}
 	}
@@ -92,16 +183,16 @@ func (e *engine) run(ctx context.Context, pr *program, snap *structix.OneSnapsho
 		if err != nil {
 			return nil, false, err
 		}
-		if e.cache != nil {
+		if cache != nil {
 			// No footprint from the interpreter: cache, but invalidate on
 			// every epoch.
-			e.cache.Put(pr.key, snap, nodes, nil, false)
+			cache.Put(pr.key, snap, nodes, nil, false)
 		}
 		return nodes, false, nil
 	}
 	sc := e.scratch.Get().(*query.Scratch)
 	defer e.scratch.Put(sc)
-	if e.cache == nil {
+	if cache == nil {
 		nodes, err = pr.compiled.EvalOneSnapshotIntoCtx(ctx, nil, sc, snap)
 		return nodes, false, err
 	}
@@ -109,19 +200,19 @@ func (e *engine) run(ctx context.Context, pr *program, snap *structix.OneSnapsho
 	if err != nil {
 		return nil, false, err
 	}
-	e.cache.Put(pr.key, snap, nodes, footprint, precise)
+	cache.Put(pr.key, snap, nodes, footprint, precise)
 	return nodes, false, nil
 }
 
-// advance re-keys the result cache to the just-published snapshot,
+// advance re-keys shard s's result cache to its just-published snapshot,
 // evicting exactly the entries the commit's dirty-inode set could have
-// affected. Called only from the committer goroutine (all publications
-// are sequential there), plus once at construction.
-func (e *engine) advance() {
-	if e.cache == nil {
+// affected. Called only from shard s's committer goroutine (publications
+// are sequential per shard), plus once at construction.
+func (e *engine) advance(s int) {
+	if e.caches == nil {
 		return
 	}
-	snap := e.store.Snapshot()
+	snap := e.store.Shard(s).Snapshot()
 	changed, ok := snap.Changed()
 	var dirty []int32
 	if ok {
@@ -130,13 +221,22 @@ func (e *engine) advance() {
 			dirty[i] = int32(c)
 		}
 	}
-	e.cache.Advance(snap, dirty, !ok)
+	e.caches[s].Advance(snap, dirty, !ok)
 }
 
-// cacheStats returns result-cache counters (zero Stats when disabled).
+// cacheStats returns result-cache counters summed across shards (zero
+// Stats when disabled).
 func (e *engine) cacheStats() qcache.Stats {
-	if e.cache == nil {
-		return qcache.Stats{}
+	var agg qcache.Stats
+	for _, c := range e.caches {
+		cs := c.Stats()
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Puts += cs.Puts
+		agg.StalePuts += cs.StalePuts
+		agg.Invalidated += cs.Invalidated
+		agg.Evicted += cs.Evicted
+		agg.Entries += cs.Entries
 	}
-	return e.cache.Stats()
+	return agg
 }

@@ -78,19 +78,28 @@ type metrics struct {
 	batchedOps atomic.Int64 // edge ops across all committed batches
 	scripts    atomic.Int64 // node/subtree scripts applied standalone
 
+	// epoch counts snapshot publications across all shards (the value
+	// served as "the" epoch on the wire); epochs is the per-shard vector
+	// behind it, one publication counter per commit pipeline.
 	epoch       atomic.Uint64
+	epochs      []atomic.Uint64
 	publishedNs atomic.Int64 // unix nanos of the last snapshot publication
 }
 
-func newMetrics() *metrics {
-	m := &metrics{started: time.Now()}
+func newMetrics(shards int) *metrics {
+	if shards < 1 {
+		shards = 1
+	}
+	m := &metrics{started: time.Now(), epochs: make([]atomic.Uint64, shards)}
 	m.publishedNs.Store(time.Now().UnixNano())
 	return m
 }
 
-// bumpEpoch records a snapshot publication and returns the new epoch.
-func (m *metrics) bumpEpoch() uint64 {
+// bumpEpoch records a snapshot publication on one shard and returns the
+// new global epoch.
+func (m *metrics) bumpEpoch(shard int) uint64 {
 	m.publishedNs.Store(time.Now().UnixNano())
+	m.epochs[shard].Add(1)
 	return m.epoch.Add(1)
 }
 
@@ -132,6 +141,14 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap int) {
 
 	gauge("structix_snapshot_epoch", "commit epoch of the published snapshot", float64(m.epoch.Load()))
 	gauge("structix_snapshot_age_seconds", "age of the published snapshot", m.snapshotAge().Seconds())
+	if len(m.epochs) > 1 {
+		gauge("structix_shards", "commit pipelines (shards) in the store", float64(len(m.epochs)))
+		fmt.Fprintf(w, "# HELP structix_shard_snapshot_epoch per-shard commit epoch\n")
+		fmt.Fprintf(w, "# TYPE structix_shard_snapshot_epoch gauge\n")
+		for s := range m.epochs {
+			fmt.Fprintf(w, "structix_shard_snapshot_epoch{shard=\"%d\"} %d\n", s, m.epochs[s].Load())
+		}
+	}
 
 	gauge("structix_update_queue_depth", "updates waiting for the commit loop", float64(queueDepth))
 	gauge("structix_update_queue_capacity", "admission queue capacity", float64(queueCap))

@@ -22,13 +22,25 @@
 // same batch), and crash recovery is whatever structix.Open does. An
 // in-memory DB (structix.NewDB) serves identically with durability off.
 //
+// The server also fronts a sharded store (structix.ShardedDB, via
+// NewSharded): each shard gets its own commit pipeline — admission queue,
+// committer goroutine, commit window, WAL — so independent writes on
+// different shards coalesce, apply, publish and fsync concurrently, while
+// queries scatter across the per-shard epoch snapshots and gather one
+// globally sorted answer. Updates are routed by the shard map before
+// admission: an edge batch splits into per-shard sub-batches (atomic per
+// shard), a node/subtree script must route whole to one shard. New is
+// exactly NewSharded over a 1-shard wrap, so the unsharded server is the
+// same code with no routing or translation on its hot paths.
+//
 // The remaining endpoints are operational: GET /v1/stats (JSON, including
-// the store's durability counters), GET /healthz, GET /metrics
-// (Prometheus text exposition), and /debug/pprof. Shutdown drains the
-// admission queue, flushes the in-flight commit window, seals the journal
-// with a final fsync, and leaves every in-flight update either fully
-// committed or cleanly rejected; closing the DB itself (snapshotting the
-// final state) remains the owner's call after Shutdown returns.
+// the store's durability counters, aggregated across shards), GET
+// /healthz, GET /metrics (Prometheus text exposition), and /debug/pprof.
+// Shutdown drains every admission queue, flushes the in-flight commit
+// windows, seals the journals with a final fsync, and leaves every
+// in-flight update either fully committed or cleanly rejected; closing
+// the store itself (snapshotting the final state) remains the owner's
+// call after Shutdown returns.
 package server
 
 import (
@@ -46,6 +58,7 @@ import (
 	"structix"
 	"structix/internal/graph"
 	"structix/internal/opscript"
+	"structix/internal/shard"
 )
 
 // Config tunes the serving layer; the zero value serves with defaults.
@@ -57,8 +70,8 @@ type Config struct {
 	// MaxBatch flushes the window early once this many edge ops have
 	// pooled. Default 256.
 	MaxBatch int
-	// QueueDepth bounds the admission queue; a full queue sheds updates
-	// with 429. Default 1024.
+	// QueueDepth bounds each commit pipeline's admission queue (one per
+	// shard); a full queue sheds updates with 429. Default 1024.
 	QueueDepth int
 	// MaxBodyBytes caps request bodies. Default 8 MiB.
 	MaxBodyBytes int64
@@ -92,11 +105,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves one store over HTTP.
+// Server serves one store — sharded or not — over HTTP.
 type Server struct {
-	store *structix.DB
+	store *structix.ShardedDB
 	cfg   Config
-	com   *committer
+	coms  []*committer // one commit pipeline per shard
 	eng   *engine
 	m     *metrics
 	mux   *http.ServeMux
@@ -113,15 +126,25 @@ type Server struct {
 // surface, or Shutdown first); the caller keeps ownership of the DB and
 // closes it after Shutdown.
 func New(db *structix.DB, cfg Config) *Server {
+	return NewSharded(structix.WrapDB(db), cfg)
+}
+
+// NewSharded builds a server over a sharded store (normally from
+// structix.OpenSharded) and starts one commit loop per shard. Ownership
+// follows New: the caller keeps the store and closes it after Shutdown.
+func NewSharded(sdb *structix.ShardedDB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		store: db,
+		store: sdb,
 		cfg:   cfg,
-		m:     newMetrics(),
+		m:     newMetrics(sdb.NumShards()),
 		mux:   http.NewServeMux(),
 	}
-	s.eng = newEngine(db, cfg.QueryCacheEntries, cfg.InterpretQueries)
-	s.com = newCommitter(db, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m, s.eng)
+	s.eng = newEngine(sdb, cfg.QueryCacheEntries, cfg.InterpretQueries)
+	s.coms = make([]*committer, sdb.NumShards())
+	for i := range s.coms {
+		s.coms[i] = newCommitter(sdb.Shard(i), i, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m, s.eng)
+	}
 
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/update", s.handleUpdate)
@@ -164,9 +187,13 @@ func (s *Server) ListenAndServe(addr string) error {
 // stays open — Close it after Shutdown to snapshot the final state.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.com.beginClose()
+	for _, c := range s.coms {
+		c.beginClose()
+	}
 	httpErr := s.hs.Shutdown(ctx)
-	s.com.close()
+	for _, c := range s.coms {
+		c.close()
+	}
 	syncErr := s.store.Sync()
 	if httpErr != nil {
 		return httpErr
@@ -231,13 +258,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	// One atomic load pins the epoch snapshot for the whole request;
-	// concurrent commits publish new epochs without touching it. The
-	// snapshot pointer doubles as the result cache's validity tag, so
-	// cache lookups can never cross epochs.
+	// One atomic load per shard pins the epoch snapshots for the whole
+	// request; concurrent commits publish new epochs without touching
+	// them. Each snapshot pointer doubles as its shard's result-cache
+	// validity tag, so cache lookups can never cross epochs.
 	snap := s.store.Snapshot()
-	epoch := s.m.epoch.Load()
-	rep := QueryReply{Epoch: epoch}
+	rep := QueryReply{Epoch: s.m.epoch.Load()}
+	if n := snap.NumShards(); n > 1 {
+		rep.Epochs = make([]uint64, n)
+		for i := range rep.Epochs {
+			rep.Epochs[i] = s.m.epochs[i].Load()
+		}
+	}
 	var nodes []graph.NodeID
 	nodes, rep.Cached, err = s.eng.run(r.Context(), pr, snap)
 	if err == nil {
@@ -278,7 +310,6 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ur := &updateReq{done: make(chan updateOutcome, 1)}
 	edges := make([]graph.EdgeOp, 0, len(req.Ops))
 	for _, op := range req.Ops {
 		if eop, ok := EdgeOpOf(op); ok {
@@ -288,33 +319,182 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	if edges != nil {
-		ur.edges = edges
-	} else {
-		ur.script = req.Ops
-	}
 
 	start := time.Now()
-	if err := s.com.submit(ur); err != nil {
-		s.m.rejected.Add(1)
-		if errors.Is(err, ErrShuttingDown) {
-			s.writeError(w, http.StatusServiceUnavailable, ErrorReply{Error: err.Error(), Code: CodeShuttingDown})
-		} else {
-			s.writeError(w, http.StatusTooManyRequests, ErrorReply{Error: err.Error(), Code: CodeOverloaded})
+	if edges == nil {
+		s.updateScript(w, req.Ops, start)
+		return
+	}
+	if s.store.NumShards() == 1 {
+		// Identity codec: no routing, no translation — the unsharded
+		// pipeline, byte for byte.
+		ur := &updateReq{edges: edges, done: make(chan updateOutcome, 1)}
+		s.updateOne(w, 0, ur, start)
+		return
+	}
+	per, orig, err := s.store.Map().SplitEdges(edges)
+	if err != nil {
+		s.writeError(w, http.StatusConflict, crossShardReply(s.store.Map(), edges))
+		return
+	}
+	involved := make([]int, 0, len(per))
+	for sh := range per {
+		if len(per[sh]) > 0 {
+			involved = append(involved, sh)
 		}
+	}
+	if len(involved) == 1 {
+		sh := involved[0]
+		ur := &updateReq{edges: per[sh], shard: sh, orig: orig[sh], done: make(chan updateOutcome, 1)}
+		s.updateOne(w, sh, ur, start)
+		return
+	}
+	s.updateScatter(w, involved, per, orig, edges, start)
+}
+
+// updateScript routes a node/subtree script whole to one shard's pipeline
+// (scripts are a sequential stream against a single index, so a script
+// whose ops disagree on the shard is refused before admission).
+func (s *Server) updateScript(w http.ResponseWriter, ops []opscript.Op, start time.Time) {
+	sh, local := 0, ops
+	if s.store.NumShards() > 1 {
+		var err error
+		sh, local, err = s.store.Map().RouteScript(ops)
+		if err != nil {
+			s.writeError(w, http.StatusConflict, ErrorReply{
+				Error: "script spans shards: " + err.Error(),
+				Code:  CodeBatchRejected,
+				Cause: CauseString(err),
+			})
+			return
+		}
+	}
+	ur := &updateReq{script: local, shard: sh, done: make(chan updateOutcome, 1)}
+	s.updateOne(w, sh, ur, start)
+}
+
+// updateOne submits one (already shard-local) request to shard sh's
+// pipeline and renders its outcome.
+func (s *Server) updateOne(w http.ResponseWriter, sh int, ur *updateReq, start time.Time) {
+	if err := s.coms[sh].submit(ur); err != nil {
+		s.rejectSubmit(w, err, 0)
 		return
 	}
 	// Once admitted an update is not abandoned on client disconnect: it
 	// will commit (or be rejected) regardless, so the outcome below is
 	// always authoritative.
-	out := s.com.wait(ur)
+	out := s.coms[sh].wait(ur)
 	s.m.updates.Add(1)
 	s.m.updateLat.observe(time.Since(start))
-	s.respondUpdate(w, ur, req.Ops, out)
+	s.respondUpdate(w, ur, out)
 }
 
-// respondUpdate renders a commit outcome on the wire.
-func (s *Server) respondUpdate(w http.ResponseWriter, ur *updateReq, ops []opscript.Op, out updateOutcome) {
+// updateScatter fans a cross-shard edge request out to every involved
+// shard's pipeline and gathers the outcomes. Atomicity is per shard: each
+// sub-batch commits or rejects as a unit, but one shard's rejection does
+// not roll back another's commit — the reply's Applied counts the ops
+// that did commit.
+func (s *Server) updateScatter(w http.ResponseWriter, involved []int, per [][]graph.EdgeOp, orig [][]int, edges []graph.EdgeOp, start time.Time) {
+	urs := make([]*updateReq, len(involved))
+	subErr := make([]error, len(involved))
+	// Submit everywhere before waiting anywhere, so the sub-batches sit in
+	// their pipelines concurrently rather than committing one by one.
+	for i, sh := range involved {
+		urs[i] = &updateReq{edges: per[sh], shard: sh, orig: orig[sh], done: make(chan updateOutcome, 1)}
+		subErr[i] = s.coms[sh].submit(urs[i])
+	}
+	outs := make([]updateOutcome, len(involved))
+	for i, sh := range involved {
+		if subErr[i] != nil {
+			outs[i] = updateOutcome{err: subErr[i]}
+			continue
+		}
+		outs[i] = s.coms[sh].wait(urs[i])
+	}
+	s.m.updates.Add(1)
+	s.m.updateLat.observe(time.Since(start))
+
+	applied, batch, firstErr := 0, 0, -1
+	var epoch uint64
+	for i, sh := range involved {
+		if outs[i].err != nil {
+			if firstErr == -1 {
+				firstErr = i
+			}
+			continue
+		}
+		applied += len(per[sh])
+		batch += outs[i].batchSize
+		if outs[i].epoch > epoch {
+			epoch = outs[i].epoch
+		}
+	}
+	if firstErr == -1 {
+		rep := UpdateReply{Epoch: epoch, Applied: applied, BatchSize: batch}
+		for _, op := range edges {
+			if op.Insert {
+				rep.Inserted++
+			} else {
+				rep.Deleted++
+			}
+		}
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	err := outs[firstErr].err
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrShuttingDown) {
+		s.rejectSubmit(w, err, applied)
+		return
+	}
+	sh := involved[firstErr]
+	err = s.store.Map().GlobalizeBatchError(sh, err, orig[sh])
+	var be *graph.BatchError
+	if errors.As(err, &be) {
+		rep := BatchErrorReply(be)
+		rep.Applied = applied
+		s.writeError(w, http.StatusConflict, rep)
+		return
+	}
+	s.writeError(w, http.StatusInternalServerError, ErrorReply{Error: err.Error(), Code: "internal", Applied: applied})
+}
+
+// rejectSubmit renders an admission failure (applied > 0 when other
+// shards of a scattered request had already committed their sub-batches).
+func (s *Server) rejectSubmit(w http.ResponseWriter, err error, applied int) {
+	s.m.rejected.Add(1)
+	if errors.Is(err, ErrShuttingDown) {
+		s.writeError(w, http.StatusServiceUnavailable, ErrorReply{Error: err.Error(), Code: CodeShuttingDown, Applied: applied})
+		return
+	}
+	s.writeError(w, http.StatusTooManyRequests, ErrorReply{Error: err.Error(), Code: CodeOverloaded, Applied: applied})
+}
+
+// crossShardReply pinpoints the first op of an atomic edge batch whose
+// endpoints live on different shards — such an op can never commit,
+// whatever the graph state, so the reply names it like a validation
+// rejection with cause "cross_shard".
+func crossShardReply(m *shard.Map, edges []graph.EdgeOp) ErrorReply {
+	for i, op := range edges {
+		if _, _, _, err := m.RouteEdge(op.U, op.V); err != nil {
+			idx := i
+			sop := ScriptOpOf(op)
+			return ErrorReply{
+				Error:   fmt.Sprintf("op %d: %v", i, err),
+				Code:    CodeBatchRejected,
+				OpIndex: &idx,
+				Op:      &sop,
+				Cause:   CauseString(err),
+			}
+		}
+	}
+	return ErrorReply{Error: "batch spans shards", Code: CodeBatchRejected, Cause: causeCrossShard}
+}
+
+// respondUpdate renders a commit outcome on the wire, translating
+// shard-local node ids and op indexes back into the request's global
+// coordinate space (the identity translation on one shard).
+func (s *Server) respondUpdate(w http.ResponseWriter, ur *updateReq, out updateOutcome) {
+	m := s.store.Map()
 	if out.err == nil {
 		rep := UpdateReply{Epoch: out.epoch, BatchSize: out.batchSize}
 		if ur.edges != nil {
@@ -330,19 +510,25 @@ func (s *Server) respondUpdate(w http.ResponseWriter, ur *updateReq, ops []opscr
 			rep.Applied = out.res.Applied
 			rep.Inserted = out.res.Inserted
 			rep.Deleted = out.res.Deleted
-			rep.NewNodes = out.res.NewNodes
+			rep.NewNodes = m.GlobalizeNodes(ur.shard, out.res.NewNodes)
 			rep.Removed = out.res.Removed
 		}
 		writeJSON(w, http.StatusOK, rep)
 		return
 	}
+	err := out.err
+	if ur.edges != nil {
+		err = m.GlobalizeBatchError(ur.shard, err, ur.orig)
+	} else {
+		err = m.GlobalizeOpError(ur.shard, err)
+	}
 	var be *graph.BatchError
-	if errors.As(out.err, &be) {
+	if errors.As(err, &be) {
 		s.writeError(w, http.StatusConflict, BatchErrorReply(be))
 		return
 	}
 	var oe *opscript.OpError
-	if errors.As(out.err, &oe) {
+	if errors.As(err, &oe) {
 		i := oe.Index
 		op := oe.Op
 		s.writeError(w, http.StatusConflict, ErrorReply{
@@ -355,24 +541,20 @@ func (s *Server) respondUpdate(w http.ResponseWriter, ur *updateReq, ops []opscr
 		})
 		return
 	}
-	if errors.Is(out.err, ErrShuttingDown) {
-		s.writeError(w, http.StatusServiceUnavailable, ErrorReply{Error: out.err.Error(), Code: CodeShuttingDown})
+	if errors.Is(err, ErrShuttingDown) {
+		s.writeError(w, http.StatusServiceUnavailable, ErrorReply{Error: err.Error(), Code: CodeShuttingDown})
 		return
 	}
-	s.writeError(w, http.StatusInternalServerError, ErrorReply{Error: out.err.Error(), Code: "internal"})
+	s.writeError(w, http.StatusInternalServerError, ErrorReply{Error: err.Error(), Code: "internal"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Snapshot()
-	data := snap.Data()
+	n := snap.NumShards()
 	rep := StatsReply{
-		Nodes:         data.NumNodes(),
-		Edges:         frozenEdges(data),
-		INodes:        snap.Size(),
+		Shards:        n,
 		Epoch:         s.m.epoch.Load(),
 		SnapshotAgeMs: s.m.snapshotAge().Milliseconds(),
-		QueueDepth:    len(s.com.queue),
-		QueueCap:      cap(s.com.queue),
 		Batches:       s.m.batches.Load(),
 		BatchedOps:    s.m.batchedOps.Load(),
 		MeanBatchSize: s.m.meanBatchSize(),
@@ -381,14 +563,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:      s.m.rejected.Load(),
 		UptimeMs:      time.Since(s.m.started).Milliseconds(),
 	}
+	for i := 0; i < n; i++ {
+		data := snap.Shard(i).Data()
+		rep.Nodes += data.NumNodes()
+		rep.Edges += frozenEdges(data)
+		rep.INodes += snap.Shard(i).Size()
+	}
+	// Every shard carries a replica of the one document root: count the
+	// logical root once.
+	rep.Nodes -= n - 1
+	for _, c := range s.coms {
+		rep.QueueDepth += len(c.queue)
+		rep.QueueCap += cap(c.queue)
+	}
 	cs := s.eng.cacheStats()
 	rep.CacheHits = cs.Hits
 	rep.CacheMisses = cs.Misses
 	rep.CacheHitRate = cs.HitRate()
 	rep.CacheEntries = cs.Entries
 	rep.CacheInvalidated = cs.Invalidated
-	rep.CompiledPrograms = int(s.eng.progCount.Load())
-	ds := s.store.Stats()
+	rep.CompiledPrograms = s.eng.programs()
+	dss := s.store.ShardStats()
+	ds := aggregateStats(dss)
 	rep.Durable = ds.Durable
 	rep.FsyncPolicy = ds.Policy
 	rep.AppliedSeq = ds.AppliedSeq
@@ -401,7 +597,47 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rep.ReplayedRecords = ds.ReplayedRecords
 	rep.TornBytesDropped = ds.TornBytesDropped
 	rep.WriteError = ds.WriteError
+	if n > 1 {
+		rep.ShardStats = make([]ShardStatsReply, n)
+		for i := 0; i < n; i++ {
+			rep.ShardStats[i] = ShardStatsReply{
+				Epoch:      s.m.epochs[i].Load(),
+				Nodes:      snap.Shard(i).Data().NumNodes(),
+				INodes:     snap.Shard(i).Size(),
+				QueueDepth: len(s.coms[i].queue),
+				AppliedSeq: dss[i].AppliedSeq,
+				DurableSeq: dss[i].DurableSeq,
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// aggregateStats folds per-shard store stats into one DBStats view:
+// counters and journal shape sum across shards (each shard numbers its
+// own journal, so summed seqs read as total records), sticky errors keep
+// the first one seen, and policy/durability are uniform by construction.
+func aggregateStats(dss []structix.DBStats) structix.DBStats {
+	agg := dss[0]
+	for _, ds := range dss[1:] {
+		agg.AppliedSeq += ds.AppliedSeq
+		agg.DurableSeq += ds.DurableSeq
+		agg.SnapshotSeq += ds.SnapshotSeq
+		agg.JournalSegments += ds.JournalSegments
+		agg.JournalBytes += ds.JournalBytes
+		agg.JournalAppends += ds.JournalAppends
+		agg.JournalSyncs += ds.JournalSyncs
+		agg.Compactions += ds.Compactions
+		agg.ReplayedRecords += ds.ReplayedRecords
+		agg.TornBytesDropped += ds.TornBytesDropped
+		if agg.CompactError == "" {
+			agg.CompactError = ds.CompactError
+		}
+		if agg.WriteError == "" {
+			agg.WriteError = ds.WriteError
+		}
+	}
+	return agg
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -415,7 +651,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.writeProm(w, len(s.com.queue), cap(s.com.queue))
-	writeCacheProm(w, s.eng.cacheStats(), int(s.eng.progCount.Load()))
-	writeDurabilityProm(w, s.store.Stats())
+	qd, qc := 0, 0
+	for _, c := range s.coms {
+		qd += len(c.queue)
+		qc += cap(c.queue)
+	}
+	s.m.writeProm(w, qd, qc)
+	writeCacheProm(w, s.eng.cacheStats(), s.eng.programs())
+	writeDurabilityProm(w, aggregateStats(s.store.ShardStats()))
 }

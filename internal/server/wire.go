@@ -6,6 +6,7 @@ import (
 
 	"structix/internal/graph"
 	"structix/internal/opscript"
+	"structix/internal/shard"
 )
 
 // Wire DTOs shared by the HTTP server and internal/client. Everything is
@@ -36,8 +37,14 @@ type QueryReply struct {
 	// Truncated reports that Nodes was cut short by Limit.
 	Truncated bool `json:"truncated,omitempty"`
 	// Cached reports that the answer was served from the result cache
-	// (same epoch, same canonical expression, footprint untouched since).
+	// (same epoch, same canonical expression, footprint untouched since);
+	// on a sharded server, that every shard's section was.
 	Cached bool `json:"cached,omitempty"`
+	// Epochs is the per-shard epoch vector on a sharded server (absent on
+	// one shard): Epochs[s] is shard s's publication count when the answer
+	// was assembled. Advisory — the vector is read alongside the pinned
+	// snapshots, not atomically with them.
+	Epochs []uint64 `json:"epochs,omitempty"`
 }
 
 // UpdateRequest is the body of POST /v1/update: a script of operations in
@@ -46,6 +53,14 @@ type QueryReply struct {
 // group-commit window or none do — and may be coalesced with concurrent
 // requests into one ApplyBatch. A request containing node or subtree
 // operations is applied alone with script (stop-at-first-error) semantics.
+//
+// On a sharded server atomicity is per shard: an edge request whose ops
+// span shards is split into per-shard sub-batches, each committing or
+// rejecting as a unit through its own pipeline. A rejection reply then
+// carries Applied = the ops that committed on other shards (always 0 on
+// one shard). Node/subtree scripts must route whole to a single shard;
+// a script whose ops disagree is refused with cause "cross_shard", as is
+// any single edge op whose endpoints live on different shards.
 type UpdateRequest struct {
 	Ops []opscript.Op `json:"ops"`
 }
@@ -74,13 +89,14 @@ const (
 	CodeCanceled      = "canceled"       // request context expired during evaluation (499-ish, reported as 503)
 )
 
-// Cause strings for ErrorReply.Cause, round-tripping the graph sentinel
-// errors across the wire.
+// Cause strings for ErrorReply.Cause, round-tripping the graph and shard
+// sentinel errors across the wire.
 const (
 	causeEdgeExists = "edge_exists"
 	causeNoEdge     = "no_edge"
 	causeSelfLoop   = "self_loop"
 	causeDeadNode   = "dead_node"
+	causeCrossShard = "cross_shard"
 )
 
 // ErrorReply is the body of every non-2xx response. For a rejected atomic
@@ -101,7 +117,11 @@ type ErrorReply struct {
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
-// StatsReply is the body of GET /v1/stats.
+// StatsReply is the body of GET /v1/stats. On a sharded server the
+// graph-shape, queue, commit and durability numbers are aggregated across
+// shards (counts and counters sum; the shared root replica counts once in
+// Nodes; journal seqs sum because each shard numbers its own journal),
+// and ShardStats breaks the per-shard slice out.
 type StatsReply struct {
 	Nodes  int `json:"nodes"`
 	Edges  int `json:"edges"`
@@ -109,6 +129,11 @@ type StatsReply struct {
 
 	Epoch         uint64 `json:"epoch"`
 	SnapshotAgeMs int64  `json:"snapshot_age_ms"`
+
+	// Shards is the commit-pipeline count (1 for an unsharded store);
+	// ShardStats is present only when it exceeds 1.
+	Shards     int               `json:"shards,omitempty"`
+	ShardStats []ShardStatsReply `json:"shard_stats,omitempty"`
 
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
@@ -153,6 +178,17 @@ type StatsReply struct {
 	UptimeMs int64 `json:"uptime_ms"`
 }
 
+// ShardStatsReply is one shard's slice of a sharded server's stats: its
+// own epoch, graph shape, admission queue and journal positions.
+type ShardStatsReply struct {
+	Epoch      uint64 `json:"epoch"`
+	Nodes      int    `json:"nodes"`
+	INodes     int    `json:"inodes"`
+	QueueDepth int    `json:"queue_depth"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	DurableSeq uint64 `json:"durable_seq,omitempty"`
+}
+
 // CauseString names err for the wire ("" when err is not one of the graph
 // sentinels).
 func CauseString(err error) string {
@@ -165,6 +201,8 @@ func CauseString(err error) string {
 		return causeSelfLoop
 	case errors.Is(err, graph.ErrDeadNode):
 		return causeDeadNode
+	case errors.Is(err, shard.ErrCrossShard):
+		return causeCrossShard
 	}
 	return ""
 }
@@ -182,6 +220,8 @@ func CauseError(cause, fallback string) error {
 		return graph.ErrSelfLoop
 	case causeDeadNode:
 		return graph.ErrDeadNode
+	case causeCrossShard:
+		return shard.ErrCrossShard
 	}
 	if fallback == "" {
 		fallback = "remote operation failed"

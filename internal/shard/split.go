@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"structix/internal/graph"
+)
+
+// Split partitions g into r.Shards() independent shard graphs for
+// bootstrap. The unit of placement is the connected component of the
+// root's children: non-root nodes joined by any edge (tree or IDREF)
+// must land on the same shard, because shards admit no cross-shard
+// edges. Each component is placed by the label of its first root-child
+// (in root child order) via PlaceOrdinal, with the ordinal counting
+// prior root-children of the same label so same-labeled document
+// subtrees spread across shards instead of stacking on one.
+//
+// Every shard graph gets its own root first (local id 0), so a fresh
+// shard is a complete, servable graph. Nodes are then added in old-id
+// order, labels re-interned by name into each shard's own interner
+// (shards must not share an interner: concurrent shard commits would
+// race on it), and values copied. mapping[old] is the striped global id
+// of each old node (the old root maps to the global root; dead ids map
+// to graph.InvalidNode), letting a caller rewrite an op stream recorded
+// against g into the sharded address space.
+func Split(g *graph.Graph, r *Router) (parts []*graph.Graph, mapping []graph.NodeID) {
+	n := r.Shards()
+	root := g.Root()
+	max := int(g.MaxNodeID())
+
+	// Union-find over non-root nodes; every edge not incident to the
+	// root unions its endpoints.
+	uf := make([]int32, max)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]] // path halving
+			x = uf[x]
+		}
+		return x
+	}
+	union := func(a, b graph.NodeID) {
+		ra, rb := find(int32(a)), find(int32(b))
+		if ra != rb {
+			uf[ra] = rb
+		}
+	}
+	g.EachEdge(func(u, v graph.NodeID, _ graph.EdgeKind) {
+		if u != root && v != root {
+			union(u, v)
+		}
+	})
+
+	// Place components: walk root children in order, assigning each
+	// unplaced component the shard its first root-child's label hashes
+	// to. Floating components (unreachable from the root) are placed by
+	// the label of their lowest-id node.
+	shardOf := make([]int32, max) // per component representative
+	for i := range shardOf {
+		shardOf[i] = -1
+	}
+	seen := make(map[string]int, 8) // label → occurrence ordinal
+	place := func(v graph.NodeID) {
+		rep := find(int32(v))
+		if shardOf[rep] >= 0 {
+			return
+		}
+		lbl := g.LabelName(v)
+		ord := seen[lbl]
+		seen[lbl] = ord + 1
+		shardOf[rep] = int32(r.PlaceOrdinal(lbl, ord))
+	}
+	g.EachSucc(root, func(w graph.NodeID, _ graph.EdgeKind) {
+		place(w)
+	})
+	g.EachNode(func(v graph.NodeID) {
+		if v != root {
+			place(v)
+		}
+	})
+
+	// Build the shard graphs: roots first, then nodes in old-id order,
+	// then edges in old-id order — fully deterministic.
+	parts = make([]*graph.Graph, n)
+	local := make([]graph.NodeID, max) // old id → local id on its shard
+	for s := range parts {
+		parts[s] = graph.New()
+		parts[s].AddRoot()
+	}
+	mapping = make([]graph.NodeID, max)
+	for i := range mapping {
+		mapping[i] = graph.InvalidNode
+	}
+	mapping[root] = r.GlobalOf(0, parts[0].Root())
+	g.EachNode(func(v graph.NodeID) {
+		if v == root {
+			return
+		}
+		s := shardOf[find(int32(v))]
+		p := parts[s]
+		lv := p.AddNodeL(p.Labels().Intern(g.LabelName(v)))
+		if val := g.Value(v); val != "" {
+			p.SetValue(lv, val)
+		}
+		local[v] = lv
+		mapping[v] = r.GlobalOf(int(s), lv)
+	})
+	g.EachEdge(func(u, v graph.NodeID, kind graph.EdgeKind) {
+		switch {
+		case u == root:
+			s := shardOf[find(int32(v))]
+			parts[s].AddEdge(parts[s].Root(), local[v], kind)
+		case v == root: // IDREF back to the root: lands on u's shard's replica
+			s := shardOf[find(int32(u))]
+			parts[s].AddEdge(local[u], parts[s].Root(), kind)
+		default:
+			s := shardOf[find(int32(u))]
+			parts[s].AddEdge(local[u], local[v], kind)
+		}
+	})
+	return parts, mapping
+}
