@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race stress serve-stress serve-smoke crash-test cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-wal bench-shard bench-smoke fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress serve-stress serve-smoke crash-test cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-wal bench-shard bench-scale bench-smoke fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -93,6 +93,13 @@ bench-wal:
 bench-shard:
 	$(GO) run ./cmd/xsibench -exp shard -json BENCH_shard.json
 
+# Extent-storage scale experiment: dense vs compressed codec on a 50×
+# XMark graph (~13M dnodes) — extent bytes/node, freeze time, compiled
+# query latency per codec; see BENCH_scale.json for the committed run
+# and DESIGN.md §10 for the block encoding.
+bench-scale:
+	$(GO) run ./cmd/xsibench -exp scale -factor 50 -json BENCH_scale.json
+
 # One-iteration pass over every benchmark in the module: keeps them
 # compiling and running without paying for stable timings (CI runs this).
 bench-smoke:
@@ -108,6 +115,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLoaderMultiDoc -fuzztime=10s ./internal/xmlload/
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=10s ./internal/server/
 	$(GO) test -fuzz=FuzzDecodeUpdate -fuzztime=10s ./internal/server/
+	$(GO) test -fuzz=FuzzDecodeExtent -fuzztime=10s ./internal/extent/
 	$(GO) test -fuzz=FuzzParsePath -fuzztime=10s ./internal/query/
 
 examples:

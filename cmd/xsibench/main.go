@@ -21,6 +21,7 @@
 //	xsibench -exp query                    # compiled automata + result cache vs interpreter
 //	xsibench -exp wal                      # journal fsync policies + crash-recovery time
 //	xsibench -exp shard                    # sharded write scale-out + 90/10 mix
+//	xsibench -exp scale -factor 50         # extent codecs at 50x the paper's dataset
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
 // full 167k/272k-node instances and takes correspondingly longer). -pairs
@@ -51,6 +52,7 @@ func main() {
 	var (
 		exp        = flag.String("exp", "all", "experiment: all, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, queryperf")
 		scale      = flag.Int("scale", 16, "dataset size reduction factor (1 ≈ paper scale)")
+		factor     = flag.Int("factor", 50, "dataset size multiplication factor for -exp scale (1 ≈ paper scale)")
 		pairs      = flag.Int("pairs", 0, "insert/delete pairs (0 = paper defaults scaled)")
 		subgraphs  = flag.Int("subgraphs", 0, "subgraph count for fig12 (0 = paper default scaled)")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -90,7 +92,7 @@ func main() {
 		}()
 	}
 
-	r := runner{scale: *scale, seed: *seed, pairs: *pairs, subgraphs: *subgraphs,
+	r := runner{scale: *scale, factor: *factor, seed: *seed, pairs: *pairs, subgraphs: *subgraphs,
 		csvDir: *csvDir, jsonPath: *jsonPath, basePath: *basePath}
 	switch *exp {
 	case "all":
@@ -142,6 +144,8 @@ func main() {
 		r.wal()
 	case "shard":
 		r.shard()
+	case "scale":
+		r.scaleBench()
 	default:
 		fmt.Fprintf(os.Stderr, "xsibench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -150,6 +154,7 @@ func main() {
 
 type runner struct {
 	scale     int
+	factor    int
 	seed      int64
 	pairs     int
 	subgraphs int
@@ -482,6 +487,22 @@ func (r runner) shard() {
 		}
 		defer f.Close()
 		if err := experiments.WriteShardJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) scaleBench() {
+	res := experiments.RunScale(experiments.DefaultScaleConfig(r.factor, r.seed))
+	experiments.ReportScale(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteScaleJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

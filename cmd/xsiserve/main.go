@@ -81,6 +81,7 @@ func main() {
 		persist   = flag.String("persist", "", "deprecated: save the database here on shutdown (prefer -data)")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		shards    = flag.Int("shards", 1, "partition the graph into this many in-process shards")
+		extents   = flag.String("extents", "dense", "snapshot extent codec: dense|compressed")
 		smoke     = flag.Bool("smoke", false, "run the self-test and exit")
 	)
 	flag.Parse()
@@ -103,7 +104,12 @@ func main() {
 		return
 	}
 
-	sdb, err := openStore(*data, *fsync, *load, *xmark, *cyclicity, *seed, *shards)
+	codec, err := structix.ParseExtentCodec(*extents)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsiserve: %v\n", err)
+		os.Exit(1)
+	}
+	sdb, err := openStore(*data, *fsync, *load, *xmark, *cyclicity, *seed, *shards, codec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xsiserve: %v\n", err)
 		os.Exit(1)
@@ -188,7 +194,7 @@ func main() {
 // -load / generated dataset, partitioned with NewShardedDB when sharded).
 // An unsharded request always goes down the original single-DB paths and
 // is wrapped at the end, so -shards 1 leaves layouts and ids untouched.
-func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int64, shards int) (*structix.ShardedDB, error) {
+func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int64, shards int, codec structix.ExtentCodec) (*structix.ShardedDB, error) {
 	bootstrap := func() (*structix.Database, error) {
 		if load != "" {
 			return loadFile(load)
@@ -203,10 +209,10 @@ func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int6
 		}
 		if shards > 1 {
 			return structix.OpenSharded(data, structix.Options{
-				Sync: policy, Shards: shards, Bootstrap: bootstrap,
+				Sync: policy, Shards: shards, Bootstrap: bootstrap, Extents: codec,
 			})
 		}
-		db, err := structix.Open(data, structix.Options{Sync: policy, Bootstrap: bootstrap})
+		db, err := structix.Open(data, structix.Options{Sync: policy, Bootstrap: bootstrap, Extents: codec})
 		if err != nil {
 			return nil, err
 		}
@@ -218,12 +224,16 @@ func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int6
 	}
 	if shards > 1 {
 		sdb, _ := structix.NewShardedDB(db.Graph, shards)
+		if err := sdb.SetExtentCodec(codec); err != nil {
+			return nil, err
+		}
 		return sdb, nil
 	}
 	idx := db.One
 	if idx == nil {
 		idx = structix.BuildOneIndex(db.Graph)
 	}
+	idx.SetSnapshotCodec(codec)
 	return structix.WrapDB(structix.NewDB(idx)), nil
 }
 

@@ -3,21 +3,24 @@ package akindex
 import (
 	"fmt"
 
+	"structix/internal/extent"
 	"structix/internal/graph"
 )
 
 // Snapshot is an immutable read view of the level-k index of an A(k)
 // family, paired with a frozen copy of the data graph taken at the same
 // instant. Queries run against level k only, so that is all a snapshot
-// carries: per-inode label names, sorted intra-iedge successor lists and
-// sorted extents, the root inode, the locality parameter k, and the
+// carries: per-inode label names, sorted intra-iedge successor lists,
+// extents frozen into extent.Views (dense or compressed, per the index's
+// snapshot codec), the root inode, the locality parameter k, and the
 // frozen graph for result validation and predicate checks. Once built,
 // nothing in it ever changes; any number of goroutines may evaluate
 // against it while the live family is being maintained.
 //
-// Aliasing contract: the slices returned by Extent and ISucc are owned by
-// the snapshot and shared between all callers; they must be treated as
-// read-only.
+// Aliasing contract: the slice returned by ISucc and the storage behind
+// ExtentView are owned by the snapshot and shared between all callers;
+// they are read-only by construction (extent.View exposes no mutators).
+// Extent returns a fresh copy the caller owns.
 type Snapshot struct {
 	data    *graph.Frozen
 	k       int
@@ -25,8 +28,9 @@ type Snapshot struct {
 	live    []bool  // by INodeID slot; true only for live level-k inodes
 	names   []string
 	succs   [][]INodeID
-	extents [][]graph.NodeID
+	extents []extent.View
 	size    int
+	codec   extent.Codec
 
 	// changed is the set of inode slots whose records differ from the
 	// predecessor snapshot (the dirty set PatchSnapshot consumed); partial
@@ -47,7 +51,8 @@ func (x *Index) Freeze(data *graph.Frozen) *Snapshot {
 		live:    make([]bool, n),
 		names:   make([]string, n),
 		succs:   make([][]INodeID, n),
-		extents: make([][]graph.NodeID, n),
+		extents: make([]extent.View, n),
+		codec:   x.codec,
 	}
 	for i := range x.nodes {
 		s.fill(x, INodeID(i))
@@ -60,8 +65,8 @@ func (x *Index) Freeze(data *graph.Frozen) *Snapshot {
 // PatchSnapshot derives a new Snapshot from prev by re-copying only the
 // inode slots dirtied since prev was built; every untouched slot shares
 // its slices with prev. Falls back to a full Freeze when prev is nil or
-// dirty tracking was not active. The caller supplies the frozen graph
-// matching the family's current state.
+// dirty tracking was not active (e.g. after a codec switch). The caller
+// supplies the frozen graph matching the family's current state.
 func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
 	if prev == nil || !x.trackDirty {
 		return x.Freeze(data)
@@ -73,7 +78,8 @@ func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
 		live:    make([]bool, n),
 		names:   make([]string, n),
 		succs:   make([][]INodeID, n),
-		extents: make([][]graph.NodeID, n),
+		extents: make([]extent.View, n),
+		codec:   x.codec,
 	}
 	copy(s.live, prev.live)
 	copy(s.names, prev.names)
@@ -97,13 +103,15 @@ func (s *Snapshot) fill(x *Index, i INodeID) {
 		s.live[i] = false
 		s.names[i] = ""
 		s.succs[i] = nil
-		s.extents[i] = nil
+		s.extents[i] = extent.View{}
 		return
 	}
 	s.live[i] = true
 	s.names[i] = x.g.Labels().Name(n.label)
 	s.succs[i] = x.IntraSucc(i)
-	s.extents[i] = x.Extent(i)
+	// Index.Extent returns a fresh sorted slice, so FromSorted may take
+	// ownership: the dense codec costs no extra copy.
+	s.extents[i] = extent.FromSorted(x.Extent(i), s.codec)
 }
 
 func (s *Snapshot) finish(x *Index) {
@@ -183,21 +191,76 @@ func (s *Snapshot) ISucc(I INodeID) []INodeID {
 	return s.succs[I]
 }
 
-// Extent returns I's sorted extent. The slice is shared with the
-// snapshot: read-only.
-func (s *Snapshot) Extent(I INodeID) []graph.NodeID {
+// Codec returns the extent codec the snapshot was frozen under. A
+// Compressed snapshot may still hold dense views for extents the block
+// encoding could not shrink (see extent.FromSorted).
+func (s *Snapshot) Codec() extent.Codec { return s.codec }
+
+// ExtentView returns I's frozen extent as a read-only extent.View — the
+// aliasing-safe accessor the query kernels union and intersect directly.
+// The zero View is returned for dead or non-level-k slots.
+func (s *Snapshot) ExtentView(I INodeID) extent.View {
 	if !s.Live(I) {
-		return nil
+		return extent.View{}
 	}
 	return s.extents[I]
 }
 
-// ExtentSize returns |extent(I)| at freeze time.
+// Extent returns I's sorted extent as a freshly allocated slice the
+// caller owns — it never aliases snapshot storage. Result assembly should
+// prefer AppendExtent or ExtentView, which do not copy per call.
+func (s *Snapshot) Extent(I INodeID) []graph.NodeID {
+	if !s.Live(I) {
+		return nil
+	}
+	return s.extents[I].AppendTo(nil)
+}
+
+// EachExtent calls fn for every dnode in I's extent, in ascending order.
+func (s *Snapshot) EachExtent(I INodeID, fn func(v graph.NodeID)) {
+	if !s.Live(I) {
+		return
+	}
+	s.extents[I].Each(fn)
+}
+
+// AppendExtent appends I's extent to dst in ascending order and returns
+// it — the extent-union primitive of the snapshot evaluators: with a warm
+// dst the whole union allocates nothing, compressed views decoding
+// streaming into dst.
+func (s *Snapshot) AppendExtent(dst []graph.NodeID, I INodeID) []graph.NodeID {
+	if !s.Live(I) {
+		return dst
+	}
+	return s.extents[I].AppendTo(dst)
+}
+
+// ExtentSize returns |extent(I)| at freeze time (O(1) under every codec:
+// compressed views carry their cardinality in the header).
 func (s *Snapshot) ExtentSize(I INodeID) int {
 	if !s.Live(I) {
 		return 0
 	}
-	return len(s.extents[I])
+	return s.extents[I].Len()
+}
+
+// ExtentBytes returns the resident extent storage of the snapshot, split
+// by representation: denseBytes counts slots holding dense slices
+// (including dense fallbacks under the Compressed codec), encodedBytes
+// counts compressed block encodings.
+func (s *Snapshot) ExtentBytes() (denseBytes, encodedBytes int64) {
+	for i := range s.extents {
+		if !s.live[i] {
+			continue
+		}
+		b := int64(s.extents[i].Bytes())
+		if s.extents[i].IsCompressed() {
+			encodedBytes += b
+		} else {
+			denseBytes += b
+		}
+	}
+	return denseBytes, encodedBytes
 }
 
 func (s *Snapshot) String() string {

@@ -55,6 +55,25 @@ func DefaultXMark(scale int, cyclicity float64, seed int64) XMarkConfig {
 	}
 }
 
+// XMarkFactor returns a configuration factor× the paper's instance —
+// the scale direction DefaultXMark cannot express (its scale argument
+// divides). factor=1 matches DefaultXMark(1, ...); factor=50 is the
+// ~8.4M-dnode dataset of the extent-storage scale experiment.
+func XMarkFactor(factor int, cyclicity float64, seed int64) XMarkConfig {
+	if factor < 1 {
+		factor = 1
+	}
+	return XMarkConfig{
+		Items:          2175 * 4 * factor,
+		Persons:        10200 * factor,
+		OpenAuctions:   1200 * 4 * factor,
+		ClosedAuctions: 3900 * factor,
+		Categories:     1000 * factor,
+		Cyclicity:      cyclicity,
+		Seed:           seed,
+	}
+}
+
 var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
 
 // XMark generates an auction-site data graph.

@@ -1,0 +1,176 @@
+package extent
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"slices"
+
+	"structix/internal/graph"
+)
+
+// Cursor streams a View's ids in ascending order without materializing
+// the extent: dense views walk the slice, compressed views decode one
+// varint or bitmap word at a time straight out of the shared encoding.
+// The zero Cursor is empty; Reset re-arms it on any View, so one cursor
+// (or a pooled slice of them, see KWay) serves any number of extents
+// without allocating. Cursors assume their View came from FromSorted or a
+// successful FromEncoded — they do not re-validate.
+type Cursor struct {
+	dense []graph.NodeID
+	di    int
+
+	enc []byte
+	pos int // byte offset of the next unread block
+
+	base     int32 // hi<<16 of the current block
+	kind     byte
+	blkRem   int  // ids left in the current block
+	blkFirst bool // the block's first (absolute) low is still pending
+	first    bool // no block opened yet
+
+	low uint32    // last low emitted from an array block (first low until then)
+	gr  gapReader // bit-packed gap decode state of the current array body
+
+	wi   int    // index of the bitmap word that word was loaded from, +1
+	word uint64 // unconsumed bits of bitmap word wi-1
+	bm   []byte // current bitmap body
+}
+
+// Reset points the cursor at the start of v.
+func (c *Cursor) Reset(v View) {
+	c.dense, c.di = v.dense, 0
+	c.enc, c.pos = v.enc, 0
+	c.blkRem, c.first = 0, true
+	c.gr, c.bm = gapReader{}, nil
+	if v.enc != nil {
+		_, n := binary.Uvarint(v.enc) // skip card
+		c.pos = n
+	}
+}
+
+// openBlock reads the next block header (consuming the body bytes from
+// the stream, so skipped blocks are never decoded); reports false when
+// the encoding is exhausted.
+func (c *Cursor) openBlock() bool {
+	if c.pos >= len(c.enc) {
+		return false
+	}
+	delta, n := binary.Uvarint(c.enc[c.pos:])
+	c.pos += n
+	if c.first {
+		c.base = int32(delta) << 16
+		c.first = false
+	} else {
+		c.base += int32(delta) << 16
+	}
+	c.kind = c.enc[c.pos]
+	c.pos++
+	cnt, n := binary.Uvarint(c.enc[c.pos:])
+	c.pos += n
+	c.blkRem = int(cnt)
+	if c.kind == 0 {
+		body64, n := binary.Uvarint(c.enc[c.pos:])
+		c.pos += n
+		body := c.enc[c.pos : c.pos+int(body64)]
+		c.pos += int(body64)
+		low, n := binary.Uvarint(body)
+		c.low = uint32(low)
+		c.gr.init(body, n, c.blkRem-1)
+		c.blkFirst = true
+	} else {
+		c.bm = c.enc[c.pos : c.pos+bitmapBytes]
+		c.pos += bitmapBytes
+		c.wi, c.word = 0, 0
+	}
+	return true
+}
+
+// Next returns the next id in ascending order; ok is false at the end.
+func (c *Cursor) Next() (id graph.NodeID, ok bool) {
+	if c.enc == nil {
+		if c.di >= len(c.dense) {
+			return 0, false
+		}
+		id = c.dense[c.di]
+		c.di++
+		return id, true
+	}
+	for c.blkRem == 0 {
+		if !c.openBlock() {
+			return 0, false
+		}
+	}
+	c.blkRem--
+	if c.kind == 0 {
+		if c.blkFirst {
+			c.blkFirst = false
+		} else {
+			c.low += c.gr.next() + 1
+		}
+		return graph.NodeID(c.base | int32(c.low)), true
+	}
+	for c.word == 0 {
+		c.word = binary.LittleEndian.Uint64(c.bm[c.wi*8:])
+		c.wi++
+	}
+	b := c.word & (-c.word)
+	c.word ^= b
+	low := uint32((c.wi-1)*64 + bits.TrailingZeros64(b))
+	return graph.NodeID(c.base | int32(low)), true
+}
+
+// Seek advances the cursor to the first id ≥ target and returns it; ok is
+// false when the extent has no such id. Whole blocks below the target's
+// range are skipped without decoding (array bodies by their stored byte
+// length, bitmaps by jumping to the target's word), which is what makes
+// intersecting a small extent against a huge one cheap. Seek only moves
+// forward; a target at or below the last returned id degenerates to Next.
+func (c *Cursor) Seek(target graph.NodeID) (id graph.NodeID, ok bool) {
+	if target < 0 {
+		target = 0
+	}
+	if c.enc == nil {
+		idx, _ := slices.BinarySearch(c.dense[c.di:], target)
+		c.di += idx
+		return c.Next()
+	}
+	wantHi := int32(target) &^ 0xFFFF
+	for {
+		for c.blkRem == 0 || c.base < wantHi {
+			c.blkRem = 0
+			if !c.openBlock() {
+				return 0, false
+			}
+		}
+		if c.base > wantHi {
+			return c.Next() // whole block is past the target's range
+		}
+		lowWant := uint32(target) & 0xFFFF
+		if c.kind == 1 {
+			wi := int(lowWant) >> 6
+			if c.wi-1 < wi {
+				c.wi = wi
+				c.word = binary.LittleEndian.Uint64(c.bm[wi*8:]) &
+					(^uint64(0) << (lowWant & 63))
+				c.wi++
+			} else if c.wi-1 == wi {
+				c.word &= ^uint64(0) << (lowWant & 63)
+			}
+			c.blkRem = bits.OnesCount64(c.word)
+			for w := c.wi; w < bitmapBytes/8; w++ {
+				c.blkRem += bits.OnesCount64(binary.LittleEndian.Uint64(c.bm[w*8:]))
+			}
+			if c.blkRem == 0 {
+				continue // nothing ≥ target in this block: open the next
+			}
+			return c.Next()
+		}
+		for c.blkRem > 0 {
+			id, _ := c.Next()
+			if id >= target {
+				return id, true
+			}
+		}
+		// Array block exhausted below the target: fall through to the next.
+	}
+}

@@ -1,0 +1,74 @@
+package extent
+
+import (
+	"slices"
+	"testing"
+
+	"structix/internal/graph"
+)
+
+// FuzzDecodeExtent drives FromEncoded with arbitrary bytes: the decoder
+// must never panic or over-read, and anything it accepts must behave as a
+// well-formed extent — sorted unique non-negative ids whose count matches
+// the header, surviving a re-encode round trip (canonical form) and
+// agreeing with Contains and the cursor Seek path.
+func FuzzDecodeExtent(f *testing.F) {
+	// Seed corpus: valid encodings of each shape plus near-miss mutations.
+	shapes := [][]graph.NodeID{
+		{7},
+		{1, 2, 3, 1000, 65536, 65537, 1 << 20},
+		denseBlock(100, 20000), // one bitmap block
+		append(denseBlock(5, 16500), 1<<18, 1<<19), // bitmap then arrays
+		{0, 0xFFFF, 0x10000, 0x1FFFF, 0x7FFF0000},  // block-boundary lows
+	}
+	for _, ids := range shapes {
+		slices.Sort(ids)
+		ids = slices.Compact(ids)
+		if enc := FromSorted(slices.Clone(ids), Compressed).Encoded(); enc != nil {
+			f.Add(enc)
+			f.Add(enc[:len(enc)/2])
+			mut := slices.Clone(enc)
+			mut[0] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{2, 0, 0, 2, 2, 3, 1})
+
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		v, err := FromEncoded(enc)
+		if err != nil {
+			return
+		}
+		ids := v.AppendTo(nil)
+		if len(ids) != v.Len() {
+			t.Fatalf("decoded %d ids, header says %d", len(ids), v.Len())
+		}
+		for i, id := range ids {
+			if id < 0 || (i > 0 && ids[i-1] >= id) {
+				t.Fatalf("decoded ids not sorted unique non-negative at %d: %v", i, ids[i-1:i+1])
+			}
+			if !v.Contains(id) {
+				t.Fatalf("Contains(%d) = false for decoded member", id)
+			}
+		}
+		// Accepted input must be canonical: re-encoding the decoded set
+		// reproduces the bytes exactly.
+		if len(ids) > 0 {
+			re := encodeBlocks(nil, ids)
+			if !slices.Equal(re, enc) {
+				t.Fatalf("accepted non-canonical encoding (%dB in, %dB re-encoded)", len(enc), len(re))
+			}
+		}
+		// Cursor Seek must agree with the decoded list.
+		var c Cursor
+		c.Reset(v)
+		for i := 0; i < len(ids); i += 1 + len(ids)/7 {
+			got, ok := c.Seek(ids[i])
+			if !ok || got != ids[i] {
+				t.Fatalf("Seek(%d) = %d,%v", ids[i], got, ok)
+			}
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package extent
+
+import (
+	"slices"
+
+	"structix/internal/graph"
+)
+
+// Set-algebra kernels over Views. These are what the query evaluators
+// call: a k-way union for result assembly (the extent-union hot loop of
+// every plan) and a pairwise intersection, both streaming over compressed
+// blocks through Cursors — no extent is ever decompressed wholesale. All
+// scratch state lives in a caller-owned KWay, so a warm caller (one KWay
+// plus a presized destination buffer, as query.Scratch arranges) runs
+// both kernels without allocating.
+
+// KWay is the reusable scratch of the merge kernels: one cursor per input
+// view plus the merge heap. The zero value is ready to use; it grows to
+// the widest merge it has seen and is reused across calls. A KWay must
+// not be shared between goroutines. It retains references to the last
+// snapshot's extent storage until the next call, exactly like a warm
+// result buffer.
+type KWay struct {
+	cur  []Cursor
+	heap []int64 // packed (id<<32 | cursor index), min-heap by id
+	vbuf []View
+}
+
+// Views returns a reusable view slice of length n — the staging buffer a
+// caller fills with the extents to union, avoiding a per-query
+// allocation.
+func (k *KWay) Views(n int) []View {
+	if cap(k.vbuf) < n {
+		k.vbuf = make([]View, n)
+	}
+	k.vbuf = k.vbuf[:n]
+	return k.vbuf
+}
+
+func (k *KWay) cursors(n int) []Cursor {
+	if cap(k.cur) < n {
+		k.cur = make([]Cursor, n)
+	}
+	k.cur = k.cur[:n]
+	return k.cur
+}
+
+// UnionInto appends the sorted, duplicate-free union of the views to dst
+// and returns the extended slice; only the appended region is touched
+// (callers reuse one result buffer by passing dst[:0]). All-dense inputs
+// take the classic concatenate-and-sort path the evaluators always used;
+// as soon as one view is compressed the kernel switches to a k-way
+// cursor merge over the blocks, which emits in order without decoding
+// any extent into a temporary.
+func UnionInto(dst []graph.NodeID, kw *KWay, views []View) []graph.NodeID {
+	start := len(dst)
+	allDense := true
+	for _, v := range views {
+		if v.IsCompressed() {
+			allDense = false
+			break
+		}
+	}
+	if allDense {
+		for _, v := range views {
+			dst = append(dst, v.dense...)
+		}
+		slices.Sort(dst[start:])
+		return compactTail(dst, start)
+	}
+
+	cur := kw.cursors(len(views))
+	h := kw.heap[:0]
+	for i := range views {
+		cur[i].Reset(views[i])
+		if id, ok := cur[i].Next(); ok {
+			h = heapPush(h, pack(id, i))
+		}
+	}
+	last := graph.NodeID(-1)
+	for len(h) > 0 {
+		id, i := unpack(h[0])
+		if id != last {
+			dst = append(dst, id)
+			last = id
+		}
+		nid, ok := cur[i].Next()
+		if ok {
+			// Gallop: while this cursor runs strictly below every other
+			// one (the heap's second-smallest bounds them all), its ids
+			// stream straight to dst with no heap traffic. Index extents
+			// partition the id space, so in the evaluators' unions whole
+			// extents flow through in one run — the merge then costs
+			// per extent, not per id.
+			bound := graph.NodeID(1<<31 - 1)
+			if len(h) > 2 {
+				b := h[1]
+				if h[2] < b {
+					b = h[2]
+				}
+				bound, _ = unpack(b)
+			} else if len(h) == 2 {
+				bound, _ = unpack(h[1])
+			}
+			for ok && nid < bound {
+				dst = append(dst, nid)
+				last = nid
+				nid, ok = cur[i].Next()
+			}
+		}
+		if ok {
+			h[0] = pack(nid, i)
+			heapSiftDown(h, 0)
+		} else {
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
+			heapSiftDown(h, 0)
+		}
+	}
+	kw.heap = h[:0]
+	return dst
+}
+
+// compactTail removes adjacent duplicates from dst[start:] in place.
+func compactTail(dst []graph.NodeID, start int) []graph.NodeID {
+	tail := dst[start:]
+	if len(tail) < 2 {
+		return dst
+	}
+	w := 1
+	for r := 1; r < len(tail); r++ {
+		if tail[r] != tail[w-1] {
+			tail[w] = tail[r]
+			w++
+		}
+	}
+	return dst[:start+w]
+}
+
+// IntersectInto appends the sorted intersection of a and b to dst and
+// returns the extended slice. The kernel leapfrogs two cursors with Seek,
+// so disparate extents cost O(min·log max): whole blocks of the larger
+// side are skipped by their stored lengths, bitmap blocks by jumping to
+// the word under test.
+func IntersectInto(dst []graph.NodeID, kw *KWay, a, b View) []graph.NodeID {
+	if a.card == 0 || b.card == 0 {
+		return dst
+	}
+	cur := kw.cursors(2)
+	cur[0].Reset(a)
+	cur[1].Reset(b)
+	av, aok := cur[0].Next()
+	bv, bok := cur[1].Next()
+	for aok && bok {
+		switch {
+		case av == bv:
+			dst = append(dst, av)
+			av, aok = cur[0].Next()
+			bv, bok = cur[1].Next()
+		case av < bv:
+			av, aok = cur[0].Seek(bv)
+		default:
+			bv, bok = cur[1].Seek(av)
+		}
+	}
+	return dst
+}
+
+func pack(id graph.NodeID, i int) int64  { return int64(id)<<32 | int64(i) }
+func unpack(p int64) (graph.NodeID, int) { return graph.NodeID(p >> 32), int(p & 0xFFFFFFFF) }
+
+func heapPush(h []int64, v int64) []int64 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+func heapSiftDown(h []int64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}

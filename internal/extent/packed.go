@@ -1,0 +1,95 @@
+package extent
+
+import "math/bits"
+
+// Bit-packed gap groups: the body of an array block after the first
+// (absolute) low. The n-1 remaining lows are stored as gaps — delta-1,
+// so a gap of 0 means consecutive ids — in groups of up to groupSize,
+// each group prefixed by one byte giving the bit width of its gaps:
+//
+//	group := width:byte ceil(k·width/8) bytes of k gaps, LSB-first
+//
+// The width is the minimal bits.Len of the group's largest gap (0 when
+// the whole group is consecutive ids, costing zero payload bytes), and
+// padding bits in the last payload byte are zero — both enforced by
+// FromEncoded, keeping the encoding canonical. Regular structure, where
+// one label repeats every subtree of s nodes, yields gaps of s-1
+// throughout and therefore ~bits.Len(s-1)/8 bytes per id — the reason
+// array blocks beat byte-aligned varints on index extents.
+
+// groupSize is the number of gaps per bit-packed group. At 16, a group's
+// worst case (16-bit gaps) is 33 bytes and its best (consecutive run) is
+// 1, and one 64-bit accumulator comfortably spans any read.
+const groupSize = 16
+
+// appendGapGroups appends the bit-packed groups of gaps to dst.
+func appendGapGroups(dst []byte, gaps []uint16) []byte {
+	for g := 0; g < len(gaps); g += groupSize {
+		k := len(gaps) - g
+		if k > groupSize {
+			k = groupSize
+		}
+		width := 0
+		for _, gap := range gaps[g : g+k] {
+			if w := bits.Len16(gap); w > width {
+				width = w
+			}
+		}
+		dst = append(dst, byte(width))
+		var acc uint64
+		var nb uint
+		for _, gap := range gaps[g : g+k] {
+			acc |= uint64(gap) << nb
+			nb += uint(width)
+			for nb >= 8 {
+				dst = append(dst, byte(acc))
+				acc >>= 8
+				nb -= 8
+			}
+		}
+		if nb > 0 {
+			dst = append(dst, byte(acc)) // high bits are zero padding
+		}
+	}
+	return dst
+}
+
+// gapReader incrementally decodes gap groups. It assumes a validated
+// body (see FromEncoded) and performs no bounds checks of its own.
+type gapReader struct {
+	body  []byte
+	pos   int    // next unread byte
+	rem   int    // gaps left in the block
+	gleft int    // gaps left in the current group
+	width uint   // current group's bit width
+	acc   uint64 // bit accumulator, LSB-first
+	nbits uint   // bits held in acc
+}
+
+func (r *gapReader) init(body []byte, pos, gaps int) {
+	*r = gapReader{body: body, pos: pos, rem: gaps}
+}
+
+// next returns the next gap (delta-1).
+func (r *gapReader) next() uint32 {
+	if r.gleft == 0 {
+		r.width = uint(r.body[r.pos])
+		r.pos++
+		r.gleft = groupSize
+		if r.rem < groupSize {
+			r.gleft = r.rem
+		}
+		r.acc, r.nbits = 0, 0
+	}
+	for r.nbits < r.width {
+		r.acc |= uint64(r.body[r.pos]) << r.nbits
+		r.pos++
+		r.nbits += 8
+	}
+	gap := uint32(r.acc & (1<<r.width - 1))
+	r.acc >>= r.width
+	r.nbits -= r.width
+	r.gleft--
+	r.rem--
+	return gap
+}

@@ -1,0 +1,65 @@
+package oneindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"structix/internal/extent"
+	"structix/internal/graph"
+	"structix/internal/gtest"
+)
+
+// TestSnapshotHoldsNoRawExtentSlices pins the aliasing-hazard fix
+// structurally: snapshot extents live behind extent.View (which exposes
+// no mutators), never as raw [][]graph.NodeID a caller could write into.
+func TestSnapshotHoldsNoRawExtentSlices(t *testing.T) {
+	st := reflect.TypeOf(Snapshot{})
+	raw := reflect.TypeOf([][]graph.NodeID{})
+	views := reflect.TypeOf([]extent.View{})
+	found := false
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type == raw {
+			t.Errorf("Snapshot.%s is [][]graph.NodeID: extents must be stored as extent.View", f.Name)
+		}
+		if f.Type == views {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Snapshot has no []extent.View field; the structural guard is checking nothing")
+	}
+}
+
+// TestSnapshotExtentIsACopy verifies the documented ownership split under
+// both codecs: Extent hands out a fresh slice the caller may scribble on,
+// while ExtentView/AppendExtent read the shared storage, which must be
+// unaffected by such scribbling.
+func TestSnapshotExtentIsACopy(t *testing.T) {
+	for _, codec := range []extent.Codec{extent.Dense, extent.Compressed} {
+		t.Run(codec.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			g := gtest.RandomDAG(rng, 300, 150)
+			x := Build(g)
+			x.SetSnapshotCodec(codec)
+			s := x.Freeze(g.Freeze())
+			x.EachINode(func(I INodeID) {
+				want := x.Extent(I)
+				got := s.Extent(I)
+				if !equalNodeIDs(got, want) {
+					t.Fatalf("inode %d: snapshot extent %v, index %v", I, got, want)
+				}
+				for i := range got {
+					got[i] = -1 // caller owns the copy
+				}
+				if again := s.Extent(I); !equalNodeIDs(again, want) {
+					t.Fatalf("inode %d: mutating Extent()'s result changed the snapshot: %v", I, again)
+				}
+				if app := s.AppendExtent(nil, I); !equalNodeIDs(app, want) {
+					t.Fatalf("inode %d: AppendExtent diverged after caller mutation: %v", I, app)
+				}
+			})
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"slices"
 
+	"structix/internal/extent"
 	"structix/internal/graph"
 	"structix/internal/ilist"
 	"structix/internal/partition"
@@ -114,7 +115,29 @@ type Index struct {
 	trackDirty bool
 	dirtySet   []bool // by INodeID slot
 	dirtyIDs   []INodeID
+
+	// codec is the extent representation snapshots freeze into (see
+	// internal/extent). The live index itself always stays dense — the
+	// zero-alloc maintenance paths never touch it — so the codec only
+	// matters at Freeze/PatchSnapshot time.
+	codec extent.Codec
 }
+
+// SetSnapshotCodec selects the extent representation later Freeze and
+// PatchSnapshot calls encode extents into; the live maintenance structures
+// are unaffected. Switching codecs disables dirty-patching once, so the
+// next snapshot is a full freeze re-encoding every extent — otherwise a
+// patched snapshot would share stale-codec views for untouched slots.
+func (x *Index) SetSnapshotCodec(c extent.Codec) {
+	if x.codec == c {
+		return
+	}
+	x.codec = c
+	x.trackDirty = false
+}
+
+// SnapshotCodec returns the codec snapshots currently freeze into.
+func (x *Index) SnapshotCodec() extent.Codec { return x.codec }
 
 // markDirty records that inode slot i changed since the last Freeze/Patch.
 func (x *Index) markDirty(i INodeID) {

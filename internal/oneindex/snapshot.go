@@ -3,6 +3,7 @@ package oneindex
 import (
 	"fmt"
 
+	"structix/internal/extent"
 	"structix/internal/graph"
 )
 
@@ -11,21 +12,24 @@ import (
 // in it ever changes: any number of goroutines may evaluate queries
 // against it while the live index is being maintained. The snapshot holds
 // exactly what evaluation needs — per-inode label names, sorted successor
-// lists and sorted extents, the root inode, and the frozen graph for
-// predicate checks — as flat slices rather than the live index's maps.
+// lists and extents frozen into extent.Views (dense or compressed,
+// per the index's snapshot codec), the root inode, and the frozen graph
+// for predicate checks — as flat slices rather than the live index's maps.
 //
-// Aliasing contract: the slices returned by Extent and ISucc are owned by
-// the snapshot and shared between all callers; they must be treated as
-// read-only. Everything else about a Snapshot is safe to use from any
-// goroutine without synchronization.
+// Aliasing contract: the slice returned by ISucc and the storage behind
+// ExtentView are owned by the snapshot and shared between all callers;
+// they are read-only by construction (extent.View exposes no mutators).
+// Extent returns a fresh copy the caller owns. Everything else about a
+// Snapshot is safe to use from any goroutine without synchronization.
 type Snapshot struct {
 	data    *graph.Frozen
 	root    INodeID // inode of the data root; NoINode if no root
 	live    []bool  // by INodeID slot
 	names   []string
 	succs   [][]INodeID
-	extents [][]graph.NodeID
+	extents []extent.View
 	size    int
+	codec   extent.Codec
 
 	// changed is the set of inode slots whose records differ from the
 	// predecessor snapshot (the dirty set PatchSnapshot consumed); partial
@@ -45,7 +49,8 @@ func (x *Index) Freeze(data *graph.Frozen) *Snapshot {
 		live:    make([]bool, n),
 		names:   make([]string, n),
 		succs:   make([][]INodeID, n),
-		extents: make([][]graph.NodeID, n),
+		extents: make([]extent.View, n),
+		codec:   x.codec,
 	}
 	for i := range x.inodes {
 		if x.inodes[i] != nil {
@@ -60,9 +65,9 @@ func (x *Index) Freeze(data *graph.Frozen) *Snapshot {
 // PatchSnapshot derives a new Snapshot from prev by re-copying only the
 // inodes dirtied since prev was built; every untouched slot shares its
 // slices with prev. Falls back to a full Freeze when prev is nil or dirty
-// tracking was not active (e.g. the first call, or after a manual
-// mutation bypassing the index). The caller supplies the frozen graph
-// matching the index's current state.
+// tracking was not active (e.g. the first call, after a manual mutation
+// bypassing the index, or after a codec switch). The caller supplies the
+// frozen graph matching the index's current state.
 func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
 	if prev == nil || !x.trackDirty {
 		return x.Freeze(data)
@@ -73,7 +78,8 @@ func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
 		live:    make([]bool, n),
 		names:   make([]string, n),
 		succs:   make([][]INodeID, n),
-		extents: make([][]graph.NodeID, n),
+		extents: make([]extent.View, n),
+		codec:   x.codec,
 	}
 	copy(s.live, prev.live)
 	copy(s.names, prev.names)
@@ -88,7 +94,7 @@ func (x *Index) PatchSnapshot(prev *Snapshot, data *graph.Frozen) *Snapshot {
 			s.live[i] = false
 			s.names[i] = ""
 			s.succs[i] = nil
-			s.extents[i] = nil
+			s.extents[i] = extent.View{}
 		}
 	}
 	s.finish(x)
@@ -100,7 +106,9 @@ func (s *Snapshot) fill(x *Index, i INodeID) {
 	s.live[i] = true
 	s.names[i] = x.g.Labels().Name(x.inodes[i].label)
 	s.succs[i] = x.ISucc(i)
-	s.extents[i] = x.Extent(i)
+	// Index.Extent returns a fresh sorted slice, so FromSorted may take
+	// ownership: the dense codec costs no extra copy.
+	s.extents[i] = extent.FromSorted(x.Extent(i), s.codec)
 }
 
 func (s *Snapshot) finish(x *Index) {
@@ -178,31 +186,79 @@ func (s *Snapshot) ISucc(I INodeID) []INodeID {
 	return s.succs[I]
 }
 
-// Extent returns I's sorted extent. The slice is shared with the
-// snapshot: read-only.
-func (s *Snapshot) Extent(I INodeID) []graph.NodeID {
+// Codec returns the extent codec the snapshot was frozen under. A
+// Compressed snapshot may still hold dense views for extents the block
+// encoding could not shrink (see extent.FromSorted).
+func (s *Snapshot) Codec() extent.Codec { return s.codec }
+
+// ExtentView returns I's frozen extent as a read-only extent.View — the
+// aliasing-safe accessor the query kernels union and intersect directly,
+// in whatever representation the snapshot froze it into. The zero View is
+// returned for dead slots.
+func (s *Snapshot) ExtentView(I INodeID) extent.View {
 	if !s.Live(I) {
-		return nil
+		return extent.View{}
 	}
 	return s.extents[I]
 }
 
-// AppendExtent appends I's extent to dst and returns it — the extent-union
-// primitive of the snapshot evaluators and the sharded scatter-gather
-// merge: with a warm dst the whole union allocates nothing.
+// Extent returns I's sorted extent as a freshly allocated slice the
+// caller owns — it never aliases snapshot storage. Result assembly should
+// prefer AppendExtent or ExtentView, which do not copy per call.
+func (s *Snapshot) Extent(I INodeID) []graph.NodeID {
+	if !s.Live(I) {
+		return nil
+	}
+	return s.extents[I].AppendTo(nil)
+}
+
+// EachExtent calls fn for every dnode in I's extent, in ascending order.
+func (s *Snapshot) EachExtent(I INodeID, fn func(v graph.NodeID)) {
+	if !s.Live(I) {
+		return
+	}
+	s.extents[I].Each(fn)
+}
+
+// AppendExtent appends I's extent to dst in ascending order and returns
+// it — the extent-union primitive of the snapshot evaluators and the
+// sharded scatter-gather merge: with a warm dst the whole union allocates
+// nothing, compressed views decoding streaming into dst.
 func (s *Snapshot) AppendExtent(dst []graph.NodeID, I INodeID) []graph.NodeID {
 	if !s.Live(I) {
 		return dst
 	}
-	return append(dst, s.extents[I]...)
+	return s.extents[I].AppendTo(dst)
 }
 
-// ExtentSize returns |extent(I)| at freeze time.
+// ExtentSize returns |extent(I)| at freeze time (O(1) under every codec:
+// compressed views carry their cardinality in the header).
 func (s *Snapshot) ExtentSize(I INodeID) int {
 	if !s.Live(I) {
 		return 0
 	}
-	return len(s.extents[I])
+	return s.extents[I].Len()
+}
+
+// ExtentBytes returns the resident extent storage of the snapshot, split
+// by representation: denseBytes counts slots holding dense slices
+// (including dense fallbacks under the Compressed codec), encodedBytes
+// counts compressed block encodings. Shared (patched) slots count at
+// their stored size, so the sum is the true footprint of a single
+// snapshot generation.
+func (s *Snapshot) ExtentBytes() (denseBytes, encodedBytes int64) {
+	for i := range s.extents {
+		if !s.live[i] {
+			continue
+		}
+		b := int64(s.extents[i].Bytes())
+		if s.extents[i].IsCompressed() {
+			encodedBytes += b
+		} else {
+			denseBytes += b
+		}
+	}
+	return denseBytes, encodedBytes
 }
 
 func (s *Snapshot) String() string {

@@ -98,9 +98,9 @@ func snapshotPartToDTO(snap *oneindex.Snapshot) *partitionDTO {
 		}
 		b := int32(dto.NumBlocks)
 		dto.NumBlocks++
-		for _, v := range snap.Extent(I) {
+		snap.EachExtent(I, func(v graph.NodeID) {
 			dto.BlockOf[v] = b
-		}
+		})
 	}
 	return dto
 }

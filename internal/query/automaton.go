@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"structix/internal/akindex"
+	"structix/internal/extent"
 	"structix/internal/graph"
 	"structix/internal/oneindex"
 )
@@ -38,6 +39,12 @@ type Scratch struct {
 	queue   []int64
 	acc     []int32 // accepting slots, in discovery order
 	touched []int32 // every slot inspected this evaluation (the footprint)
+
+	// ext is the scratch of the extent-union kernel that assembles the
+	// result from the accepting inodes' extents (dense or compressed).
+	// Between evaluations it retains views into the last snapshot's
+	// extent storage, exactly like a warm result buffer.
+	ext extent.KWay
 }
 
 // begin starts a new evaluation over a slot space of size n.
@@ -96,17 +103,17 @@ type autoGraph[ID ~int32] interface {
 
 type oneAutoGraph struct{ s *oneindex.Snapshot }
 
-func (g oneAutoGraph) rootSlot() int32                   { return int32(g.s.RootINode()) }
-func (g oneAutoGraph) numSlots() int                     { return g.s.Slots() }
-func (g oneAutoGraph) succs(i int32) []oneindex.INodeID  { return g.s.ISucc(oneindex.INodeID(i)) }
-func (g oneAutoGraph) label(i int32) string              { return g.s.LabelName(oneindex.INodeID(i)) }
+func (g oneAutoGraph) rootSlot() int32                  { return int32(g.s.RootINode()) }
+func (g oneAutoGraph) numSlots() int                    { return g.s.Slots() }
+func (g oneAutoGraph) succs(i int32) []oneindex.INodeID { return g.s.ISucc(oneindex.INodeID(i)) }
+func (g oneAutoGraph) label(i int32) string             { return g.s.LabelName(oneindex.INodeID(i)) }
 
 type akAutoGraph struct{ s *akindex.Snapshot }
 
-func (g akAutoGraph) rootSlot() int32                  { return int32(g.s.RootINode()) }
-func (g akAutoGraph) numSlots() int                    { return g.s.Slots() }
-func (g akAutoGraph) succs(i int32) []akindex.INodeID  { return g.s.ISucc(akindex.INodeID(i)) }
-func (g akAutoGraph) label(i int32) string             { return g.s.LabelName(akindex.INodeID(i)) }
+func (g akAutoGraph) rootSlot() int32                 { return int32(g.s.RootINode()) }
+func (g akAutoGraph) numSlots() int                   { return g.s.Slots() }
+func (g akAutoGraph) succs(i int32) []akindex.INodeID { return g.s.ISucc(akindex.INodeID(i)) }
+func (g akAutoGraph) label(i int32) string            { return g.s.LabelName(akindex.INodeID(i)) }
 
 // autoWalk runs the compiled automaton over an index graph and returns the
 // accepting slots (aliasing sc.acc). The DFA product walk is preferred;
@@ -250,18 +257,19 @@ func (c *Compiled) evalOne(ctx context.Context, buf []graph.NodeID, sc *Scratch,
 		return buf, err
 	}
 	acc := autoWalk[oneindex.INodeID](c, sc, oneAutoGraph{s})
+	views := sc.ext.Views(len(acc))
 	total := 0
-	for _, i := range acc {
-		total += s.ExtentSize(oneindex.INodeID(i))
-	}
-	buf = slices.Grow(buf, total)
-	for _, i := range acc {
+	for n, i := range acc {
 		if err := ctxErr(ctx); err != nil {
 			return buf[:0], err
 		}
-		buf = s.AppendExtent(buf, oneindex.INodeID(i))
+		views[n] = s.ExtentView(oneindex.INodeID(i))
+		total += views[n].Len()
 	}
-	sortNodes(buf)
+	buf = slices.Grow(buf, total)
+	// Extents partition the dnodes, so the union is disjoint and UnionInto
+	// returns buf already sorted — no post-sort.
+	buf = extent.UnionInto(buf, &sc.ext, views)
 	if c.path.HasPredicates() {
 		return filterByAllPredicates(c.path, s.Data(), buf), ctxErr(ctx)
 	}
@@ -300,18 +308,17 @@ func (c *Compiled) evalAk(ctx context.Context, buf []graph.NodeID, sc *Scratch, 
 		return buf, err
 	}
 	acc := autoWalk[akindex.INodeID](c, sc, akAutoGraph{s})
+	views := sc.ext.Views(len(acc))
 	total := 0
-	for _, i := range acc {
-		total += s.ExtentSize(akindex.INodeID(i))
-	}
-	buf = slices.Grow(buf, total)
-	for _, i := range acc {
+	for n, i := range acc {
 		if err := ctxErr(ctx); err != nil {
 			return buf[:0], err
 		}
-		buf = append(buf, s.Extent(akindex.INodeID(i))...)
+		views[n] = s.ExtentView(akindex.INodeID(i))
+		total += views[n].Len()
 	}
-	sortNodes(buf)
+	buf = slices.Grow(buf, total)
+	buf = extent.UnionInto(buf, &sc.ext, views)
 	if NeedsValidation(c.skel, s.K()) {
 		va := newValidator(c.skel, s.Data())
 		out := buf[:0]

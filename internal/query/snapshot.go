@@ -236,7 +236,7 @@ func evalAkSnapshotRaw(ctx context.Context, buf []graph.NodeID, p *Path, s *akin
 		if err := ctxErr(ctx); err != nil {
 			return buf[:0], err
 		}
-		buf = append(buf, s.Extent(akindex.INodeID(n))...)
+		buf = s.AppendExtent(buf, akindex.INodeID(n))
 	}
 	sortNodes(buf)
 	return buf, ctxErr(ctx)

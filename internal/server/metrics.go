@@ -174,6 +174,16 @@ func writeCacheProm(w io.Writer, cs qcache.Stats, programs int) {
 	gauge("structix_compiled_programs", "compiled path automata cached", float64(programs))
 }
 
+// writeExtentProm emits the resident extent storage of the current
+// snapshot, labeled by representation, plus the configured codec as an
+// info-style gauge.
+func writeExtentProm(w io.Writer, codec string, denseBytes, encodedBytes int64) {
+	fmt.Fprintf(w, "# HELP structix_extent_bytes resident snapshot extent storage by representation\n# TYPE structix_extent_bytes gauge\n")
+	fmt.Fprintf(w, "structix_extent_bytes{repr=\"dense\"} %d\n", denseBytes)
+	fmt.Fprintf(w, "structix_extent_bytes{repr=\"encoded\"} %d\n", encodedBytes)
+	fmt.Fprintf(w, "# HELP structix_extent_codec configured snapshot extent codec\n# TYPE structix_extent_codec gauge\nstructix_extent_codec{codec=%q} 1\n", codec)
+}
+
 // writeDurabilityProm emits the store's write-ahead-log counters; a
 // single 0 gauge when the server fronts an in-memory DB.
 func writeDurabilityProm(w io.Writer, ds structix.DBStats) {

@@ -568,7 +568,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rep.Nodes += data.NumNodes()
 		rep.Edges += frozenEdges(data)
 		rep.INodes += snap.Shard(i).Size()
+		db, eb := snap.Shard(i).ExtentBytes()
+		rep.ExtentDenseBytes += db
+		rep.ExtentEncodedBytes += eb
 	}
+	rep.ExtentCodec = snap.Shard(0).Codec().String()
 	// Every shard carries a replica of the one document root: count the
 	// logical root once.
 	rep.Nodes -= n - 1
@@ -658,5 +662,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.writeProm(w, qd, qc)
 	writeCacheProm(w, s.eng.cacheStats(), s.eng.programs())
+	snap := s.store.Snapshot()
+	var denseB, encB int64
+	for i := 0; i < snap.NumShards(); i++ {
+		db, eb := snap.Shard(i).ExtentBytes()
+		denseB += db
+		encB += eb
+	}
+	writeExtentProm(w, snap.Shard(0).Codec().String(), denseB, encB)
 	writeDurabilityProm(w, aggregateStats(s.store.ShardStats()))
 }

@@ -155,6 +155,15 @@ type StatsReply struct {
 	// CompiledPrograms is the number of cached compiled automata.
 	CompiledPrograms int `json:"compiled_programs"`
 
+	// Extent storage of the current snapshot (summed across shards), by
+	// representation: dense []NodeID slices vs compressed block
+	// encodings. Under the dense codec EncodedBytes is 0; under the
+	// compressed codec DenseBytes counts the per-extent density
+	// fallbacks that stayed dense.
+	ExtentCodec        string `json:"extent_codec"`
+	ExtentDenseBytes   int64  `json:"extent_dense_bytes"`
+	ExtentEncodedBytes int64  `json:"extent_encoded_bytes,omitempty"`
+
 	// Durability counters from the store (see structix.DBStats). Durable
 	// is false when the server fronts an in-memory DB; every other field
 	// in the group is zero/absent then. DurableSeq lagging AppliedSeq is

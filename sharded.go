@@ -434,6 +434,20 @@ func (sdb *ShardedDB) Validate() error {
 	return nil
 }
 
+// SetExtentCodec switches every shard's snapshot extent representation
+// (see DB.SetExtentCodec). Taken under the facade's exclusive lock so the
+// per-shard re-freezes do not interleave with cross-shard batches.
+func (sdb *ShardedDB) SetExtentCodec(c ExtentCodec) error {
+	sdb.wmu.Lock()
+	defer sdb.wmu.Unlock()
+	for s, db := range sdb.shards {
+		if err := db.SetExtentCodec(c); err != nil {
+			return fmt.Errorf("structix: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
 // Close seals every shard; the first error wins but all shards close.
 func (sdb *ShardedDB) Close() error {
 	var first error
