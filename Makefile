@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race stress serve-stress serve-smoke crash-test cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-wal bench-shard bench-scale bench-smoke fuzz examples experiments ci clean
+.PHONY: all build vet test test-short race stress serve-stress serve-smoke repl-smoke crash-test cover bench bench-batch bench-snapshot bench-memlayout bench-serve bench-query bench-wal bench-shard bench-scale bench-repl bench-smoke fuzz examples experiments ci clean
 
 all: build vet test
 
@@ -37,6 +37,12 @@ serve-stress:
 # shutdown with persistence, reload + Validate.
 serve-smoke:
 	$(GO) run ./cmd/xsiserve -smoke
+
+# Replication smoke: a durable leader plus two read replicas bootstrapped
+# over HTTP, a leader write read back from each replica under min_epoch,
+# typed not-leader redirects, and the ReplicaSet round-robin client.
+repl-smoke:
+	$(GO) run ./cmd/xsiserve -smoke-repl
 
 # Crash-recovery gates: journal-replay bit-identity, crash-injection
 # property tests (random tail damage recovers a commit prefix, never a
@@ -100,6 +106,13 @@ bench-shard:
 bench-scale:
 	$(GO) run ./cmd/xsibench -exp scale -factor 50 -json BENCH_scale.json
 
+# Read-replica scale-out: aggregate read QPS vs replica count (leader
+# only, 1, 3) plus the min_epoch staleness distribution after leader
+# acks; see BENCH_repl.json for the committed run and DESIGN.md §11 for
+# the stream protocol and the single-core measurement mode.
+bench-repl:
+	$(GO) run ./cmd/xsibench -exp repl -json BENCH_repl.json
+
 # One-iteration pass over every benchmark in the module: keeps them
 # compiling and running without paying for stable timings (CI runs this).
 bench-smoke:
@@ -134,21 +147,25 @@ experiments:
 
 # What CI runs (.github/workflows/ci.yml): build, vet, race-enabled tests,
 # the concurrent-stress and server-stress passes, the sharded-equivalence
-# pass, the crash-recovery gates (sharded included), the xsiserve smoke
-# (which covers a 4-shard boot), a short path-parser fuzz pass, the
-# query-, wal- and shard-bench smokes, and a one-iteration smoke pass
-# over every benchmark in the module.
+# pass, the crash-recovery gates (sharded + follower kill -9 included),
+# the xsiserve smoke (which covers a 4-shard boot), the replication smoke
+# (leader + 2 replicas, min_epoch read-back), a short path-parser fuzz
+# pass, the query-, wal-, shard- and repl-bench smokes, and a
+# one-iteration smoke pass over every benchmark in the module.
 ci: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestSnapshot|TestConcurrent' .
 	$(GO) test -race -count=2 -run 'TestServer|TestCommitter|TestSharded|TestCommitMetrics' ./internal/server/
 	$(GO) test -race -count=1 -run 'TestSharded' .
 	$(GO) test -race -count=1 -run 'TestCrash|TestShardedCrash|TestKill9|TestRecovery|TestSubgraphFrame|TestDeleteSubtreeSurvives' .
+	$(GO) test -race -count=1 -run 'TestFollower|TestKill9Follower|TestPropertyReplica|TestServerReplica|TestReplicaSet' ./...
 	$(GO) run ./cmd/xsiserve -smoke
+	$(GO) run ./cmd/xsiserve -smoke-repl
 	$(GO) test -fuzz=FuzzParsePath -fuzztime=10s ./internal/query/
 	$(GO) run ./cmd/xsibench -exp query
 	$(GO) run ./cmd/xsibench -exp wal
 	$(GO) run ./cmd/xsibench -exp shard -scale 64
+	$(GO) run ./cmd/xsibench -exp repl
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 clean:

@@ -21,6 +21,7 @@
 //	xsibench -exp query                    # compiled automata + result cache vs interpreter
 //	xsibench -exp wal                      # journal fsync policies + crash-recovery time
 //	xsibench -exp shard                    # sharded write scale-out + 90/10 mix
+//	xsibench -exp repl                     # read replicas: QPS scale-out + staleness
 //	xsibench -exp scale -factor 50         # extent codecs at 50x the paper's dataset
 //
 // -scale divides the paper's dataset sizes (default 16; 1 approximates the
@@ -112,6 +113,7 @@ func main() {
 		r.query()
 		r.wal()
 		r.shard()
+		r.repl()
 	case "fig9":
 		r.fig9()
 	case "fig10", "fig11":
@@ -144,6 +146,8 @@ func main() {
 		r.wal()
 	case "shard":
 		r.shard()
+	case "repl":
+		r.repl()
 	case "scale":
 		r.scaleBench()
 	default:
@@ -487,6 +491,34 @@ func (r runner) shard() {
 		}
 		defer f.Close()
 		if err := experiments.WriteShardJSON(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+		}
+	}
+}
+
+func (r runner) repl() {
+	d := experiments.Dataset{Name: "XMark(1)", Cyclicity: 1}
+	cfg := experiments.DefaultReplConfig(r.seed)
+	// The staleness writers draw from the absent-IDREF pool; cap the
+	// reduction so the batches stay full width.
+	scale := r.scale
+	if scale > 8 {
+		scale = 8
+	}
+	res, err := experiments.RunRepl(d.Name, d.Build(scale, r.seed), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsibench: repl: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.ReportRepl(os.Stdout, res)
+	if r.jsonPath != "" {
+		f, err := os.Create(r.jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := experiments.WriteReplJSON(f, res); err != nil {
 			fmt.Fprintf(os.Stderr, "xsibench: %v\n", err)
 		}
 	}

@@ -9,7 +9,9 @@
 //	xsiserve -data /var/lib/structix -addr :8080
 //	xsiserve -data ./state -fsync always
 //	xsiserve -xmark 64 -seed 7 -addr 127.0.0.1:8080
+//	xsiserve -data ./replica -replica-of http://10.0.0.1:8080 -addr :8081
 //	xsiserve -smoke
+//	xsiserve -smoke-repl
 //
 // With -data the store is durable: structix.Open recovers the last
 // snapshot plus the journal tail (discarding a torn tail frame if the
@@ -25,6 +27,14 @@
 // Without -data the store is in-memory; -load/-persist give the legacy
 // file-based save/restore (deprecated — prefer -data, which owns the
 // lifecycle end to end).
+//
+// With -replica-of the process serves as a read replica: it bootstraps
+// from the leader's snapshot endpoint into -data, tails the leader's WAL
+// stream into its own journal, serves the full read surface (queries may
+// carry min_epoch for read-your-writes), and rejects writes with a 421
+// naming the leader. Restarting a replica recovers locally and resumes
+// the stream from its own seq; a replica that fell behind the leader's
+// compacted journal re-bootstraps on the next start.
 //
 // -shards N (default 1) partitions the graph into N in-process shards,
 // each with its own commit pipeline, epoch snapshots and — under -data —
@@ -82,7 +92,9 @@ func main() {
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		shards    = flag.Int("shards", 1, "partition the graph into this many in-process shards")
 		extents   = flag.String("extents", "dense", "snapshot extent codec: dense|compressed")
+		replicaOf = flag.String("replica-of", "", "serve as a read replica streaming this leader's WAL (requires -data, -shards 1)")
 		smoke     = flag.Bool("smoke", false, "run the self-test and exit")
+		smokeRepl = flag.Bool("smoke-repl", false, "run the replication self-test (leader + 2 followers) and exit")
 	)
 	flag.Parse()
 
@@ -94,6 +106,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xsiserve: -persist supports only -shards 1 (use -data for a sharded store)")
 		os.Exit(2)
 	}
+	if *replicaOf != "" {
+		// A replica's whole state comes from the leader: it needs its own
+		// durable directory to journal into, and none of the bootstrap or
+		// legacy persistence paths apply.
+		switch {
+		case *data == "":
+			fmt.Fprintln(os.Stderr, "xsiserve: -replica-of requires -data (the replica journals locally)")
+			os.Exit(2)
+		case *shards > 1:
+			fmt.Fprintln(os.Stderr, "xsiserve: -replica-of supports only -shards 1 (replicate each shard process separately)")
+			os.Exit(2)
+		case *load != "" || *persist != "":
+			fmt.Fprintln(os.Stderr, "xsiserve: -replica-of bootstraps from the leader; -load/-persist do not apply")
+			os.Exit(2)
+		}
+	}
 
 	if *smoke {
 		if err := runSmoke(); err != nil {
@@ -103,16 +131,29 @@ func main() {
 		fmt.Println("xsiserve: smoke ok")
 		return
 	}
+	if *smokeRepl {
+		if err := runSmokeRepl(); err != nil {
+			fmt.Fprintf(os.Stderr, "xsiserve: smoke-repl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("xsiserve: smoke-repl ok")
+		return
+	}
 
 	codec, err := structix.ParseExtentCodec(*extents)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xsiserve: %v\n", err)
 		os.Exit(1)
 	}
-	sdb, err := openStore(*data, *fsync, *load, *xmark, *cyclicity, *seed, *shards, codec)
+	sdb, err := openStore(*data, *fsync, *load, *replicaOf, *xmark, *cyclicity, *seed, *shards, codec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xsiserve: %v\n", err)
 		os.Exit(1)
+	}
+	if *replicaOf != "" {
+		db0 := sdb.Shard(0)
+		fmt.Printf("xsiserve: read replica of %s, streaming from seq %d (writes redirect to the leader)\n",
+			db0.LeaderURL(), db0.Seq()+1)
 	}
 	snap := sdb.Snapshot()
 	nodes := 0
@@ -194,7 +235,7 @@ func main() {
 // -load / generated dataset, partitioned with NewShardedDB when sharded).
 // An unsharded request always goes down the original single-DB paths and
 // is wrapped at the end, so -shards 1 leaves layouts and ids untouched.
-func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int64, shards int, codec structix.ExtentCodec) (*structix.ShardedDB, error) {
+func openStore(data, fsync, load, replicaOf string, xmark int, cyclicity float64, seed int64, shards int, codec structix.ExtentCodec) (*structix.ShardedDB, error) {
 	bootstrap := func() (*structix.Database, error) {
 		if load != "" {
 			return loadFile(load)
@@ -206,6 +247,13 @@ func openStore(data, fsync, load string, xmark int, cyclicity float64, seed int6
 		policy, err := structix.ParseSyncPolicy(fsync)
 		if err != nil {
 			return nil, err
+		}
+		if replicaOf != "" {
+			db, err := structix.OpenFollower(data, replicaOf, structix.Options{Sync: policy, Extents: codec})
+			if err != nil {
+				return nil, err
+			}
+			return structix.WrapDB(db), nil
 		}
 		if shards > 1 {
 			return structix.OpenSharded(data, structix.Options{

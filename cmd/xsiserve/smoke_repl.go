@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"structix"
+	"structix/internal/client"
+	"structix/internal/graph"
+	"structix/internal/opscript"
+	"structix/internal/server"
+)
+
+// smokeNode is one process-shaped server (store + serving layer +
+// listener) inside the replication smoke.
+type smokeNode struct {
+	db   *structix.DB
+	srv  *server.Server
+	url  string
+	errc chan error
+}
+
+func startSmokeNode(db *structix.DB) (*smokeNode, error) {
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &smokeNode{db: db, srv: srv, url: "http://" + ln.Addr().String(), errc: make(chan error, 1)}
+	go func() { n.errc <- srv.Serve(ln) }()
+	return n, nil
+}
+
+func (n *smokeNode) stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-n.errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return n.db.Close()
+}
+
+// runSmokeRepl is the replication self-test behind -smoke-repl (and the
+// CI repl-smoke step): a durable leader plus two read replicas
+// bootstrapped over HTTP, a write on the leader read back from each
+// replica under min_epoch, typed not-leader rejection, the ReplicaSet
+// round-robin helper, and replication stats on both roles.
+func runSmokeRepl() error {
+	root, err := os.MkdirTemp("", "xsiserve-smoke-repl-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	ldb, err := structix.Open(filepath.Join(root, "leader"), structix.Options{
+		Sync: structix.SyncAlways,
+		Bootstrap: func() (*structix.Database, error) {
+			return &structix.Database{Graph: structix.GenerateXMark(structix.DefaultXMark(256, 1, 42))}, nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("open leader: %w", err)
+	}
+	leader, err := startSmokeNode(ldb)
+	if err != nil {
+		return err
+	}
+	defer leader.stop()
+
+	followers := make([]*smokeNode, 2)
+	for i := range followers {
+		fdb, err := structix.OpenFollower(filepath.Join(root, fmt.Sprintf("replica-%d", i)), leader.url, structix.Options{})
+		if err != nil {
+			return fmt.Errorf("open replica %d: %w", i, err)
+		}
+		followers[i], err = startSmokeNode(fdb)
+		if err != nil {
+			return err
+		}
+		defer followers[i].stop()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	lc := client.New(leader.url)
+
+	const expr = "//person/name"
+	res, err := lc.Query(ctx, expr)
+	if err != nil || res.Count < 2 {
+		return fmt.Errorf("leader query %s: %d matches, err %v", expr, res.Count, err)
+	}
+	u, v := res.Nodes[0], res.Nodes[len(res.Nodes)-1]
+
+	// Write on the leader; its ack names the journal seq the write holds.
+	up, err := lc.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: u, V: v, Edge: graph.IDRef}})
+	if err != nil {
+		return fmt.Errorf("leader insert: %w", err)
+	}
+	if up.Seq == 0 {
+		return fmt.Errorf("durable leader acked without a journal seq")
+	}
+
+	for i, f := range followers {
+		fc := client.New(f.url)
+		// Read-your-writes: min_epoch parks until the replica covers the seq.
+		got, err := fc.QueryWith(ctx, expr, client.QueryOpts{MinEpoch: up.Seq, Wait: 30 * time.Second})
+		if err != nil {
+			return fmt.Errorf("replica %d min_epoch query: %w", i, err)
+		}
+		if got.Count != res.Count || got.Seq < up.Seq {
+			return fmt.Errorf("replica %d answered %d matches at seq %d, want %d at >= %d",
+				i, got.Count, got.Seq, res.Count, up.Seq)
+		}
+		// Writes redirect, typed.
+		_, err = fc.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: u, V: v, Edge: graph.IDRef}})
+		var nle *structix.NotLeaderError
+		if !errors.As(err, &nle) || nle.Leader != leader.url {
+			return fmt.Errorf("replica %d write: got %v, want not-leader naming %s", i, err, leader.url)
+		}
+		st, err := fc.Stats(ctx)
+		if err != nil {
+			return fmt.Errorf("replica %d stats: %w", i, err)
+		}
+		if st.Repl == nil || st.Repl.Role != "follower" || st.Repl.Follower == nil || st.Repl.Follower.Leader != leader.url {
+			return fmt.Errorf("replica %d stats missing follower repl group: %+v", i, st.Repl)
+		}
+	}
+
+	lst, err := lc.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("leader stats: %w", err)
+	}
+	if lst.Repl == nil || lst.Repl.Role != "leader" || lst.Repl.Leader == nil || lst.Repl.Leader.ActiveStreams != 2 {
+		return fmt.Errorf("leader stats do not show 2 attached streams: %+v", lst.Repl)
+	}
+
+	// The replica-aware client: reads fan across all three nodes, every
+	// one observing the set's newest acknowledged write.
+	rs := client.NewReplicaSet(leader.url, followers[0].url, followers[1].url)
+	rs.Wait = 30 * time.Second
+	if _, err := rs.Update(ctx, []opscript.Op{{Kind: opscript.Delete, U: u, V: v}}); err != nil {
+		return fmt.Errorf("replica-set delete: %w", err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := rs.Query(ctx, expr)
+		if err != nil {
+			return fmt.Errorf("replica-set query %d: %w", i, err)
+		}
+		if got.Count != res.Count {
+			return fmt.Errorf("replica-set query %d answered %d, want %d", i, got.Count, res.Count)
+		}
+	}
+
+	fmt.Printf("xsiserve: smoke-repl: leader + 2 replicas, %s -> %d matches on every node (write seq %d)\n",
+		expr, res.Count, up.Seq)
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"structix/internal/opscript"
 	"structix/internal/persist"
 	"structix/internal/query"
+	"structix/internal/repl"
 	"structix/internal/wal"
 )
 
@@ -50,10 +51,24 @@ type DB struct {
 	mu         sync.Mutex // serializes writers; journal order == apply order
 	idx        *OneIndex
 	cur        atomic.Pointer[OneSnapshot]
-	appliedSeq uint64 // journal seq of the last applied record (under mu)
-	sinceSnap  int    // records since the last on-disk snapshot (under mu)
+	appliedSeq atomic.Uint64 // journal seq of the last applied record (written under mu)
+	sinceSnap  int           // records since the last on-disk snapshot (under mu)
 	closed     bool
 	failed     error // sticky: a journal append failed after apply; store is read-only (under mu)
+
+	// visibleSeq is the journal seq covered by the published snapshot: it
+	// trails appliedSeq by exactly the apply→publish window, and advances
+	// only after cur holds the record's effects — the bound WaitForSeq
+	// (read-your-writes) waits on. seqWatch broadcasts its advances.
+	visibleSeq atomic.Uint64
+	seqMu      sync.Mutex
+	seqWatch   chan struct{}
+
+	// leader is the leader base URL on a follower (OpenFollower): the
+	// store applies replicated records but rejects local writes with a
+	// *NotLeaderError. runner is the stream tail loop.
+	leader string
+	runner *repl.Runner
 
 	snapSeq     atomic.Uint64 // journal coverage of the newest on-disk snapshot
 	compactions atomic.Int64
@@ -227,14 +242,14 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 
 	db := &DB{dir: dir, opts: opts, log: log, idx: idx}
-	db.appliedSeq = baseSeq
+	db.appliedSeq.Store(baseSeq)
 	db.snapSeq.Store(baseSeq)
 	db.tornBytes = log.TruncatedBytes()
 	if err := log.Replay(baseSeq+1, func(rec *wal.Record) error {
 		if err := replayRecord(idx, rec); err != nil {
 			return err
 		}
-		db.appliedSeq = rec.Seq
+		db.appliedSeq.Store(rec.Seq)
 		db.replayed++
 		return nil
 	}); err != nil {
@@ -243,12 +258,13 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	idx.SetSnapshotCodec(opts.Extents)
 	db.cur.Store(idx.Freeze(idx.Graph().Freeze()))
+	db.visibleSeq.Store(db.appliedSeq.Load())
 
 	// A brand-new store pins its initial state on disk before the first
 	// write, so recovery never depends on re-running Bootstrap; the same
 	// write also covers the snapshotless-journal case (replayed > 0).
 	if !hadSnap {
-		if err := db.writeSnapshot(db.appliedSeq, db.cur.Load()); err != nil {
+		if err := db.writeSnapshot(db.appliedSeq.Load(), db.cur.Load()); err != nil {
 			log.Close()
 			return nil, err
 		}
@@ -336,16 +352,31 @@ func (db *DB) publishPatch(touched []NodeID) {
 	prev := db.cur.Load()
 	data := prev.Data().Rebuild(db.idx.Graph(), touched)
 	db.cur.Store(db.idx.PatchSnapshot(prev, data))
+	db.noteVisible()
 }
 
 func (db *DB) publishFull() {
 	db.cur.Store(db.idx.PatchSnapshot(db.cur.Load(), db.idx.Graph().Freeze()))
+	db.noteVisible()
+}
+
+// noteVisible advances the published-seq bound to the applied seq and
+// wakes WaitForSeq parkers: the snapshot just stored covers everything
+// journaled so far. Callers hold db.mu.
+func (db *DB) noteVisible() {
+	db.visibleSeq.Store(db.appliedSeq.Load())
+	db.seqMu.Lock()
+	if db.seqWatch != nil {
+		close(db.seqWatch)
+		db.seqWatch = nil
+	}
+	db.seqMu.Unlock()
 }
 
 // noteRecord accounts one journaled record and pokes the compactor when
 // the cadence is due. Callers hold db.mu.
 func (db *DB) noteRecord(seq uint64) {
-	db.appliedSeq = seq
+	db.appliedSeq.Store(seq)
 	db.sinceSnap++
 	if db.compactReq != nil && db.sinceSnap >= db.opts.CompactEvery {
 		db.sinceSnap = 0
@@ -375,7 +406,13 @@ func (db *DB) writeErr() error {
 	if db.closed {
 		return ErrClosed
 	}
-	return db.failed
+	if db.failed != nil {
+		return db.failed
+	}
+	if db.leader != "" {
+		return &NotLeaderError{Leader: db.leader}
+	}
+	return nil
 }
 
 // ApplyBatchWindowed applies a batch of edge updates atomically, journals
@@ -770,7 +807,7 @@ func (db *DB) compactOnce() error {
 		return err
 	}
 	snap := db.cur.Load()
-	seq := db.appliedSeq
+	seq := db.appliedSeq.Load()
 	db.mu.Unlock()
 	if seq <= db.snapSeq.Load() {
 		return nil
@@ -843,6 +880,11 @@ func syncDir(dir string) error {
 // state (making the next Open a snapshot load with an empty tail), and
 // the journal is fsynced and closed. Close is idempotent.
 func (db *DB) Close() error {
+	// A follower stops tailing first, so no replicated record races the
+	// seal (Runner.Stop is idempotent and waits for the apply loop).
+	if db.runner != nil {
+		db.runner.Stop()
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -923,7 +965,7 @@ func (db *DB) Stats() DBStats {
 		TornBytesDropped: db.tornBytes,
 	}
 	db.mu.Lock()
-	st.AppliedSeq = db.appliedSeq
+	st.AppliedSeq = db.appliedSeq.Load()
 	if db.compactErr != nil {
 		st.CompactError = db.compactErr.Error()
 	}

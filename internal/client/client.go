@@ -17,12 +17,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
 
+	"structix"
 	"structix/internal/graph"
 	"structix/internal/opscript"
 	"structix/internal/server"
@@ -31,8 +34,33 @@ import (
 // Client talks to one serving endpoint. The zero value is not usable; use
 // New. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+}
+
+// RetryPolicy opts a client into bounded, server-guided retries of shed
+// requests: a 429 names its backoff in Retry-After, and the client sleeps
+// that hint (jittered ±25% so a burst of shed clients does not return in
+// lockstep) before trying again. Only admission-control 429s retry —
+// typed rejections (batch errors, not-leader redirects) and server
+// failures never do, because re-running them cannot change the answer.
+type RetryPolicy struct {
+	// MaxRetries is the attempt budget beyond the first request.
+	// 0 (the zero value) disables retrying entirely.
+	MaxRetries int
+	// MaxBackoff caps one sleep whatever the server hints. Default 5s.
+	MaxBackoff time.Duration
+}
+
+// WithRetry returns a copy of the client that retries under p.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	cc := *c
+	cc.retry = p
+	return &cc
 }
 
 // New builds a client for a base URL such as "http://127.0.0.1:8080".
@@ -79,13 +107,44 @@ type QueryResult struct {
 	Count     int
 	Nodes     []graph.NodeID
 	Truncated bool
+	// Seq is the journal seq the answer's snapshot covers (0 on an
+	// in-memory or sharded store). Comparing it against an UpdateResult's
+	// Seq tells whether this read observed that write.
+	Seq uint64
 	// Cached reports that the server answered from its result cache.
 	Cached bool
+}
+
+// QueryOpts tunes one query.
+type QueryOpts struct {
+	// Limit truncates the returned node list (Count stays exact).
+	Limit int
+	// CountOnly answers with the count and no node list.
+	CountOnly bool
+	// MinEpoch is the read-your-writes bound: the server parks the query
+	// until its published snapshot covers this journal seq (an
+	// UpdateResult.Seq from the leader), failing with code replica_stale
+	// when the replica cannot catch up within Wait. Unsharded durable
+	// stores only.
+	MinEpoch uint64
+	// Wait bounds the MinEpoch park (server default 1s, cap 30s).
+	Wait time.Duration
 }
 
 // Query evaluates a path expression and returns the matched nodes.
 func (c *Client) Query(ctx context.Context, expr string) (QueryResult, error) {
 	return c.query(ctx, server.QueryRequest{Expr: expr})
+}
+
+// QueryWith is Query under explicit options.
+func (c *Client) QueryWith(ctx context.Context, expr string, opts QueryOpts) (QueryResult, error) {
+	return c.query(ctx, server.QueryRequest{
+		Expr:      expr,
+		Limit:     opts.Limit,
+		CountOnly: opts.CountOnly,
+		MinEpoch:  opts.MinEpoch,
+		WaitMs:    int(opts.Wait / time.Millisecond),
+	})
 }
 
 // QueryLimit is Query returning at most limit nodes (Count stays exact).
@@ -104,7 +163,7 @@ func (c *Client) query(ctx context.Context, req server.QueryRequest) (QueryResul
 	if err := c.post(ctx, "/v1/query", req, &rep); err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Epoch: rep.Epoch, Count: rep.Count, Nodes: rep.Nodes, Truncated: rep.Truncated, Cached: rep.Cached}, nil
+	return QueryResult{Epoch: rep.Epoch, Count: rep.Count, Nodes: rep.Nodes, Truncated: rep.Truncated, Seq: rep.Seq, Cached: rep.Cached}, nil
 }
 
 // UpdateResult is a committed update.
@@ -115,6 +174,10 @@ type UpdateResult struct {
 	Deleted  int
 	NewNodes []graph.NodeID
 	Removed  int
+	// Seq is the journal seq covering the commit (0 on an in-memory or
+	// sharded store): hand it to a replica read as QueryOpts.MinEpoch to
+	// make that read observe this write.
+	Seq uint64
 	// BatchSize is the size of the group commit that carried the request
 	// (larger than len(ops) when coalesced with concurrent updates).
 	BatchSize int
@@ -131,13 +194,13 @@ func (c *Client) Update(ctx context.Context, ops []opscript.Op) (UpdateResult, e
 		return UpdateResult{}, err
 	}
 	return UpdateResult{
-		Epoch:    rep.Epoch,
-		Applied:  rep.Applied,
-		Inserted: rep.Inserted,
-		Deleted:  rep.Deleted,
-		NewNodes: rep.NewNodes,
-		Removed:  rep.Removed,
-
+		Epoch:     rep.Epoch,
+		Applied:   rep.Applied,
+		Inserted:  rep.Inserted,
+		Deleted:   rep.Deleted,
+		NewNodes:  rep.NewNodes,
+		Removed:   rep.Removed,
+		Seq:       rep.Seq,
 		BatchSize: rep.BatchSize,
 	}, nil
 }
@@ -252,19 +315,72 @@ func (c *Client) get(ctx context.Context, path string, reply any) error {
 }
 
 func (c *Client) do(req *http.Request, reply any) error {
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return json.Unmarshal(raw, reply)
+		}
+		err = decodeError(resp, raw)
+		if attempt >= c.retry.MaxRetries || !c.shouldRetry(err) {
+			return err
+		}
+		if err := c.backoff(req.Context(), err, attempt); err != nil {
+			return err
+		}
+		// Re-arm the body for the next attempt (GETs have none; POSTs built
+		// by post always carry a replayable GetBody).
+		if req.GetBody != nil {
+			body, berr := req.GetBody()
+			if berr != nil {
+				return err
+			}
+			req.Body = body
+		} else if req.Body != nil {
+			return err
+		}
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return err
+}
+
+// shouldRetry admits only admission-control shedding: the server said
+// "try later" and named when. Everything else is either a final answer
+// (typed rejections) or not improved by repetition.
+func (c *Client) shouldRetry(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Overloaded()
+}
+
+// backoff sleeps the server's Retry-After hint (falling back to a small
+// exponential when absent), jittered ±25% and capped by MaxBackoff,
+// honoring ctx.
+func (c *Client) backoff(ctx context.Context, err error, attempt int) error {
+	var ae *APIError
+	d := time.Duration(0)
+	if errors.As(err, &ae) {
+		d = ae.RetryAfter
 	}
-	if resp.StatusCode == http.StatusOK {
-		return json.Unmarshal(raw, reply)
+	if d <= 0 {
+		d = 100 * time.Millisecond << attempt
 	}
-	return decodeError(resp, raw)
+	if max := c.retry.MaxBackoff; max > 0 && d > max {
+		d = max
+	}
+	d = d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // decodeError turns a non-2xx reply into the most faithful error
@@ -286,6 +402,11 @@ func decodeError(resp *http.Response, raw []byte) error {
 			return &opscript.OpError{Index: *rep.OpIndex, Op: *rep.Op,
 				Err: server.CauseError(rep.Cause, rep.Error)}
 		}
+	case server.CodeNotLeader:
+		// A replica refused the write and named its leader: the same typed
+		// error a co-process sees from the store handle, so redirect logic
+		// is transport-agnostic (errors.Is(err, structix.ErrNotLeader)).
+		return &structix.NotLeaderError{Leader: rep.Leader}
 	}
 	apiErr := &APIError{Status: resp.StatusCode, Code: rep.Code, Message: rep.Error}
 	if rep.RetryAfterSeconds > 0 {

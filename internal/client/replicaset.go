@@ -1,0 +1,101 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"structix"
+	"structix/internal/opscript"
+)
+
+// ReplicaSet fronts a replicated deployment: one leader taking writes
+// and any number of read replicas tailing its journal. Reads round-robin
+// across every endpoint (replicas and leader alike — the leader's read
+// path is the same lock-free snapshot serve), each carrying the newest
+// acknowledged write seq as a min_epoch bound, so a caller always reads
+// its own writes no matter which replica answers. Writes go to the
+// leader; a not-leader redirect (the deployment was re-pointed under us)
+// is followed once, transparently.
+//
+// A ReplicaSet is safe for concurrent use.
+type ReplicaSet struct {
+	leader  atomic.Pointer[Client]
+	readers []*Client
+	next    atomic.Uint64
+	lastSeq atomic.Uint64
+
+	// Wait bounds each read's min_epoch park (0 = the server default).
+	Wait time.Duration
+}
+
+// NewReplicaSet builds a set from the leader's URL and the replicas'.
+func NewReplicaSet(leaderURL string, replicaURLs ...string) *ReplicaSet {
+	rs := &ReplicaSet{}
+	rs.leader.Store(New(leaderURL))
+	rs.readers = make([]*Client, 0, len(replicaURLs)+1)
+	rs.readers = append(rs.readers, rs.leader.Load())
+	for _, u := range replicaURLs {
+		rs.readers = append(rs.readers, New(u))
+	}
+	return rs
+}
+
+// Leader returns the client currently used for writes.
+func (rs *ReplicaSet) Leader() *Client { return rs.leader.Load() }
+
+// LastSeq is the newest write seq acknowledged through this set — the
+// freshness bound its reads enforce.
+func (rs *ReplicaSet) LastSeq() uint64 { return rs.lastSeq.Load() }
+
+// Update applies ops on the leader, following one not-leader redirect,
+// and ratchets the read-your-writes bound.
+func (rs *ReplicaSet) Update(ctx context.Context, ops []opscript.Op) (UpdateResult, error) {
+	res, err := rs.leader.Load().Update(ctx, ops)
+	var nle *structix.NotLeaderError
+	if errors.As(err, &nle) && nle.Leader != "" {
+		// The node we thought led is a replica now; adopt the leader it
+		// names and retry once.
+		redirected := New(nle.Leader)
+		rs.leader.Store(redirected)
+		res, err = redirected.Update(ctx, ops)
+	}
+	if err == nil {
+		rs.noteSeq(res.Seq)
+	}
+	return res, err
+}
+
+// Query evaluates expr on the next reader, bounded below by every write
+// this set has acknowledged.
+func (rs *ReplicaSet) Query(ctx context.Context, expr string) (QueryResult, error) {
+	return rs.QueryWith(ctx, expr, QueryOpts{})
+}
+
+// QueryWith is Query with explicit options; opts.MinEpoch is raised to
+// the set's own bound when smaller.
+func (rs *ReplicaSet) QueryWith(ctx context.Context, expr string, opts QueryOpts) (QueryResult, error) {
+	if last := rs.lastSeq.Load(); opts.MinEpoch < last {
+		opts.MinEpoch = last
+	}
+	if opts.Wait == 0 {
+		opts.Wait = rs.Wait
+	}
+	i := int(rs.next.Add(1)-1) % len(rs.readers)
+	res, err := rs.readers[i].QueryWith(ctx, expr, opts)
+	if err == nil {
+		rs.noteSeq(res.Seq)
+	}
+	return res, err
+}
+
+// noteSeq ratchets the freshness bound.
+func (rs *ReplicaSet) noteSeq(seq uint64) {
+	for {
+		cur := rs.lastSeq.Load()
+		if seq <= cur || rs.lastSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}

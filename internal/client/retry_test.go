@@ -1,0 +1,112 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"structix/internal/client"
+	"structix/internal/opscript"
+	"structix/internal/server"
+)
+
+// shedTwice answers the first two updates with 429 + Retry-After, then
+// commits. attempts counts every request seen.
+func shedTwice(attempts *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		var req server.UpdateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Ops) == 0 {
+			http.Error(w, "bad body on retry: the request must replay intact", http.StatusBadRequest)
+			return
+		}
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.ErrorReply{
+				Error: "shed", Code: server.CodeOverloaded, RetryAfterSeconds: 1,
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(server.UpdateReply{Epoch: 7, Applied: len(req.Ops), Seq: 42})
+	})
+}
+
+func TestRetryPolicyHonorsRetryAfter(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(shedTwice(&attempts))
+	defer srv.Close()
+
+	ops := []opscript.Op{{Kind: opscript.Insert, U: 1, V: 2}}
+
+	// Without a policy: the 429 surfaces immediately, typed.
+	start := time.Now()
+	_, err := client.New(srv.URL).Update(context.Background(), ops)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || !ae.Overloaded() || ae.RetryAfter != time.Second {
+		t.Fatalf("bare client got %v, want overloaded with a 1s hint", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("bare client sent %d requests, want 1", attempts.Load())
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("bare client slept despite having no retry policy")
+	}
+
+	// With a policy: both sheds are retried after the server's hint
+	// (jittered, so at least 3/4 of it each) and the replayed body
+	// commits.
+	attempts.Store(0)
+	rc := client.New(srv.URL).WithRetry(client.RetryPolicy{MaxRetries: 3})
+	start = time.Now()
+	res, err := rc.Update(context.Background(), ops)
+	if err != nil {
+		t.Fatalf("retrying client: %v", err)
+	}
+	if res.Applied != 1 || res.Seq != 42 {
+		t.Fatalf("retried update result = %+v", res)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("retrying client sent %d requests, want 3", attempts.Load())
+	}
+	if elapsed := time.Since(start); elapsed < 1500*time.Millisecond {
+		t.Fatalf("two 1s-hinted retries completed in %v; the hint was not honored", elapsed)
+	}
+}
+
+func TestRetryPolicyBudgetExhausts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.ErrorReply{Error: "shed", Code: server.CodeOverloaded})
+	}))
+	defer srv.Close()
+
+	rc := client.New(srv.URL).WithRetry(client.RetryPolicy{MaxRetries: 2, MaxBackoff: 20 * time.Millisecond})
+	_, err := rc.Update(context.Background(), []opscript.Op{{Kind: opscript.Insert, U: 1, V: 2}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || !ae.Overloaded() {
+		t.Fatalf("exhausted budget surfaced %v, want the final 429", err)
+	}
+}
+
+func TestRetryPolicyRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.ErrorReply{Error: "shed", Code: server.CodeOverloaded, RetryAfterSeconds: 5})
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rc := client.New(srv.URL).WithRetry(client.RetryPolicy{MaxRetries: 5})
+	_, err := rc.Update(ctx, []opscript.Op{{Kind: opscript.Insert, U: 1, V: 2}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled retry wait surfaced %v, want deadline exceeded", err)
+	}
+}

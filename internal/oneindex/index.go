@@ -187,17 +187,37 @@ func FromPartition(g *graph.Graph, p *partition.Partition) *Index {
 	for i := range idx.inodeOf {
 		idx.inodeOf[i] = NoINode
 	}
+	// Inodes are created in block-id order, NOT first-seen-node order: a
+	// partition decoded from a persisted snapshot numbers its blocks in
+	// the saver's inode order, so honoring block ids here makes the loaded
+	// index an exact clone of the one that was saved — same INodeID for
+	// the same extent. Recovery and replication both lean on that: the
+	// deterministic journal replay then evolves a loaded index exactly as
+	// it evolved the original, keeping a follower bit-identical to its
+	// leader at every seq.
 	blockTo := make([]INodeID, p.NumBlocks())
 	for i := range blockTo {
 		blockTo[i] = NoINode
+	}
+	labels := make([]graph.LabelID, p.NumBlocks())
+	seen := make([]bool, p.NumBlocks())
+	g.EachNode(func(v graph.NodeID) {
+		b := p.Block(v)
+		if b == partition.NoBlock || seen[b] {
+			return
+		}
+		seen[b] = true
+		labels[b] = g.Label(v)
+	})
+	for b := range blockTo {
+		if seen[b] {
+			blockTo[b] = idx.newINode(labels[b])
+		}
 	}
 	g.EachNode(func(v graph.NodeID) {
 		b := p.Block(v)
 		if b == partition.NoBlock {
 			return
-		}
-		if blockTo[b] == NoINode {
-			blockTo[b] = idx.newINode(g.Label(v))
 		}
 		idx.attachDNode(v, blockTo[b])
 	})

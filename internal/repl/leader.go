@@ -1,0 +1,228 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"structix/internal/wal"
+)
+
+// Source is the leader-side view of a store: its journal, plus the
+// ability to pin a consistent (snapshot, covered-seq) pair for
+// bootstrap downloads.
+type Source interface {
+	// Journal returns the store's write-ahead log.
+	Journal() *wal.Log
+	// PinSnapshot pairs the current epoch snapshot with the journal seq
+	// it covers; write streams it (compressed snapshot format) and may
+	// run long after the pin without blocking writers.
+	PinSnapshot() (seq uint64, write func(io.Writer) error)
+}
+
+// LeaderStats counts stream and bootstrap traffic for /v1/stats.
+type LeaderStats struct {
+	ActiveStreams   int64 `json:"active_streams"`
+	StreamsStarted  int64 `json:"streams_started"`
+	FramesShipped   int64 `json:"frames_shipped"`
+	BytesShipped    int64 `json:"bytes_shipped"`
+	SnapshotsServed int64 `json:"snapshots_served"`
+	GapRejects      int64 `json:"gap_rejects"`
+}
+
+// Leader serves the replication endpoints off a Source. Mount its
+// handlers under PathStream, PathSnapshot and PathState.
+type Leader struct {
+	src Source
+	// Heartbeat is the idle-stream heartbeat period (default 1s).
+	Heartbeat time.Duration
+
+	active    atomic.Int64
+	started   atomic.Int64
+	frames    atomic.Int64
+	bytes     atomic.Int64
+	snapshots atomic.Int64
+	gaps      atomic.Int64
+}
+
+// NewLeader wraps src for serving.
+func NewLeader(src Source) *Leader {
+	return &Leader{src: src, Heartbeat: time.Second}
+}
+
+// Stats returns current counters; safe alongside serving.
+func (ld *Leader) Stats() LeaderStats {
+	return LeaderStats{
+		ActiveStreams:   ld.active.Load(),
+		StreamsStarted:  ld.started.Load(),
+		FramesShipped:   ld.frames.Load(),
+		BytesShipped:    ld.bytes.Load(),
+		SnapshotsServed: ld.snapshots.Load(),
+		GapRejects:      ld.gaps.Load(),
+	}
+}
+
+func (ld *Leader) state() State {
+	log := ld.src.Journal()
+	return State{OldestSeq: log.OldestSeq(), ShipSeq: log.ShipSeq()}
+}
+
+// ServeState reports the stream position as JSON.
+func (ld *Leader) ServeState(w http.ResponseWriter, r *http.Request, snapshotSeq uint64) {
+	st := ld.state()
+	st.SnapshotSeq = snapshotSeq
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// ServeSnapshot streams a consistent compressed snapshot; the journal
+// seq it covers rides in the HeaderSnapshotSeq header. The pin is
+// cheap (an atomic load paired with the applied seq), so writers never
+// wait on a slow follower download.
+func (ld *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	seq, write := ld.src.PinSnapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(seq, 10))
+	ld.snapshots.Add(1)
+	// A mid-stream write error just drops the connection; the follower
+	// retries.
+	_ = write(w)
+}
+
+// ServeStream is the long-poll/chunked frame stream. ?from=<seq> names
+// the first record wanted; the response body is a sequence of WAL
+// frames (exact on-disk bytes) interleaved with heartbeat control
+// frames, flushed at burst boundaries, until the client disconnects.
+func (ld *Leader) ServeStream(w http.ResponseWriter, r *http.Request) {
+	log := ld.src.Journal()
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		http.Error(w, "repl: stream wants ?from=<seq> >= 1", http.StatusBadRequest)
+		return
+	}
+	if oldest := log.OldestSeq(); from < oldest {
+		// The journal has been compacted past the resume point: streaming
+		// cannot reconstruct the missing records (wal.ErrGap); the
+		// follower must bootstrap from a snapshot.
+		ld.gaps.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":      ErrSnapshotRequired.Error(),
+			"code":       "snapshot_required",
+			"oldest_seq": oldest,
+			"ship_seq":   log.ShipSeq(),
+		})
+		return
+	}
+	if ship := log.ShipSeq(); from > ship+1 {
+		// The follower claims history the leader never shipped — the fork
+		// a leader crash can leave under relaxed fsync policies.
+		http.Error(w, ErrDiverged.Error(), http.StatusConflict)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "repl: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	ld.started.Add(1)
+	ld.active.Add(1)
+	defer ld.active.Add(-1)
+
+	heartbeat := ld.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	timer := time.NewTimer(heartbeat)
+	defer timer.Stop()
+
+	// Opening heartbeat: the follower learns the leader's position (and
+	// its lag) before the first record arrives.
+	next := from
+	send := func(frame []byte) error {
+		n, err := w.Write(frame)
+		ld.bytes.Add(int64(n))
+		return err
+	}
+	if err := send(heartbeatFrame(log.ShipSeq(), time.Now())); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	for {
+		// Capture the watch channel before reading the ship bound: a
+		// record appended between the two shows up either in this round's
+		// replay or as a wakeup — never lost.
+		watch := log.Watch()
+		if ship := log.ShipSeq(); next <= ship {
+			err := log.ReplayRaw(next, ship, func(seq uint64, frame []byte) error {
+				if err := send(frame); err != nil {
+					return err
+				}
+				ld.frames.Add(1)
+				next = seq + 1
+				return nil
+			})
+			if err != nil {
+				// Gap (compaction raced past a parked stream), disk trouble,
+				// or the client went away: drop the stream; the follower
+				// reconnects and renegotiates from its own seq.
+				return
+			}
+			flusher.Flush()
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(heartbeat)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-watch:
+		case <-timer.C:
+			if err := send(heartbeatFrame(log.ShipSeq(), time.Now())); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// IsGapStatus reports whether an HTTP status from PathStream means
+// "snapshot bootstrap required".
+func IsGapStatus(code int) bool { return code == http.StatusGone }
+
+// streamError converts a non-200 stream response into a typed error.
+func streamError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	switch {
+	case IsGapStatus(resp.StatusCode):
+		return fmt.Errorf("%w (leader said: %s)", ErrSnapshotRequired, firstLine(body))
+	case resp.StatusCode == http.StatusConflict:
+		return fmt.Errorf("%w (leader said: %s)", ErrDiverged, firstLine(body))
+	default:
+		return fmt.Errorf("repl: stream: %s: %s", resp.Status, firstLine(body))
+	}
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			b = b[:i]
+			break
+		}
+	}
+	return string(b)
+}

@@ -62,7 +62,8 @@ type updateOutcome struct {
 	err       error
 	res       opscript.Result
 	epoch     uint64
-	batchSize int // ops in the group commit that carried the request
+	seq       uint64 // journal seq covered once the request committed (0 in-memory)
+	batchSize int    // ops in the group commit that carried the request
 }
 
 type committer struct {
@@ -256,6 +257,7 @@ func (c *committer) commitEdges(batch []*updateReq) {
 	}
 	if err := c.store.ApplyBatchWindowed(ops); err == nil {
 		epoch := c.published()
+		seq := c.store.Seq()
 		// The durability barrier comes before any acknowledgment: once a
 		// waiter hears "committed" the ops are applied, journaled, and —
 		// under fsync=window — on disk. One fsync covers the whole window.
@@ -272,7 +274,7 @@ func (c *committer) commitEdges(batch []*updateReq) {
 		c.m.batches.Add(1)
 		c.m.batchedOps.Add(int64(total))
 		for _, r := range batch {
-			r.done <- updateOutcome{epoch: epoch, batchSize: total}
+			r.done <- updateOutcome{epoch: epoch, seq: seq, batchSize: total}
 		}
 		return
 	}
@@ -296,7 +298,7 @@ func (c *committer) commitEdges(batch []*updateReq) {
 			continue
 		}
 		epoch := c.published()
-		outs[i] = updateOutcome{epoch: epoch, batchSize: len(r.edges)}
+		outs[i] = updateOutcome{epoch: epoch, seq: c.store.Seq(), batchSize: len(r.edges)}
 		committed++
 		committedOps += int64(len(r.edges))
 	}
@@ -321,12 +323,23 @@ func (c *committer) commitEdges(batch []*updateReq) {
 // before the waiter hears the outcome.
 func (c *committer) applyScript(req *updateReq) {
 	res, err := c.store.ApplyScriptWindowed(req.script)
-	epoch := c.published()
+	// Publish only when something actually applied: a script whose every
+	// op was rejected (or that was refused outright — a follower store
+	// rejects all writes) produced no new snapshot, and advancing the
+	// cache/epoch for it would violate the single-advancer contract on a
+	// replica, where the stream runner owns publication.
+	var epoch uint64
+	if res.Applied > 0 {
+		epoch = c.published()
+	} else {
+		epoch = c.m.epoch.Load()
+	}
+	seq := c.store.Seq()
 	serr := c.store.EndWindow()
 	if serr == nil {
 		c.m.scripts.Add(1)
 	} else if err == nil {
 		err = serr
 	}
-	req.done <- updateOutcome{err: err, res: res, epoch: epoch, batchSize: len(req.script)}
+	req.done <- updateOutcome{err: err, res: res, epoch: epoch, seq: seq, batchSize: len(req.script)}
 }

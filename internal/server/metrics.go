@@ -8,6 +8,7 @@ import (
 
 	"structix"
 	"structix/internal/qcache"
+	"structix/internal/repl"
 )
 
 // metrics is the server's observability state: request counters, latency
@@ -70,6 +71,8 @@ type metrics struct {
 	rejected    atomic.Int64 // 429s from admission control
 	badRequests atomic.Int64 // 400s from the decoders
 	canceled    atomic.Int64 // queries abandoned via context cancellation
+	staleReads  atomic.Int64 // 504s: min_epoch waits that timed out on a replica
+	notLeader   atomic.Int64 // 421s: writes redirected to the leader
 
 	queryLat  histogram
 	updateLat histogram
@@ -182,6 +185,47 @@ func writeExtentProm(w io.Writer, codec string, denseBytes, encodedBytes int64) 
 	fmt.Fprintf(w, "structix_extent_bytes{repr=\"dense\"} %d\n", denseBytes)
 	fmt.Fprintf(w, "structix_extent_bytes{repr=\"encoded\"} %d\n", encodedBytes)
 	fmt.Fprintf(w, "# HELP structix_extent_codec configured snapshot extent codec\n# TYPE structix_extent_codec gauge\nstructix_extent_codec{codec=%q} 1\n", codec)
+}
+
+// writeReplProm emits the replication metrics: the node's role, stream
+// traffic when it leads, lag when it follows, and the redirect/stale
+// counters either role can accumulate. Emitted only when replication is
+// wired up (a durable single-shard store).
+func (m *metrics) writeReplProm(w io.Writer, ls *repl.LeaderStats, fs *repl.FollowerStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	role := "leader"
+	if fs != nil {
+		role = "follower"
+	}
+	fmt.Fprintf(w, "# HELP structix_repl_role replication role of this process\n# TYPE structix_repl_role gauge\nstructix_repl_role{role=%q} 1\n", role)
+	counter("structix_repl_not_leader_total", "writes redirected to the leader (421)", m.notLeader.Load())
+	counter("structix_repl_stale_reads_total", "min_epoch reads that timed out stale (504)", m.staleReads.Load())
+	if ls != nil {
+		gauge("structix_repl_active_streams", "follower streams currently attached", float64(ls.ActiveStreams))
+		counter("structix_repl_streams_started_total", "follower stream connections accepted", ls.StreamsStarted)
+		counter("structix_repl_frames_shipped_total", "journal frames shipped to followers", ls.FramesShipped)
+		counter("structix_repl_bytes_shipped_total", "stream bytes shipped to followers", ls.BytesShipped)
+		counter("structix_repl_snapshots_served_total", "bootstrap snapshots served", ls.SnapshotsServed)
+		counter("structix_repl_gap_rejects_total", "stream requests refused for a compacted resume point", ls.GapRejects)
+	}
+	if fs != nil {
+		gauge("structix_repl_lag_seq", "journal records behind the leader", float64(fs.LagSeq))
+		gauge("structix_repl_lag_seconds", "seconds since the follower last made progress (0 when caught up)", fs.LagSeconds)
+		gauge("structix_repl_applied_seq", "newest journal seq applied from the stream", float64(fs.AppliedSeq))
+		gauge("structix_repl_leader_seq", "newest leader position observed", float64(fs.LeaderSeq))
+		counter("structix_repl_reconnects_total", "stream reconnect attempts after the first", fs.Reconnects)
+		counter("structix_repl_frames_applied_total", "journal frames applied from the stream", fs.FramesApplied)
+		resync := 0.0
+		if fs.ResyncRequired {
+			resync = 1
+		}
+		gauge("structix_repl_resync_required", "1 when the follower fell behind the compacted tail and must re-bootstrap", resync)
+	}
 }
 
 // writeDurabilityProm emits the store's write-ahead-log counters; a

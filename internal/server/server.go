@@ -58,6 +58,7 @@ import (
 	"structix"
 	"structix/internal/graph"
 	"structix/internal/opscript"
+	"structix/internal/repl"
 	"structix/internal/shard"
 )
 
@@ -115,6 +116,13 @@ type Server struct {
 	mux   *http.ServeMux
 	hs    *http.Server
 
+	// repl serves the WAL stream + snapshot-bootstrap endpoints (mounted
+	// on any durable unsharded store, follower included — chained
+	// replication ships the identical frames). follower is non-nil when
+	// the store is a read replica (structix.OpenFollower).
+	repl     *repl.Leader
+	follower *repl.Runner
+
 	draining atomic.Bool
 }
 
@@ -144,6 +152,31 @@ func NewSharded(sdb *structix.ShardedDB, cfg Config) *Server {
 	s.coms = make([]*committer, sdb.NumShards())
 	for i := range s.coms {
 		s.coms[i] = newCommitter(sdb.Shard(i), i, cfg.QueueDepth, cfg.MaxBatch, cfg.Window, s.m, s.eng)
+	}
+
+	// Replication endpoints: one journal per store means unsharded only
+	// (shard a cluster by replicating each shard process separately). The
+	// publication hook keeps the query cache and epoch gauges advancing on
+	// a follower, where the committers never publish: the runner's apply
+	// goroutine is then the shard's only publisher, preserving the
+	// single-advancer contract qcache requires.
+	if sdb.NumShards() == 1 {
+		db0 := sdb.Shard(0)
+		if db0.Journal() != nil {
+			s.repl = repl.NewLeader(db0)
+			s.mux.HandleFunc(repl.PathStream, s.repl.ServeStream)
+			s.mux.HandleFunc(repl.PathSnapshot, s.repl.ServeSnapshot)
+			s.mux.HandleFunc(repl.PathState, func(w http.ResponseWriter, r *http.Request) {
+				s.repl.ServeState(w, r, db0.Stats().SnapshotSeq)
+			})
+		}
+		if runner := db0.Follower(); runner != nil {
+			s.follower = runner
+			runner.SetOnApply(func(uint64) {
+				s.eng.advance(0)
+				s.m.bumpEpoch(0)
+			})
+		}
 	}
 
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
@@ -258,12 +291,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	var seq uint64
+	if s.store.NumShards() == 1 {
+		db0 := s.store.Shard(0)
+		if req.MinEpoch > 0 {
+			// Read-your-writes: park until the published snapshot covers the
+			// requested journal seq, bounded by WaitMs. On a caught-up store
+			// this is one atomic load.
+			wait := time.Duration(req.WaitMs) * time.Millisecond
+			if wait <= 0 {
+				wait = time.Second
+			} else if wait > 30*time.Second {
+				wait = 30 * time.Second
+			}
+			wctx, cancel := context.WithTimeout(r.Context(), wait)
+			err := db0.WaitForSeq(wctx, req.MinEpoch)
+			cancel()
+			if err != nil {
+				s.m.staleReads.Add(1)
+				s.writeError(w, http.StatusGatewayTimeout, ErrorReply{
+					Error: fmt.Sprintf("replica at seq %d did not reach min_epoch %d within the wait bound", db0.Seq(), req.MinEpoch),
+					Code:  CodeReplicaStale,
+				})
+				return
+			}
+		}
+		// Read the covered seq BEFORE pinning the snapshot: a concurrent
+		// publication can only make the pinned snapshot newer than the
+		// reported seq, so the reply never overstates its freshness.
+		seq = db0.Seq()
+	} else if req.MinEpoch > 0 {
+		s.m.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, ErrorReply{Error: "min_epoch is unsupported on a sharded store", Code: CodeBadRequest})
+		return
+	}
 	// One atomic load per shard pins the epoch snapshots for the whole
 	// request; concurrent commits publish new epochs without touching
 	// them. Each snapshot pointer doubles as its shard's result-cache
 	// validity tag, so cache lookups can never cross epochs.
 	snap := s.store.Snapshot()
-	rep := QueryReply{Epoch: s.m.epoch.Load()}
+	rep := QueryReply{Epoch: s.m.epoch.Load(), Seq: seq}
 	if n := snap.NumShards(); n > 1 {
 		rep.Epochs = make([]uint64, n)
 		for i := range rep.Epochs {
@@ -307,6 +374,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if len(req.Ops) == 0 {
 		s.m.badRequests.Add(1)
 		s.writeError(w, http.StatusBadRequest, ErrorReply{Error: "empty ops", Code: CodeBadRequest})
+		return
+	}
+	if s.follower != nil {
+		// Reject before admission: a replica can never commit, so the write
+		// should not occupy a commit-pipeline slot. (A race that slips past
+		// this gate is still caught typed at apply time.)
+		s.m.notLeader.Add(1)
+		s.writeError(w, http.StatusMisdirectedRequest, ErrorReply{
+			Error:  "read-only replica: writes go to the leader",
+			Code:   CodeNotLeader,
+			Leader: s.follower.Leader(),
+		})
 		return
 	}
 
@@ -496,7 +575,7 @@ func crossShardReply(m *shard.Map, edges []graph.EdgeOp) ErrorReply {
 func (s *Server) respondUpdate(w http.ResponseWriter, ur *updateReq, out updateOutcome) {
 	m := s.store.Map()
 	if out.err == nil {
-		rep := UpdateReply{Epoch: out.epoch, BatchSize: out.batchSize}
+		rep := UpdateReply{Epoch: out.epoch, BatchSize: out.batchSize, Seq: out.seq}
 		if ur.edges != nil {
 			rep.Applied = len(ur.edges)
 			for _, op := range ur.edges {
@@ -521,6 +600,12 @@ func (s *Server) respondUpdate(w http.ResponseWriter, ur *updateReq, out updateO
 		err = m.GlobalizeBatchError(ur.shard, err, ur.orig)
 	} else {
 		err = m.GlobalizeOpError(ur.shard, err)
+	}
+	var nle *structix.NotLeaderError
+	if errors.As(err, &nle) {
+		s.m.notLeader.Add(1)
+		s.writeError(w, http.StatusMisdirectedRequest, ErrorReply{Error: err.Error(), Code: CodeNotLeader, Leader: nle.Leader})
+		return
 	}
 	var be *graph.BatchError
 	if errors.As(err, &be) {
@@ -601,6 +686,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rep.ReplayedRecords = ds.ReplayedRecords
 	rep.TornBytesDropped = ds.TornBytesDropped
 	rep.WriteError = ds.WriteError
+	if s.repl != nil || s.follower != nil {
+		rg := &ReplStatsReply{Role: "leader"}
+		if s.repl != nil {
+			ls := s.repl.Stats()
+			rg.Leader = &ls
+		}
+		if s.follower != nil {
+			rg.Role = "follower"
+			fs := s.follower.Stats()
+			rg.Follower = &fs
+		}
+		rep.Repl = rg
+	}
 	if n > 1 {
 		rep.ShardStats = make([]ShardStatsReply, n)
 		for i := 0; i < n; i++ {
@@ -650,6 +748,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "draining")
 		return
 	}
+	if s.follower != nil && s.follower.Stats().ResyncRequired {
+		// The replica can never catch up by streaming; surface it so an
+		// orchestrator restarts the process (which re-bootstraps).
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "resync required")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -671,4 +776,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeExtentProm(w, snap.Shard(0).Codec().String(), denseB, encB)
 	writeDurabilityProm(w, aggregateStats(s.store.ShardStats()))
+	if s.repl != nil || s.follower != nil {
+		var ls *repl.LeaderStats
+		var fs *repl.FollowerStats
+		if s.repl != nil {
+			v := s.repl.Stats()
+			ls = &v
+		}
+		if s.follower != nil {
+			v := s.follower.Stats()
+			fs = &v
+		}
+		s.m.writeReplProm(w, ls, fs)
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"structix/internal/graph"
 	"structix/internal/opscript"
+	"structix/internal/repl"
 	"structix/internal/shard"
 )
 
@@ -23,6 +24,14 @@ type QueryRequest struct {
 	// Limit truncates the returned node list (0 = no limit). Count still
 	// reports the full result size.
 	Limit int `json:"limit,omitempty"`
+	// MinEpoch is the read-your-writes bound: serve only once the store's
+	// replication epoch (the journal seq in QueryReply.Seq / UpdateReply.Seq)
+	// has reached this value, waiting up to WaitMs for a lagging replica to
+	// catch up. 0 reads whatever is published. Unsharded stores only.
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
+	// WaitMs bounds the MinEpoch wait (default 1000, capped at 30000);
+	// expiry is a 504 with code "replica_stale".
+	WaitMs int `json:"wait_ms,omitempty"`
 }
 
 // QueryReply is the body of a successful query.
@@ -45,6 +54,11 @@ type QueryReply struct {
 	// was assembled. Advisory — the vector is read alongside the pinned
 	// snapshots, not atomically with them.
 	Epochs []uint64 `json:"epochs,omitempty"`
+	// Seq is the replication epoch — the journal seq the served snapshot is
+	// guaranteed to cover (read before the snapshot was pinned, so it never
+	// overstates). 0 on in-memory and sharded stores. Feed it back as
+	// MinEpoch on another replica for read-your-reads.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // UpdateRequest is the body of POST /v1/update: a script of operations in
@@ -77,6 +91,10 @@ type UpdateReply struct {
 	// BatchSize is the total op count of the group commit that carried
 	// this request (≥ len(Ops) when coalesced with neighbors).
 	BatchSize int `json:"batch_size,omitempty"`
+	// Seq is the replication epoch after this update committed: the journal
+	// seq of its record (0 on in-memory and sharded stores). Feed it back
+	// as QueryRequest.MinEpoch on a replica for read-your-writes.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Error codes carried by ErrorReply.Code.
@@ -87,6 +105,8 @@ const (
 	CodeOverloaded    = "overloaded"     // admission queue full; retry later (429)
 	CodeShuttingDown  = "shutting_down"  // server is draining (503)
 	CodeCanceled      = "canceled"       // request context expired during evaluation (499-ish, reported as 503)
+	CodeNotLeader     = "not_leader"     // write sent to a read replica; ErrorReply.Leader names the leader (421)
+	CodeReplicaStale  = "replica_stale"  // MinEpoch not reached within WaitMs (504)
 )
 
 // Cause strings for ErrorReply.Cause, round-tripping the graph and shard
@@ -115,6 +135,9 @@ type ErrorReply struct {
 	Applied int          `json:"applied,omitempty"`
 	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Leader is the leader's base URL on a not_leader rejection: this
+	// server is a read replica and the write belongs there.
+	Leader string `json:"leader,omitempty"`
 }
 
 // StatsReply is the body of GET /v1/stats. On a sharded server the
@@ -184,7 +207,22 @@ type StatsReply struct {
 	// store froze itself read-only after a journal append failed.
 	WriteError string `json:"write_error,omitempty"`
 
+	// Repl is the replication group: present on any durable unsharded
+	// server (role "leader", with stream-serving counters) and on a read
+	// replica (role "follower", with lag and reconnect counters).
+	Repl *ReplStatsReply `json:"repl,omitempty"`
+
 	UptimeMs int64 `json:"uptime_ms"`
+}
+
+// ReplStatsReply is the replication section of /v1/stats. Role is
+// "leader" or "follower"; exactly the matching sub-struct is set (a
+// follower also serves the stream endpoints for chained replication, so
+// both can appear on one).
+type ReplStatsReply struct {
+	Role     string              `json:"role"`
+	Leader   *repl.LeaderStats   `json:"leader,omitempty"`
+	Follower *repl.FollowerStats `json:"follower,omitempty"`
 }
 
 // ShardStatsReply is one shard's slice of a sharded server's stats: its

@@ -246,6 +246,7 @@ type Log struct {
 	buf      []byte // frame scratch, reused across appends
 	dirty    bool   // unsynced appended bytes
 	err      error  // sticky failure: the log refuses further writes
+	watch    chan struct{} // closed when the journal grows; see Watch
 
 	durable   atomic.Uint64 // last seq known fsynced
 	appended  atomic.Uint64 // last seq appended
@@ -465,6 +466,10 @@ func (l *Log) TruncatedBytes() int64 { return l.truncated }
 func (l *Log) AppendEdges(ops []graph.EdgeOp) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendEdgesLocked(ops)
+}
+
+func (l *Log) appendEdgesLocked(ops []graph.EdgeOp) (uint64, error) {
 	if l.err != nil {
 		return 0, l.err
 	}
@@ -488,6 +493,10 @@ func (l *Log) AppendEdges(ops []graph.EdgeOp) (uint64, error) {
 func (l *Log) AppendScript(ops []opscript.Op) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendScriptLocked(ops)
+}
+
+func (l *Log) appendScriptLocked(ops []opscript.Op) (uint64, error) {
 	if l.err != nil {
 		return 0, l.err
 	}
@@ -524,6 +533,10 @@ func (l *Log) AppendScript(ops []opscript.Op) (uint64, error) {
 func (l *Log) AppendSubgraph(p *SubgraphPayload) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendSubgraphLocked(p)
+}
+
+func (l *Log) appendSubgraphLocked(p *SubgraphPayload) (uint64, error) {
 	if l.err != nil {
 		return 0, l.err
 	}
@@ -578,6 +591,7 @@ func (l *Log) finishFrame(b []byte) (uint64, error) {
 	l.dirty = true
 	l.appended.Store(seq)
 	l.appends.Add(1)
+	l.wake()
 	if len(l.segs) > 0 {
 		s := &l.segs[len(l.segs)-1]
 		s.last = seq
@@ -668,6 +682,7 @@ func (l *Log) syncLocked() error {
 	l.dirty = false
 	l.syncs.Add(1)
 	l.durable.Store(l.appended.Load())
+	l.wake()
 	return nil
 }
 

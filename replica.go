@@ -1,0 +1,281 @@
+package structix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"structix/internal/persist"
+	"structix/internal/repl"
+	"structix/internal/wal"
+)
+
+// ErrNotLeader is the sentinel behind *NotLeaderError: matched by
+// errors.Is when a write lands on a read-only replica.
+var ErrNotLeader = errors.New("structix: not the leader")
+
+// NotLeaderError rejects a write on a follower and names the leader the
+// caller should redirect to. errors.Is(err, ErrNotLeader) matches it.
+type NotLeaderError struct {
+	// Leader is the leader's base URL.
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	return fmt.Sprintf("structix: read-only replica: writes go to the leader at %s", e.Leader)
+}
+
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+// OpenFollower opens dir as a read replica of the leader at leaderURL.
+//
+// A fresh directory bootstraps from a leader snapshot download; an
+// existing one recovers locally (newest snapshot + its own journal
+// tail) exactly like Open, then resumes the leader's frame stream from
+// its last applied seq. If the leader has compacted its journal past
+// that resume point (the wal.ErrGap condition, surfaced by the stream
+// endpoint as 410), the local state is discarded and re-seeded from a
+// fresh snapshot — a replica's history is always a prefix of the
+// leader's, so nothing of value is lost.
+//
+// The returned DB serves the full read path (Snapshot, Eval, Count, and
+// the serving layer's queries, caches and compiled plans on top) while
+// every write entry point fails with a *NotLeaderError naming
+// leaderURL. Replicated records flow through the same
+// apply→append→publish pipeline local writes use, into the follower's
+// own WAL, so a follower crash recovers a commit-prefix state locally
+// and resumes without re-downloading anything.
+//
+// opts.Bootstrap must be nil (follower state comes from the leader) and
+// opts.Shards must be 0 or 1 (replication streams one journal; shard a
+// cluster by running one follower per shard process instead).
+func OpenFollower(dir, leaderURL string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if opts.Shards > 1 {
+		return nil, errors.New("structix: OpenFollower replicates a single store; run one follower per shard instead")
+	}
+	if opts.Bootstrap != nil {
+		return nil, errors.New("structix: follower state comes from the leader; Bootstrap must be nil")
+	}
+	leaderURL = strings.TrimRight(leaderURL, "/")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("structix: %w", err)
+	}
+
+	// The position handshake needs the leader up; the stream itself
+	// reconnects forever, but opening against an unreachable leader is
+	// reported now rather than as a silently empty replica.
+	hc := &http.Client{}
+	stateCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	st, err := repl.FetchState(stateCtx, hc, leaderURL)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("structix: follower bootstrap: %w", err)
+	}
+
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		if err := fetchLeaderSnapshot(hc, leaderURL, dir); err != nil {
+			return nil, err
+		}
+	}
+	db, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if db.appliedSeq.Load()+1 < st.OldestSeq {
+		// The leader compacted past our resume point while we were down:
+		// streaming cannot bridge the gap (ErrGap), so re-seed from a
+		// fresh snapshot. Discarding local state is safe — it is a strict
+		// prefix of the leader's history.
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+		if err := wipeStore(dir); err != nil {
+			return nil, err
+		}
+		if err := fetchLeaderSnapshot(hc, leaderURL, dir); err != nil {
+			return nil, err
+		}
+		if db, err = Open(dir, opts); err != nil {
+			return nil, err
+		}
+	}
+	db.leader = leaderURL
+	db.runner = repl.Start(repl.Config{Leader: leaderURL}, db)
+	return db, nil
+}
+
+// fetchLeaderSnapshot downloads the leader's current snapshot into dir
+// under the name its covered seq dictates, with the same
+// temp+fsync+rename discipline writeSnapshot uses.
+func fetchLeaderSnapshot(hc *http.Client, leaderURL, dir string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	seq, body, err := repl.FetchSnapshot(ctx, hc, leaderURL)
+	if err != nil {
+		return fmt.Errorf("structix: follower bootstrap: %w", err)
+	}
+	defer body.Close()
+	tmp := filepath.Join(dir, snapName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("structix: %w", err)
+	}
+	if _, err := io.Copy(f, body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("structix: follower bootstrap: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("structix: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("structix: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName(seq))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("structix: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// wipeStore removes a follower's local state (snapshots + journal) for
+// a gap-driven re-bootstrap.
+func wipeStore(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("structix: %w", err)
+	}
+	for _, e := range entries {
+		if _, ok := parseSnapName(e.Name()); ok {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("structix: %w", err)
+			}
+		}
+	}
+	if err := os.RemoveAll(filepath.Join(dir, walSubdir)); err != nil {
+		return fmt.Errorf("structix: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ---- replication hooks on DB ----
+
+// Seq returns the journal sequence number covered by the published
+// snapshot — the replication epoch: 0 on an in-memory store, the last
+// locally committed seq on a leader, the last applied seq on a
+// follower. Query replies carry it; WaitForSeq turns it into
+// read-your-writes across replicas.
+func (db *DB) Seq() uint64 { return db.visibleSeq.Load() }
+
+// WaitForSeq blocks until the published snapshot covers seq (then
+// returns nil) or ctx expires. It is the follower half of
+// read-your-writes: a client that wrote through the leader at seq S
+// reads from a replica with min seq S and sees its own write.
+func (db *DB) WaitForSeq(ctx context.Context, seq uint64) error {
+	if db.visibleSeq.Load() >= seq {
+		return nil
+	}
+	for {
+		db.seqMu.Lock()
+		if db.seqWatch == nil {
+			db.seqWatch = make(chan struct{})
+		}
+		ch := db.seqWatch
+		db.seqMu.Unlock()
+		if db.visibleSeq.Load() >= seq {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+		if db.visibleSeq.Load() >= seq {
+			return nil
+		}
+	}
+}
+
+// ApplyRecord applies one replicated journal record: replay into the
+// live index, append to the local journal (preserving the leader's
+// sequence number), publish the snapshot. It is the follower half of
+// the commit protocol, called in order by the replication runner;
+// records at or below the applied seq are ignored (reconnect overlap).
+func (db *DB) ApplyRecord(rec *wal.Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.failed != nil {
+		return db.failed
+	}
+	if db.log == nil {
+		return errors.New("structix: an in-memory store cannot apply replicated records")
+	}
+	applied := db.appliedSeq.Load()
+	if rec.Seq <= applied {
+		return nil
+	}
+	if rec.Seq != applied+1 {
+		return fmt.Errorf("structix: replicated record %d does not follow applied seq %d", rec.Seq, applied)
+	}
+	if err := replayRecord(db.idx, rec); err != nil {
+		return fmt.Errorf("structix: replicated %w", err)
+	}
+	if _, jerr := db.log.AppendRecord(rec); jerr != nil {
+		return db.journalFailed(jerr)
+	}
+	db.noteRecord(rec.Seq)
+	if rec.Kind == wal.RecEdges {
+		touched := make([]NodeID, 0, 2*len(rec.Edges))
+		for _, op := range rec.Edges {
+			touched = append(touched, op.U, op.V)
+		}
+		db.publishPatch(touched)
+	} else {
+		db.publishFull()
+	}
+	return nil
+}
+
+// Journal exposes the write-ahead log (nil on an in-memory store) — the
+// leader side of the replication Source.
+func (db *DB) Journal() *wal.Log { return db.log }
+
+// PinSnapshot pairs the current epoch snapshot with the journal seq it
+// covers and returns a writer for the compressed snapshot format — the
+// bootstrap half of the replication Source. The pin is an atomic load
+// under the writer lock; the write runs on immutable state and may take
+// as long as the download takes.
+func (db *DB) PinSnapshot() (uint64, func(io.Writer) error) {
+	db.mu.Lock()
+	snap := db.cur.Load()
+	seq := db.visibleSeq.Load()
+	db.mu.Unlock()
+	return seq, func(w io.Writer) error {
+		return persist.SaveSnapshotCompressed(w, snap)
+	}
+}
+
+// Follower returns the replication runner on a follower DB, nil
+// otherwise — the serving layer reads lag stats and installs its
+// publication hook through it.
+func (db *DB) Follower() *repl.Runner { return db.runner }
+
+// LeaderURL returns the leader base URL on a follower, "" otherwise.
+func (db *DB) LeaderURL() string { return db.leader }
